@@ -1,0 +1,65 @@
+/// \file bench_abl_healing.cpp
+/// Ablation A7 — self-healing (paper §V): "If a node is taken offline the
+/// pods on that node will be rescheduled on another node." We kill FIONA8s
+/// mid-inference and measure the rescheduling cost against an undisturbed
+/// baseline.
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+using namespace chase;
+
+namespace {
+
+double run_inference(int kills, double kill_at_fraction, int* rescheduled) {
+  core::Nautilus bed;
+  core::ConnectWorkflowParams params;
+  params.steps = {3};
+  params.inference_gpus = 40;
+  params.data_fraction = 0.2;
+  core::ConnectWorkflow cwf(bed, params);
+
+  // Schedule node failures mid-run.
+  const double expected =
+      params.cost.inference_seconds(cwf.scaled_inference_voxels(),
+                                    chase::cluster::GpuModel::GTX1080Ti,
+                                    params.inference_gpus);
+  for (int k = 0; k < kills; ++k) {
+    const double when = expected * kill_at_fraction * (1.0 + 0.2 * k);
+    const auto victim = bed.gpu_machines()[static_cast<std::size_t>(k)];
+    bed.sim.schedule(when, [&bed, victim] { bed.inventory.set_up(victim, false); });
+  }
+  bench::run_workflow(bed, cwf.workflow(), 600.0);
+  const auto& report = cwf.workflow().reports().at(0);
+
+  int failed_pods = 0;
+  for (const auto& pod : bed.kube->list_pods(params.ns, {{"job", "inference"}})) {
+    failed_pods += pod->phase == kube::PodPhase::Failed;
+  }
+  if (rescheduled != nullptr) *rescheduled = failed_pods;
+  return report.duration();
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Ablation A7: self-healing under node loss (Step 3, 40 GPUs) ===\n\n");
+
+  util::Table table({"Nodes killed", "Step time", "Overhead vs baseline", "Pods rescheduled"});
+  double baseline = 0.0;
+  for (int kills : {0, 1, 2, 4}) {
+    int rescheduled = 0;
+    const double t = run_inference(kills, 0.5, &rescheduled);
+    if (kills == 0) baseline = t;
+    table.add_row({std::to_string(kills), util::format_duration(t),
+                   "+" + util::format_double((t / baseline - 1.0) * 100, 1) + "%",
+                   std::to_string(rescheduled)});
+  }
+  std::fputs(table.render("Node-loss recovery").c_str(), stdout);
+  std::printf(
+      "\nShape: each lost FIONA8 mid-run costs roughly the re-execution of its\n"
+      "pods' shards (the Job controller recreates them elsewhere); the\n"
+      "workflow always completes — the paper's self-healing claim.\n");
+  return 0;
+}

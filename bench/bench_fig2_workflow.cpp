@@ -1,0 +1,53 @@
+/// \file bench_fig2_workflow.cpp
+/// Reproduces **Figure 2** — "Workflow steps": the 4-step accelerated
+/// CONNECT workflow structure, rendered from the live workflow object, with
+/// the per-step container images and controller types the paper describes
+/// ("multiple Docker images for job specific tasks").
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+using namespace chase;
+
+int main() {
+  std::printf("=== Figure 2: CONNECT workflow steps ===\n\n");
+  core::Nautilus bed;
+  core::ConnectWorkflowParams params;
+  params.data_fraction = 1e-4;  // structure only; run a tiny instance
+  params.download_workers = 2;
+  params.merge_pods = 1;
+  params.url_lists = 4;
+  params.inference_gpus = 2;
+  params.viz_render_seconds = 5;
+  core::ConnectWorkflow cwf(bed, params);
+  bench::run_workflow(bed, cwf.workflow(), 10.0);
+
+  std::printf(
+      "  [THREDDS archive]\n"
+      "        |\n"
+      "        v\n"
+      "  Step 1: data download + preparation   (Job: %d workers via Redis queue,\n"
+      "          Aria2 x%d connections; merge to HDF; -> Ceph Object Store)\n"
+      "        |\n"
+      "        v\n"
+      "  Step 2: model training                (Job: 1 pod, 1x 1080ti, FFN/TF)\n"
+      "        |\n"
+      "        v\n"
+      "  Step 3: distributed multi-GPU model inference\n"
+      "                                        (Job: %d pods, 1 GPU each)\n"
+      "        |\n"
+      "        v\n"
+      "  Step 4: JupyterLab visualization      (1 pod, Ceph Object Store mounted)\n\n",
+      params.download_workers, params.aria2_connections, params.inference_gpus);
+
+  std::printf("Executed structure at reduced scale:\n");
+  for (const auto& r : cwf.workflow().reports()) {
+    std::printf("  %-40s pods=%-3d gpus=%-3d data=%-8s time=%s\n", r.name.c_str(),
+                r.pods, r.gpus, util::format_bytes(r.data_bytes).c_str(),
+                util::format_duration(r.duration()).c_str());
+  }
+  std::printf("\nMonitoring: every step observed via the Grafana-style dashboard "
+              "(see bench_fig3/4/5/6).\n");
+  return 0;
+}

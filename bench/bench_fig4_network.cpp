@@ -1,0 +1,87 @@
+/// \file bench_fig4_network.cpp
+/// Reproduces **Figure 4** — "Network usage during download job run. IOPS:
+/// Max 593MB/s. Throughput: Max 2.64GB": the data-movement panels for Step 1,
+/// sampled like the Grafana dashboard. We track the download path (THREDDS
+/// server egress) and the storage ingest (Ceph writes incl. replication);
+/// the paper's "IOPS" panel is a byte rate and its "Throughput" panel reads
+/// as bytes moved per sampling window.
+
+#include <algorithm>
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+using namespace chase;
+
+int main() {
+  std::printf("=== Figure 4: network usage during the download job ===\n\n");
+  core::Nautilus bed;
+  core::ConnectWorkflowParams params;
+  params.steps = {1};
+  core::ConnectWorkflow cwf(bed, params);
+
+  // Dashboard probes for the data path.
+  const net::NodeId dtn = bed.thredds->node();
+  bed.metrics.register_probe("thredds_egress_rate", {},
+                             [&] { return bed.net.node_tx_rate(dtn); });
+  bed.metrics.register_probe("thredds_bytes_served", {},
+                             [&] { return bed.thredds->bytes_served(); });
+
+  const double sample_period = 30.0;
+  bench::run_workflow(bed, cwf.workflow(), sample_period);
+
+  std::fputs(bed.metrics
+                 .chart("THREDDS server egress during download (Fig. 4 top panel)",
+                        "MB/s", "thredds_egress_rate", {}, 1e-6)
+                 .c_str(),
+             stdout);
+  std::printf("\n");
+  std::fputs(bed.metrics
+                 .chart("Cluster-wide network rate (downloads + merge + Ceph ingest)",
+                        "MB/s", "net_total_rate", {}, 1e-6)
+                 .c_str(),
+             stdout);
+  bed.metrics.export_csv("fig4_thredds_rate.csv", "thredds_egress_rate");
+  bed.metrics.export_csv("fig4_net_rate.csv", "net_total_rate");
+
+  auto max_window = [&](const char* metric) {
+    const auto* ts = bed.metrics.find(metric);
+    double best = 0.0;
+    if (ts != nullptr) {
+      const auto& samples = ts->samples();
+      for (std::size_t i = 1; i < samples.size(); ++i) {
+        best = std::max(best, samples[i].second - samples[i - 1].second);
+      }
+    }
+    return best;
+  };
+
+  const auto* egress = bed.metrics.find("thredds_egress_rate");
+  const double peak_egress = egress != nullptr ? egress->max_over_time() : 0;
+  const double mean_egress =
+      bed.thredds->bytes_served() / cwf.workflow().reports().at(0).duration();
+  const double window_bytes = max_window("thredds_bytes_served");
+  const auto* ceph_written = bed.metrics.find("ceph_bytes_written_total");
+  const double ceph_peak_window = max_window("ceph_bytes_written_total");
+
+  std::printf("\n");
+  std::vector<bench::Comparison> rows;
+  rows.push_back({"Peak download rate (IOPS panel)", "593MB/s",
+                  util::format_rate(peak_egress),
+                  bench::ratio_note(peak_egress, 593e6)});
+  rows.push_back({"Mean download rate", "~111MB/s (246GB/37m)",
+                  util::format_rate(mean_egress),
+                  bench::ratio_note(mean_egress, 246e9 / (37 * 60.0))});
+  rows.push_back({"Max bytes per 30s window", "2.64GB",
+                  util::format_bytes(window_bytes),
+                  bench::ratio_note(window_bytes, 2.64e9)});
+  rows.push_back({"Peak Ceph ingest per window", "-",
+                  util::format_bytes(ceph_peak_window), "incl. replication"});
+  rows.push_back({"Ceph total written", "-",
+                  ceph_written != nullptr
+                      ? util::format_bytes(ceph_written->last())
+                      : "0",
+                  "2x replicated bundles"});
+  bench::print_comparison("Figure 4 summary", rows);
+  return 0;
+}

@@ -1,0 +1,64 @@
+/// \file bench_fig5_training.cpp
+/// Reproduces **Figure 5** — "Training job - Purple shows the data
+/// preparation job. Green is the FFN algorithm training on a 576x361x240
+/// data volume." (Step 2, 306 minutes on one NVIDIA 1080ti.)
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+using namespace chase;
+
+int main() {
+  std::printf("=== Figure 5: Step-2 training job (prep vs FFN training) ===\n\n");
+  core::Nautilus bed;
+  core::ConnectWorkflowParams params;
+  params.steps = {2};
+  core::ConnectWorkflow cwf(bed, params);
+  bench::run_workflow(bed, cwf.workflow(), 60.0);
+  const auto& report = cwf.workflow().reports().at(0);
+
+  // The trainer pod's CPU trace is high during prep (purple) and its GPU
+  // trace is high during training (green) — the two phases of Fig. 5.
+  std::fputs(bed.metrics
+                 .chart("Trainer pod: CPU (data prep phase)", "cores",
+                        "pod_cpu_cores", {{"job", "train"}})
+                 .c_str(),
+             stdout);
+  std::printf("\n");
+  std::fputs(bed.metrics
+                 .chart("Trainer pod: GPU (FFN training phase)", "gpus", "pod_gpus",
+                        {{"job", "train"}})
+                 .c_str(),
+             stdout);
+  bed.metrics.export_csv("fig5_trainer_cpu.csv", "pod_cpu_cores", {{"job", "train"}});
+  bed.metrics.export_csv("fig5_trainer_gpu.csv", "pod_gpus", {{"job", "train"}});
+
+  // Phase split from the traces: prep = CPU-busy time before the GPU ramps.
+  const auto gpu_series = bed.metrics.select("pod_gpus", {{"job", "train"}});
+  double gpu_start = report.end_time;
+  for (const auto& [key, ts] : gpu_series) {
+    for (auto [t, v] : ts->samples()) {
+      if (v > 0.5) {
+        gpu_start = std::min(gpu_start, t);
+        break;
+      }
+    }
+  }
+  const double prep_minutes = (gpu_start - report.start_time) / 60.0;
+  const double train_minutes = (report.end_time - gpu_start) / 60.0;
+
+  std::printf("\n");
+  std::vector<bench::Comparison> rows;
+  rows.push_back({"Training volume", "576x361x240 voxels (381MB)",
+                  "576x361x240 voxels (381MB)", ""});
+  rows.push_back({"GPU", "1x NVIDIA 1080ti", "1x NVIDIA 1080ti (rate model)", ""});
+  rows.push_back({"Data prep phase (purple)", "~60-70m", bench::minutes(prep_minutes * 60),
+                  "serial NetCDF->protobuf"});
+  rows.push_back({"FFN training phase (green)", "~240m",
+                  bench::minutes(train_minutes * 60), ""});
+  rows.push_back({"Step 2 total", "306m", util::format_duration(report.duration()),
+                  bench::ratio_note(report.duration(), 306 * 60)});
+  bench::print_comparison("Figure 5 summary", rows);
+  return 0;
+}

@@ -1,0 +1,60 @@
+/// \file bench_fig6_inference.cpp
+/// Reproduces **Figure 6** — "Inference job - Top) Number of CPUs being
+/// utilized, Middle) Memory utilization, Bottom) Number of GPUs being
+/// utilized." (Step 3: 246GB / 2.3e10 voxels across 50 NVIDIA 1080ti GPUs,
+/// 1133 minutes.)
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+using namespace chase;
+
+int main() {
+  std::printf("=== Figure 6: Step-3 distributed inference utilization ===\n\n");
+  core::Nautilus bed;
+  core::ConnectWorkflowParams params;
+  params.steps = {3};
+  core::ConnectWorkflow cwf(bed, params);
+  const double sample_period = 300.0;  // 5-minute Grafana-style resolution
+  bench::run_workflow(bed, cwf.workflow(), sample_period);
+  const auto& report = cwf.workflow().reports().at(0);
+
+  // Build the three panels (cluster-wide sums over the inference pods).
+  util::Series cpus{"CPUs", {}}, memory{"Memory GB", {}}, gpus{"GPUs", {}};
+  const auto cpu_sel = bed.metrics.select("pod_cpu_cores", {{"job", "inference"}});
+  for (double t = report.start_time; t <= report.end_time + sample_period;
+       t += sample_period) {
+    cpus.points.emplace_back(t, bed.metrics.sum_at("pod_cpu_cores",
+                                                   {{"job", "inference"}}, t));
+    memory.points.emplace_back(
+        t, bed.metrics.sum_at("pod_memory_bytes", {{"job", "inference"}}, t) * 1e-9);
+    gpus.points.emplace_back(t,
+                             bed.metrics.sum_at("pod_gpus", {{"job", "inference"}}, t));
+  }
+  for (auto* panel : {&cpus, &memory, &gpus}) {
+    util::AsciiChart chart;
+    chart.add_series(*panel);
+    std::fputs(chart.render("Inference job: " + panel->name + " utilized",
+                            panel->name)
+                   .c_str(),
+               stdout);
+    std::printf("\n");
+  }
+  bed.metrics.export_csv("fig6_inference_gpus.csv", "pod_gpus", {{"job", "inference"}});
+
+  double peak_gpus = 0;
+  for (auto [t, v] : gpus.points) peak_gpus = std::max(peak_gpus, v);
+
+  std::vector<bench::Comparison> rows;
+  rows.push_back({"GPUs utilized (peak)", "50", util::format_double(peak_gpus, 0), ""});
+  rows.push_back({"Voxels", "2.3e10 (576x361x112,249)",
+                  util::format_double(cwf.scaled_inference_voxels(), 0), ""});
+  rows.push_back({"Data processed", "246GB", util::format_bytes(report.data_bytes), ""});
+  rows.push_back({"Memory", "600GB", util::format_bytes(report.peak_memory_bytes), ""});
+  rows.push_back({"Total time", "1133m (18h53m)",
+                  util::format_duration(report.duration()),
+                  bench::ratio_note(report.duration(), 1133 * 60)});
+  bench::print_comparison("Figure 6 summary", rows);
+  return 0;
+}

@@ -1,0 +1,68 @@
+/// \file bench_table1.cpp
+/// Reproduces **Table I** — "Nautilus resource summary table for all steps in
+/// the workflow": pods / CPUs / GPUs / data processed / memory / total time
+/// for the 4-step CONNECT workflow at full paper scale (112,249 files,
+/// 246 GB IVT subset, 2.3e10 voxels, 50 inference GPUs).
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+using namespace chase;
+
+int main() {
+  std::printf("=== Table I: CONNECT workflow resource summary (paper scale) ===\n\n");
+  core::Nautilus bed;
+  core::ConnectWorkflowParams params;  // paper defaults
+  core::ConnectWorkflow cwf(bed, params);
+
+  std::printf("Workload: %llu NetCDF files, %s IVT subset (of %s archive), "
+              "%.2e voxels, %d inference GPUs\n\n",
+              static_cast<unsigned long long>(cwf.scaled_file_count()),
+              util::format_bytes(cwf.scaled_subset_bytes()).c_str(),
+              util::format_bytes(cwf.scaled_archive_bytes()).c_str(),
+              cwf.scaled_inference_voxels(), params.inference_gpus);
+
+  bench::run_workflow(bed, cwf.workflow(), 60.0);
+  std::fputs(cwf.workflow().summary_table().c_str(), stdout);
+
+  // Paper-vs-measured comparison.
+  const auto& r = cwf.workflow().reports();
+  const ml::PaperWorkload paper;
+  struct PaperRow {
+    const char* name;
+    int pods, cpus, gpus;
+    double data, memory, minutes;  // minutes < 0 -> N/A
+  };
+  const PaperRow expected[4] = {
+      {"Step 1", 14, 42, 0, 246e9, 225e9, 37},
+      {"Step 2", 1, 1, 1, 381e6, 14.8e9, 306},
+      {"Step 3", 50, 50, 50, 246e9, 600e9, 1133},
+      {"Step 4", 1, 1, 1, 5.8e9, 12e9, -1},
+  };
+  std::vector<bench::Comparison> rows;
+  for (std::size_t i = 0; i < r.size() && i < 4; ++i) {
+    const auto& e = expected[i];
+    rows.push_back({std::string(e.name) + " pods", std::to_string(e.pods),
+                    std::to_string(r[i].pods), ""});
+    rows.push_back({std::string(e.name) + " CPUs", std::to_string(e.cpus),
+                    std::to_string(static_cast<int>(r[i].cpus)), ""});
+    rows.push_back({std::string(e.name) + " GPUs", std::to_string(e.gpus),
+                    std::to_string(r[i].gpus), ""});
+    rows.push_back({std::string(e.name) + " data", util::format_bytes(e.data),
+                    util::format_bytes(r[i].data_bytes), ""});
+    rows.push_back({std::string(e.name) + " memory", util::format_bytes(e.memory),
+                    util::format_bytes(r[i].peak_memory_bytes), ""});
+    if (e.minutes > 0) {
+      rows.push_back({std::string(e.name) + " time",
+                      util::format_duration(e.minutes * 60),
+                      util::format_duration(r[i].duration()),
+                      bench::ratio_note(r[i].duration(), e.minutes * 60)});
+    } else {
+      rows.push_back({std::string(e.name) + " time", "NA",
+                      util::format_duration(r[i].duration()), ""});
+    }
+  }
+  bench::print_comparison("Paper vs measured (Table I)", rows);
+  return 0;
+}

@@ -1,0 +1,99 @@
+/// \file failure_recovery.cpp
+/// Self-healing (paper §V): "The CHASE-CI infrastructure is very dynamic in
+/// the fact that nodes can join and leave the cluster at any time... If a
+/// node is taken offline the pods on that node will be rescheduled on
+/// another node." This example kills a FIONA8 mid-job and a storage FIONA
+/// mid-recovery, and shows the Job controller and Ceph healing both
+/// converge.
+///
+///   $ build/examples/failure_recovery
+
+#include <cstdio>
+#include <set>
+
+#include "core/nautilus.hpp"
+
+using namespace chase;
+
+int main() {
+  core::Nautilus bed;
+
+  // Stage data into Ceph (2x replicated).
+  auto client = bed.inventory.machine(bed.gpu_machines()[0]).net_node;
+  for (int i = 0; i < 32; ++i) {
+    bed.fs->write_file_async(client, "/data/chunk-" + std::to_string(i), util::gb(4));
+  }
+  bed.sim.run();
+  std::printf("[%6.0fs] staged %zu files, Ceph health: %d/%d PGs clean\n",
+              bed.sim.now(), bed.fs->list("/data/").size(),
+              bed.ceph->health().pgs_clean, bed.ceph->health().pgs_total);
+
+  // A long-running 12-pod GPU job.
+  kube::JobSpec job;
+  job.ns = "default";
+  job.name = "resilient";
+  job.completions = 12;
+  job.parallelism = 12;
+  kube::ContainerSpec c;
+  c.requests = {4, util::gb(24), 4};
+  c.program = [&bed](kube::PodContext& ctx) -> sim::Task {
+    co_await bed.fs->read_file(ctx.net_node(), "/data/chunk-0");
+    co_await ctx.gpu_compute(4 * 3600.0 * 4);  // 4 hours on 4 GPUs
+  };
+  job.pod_template.containers.push_back(std::move(c));
+  auto handle = bed.kube->create_job(job).value;
+  bed.sim.run(1800.0);
+
+  std::set<int> used_nodes;
+  for (const auto& pod : bed.kube->list_pods("default", {{"job", "resilient"}})) {
+    if (pod->phase == kube::PodPhase::Running) used_nodes.insert(pod->node);
+  }
+  std::printf("[%6.0fs] job running: %d active pods across %zu FIONA8s\n",
+              bed.sim.now(), handle->active, used_nodes.size());
+
+  // --- kill a GPU node mid-run ---------------------------------------------------
+  const auto victim = *used_nodes.begin();
+  std::printf("[%6.0fs] !!! taking %s offline\n", bed.sim.now(),
+              bed.inventory.machine(victim).spec.name.c_str());
+  bed.inventory.set_up(victim, false);
+  bed.sim.run(bed.sim.now() + 60.0);
+
+  int evicted = 0, running = 0;
+  for (const auto& pod : bed.kube->list_pods("default", {{"job", "resilient"}})) {
+    evicted += pod->reason == "NodeLost";
+    running += pod->phase == kube::PodPhase::Running;
+  }
+  std::printf("[%6.0fs] node controller evicted %d pods; %d running again "
+              "(rescheduled elsewhere)\n",
+              bed.sim.now(), evicted, running);
+
+  // --- kill a storage node too ----------------------------------------------------
+  std::printf("[%6.0fs] !!! taking %s offline (an OSD host)\n", bed.sim.now(),
+              bed.inventory.machine(bed.storage_machines()[2]).spec.name.c_str());
+  bed.inventory.set_up(bed.storage_machines()[2], false);
+  auto health = bed.ceph->health();
+  std::printf("[%6.0fs] Ceph: %d PGs recovering/degraded, data re-replicating\n",
+              bed.sim.now(), health.pgs_recovering + health.pgs_degraded);
+
+  bed.sim.run(bed.sim.now() + 2 * util::kHour);
+  health = bed.ceph->health();
+  std::printf("[%6.0fs] Ceph healed: %d/%d PGs clean\n", bed.sim.now(),
+              health.pgs_clean, health.pgs_total);
+
+  // --- node comes back ---------------------------------------------------------------
+  bed.inventory.set_up(victim, true);
+  std::printf("[%6.0fs] %s rejoined the cluster (schedulable again)\n", bed.sim.now(),
+              bed.inventory.machine(victim).spec.name.c_str());
+
+  sim::run_until(bed.sim, handle->done);
+  std::printf("[%6.0fs] job %s: %d succeeded, %d evictions absorbed, %d failures\n",
+              bed.sim.now(), handle->complete ? "COMPLETE" : "failed",
+              handle->succeeded, evicted, handle->failed);
+
+  // Files written before the failures are still readable.
+  auto io = bed.fs->read_file_async(client, "/data/chunk-17");
+  sim::run_until(bed.sim, io->done);
+  std::printf("[%6.0fs] post-failure read of /data/chunk-17: %s\n", bed.sim.now(),
+              io->ok ? "OK (replica survived)" : "FAILED");
+  return handle->complete && io->ok ? 0 : 1;
+}

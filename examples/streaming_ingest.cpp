@@ -1,0 +1,109 @@
+/// \file streaming_ingest.cpp
+/// Dynamic data-driven operation (paper §I: CI must handle "near real-time
+/// big data processing capabilities to process data streaming from remote
+/// instruments"): the MERRA-2 archive grows by one assimilated state every
+/// 3 hours. A CronJob fetches each new file's IVT subset from THREDDS as it
+/// appears, appends it to the Ceph archive, and a segmentation pod
+/// immediately scores the new slab with the trained model — keeping the
+/// science product continuously current.
+///
+///   $ build/examples/streaming_ingest
+
+#include <cstdio>
+
+#include "core/nautilus.hpp"
+#include "ml/cost.hpp"
+#include "thredds/server.hpp"
+
+using namespace chase;
+
+namespace {
+
+struct StreamState {
+  core::Nautilus* bed;
+  std::size_t next_file = 0;       // next archive index to ingest
+  std::size_t ingested = 0;
+  std::size_t segmented = 0;
+  double ingest_latency_sum = 0;   // file-available -> results-in-ceph
+};
+
+}  // namespace
+
+int main() {
+  core::Nautilus bed;
+  StreamState state{&bed, 0, 0, 0, 0};
+  const auto* dataset = bed.thredds->dataset("M2I3NPASM");
+  const util::Bytes slab = *dataset->subset_bytes("IVT");
+
+  // A pre-trained model is already in the object store (Step 2 ran earlier).
+  {
+    auto client = bed.inventory.machine(bed.gpu_machines()[0]).net_node;
+    auto io = bed.fs->write_file_async(client, "/models/ffn-ckpt", util::mb(100));
+    sim::run_until(bed.sim, io->done);
+  }
+
+  // Every 3 simulated hours a new instantaneous state lands on the DTN; the
+  // CronJob ingests and segments it.
+  kube::CronJobSpec cron;
+  cron.ns = "default";
+  cron.name = "merra-ingest";
+  cron.period = 3 * util::kHour;
+  cron.job_template.completions = 1;
+  kube::ContainerSpec c;
+  c.name = "ingest";
+  c.image = "chase/stream-ingest";
+  c.requests = {2, util::gb(8), 1};
+  c.program = [&state, slab](kube::PodContext& ctx) -> sim::Task {
+    const double available_at = ctx.sim().now();
+    // Fetch the newest file's IVT subset from THREDDS.
+    thredds::Aria2Client aria(ctx.sim(), *state.bed->thredds, ctx.net_node(), 4);
+    thredds::DownloadStats stats;
+    std::vector<std::size_t> newest{state.next_file++};
+    co_await aria.download("M2I3NPASM", std::move(newest), "IVT", &stats);
+    if (!stats.ok) co_return;
+    // Append to the rolling archive in Ceph.
+    co_await state.bed->fs->write_file(
+        ctx.net_node(), "/stream/ivt-" + std::to_string(state.ingested), stats.bytes);
+    state.ingested += 1;
+    // Segment the new slab with the trained FFN (one 576x361 frame).
+    co_await state.bed->fs->read_file(ctx.net_node(), "/models/ffn-ckpt");
+    ml::FfnCostModel cost;
+    co_await ctx.gpu_compute(
+        cost.inference_seconds(576.0 * 361.0, cluster::GpuModel::GTX1080Ti, 1));
+    co_await state.bed->fs->write_file(
+        ctx.net_node(), "/stream/segments-" + std::to_string(state.segmented),
+        util::mb(1));
+    state.segmented += 1;
+    state.ingest_latency_sum += ctx.sim().now() - available_at;
+  };
+  cron.job_template.pod_template.containers.push_back(std::move(c));
+  auto handle = bed.kube->create_cron_job(cron);
+  if (!handle.ok()) {
+    std::printf("cron rejected: %s\n", handle.error.c_str());
+    return 1;
+  }
+
+  // Run two simulated days of continuous operation.
+  std::printf("streaming MERRA-2 ingest: one %s IVT slab every 3 hours...\n\n",
+              util::format_bytes(static_cast<double>(slab)).c_str());
+  bed.sim.run(2 * util::kDay + 60.0);
+  bed.kube->delete_cron_job("default", "merra-ingest");
+
+  std::printf("after 48 simulated hours:\n");
+  std::printf("  cron firings          : %llu (%llu skipped)\n",
+              static_cast<unsigned long long>(handle.value->fired),
+              static_cast<unsigned long long>(handle.value->skipped));
+  std::printf("  slabs ingested        : %zu (%s in /stream/)\n", state.ingested,
+              util::format_bytes(static_cast<double>(bed.fs->bytes_under("/stream/")))
+                  .c_str());
+  std::printf("  slabs segmented       : %zu\n", state.segmented);
+  if (state.segmented > 0) {
+    std::printf("  mean ingest-to-product: %s (vs 3h data cadence)\n",
+                util::format_duration(state.ingest_latency_sum /
+                                      static_cast<double>(state.segmented))
+                    .c_str());
+  }
+  std::printf("\nnear-real-time: the science product trails the instrument by\n"
+              "seconds-to-minutes rather than by a batch re-download cycle.\n");
+  return state.segmented >= 15 ? 0 : 1;
+}

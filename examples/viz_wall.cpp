@@ -1,0 +1,65 @@
+/// \file viz_wall.cpp
+/// The remote visualization demonstration from paper §VII: a CalVR-style
+/// OpenGL application scheduled across 11 remote GPU nodes at UCSD driving
+/// displays at UC Merced, steered by a motion-tracked wand — "with
+/// unnoticeable latency" over the PRP. Kubernetes node labels target the
+/// GPU nodes; the render wall streams tiles over the simulated WAN.
+///
+///   $ build/examples/viz_wall
+
+#include <cstdio>
+
+#include "core/nautilus.hpp"
+#include "viz/renderwall.hpp"
+
+using namespace chase;
+
+int main() {
+  core::Nautilus bed;
+
+  // Target 11 GPU nodes at UCSD via node labels (the paper: "Kubernetes
+  // object labeling conventions enabled straightforward targeting").
+  std::vector<net::NodeId> render_nodes;
+  std::vector<std::string> names;
+  for (auto machine : bed.gpu_machines()) {
+    const auto& m = bed.inventory.machine(machine);
+    if (m.spec.site == "UCM") continue;  // render remotely, display locally
+    render_nodes.push_back(m.net_node);
+    names.push_back(m.spec.name);
+    if (render_nodes.size() == 11) break;
+  }
+  std::printf("render nodes (%zu):", render_nodes.size());
+  for (const auto& n : names) std::printf(" %s", n.c_str());
+  std::printf("\n");
+
+  // The SunCAVE display wall and the tracked wand live at UC Merced.
+  auto ucm = bed.site_switch(6);  // "UCM"
+  auto display = bed.net.add_node("suncave-display");
+  bed.net.add_link(display, ucm, util::gbit_per_s(40), 1e-4);
+  auto wand = bed.net.add_node("tracked-wand");
+  bed.net.add_link(wand, ucm, util::gbit_per_s(1), 1e-4);
+
+  viz::RenderWallOptions options;
+  options.tiles = static_cast<int>(render_nodes.size());
+  options.frame_rate_hz = 30.0;
+  viz::RenderWall wall(bed.sim, bed.net, options);
+
+  std::printf("driving %d tiles at %.0f Hz across the PRP (San Diego -> Merced)...\n\n",
+              options.tiles, options.frame_rate_hz);
+  auto done = sim::make_event();
+  wall.run(render_nodes, display, wand, 600, done);
+  sim::run_until(bed.sim, done);
+
+  const auto report = wall.report();
+  std::printf("frames rendered : %llu (20 seconds of interaction)\n",
+              static_cast<unsigned long long>(report.frames));
+  std::printf("latency mean    : %.1f ms\n", report.mean_latency * 1e3);
+  std::printf("latency p50     : %.1f ms\n", report.p50_latency * 1e3);
+  std::printf("latency p99     : %.1f ms\n", report.p99_latency * 1e3);
+  std::printf("latency max     : %.1f ms\n", report.max_latency * 1e3);
+  std::printf("on-time @30Hz   : %.1f%%\n", report.on_time_fraction * 100);
+  std::printf("\n\"unnoticeable latency\": %s (p99 %s 80ms perception threshold)\n",
+              report.p99_latency < 0.08 ? "reproduced" : "NOT reproduced",
+              report.p99_latency < 0.08 ? "under" : "over");
+  return report.p99_latency < 0.08 ? 0 : 1;
+}

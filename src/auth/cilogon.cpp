@@ -1,0 +1,90 @@
+#include "auth/cilogon.hpp"
+
+namespace chase::auth {
+
+void CILogon::register_provider(const std::string& provider) {
+  providers_.insert(provider);
+}
+
+bool CILogon::has_provider(const std::string& provider) const {
+  return providers_.count(provider) > 0;
+}
+
+std::optional<Token> CILogon::login(const std::string& provider,
+                                    const std::string& user) {
+  if (!has_provider(provider)) return std::nullopt;
+  Token t;
+  t.id = next_token_++;
+  t.identity = Identity{provider, user};
+  sessions_[t.id] = t.identity;
+  return t;
+}
+
+std::optional<Identity> CILogon::validate(const Token& token) const {
+  auto it = sessions_.find(token.id);
+  if (it == sessions_.end() || !(it->second == token.identity)) return std::nullopt;
+  return it->second;
+}
+
+void CILogon::revoke(const Token& token) { sessions_.erase(token.id); }
+
+const char* verb_name(Verb v) {
+  switch (v) {
+    case Verb::Get:
+      return "get";
+    case Verb::Create:
+      return "create";
+    case Verb::Delete:
+      return "delete";
+    case Verb::Admin:
+      return "admin";
+  }
+  return "?";
+}
+
+void Rbac::grant_admin(const std::string& ns, const Identity& who) {
+  admins_[ns].insert(who);
+}
+
+void Rbac::grant_member(const std::string& ns, const Identity& who) {
+  members_[ns].insert(who);
+}
+
+void Rbac::revoke_all(const std::string& ns, const Identity& who) {
+  if (auto it = admins_.find(ns); it != admins_.end()) it->second.erase(who);
+  if (auto it = members_.find(ns); it != members_.end()) it->second.erase(who);
+}
+
+bool Rbac::allowed(const std::string& ns, const Identity& who, Verb verb) const {
+  if (is_admin(ns, who)) return true;
+  auto it = members_.find(ns);
+  const bool member = it != members_.end() && it->second.count(who) > 0;
+  if (!member) return false;
+  switch (verb) {
+    case Verb::Get:
+    case Verb::Create:
+    case Verb::Delete:
+      return true;
+    case Verb::Admin:
+      return false;
+  }
+  return false;
+}
+
+bool Rbac::is_admin(const std::string& ns, const Identity& who) const {
+  auto it = admins_.find(ns);
+  return it != admins_.end() && it->second.count(who) > 0;
+}
+
+std::vector<Identity> Rbac::members(const std::string& ns) const {
+  std::vector<Identity> out;
+  if (auto it = admins_.find(ns); it != admins_.end()) {
+    out.insert(out.end(), it->second.begin(), it->second.end());
+  }
+  if (auto it = members_.find(ns); it != members_.end()) {
+    out.insert(out.end(), it->second.begin(), it->second.end());
+  }
+  return out;
+}
+
+}  // namespace chase::auth

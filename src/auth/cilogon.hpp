@@ -1,0 +1,74 @@
+#pragma once
+/// \file cilogon.hpp
+/// The CILogon substitute (paper §IV): federated identity across many
+/// identity providers ("over 2500 identity providers are supported, allowing
+/// the use of home or campus credentials"), token issuance, and the
+/// namespace-scoped RBAC model Nautilus layers on top — a PI is granted the
+/// "namespace administrator" role and manages their group's users.
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace chase::auth {
+
+struct Identity {
+  std::string provider;  // e.g. "ucsd.edu"
+  std::string user;      // e.g. "ialtintas"
+  bool operator==(const Identity&) const = default;
+  bool operator<(const Identity& o) const {
+    return std::tie(provider, user) < std::tie(o.provider, o.user);
+  }
+};
+
+struct Token {
+  std::uint64_t id = 0;
+  Identity identity;
+};
+
+/// Federated login service. Users "claim" an identity via their home
+/// provider rather than creating a new account.
+class CILogon {
+ public:
+  void register_provider(const std::string& provider);
+  bool has_provider(const std::string& provider) const;
+  std::size_t provider_count() const { return providers_.size(); }
+
+  /// Returns a token, or nullopt if the provider is not federated.
+  std::optional<Token> login(const std::string& provider, const std::string& user);
+  /// Look up the identity bound to a token; nullopt if unknown/revoked.
+  std::optional<Identity> validate(const Token& token) const;
+  void revoke(const Token& token);
+
+ private:
+  std::set<std::string> providers_;
+  std::map<std::uint64_t, Identity> sessions_;
+  std::uint64_t next_token_ = 1;
+};
+
+/// Verbs on namespaced resources, Kubernetes-style.
+enum class Verb { Get, Create, Delete, Admin };
+const char* verb_name(Verb v);
+
+/// Per-namespace role bindings. A namespace admin can do everything within
+/// the namespace including managing members; members can create/get/delete
+/// workloads; everyone else is denied.
+class Rbac {
+ public:
+  void grant_admin(const std::string& ns, const Identity& who);
+  void grant_member(const std::string& ns, const Identity& who);
+  void revoke_all(const std::string& ns, const Identity& who);
+
+  bool allowed(const std::string& ns, const Identity& who, Verb verb) const;
+  bool is_admin(const std::string& ns, const Identity& who) const;
+  std::vector<Identity> members(const std::string& ns) const;
+
+ private:
+  std::map<std::string, std::set<Identity>> admins_;
+  std::map<std::string, std::set<Identity>> members_;
+};
+
+}  // namespace chase::auth

@@ -1,0 +1,485 @@
+#include "ceph/ceph.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace chase::ceph {
+
+namespace {
+
+std::uint64_t str_hash(const std::string& s) {
+  // FNV-1a, then mixed.
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  return util::hash_mix(h);
+}
+
+}  // namespace
+
+CephCluster::CephCluster(sim::Simulation& sim, net::Network& net,
+                         cluster::Inventory& inventory, mon::Registry* metrics,
+                         Options options)
+    : sim_(sim), net_(net), inventory_(inventory), metrics_(metrics),
+      options_(options) {
+  inventory_.subscribe([this](cluster::MachineId m, bool up) { on_machine_state(m, up); });
+  if (metrics_ != nullptr) {
+    metrics_->register_probe("ceph_bytes_stored", {},
+                             [this] { return static_cast<double>(health().bytes_stored); });
+    metrics_->register_probe("ceph_degraded_pgs", {},
+                             [this] { return static_cast<double>(health().pgs_degraded); });
+    metrics_->register_probe("ceph_bytes_written_total", {},
+                             [this] { return bytes_written_; });
+    metrics_->register_probe("ceph_bytes_read_total", {}, [this] { return bytes_read_; });
+  }
+}
+
+CephCluster::CephCluster(sim::Simulation& sim, net::Network& net,
+                         cluster::Inventory& inventory, mon::Registry* metrics)
+    : CephCluster(sim, net, inventory, metrics, Options{}) {}
+
+// --- OSDs -------------------------------------------------------------------------
+
+int CephCluster::add_osd(cluster::MachineId machine) {
+  const auto& spec = inventory_.machine(machine).spec;
+  Osd osd;
+  osd.machine = machine;
+  osd.capacity = spec.disk_capacity;
+  osd.write_bw = spec.disk_write_bw;
+  osd.read_bw = spec.disk_read_bw;
+  osd.up = inventory_.machine(machine).up;
+  osd.disk = std::make_unique<sim::Semaphore>(1);
+  osds_.push_back(std::move(osd));
+  ++epoch_;
+  remap_all_pools("osd added");
+  return static_cast<int>(osds_.size() - 1);
+}
+
+Bytes CephCluster::total_capacity() const {
+  Bytes total = 0;
+  for (const auto& osd : osds_) total += osd.capacity;
+  return total;
+}
+
+// --- pools ------------------------------------------------------------------------
+
+void CephCluster::create_pool(const std::string& name, int replication) {
+  Pool pool;
+  pool.name = name;
+  pool.replication = replication > 0 ? replication : options_.replication;
+  pool.pgs.resize(static_cast<std::size_t>(options_.pg_count));
+  pools_[name] = std::move(pool);
+  remap_pool(pools_[name]);
+}
+
+// --- CRUSH -------------------------------------------------------------------------
+
+std::vector<int> CephCluster::crush(const std::string& pool, int pg, int count) const {
+  // straw2: each candidate OSD draws straw = ln(u) / weight with u a pure
+  // function of (pool, pg, osd); the largest straws win. Replicas must land
+  // on distinct machines (failure domain = host).
+  struct Straw {
+    double value;
+    int osd;
+  };
+  const std::uint64_t seed = util::hash_combine(str_hash(pool), static_cast<std::uint64_t>(pg));
+  std::vector<Straw> straws;
+  straws.reserve(osds_.size());
+  for (std::size_t i = 0; i < osds_.size(); ++i) {
+    if (!osds_[i].up) continue;
+    const double weight =
+        static_cast<double>(osds_[i].capacity) / static_cast<double>(util::tb(1));
+    if (weight <= 0) continue;
+    const std::uint64_t h = util::hash_combine(seed, static_cast<std::uint64_t>(i));
+    // u in (0, 1]; ln(u) <= 0, divided by weight: bigger weight -> straw
+    // closer to zero -> more likely to be among the max straws.
+    const double u = (static_cast<double>(h >> 11) + 1.0) * 0x1.0p-53;
+    straws.push_back(Straw{std::log(u) / weight, static_cast<int>(i)});
+  }
+  std::sort(straws.begin(), straws.end(), [](const Straw& a, const Straw& b) {
+    if (a.value != b.value) return a.value > b.value;
+    return a.osd < b.osd;
+  });
+  std::vector<int> chosen;
+  std::set<cluster::MachineId> machines_used;
+  for (const Straw& s : straws) {
+    if (static_cast<int>(chosen.size()) >= count) break;
+    const auto machine = osds_[static_cast<std::size_t>(s.osd)].machine;
+    if (machines_used.count(machine)) continue;
+    machines_used.insert(machine);
+    chosen.push_back(s.osd);
+  }
+  return chosen;
+}
+
+int CephCluster::pg_of(const std::string& pool, const std::string& object) const {
+  return static_cast<int>(str_hash(object) % static_cast<std::uint64_t>(options_.pg_count));
+}
+
+std::vector<int> CephCluster::acting_set(const std::string& pool, int pg) const {
+  return pools_.at(pool).pgs.at(static_cast<std::size_t>(pg)).acting;
+}
+
+void CephCluster::remap_all_pools(const char* /*why*/) {
+  for (auto& [name, pool] : pools_) remap_pool(pool);
+}
+
+void CephCluster::remap_pool(Pool& pool) {
+  for (std::size_t pg = 0; pg < pool.pgs.size(); ++pg) {
+    PlacementGroup& group = pool.pgs[pg];
+    std::vector<int> target = crush(pool.name, static_cast<int>(pg), pool.replication);
+    if (target == group.acting) continue;
+    const std::vector<int> previous = group.acting;
+    group.acting = target;
+    if (group.objects.empty() || previous.empty()) {
+      group.state = static_cast<int>(target.size()) >= pool.replication
+                        ? PgState::ActiveClean
+                        : PgState::Degraded;
+      continue;
+    }
+    // Data must move: recover asynchronously from surviving replicas.
+    group.state = PgState::Recovering;
+    sim_.spawn(recover_pg(this, pool.name, static_cast<int>(pg), previous, target));
+  }
+}
+
+sim::Task CephCluster::recover_pg(CephCluster* self, std::string pool_name, int pg_index,
+                                  std::vector<int> from_set, std::vector<int> to_set) {
+  const std::uint64_t epoch = self->epoch_;
+  auto& pool = self->pools_.at(pool_name);
+  auto& group = pool.pgs.at(static_cast<std::size_t>(pg_index));
+  const Bytes pg_bytes = group.bytes();
+
+  // Source: first surviving previous replica; destinations: new members.
+  int source = -1;
+  for (int osd : from_set) {
+    if (osd < static_cast<int>(self->osds_.size()) &&
+        self->osds_[static_cast<std::size_t>(osd)].up) {
+      source = osd;
+      break;
+    }
+  }
+  std::vector<int> newcomers;
+  for (int osd : to_set) {
+    if (std::find(from_set.begin(), from_set.end(), osd) == from_set.end()) {
+      newcomers.push_back(osd);
+    }
+  }
+  if (source >= 0 && pg_bytes > 0) {
+    for (int osd : newcomers) {
+      if (self->epoch_ != epoch) co_return;  // superseded by a newer map
+      net::TransferOptions opts;
+      opts.rate_cap = self->options_.recovery_rate;
+      co_await self->net_.send(self->osd_net_node(source), self->osd_net_node(osd),
+                               pg_bytes, opts);
+      self->osds_[static_cast<std::size_t>(osd)].used += pg_bytes;
+    }
+    // Free space held on previous replicas that left the set.
+    for (int osd : from_set) {
+      if (std::find(to_set.begin(), to_set.end(), osd) == to_set.end() &&
+          osd < static_cast<int>(self->osds_.size()) &&
+          self->osds_[static_cast<std::size_t>(osd)].up) {
+        auto& o = self->osds_[static_cast<std::size_t>(osd)];
+        o.used = o.used >= pg_bytes ? o.used - pg_bytes : 0;
+      }
+    }
+  }
+  if (self->epoch_ != epoch) co_return;
+  group.state = static_cast<int>(group.acting.size()) >= pool.replication
+                    ? PgState::ActiveClean
+                    : PgState::Degraded;
+}
+
+// --- object I/O -----------------------------------------------------------------------
+
+Bytes CephCluster::PlacementGroup::bytes() const {
+  Bytes total = 0;
+  for (const auto& [name, size] : objects) total += size;
+  return total;
+}
+
+net::NodeId CephCluster::osd_net_node(int osd) const {
+  return inventory_.machine(osds_.at(static_cast<std::size_t>(osd)).machine).net_node;
+}
+
+sim::Task CephCluster::disk_io(int osd, Bytes size, bool write) {
+  Osd& o = osds_.at(static_cast<std::size_t>(osd));
+  co_await o.disk->acquire();
+  const double bw = write ? o.write_bw : o.read_bw;
+  co_await sim_.sleep(static_cast<double>(size) / bw);
+  o.disk->release(sim_);
+}
+
+IoPtr CephCluster::put_async(net::NodeId client, const std::string& pool,
+                             const std::string& object, Bytes size) {
+  auto io = std::make_shared<IoResult>();
+  io->bytes = size;
+  io->start_time = sim_.now();
+  sim_.spawn(do_put(this, client, pool, object, size, io));
+  return io;
+}
+
+sim::Task CephCluster::do_put(CephCluster* self, net::NodeId client, std::string pool_name,
+                              std::string object, Bytes size, IoPtr io) {
+  auto finish = [&](bool ok) {
+    io->ok = ok;
+    io->finish_time = self->sim_.now();
+    io->done->trigger(self->sim_);
+  };
+  auto pit = self->pools_.find(pool_name);
+  if (pit == self->pools_.end()) {
+    finish(false);
+    co_return;
+  }
+  Pool& pool = pit->second;
+  const int pg = self->pg_of(pool_name, object);
+  PlacementGroup& group = pool.pgs.at(static_cast<std::size_t>(pg));
+  if (group.acting.empty()) {
+    finish(false);
+    co_return;
+  }
+  const std::vector<int> acting = group.acting;
+  const int primary = acting[0];
+
+  co_await self->sim_.sleep(self->options_.op_latency);
+  // Client -> primary.
+  auto main_xfer = self->net_.transfer(client, self->osd_net_node(primary), size);
+  co_await main_xfer->done->wait(self->sim_);
+  if (main_xfer->failed) {
+    finish(false);
+    co_return;
+  }
+  co_await self->disk_io(primary, size, /*write=*/true);
+
+  // Primary -> replicas, in parallel.
+  std::vector<net::TransferPtr> xfers;
+  for (std::size_t r = 1; r < acting.size(); ++r) {
+    xfers.push_back(self->net_.transfer(self->osd_net_node(primary),
+                                        self->osd_net_node(acting[r]), size));
+  }
+  bool ok = true;
+  for (auto& x : xfers) {
+    co_await x->done->wait(self->sim_);
+    ok = ok && !x->failed;
+  }
+  for (std::size_t r = 1; r < acting.size() && ok; ++r) {
+    co_await self->disk_io(acting[r], size, /*write=*/true);
+  }
+  if (!ok) {
+    finish(false);
+    co_return;
+  }
+
+  // Commit: update capacity accounting (overwrite frees the old size).
+  auto existing = group.objects.find(object);
+  const Bytes old_size = existing == group.objects.end() ? 0 : existing->second;
+  group.objects[object] = size;
+  for (int osd : acting) {
+    auto& o = self->osds_.at(static_cast<std::size_t>(osd));
+    o.used += size;
+    o.used = o.used >= old_size ? o.used - old_size : 0;
+  }
+  self->bytes_written_ += static_cast<double>(size) * static_cast<double>(acting.size());
+  finish(true);
+}
+
+IoPtr CephCluster::get_async(net::NodeId client, const std::string& pool,
+                             const std::string& object) {
+  auto io = std::make_shared<IoResult>();
+  io->start_time = sim_.now();
+  sim_.spawn(do_get(this, client, pool, object, io));
+  return io;
+}
+
+sim::Task CephCluster::do_get(CephCluster* self, net::NodeId client, std::string pool_name,
+                              std::string object, IoPtr io) {
+  auto finish = [&](bool ok) {
+    io->ok = ok;
+    io->finish_time = self->sim_.now();
+    io->done->trigger(self->sim_);
+  };
+  auto pit = self->pools_.find(pool_name);
+  if (pit == self->pools_.end()) {
+    finish(false);
+    co_return;
+  }
+  Pool& pool = pit->second;
+  const int pg = self->pg_of(pool_name, object);
+  PlacementGroup& group = pool.pgs.at(static_cast<std::size_t>(pg));
+  auto oit = group.objects.find(object);
+  if (oit == group.objects.end() || group.acting.empty()) {
+    finish(false);
+    co_return;
+  }
+  const Bytes size = oit->second;
+  io->bytes = size;
+  const int primary = group.acting[0];
+
+  co_await self->sim_.sleep(self->options_.op_latency);
+  co_await self->disk_io(primary, size, /*write=*/false);
+  auto xfer = self->net_.transfer(self->osd_net_node(primary), client, size);
+  co_await xfer->done->wait(self->sim_);
+  if (xfer->failed) {
+    finish(false);
+    co_return;
+  }
+  self->bytes_read_ += static_cast<double>(size);
+  finish(true);
+}
+
+void CephCluster::remove(const std::string& pool_name, const std::string& object) {
+  auto pit = pools_.find(pool_name);
+  if (pit == pools_.end()) return;
+  const int pg = pg_of(pool_name, object);
+  PlacementGroup& group = pit->second.pgs.at(static_cast<std::size_t>(pg));
+  auto oit = group.objects.find(object);
+  if (oit == group.objects.end()) return;
+  const Bytes size = oit->second;
+  for (int osd : group.acting) {
+    auto& o = osds_.at(static_cast<std::size_t>(osd));
+    o.used = o.used >= size ? o.used - size : 0;
+  }
+  group.objects.erase(oit);
+}
+
+sim::Task CephCluster::compose(const std::string& pool_name, const std::string& dst,
+                               std::vector<std::string> sources, bool* ok) {
+  *ok = false;
+  auto pit = pools_.find(pool_name);
+  if (pit == pools_.end()) co_return;
+  Pool& pool = pit->second;
+
+  // All sources must exist; total size is their sum.
+  Bytes total = 0;
+  for (const auto& src : sources) {
+    auto size = object_size(pool_name, src);
+    if (!size) co_return;
+    total += *size;
+  }
+  const int dst_pg = pg_of(pool_name, dst);
+  PlacementGroup& dst_group = pool.pgs.at(static_cast<std::size_t>(dst_pg));
+  if (dst_group.acting.empty()) co_return;
+  const std::vector<int> dst_acting = dst_group.acting;
+  const int dst_primary = dst_acting[0];
+
+  co_await sim_.sleep(options_.op_latency);
+  // Gather: each source's primary streams to the destination primary.
+  for (const auto& src : sources) {
+    const int src_pg = pg_of(pool_name, src);
+    const auto& src_group = pool.pgs.at(static_cast<std::size_t>(src_pg));
+    auto oit = src_group.objects.find(src);
+    if (oit == src_group.objects.end() || src_group.acting.empty()) co_return;
+    const Bytes size = oit->second;
+    const int src_primary = src_group.acting[0];
+    if (src_primary != dst_primary) {
+      auto xfer = net_.transfer(osd_net_node(src_primary), osd_net_node(dst_primary),
+                                size);
+      co_await xfer->done->wait(sim_);
+      if (xfer->failed) co_return;
+    }
+    co_await disk_io(dst_primary, size, /*write=*/true);
+  }
+  // Replicate the composed object.
+  for (std::size_t r = 1; r < dst_acting.size(); ++r) {
+    auto xfer = net_.transfer(osd_net_node(dst_primary), osd_net_node(dst_acting[r]),
+                              total);
+    co_await xfer->done->wait(sim_);
+    if (xfer->failed) co_return;
+    co_await disk_io(dst_acting[r], total, /*write=*/true);
+  }
+  // Commit: account the destination, free the sources.
+  auto existing = dst_group.objects.find(dst);
+  const Bytes old_size = existing == dst_group.objects.end() ? 0 : existing->second;
+  dst_group.objects[dst] = total;
+  for (int osd : dst_acting) {
+    auto& o = osds_.at(static_cast<std::size_t>(osd));
+    o.used += total;
+    o.used = o.used >= old_size ? o.used - old_size : 0;
+  }
+  bytes_written_ += static_cast<double>(total) * static_cast<double>(dst_acting.size());
+  for (const auto& src : sources) {
+    if (src != dst) remove(pool_name, src);
+  }
+  *ok = true;
+}
+
+sim::Task CephCluster::put(net::NodeId client, const std::string& pool,
+                           const std::string& object, Bytes size) {
+  auto io = put_async(client, pool, object, size);
+  co_await io->done->wait(sim_);
+}
+
+sim::Task CephCluster::get(net::NodeId client, const std::string& pool,
+                           const std::string& object) {
+  auto io = get_async(client, pool, object);
+  co_await io->done->wait(sim_);
+}
+
+bool CephCluster::exists(const std::string& pool, const std::string& object) const {
+  return object_size(pool, object).has_value();
+}
+
+std::optional<Bytes> CephCluster::object_size(const std::string& pool,
+                                              const std::string& object) const {
+  auto pit = pools_.find(pool);
+  if (pit == pools_.end()) return std::nullopt;
+  const int pg = pg_of(pool, object);
+  const auto& group = pit->second.pgs.at(static_cast<std::size_t>(pg));
+  auto oit = group.objects.find(object);
+  if (oit == group.objects.end()) return std::nullopt;
+  return oit->second;
+}
+
+std::size_t CephCluster::object_count(const std::string& pool) const {
+  auto pit = pools_.find(pool);
+  if (pit == pools_.end()) return 0;
+  std::size_t n = 0;
+  for (const auto& pg : pit->second.pgs) n += pg.objects.size();
+  return n;
+}
+
+// --- health ------------------------------------------------------------------------------
+
+Health CephCluster::health() const {
+  Health h;
+  for (const auto& [name, pool] : pools_) {
+    for (const auto& pg : pool.pgs) {
+      ++h.pgs_total;
+      switch (pg.state) {
+        case PgState::ActiveClean:
+          ++h.pgs_clean;
+          break;
+        case PgState::Degraded:
+          ++h.pgs_degraded;
+          break;
+        case PgState::Recovering:
+          ++h.pgs_recovering;
+          break;
+      }
+      h.bytes_stored += pg.bytes();
+    }
+  }
+  return h;
+}
+
+void CephCluster::on_machine_state(cluster::MachineId machine, bool up) {
+  bool changed = false;
+  for (auto& osd : osds_) {
+    if (osd.machine == machine && osd.up != up) {
+      osd.up = up;
+      changed = true;
+      if (!up) osd.used = 0;  // data on the lost disk is gone
+    }
+  }
+  if (changed) {
+    ++epoch_;
+    remap_all_pools(up ? "osd up" : "osd down");
+  }
+}
+
+}  // namespace chase::ceph

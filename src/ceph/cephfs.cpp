@@ -1,0 +1,63 @@
+#include "ceph/cephfs.hpp"
+
+#include <algorithm>
+
+namespace chase::ceph {
+
+CephFs::CephFs(CephCluster& cluster, std::string pool_name, int replication)
+    : cluster_(cluster), pool_(std::move(pool_name)) {
+  if (!cluster_.has_pool(pool_)) cluster_.create_pool(pool_, replication);
+}
+
+IoPtr CephFs::write_file_async(net::NodeId client, const std::string& path, Bytes size) {
+  auto it = std::lower_bound(paths_.begin(), paths_.end(), path);
+  if (it == paths_.end() || *it != path) paths_.insert(it, path);
+  return cluster_.put_async(client, pool_, object_name(path), size);
+}
+
+sim::Task CephFs::write_file(net::NodeId client, const std::string& path, Bytes size) {
+  auto io = write_file_async(client, path, size);
+  co_await io->done->wait(cluster_.sim());
+}
+
+IoPtr CephFs::read_file_async(net::NodeId client, const std::string& path) {
+  return cluster_.get_async(client, pool_, object_name(path));
+}
+
+sim::Task CephFs::read_file(net::NodeId client, const std::string& path) {
+  auto io = read_file_async(client, path);
+  co_await io->done->wait(cluster_.sim());
+}
+
+void CephFs::remove_file(const std::string& path) {
+  auto it = std::lower_bound(paths_.begin(), paths_.end(), path);
+  if (it != paths_.end() && *it == path) paths_.erase(it);
+  cluster_.remove(pool_, object_name(path));
+}
+
+bool CephFs::exists(const std::string& path) const {
+  return cluster_.exists(pool_, object_name(path));
+}
+
+std::optional<Bytes> CephFs::file_size(const std::string& path) const {
+  return cluster_.object_size(pool_, object_name(path));
+}
+
+std::vector<std::string> CephFs::list(const std::string& prefix) const {
+  std::vector<std::string> out;
+  auto it = std::lower_bound(paths_.begin(), paths_.end(), prefix);
+  for (; it != paths_.end() && it->compare(0, prefix.size(), prefix) == 0; ++it) {
+    out.push_back(*it);
+  }
+  return out;
+}
+
+Bytes CephFs::bytes_under(const std::string& prefix) const {
+  Bytes total = 0;
+  for (const auto& path : list(prefix)) {
+    if (auto size = file_size(path)) total += *size;
+  }
+  return total;
+}
+
+}  // namespace chase::ceph

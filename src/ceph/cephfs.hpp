@@ -1,0 +1,46 @@
+#pragma once
+/// \file cephfs.hpp
+/// A POSIX-ish file namespace over the object store — the "CephFS accessible
+/// by all nodes" the workflow mounts into every pod (paper §III-B). Files map
+/// 1:1 to objects in a dedicated pool; directories are implicit prefixes.
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ceph/ceph.hpp"
+
+namespace chase::ceph {
+
+class CephFs {
+ public:
+  /// Creates (if needed) the backing pool.
+  CephFs(CephCluster& cluster, std::string pool_name = "cephfs-data",
+         int replication = 0);
+
+  /// Write a whole file from `client`; awaits durability of all replicas.
+  sim::Task write_file(net::NodeId client, const std::string& path, Bytes size);
+  IoPtr write_file_async(net::NodeId client, const std::string& path, Bytes size);
+  /// Read a whole file to `client`.
+  sim::Task read_file(net::NodeId client, const std::string& path);
+  IoPtr read_file_async(net::NodeId client, const std::string& path);
+
+  void remove_file(const std::string& path);
+  bool exists(const std::string& path) const;
+  std::optional<Bytes> file_size(const std::string& path) const;
+  /// All paths under a directory prefix (e.g. "/merra2/").
+  std::vector<std::string> list(const std::string& prefix) const;
+  /// Total logical bytes under a prefix.
+  Bytes bytes_under(const std::string& prefix) const;
+
+  const std::string& pool() const { return pool_; }
+
+ private:
+  std::string object_name(const std::string& path) const { return "fs:" + path; }
+
+  CephCluster& cluster_;
+  std::string pool_;
+  std::vector<std::string> paths_;  // sorted registry of live paths
+};
+
+}  // namespace chase::ceph

@@ -1,0 +1,162 @@
+#include "ceph/s3.hpp"
+
+#include <algorithm>
+
+namespace chase::ceph {
+
+S3Gateway::S3Gateway(CephCluster& cluster, std::string pool_name)
+    : cluster_(cluster), pool_(std::move(pool_name)) {
+  if (!cluster_.has_pool(pool_)) cluster_.create_pool(pool_);
+}
+
+bool S3Gateway::create_bucket(const std::string& bucket) {
+  if (bucket.empty() || buckets_.count(bucket)) return false;
+  buckets_[bucket];
+  return true;
+}
+
+bool S3Gateway::delete_bucket(const std::string& bucket) {
+  auto it = buckets_.find(bucket);
+  if (it == buckets_.end() || !it->second.empty()) return false;
+  buckets_.erase(it);
+  return true;
+}
+
+bool S3Gateway::bucket_exists(const std::string& bucket) const {
+  return buckets_.count(bucket) > 0;
+}
+
+std::vector<std::string> S3Gateway::list_buckets() const {
+  std::vector<std::string> out;
+  out.reserve(buckets_.size());
+  for (const auto& [name, keys] : buckets_) out.push_back(name);
+  return out;
+}
+
+IoPtr S3Gateway::put_object(net::NodeId client, const std::string& bucket,
+                            const std::string& key, Bytes size) {
+  if (!bucket_exists(bucket)) {
+    auto io = std::make_shared<IoResult>();
+    io->ok = false;
+    io->finish_time = cluster_.sim().now();
+    io->done->trigger(cluster_.sim());
+    return io;
+  }
+  buckets_[bucket].insert(key);
+  return cluster_.put_async(client, pool_, object_name(bucket, key), size);
+}
+
+IoPtr S3Gateway::get_object(net::NodeId client, const std::string& bucket,
+                            const std::string& key) {
+  return cluster_.get_async(client, pool_, object_name(bucket, key));
+}
+
+bool S3Gateway::delete_object(const std::string& bucket, const std::string& key) {
+  auto it = buckets_.find(bucket);
+  if (it == buckets_.end() || it->second.erase(key) == 0) return false;
+  cluster_.remove(pool_, object_name(bucket, key));
+  return true;
+}
+
+std::optional<Bytes> S3Gateway::head_object(const std::string& bucket,
+                                            const std::string& key) const {
+  return cluster_.object_size(pool_, object_name(bucket, key));
+}
+
+std::vector<std::string> S3Gateway::list_objects(const std::string& bucket,
+                                                 const std::string& prefix) const {
+  std::vector<std::string> out;
+  auto it = buckets_.find(bucket);
+  if (it == buckets_.end()) return out;
+  for (const auto& key : it->second) {
+    if (key.compare(0, prefix.size(), prefix) == 0) out.push_back(key);
+  }
+  return out;
+}
+
+std::string S3Gateway::initiate_multipart(const std::string& bucket,
+                                          const std::string& key) {
+  if (!bucket_exists(bucket)) return "";
+  const std::string id = "upload-" + std::to_string(next_upload_++);
+  uploads_[id] = Multipart{bucket, key, {}};
+  return id;
+}
+
+IoPtr S3Gateway::upload_part(net::NodeId client, const std::string& upload_id,
+                             int part_number, Bytes size) {
+  auto io = std::make_shared<IoResult>();
+  auto it = uploads_.find(upload_id);
+  if (it == uploads_.end() || part_number < 1) {
+    io->ok = false;
+    io->finish_time = cluster_.sim().now();
+    io->done->trigger(cluster_.sim());
+    return io;
+  }
+  auto inner = cluster_.put_async(client, pool_, part_name(upload_id, part_number), size);
+  // Record the part only once durable.
+  auto record = [](S3Gateway* self, std::string id, int part, Bytes bytes, IoPtr in,
+                   IoPtr out) -> sim::Task {
+    co_await in->done->wait(self->cluster_.sim());
+    if (in->ok) {
+      if (auto uit = self->uploads_.find(id); uit != self->uploads_.end()) {
+        uit->second.parts[part] = bytes;
+      }
+    }
+    out->ok = in->ok;
+    out->bytes = in->bytes;
+    out->finish_time = self->cluster_.sim().now();
+    out->done->trigger(self->cluster_.sim());
+  };
+  cluster_.sim().spawn(record(this, upload_id, part_number, size, inner, io));
+  return io;
+}
+
+IoPtr S3Gateway::complete_multipart(const std::string& upload_id) {
+  auto io = std::make_shared<IoResult>();
+  io->start_time = cluster_.sim().now();
+  cluster_.sim().spawn(do_complete(this, upload_id, io));
+  return io;
+}
+
+sim::Task S3Gateway::do_complete(S3Gateway* self, std::string upload_id, IoPtr io) {
+  auto finish = [&](bool ok) {
+    io->ok = ok;
+    io->finish_time = self->cluster_.sim().now();
+    io->done->trigger(self->cluster_.sim());
+  };
+  auto it = self->uploads_.find(upload_id);
+  if (it == self->uploads_.end() || it->second.parts.empty()) {
+    finish(false);
+    co_return;
+  }
+  const Multipart upload = it->second;
+  std::vector<std::string> part_objects;
+  Bytes total = 0;
+  for (const auto& [number, size] : upload.parts) {
+    part_objects.push_back(self->part_name(upload_id, number));
+    total += size;
+  }
+  // Server-side compose: the cluster moves part data to the final object's
+  // placement (paying OSD-to-OSD transfers) and frees the parts.
+  bool ok = false;
+  co_await self->cluster_.compose(self->pool_,
+                                  self->object_name(upload.bucket, upload.key),
+                                  part_objects, &ok);
+  if (ok) {
+    self->buckets_[upload.bucket].insert(upload.key);
+    self->uploads_.erase(upload_id);
+    io->bytes = total;
+  }
+  finish(ok);
+}
+
+void S3Gateway::abort_multipart(const std::string& upload_id) {
+  auto it = uploads_.find(upload_id);
+  if (it == uploads_.end()) return;
+  for (const auto& [number, size] : it->second.parts) {
+    cluster_.remove(pool_, part_name(upload_id, number));
+  }
+  uploads_.erase(it);
+}
+
+}  // namespace chase::ceph

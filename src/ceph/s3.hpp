@@ -1,0 +1,79 @@
+#pragma once
+/// \file s3.hpp
+/// S3-compatible object gateway over the Ceph cluster (paper §II-A: data in
+/// the Ceph Object Store is "compatible with other cloud storage solutions
+/// such as Amazon S3, OpenStack Swift, and various supercomputer storage
+/// architectures... e.g., at the San Diego Supercomputer Center"). Buckets,
+/// keyed objects, prefix listing, and multipart uploads whose completion is
+/// a server-side compose between OSDs.
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "ceph/ceph.hpp"
+
+namespace chase::ceph {
+
+class S3Gateway {
+ public:
+  /// Backs all buckets with one Ceph pool (created if absent).
+  explicit S3Gateway(CephCluster& cluster, std::string pool_name = "s3-objects");
+
+  // --- buckets ---------------------------------------------------------------
+  bool create_bucket(const std::string& bucket);
+  /// Fails (returns false) unless the bucket is empty.
+  bool delete_bucket(const std::string& bucket);
+  bool bucket_exists(const std::string& bucket) const;
+  std::vector<std::string> list_buckets() const;
+
+  // --- objects ----------------------------------------------------------------
+  /// PUT: stores the object; fails if the bucket does not exist.
+  IoPtr put_object(net::NodeId client, const std::string& bucket,
+                   const std::string& key, Bytes size);
+  IoPtr get_object(net::NodeId client, const std::string& bucket,
+                   const std::string& key);
+  bool delete_object(const std::string& bucket, const std::string& key);
+  std::optional<Bytes> head_object(const std::string& bucket,
+                                   const std::string& key) const;
+  /// Keys under a prefix, sorted.
+  std::vector<std::string> list_objects(const std::string& bucket,
+                                        const std::string& prefix = "") const;
+
+  // --- multipart uploads ---------------------------------------------------------
+  /// Returns an upload id, or empty string if the bucket does not exist.
+  std::string initiate_multipart(const std::string& bucket, const std::string& key);
+  /// Upload one part (part numbers may arrive in any order).
+  IoPtr upload_part(net::NodeId client, const std::string& upload_id, int part_number,
+                    Bytes size);
+  /// Compose the parts into the final object (server-side data movement
+  /// between OSDs); the handle completes when the object is durable.
+  IoPtr complete_multipart(const std::string& upload_id);
+  /// Drop an in-progress upload and free its parts.
+  void abort_multipart(const std::string& upload_id);
+
+ private:
+  struct Multipart {
+    std::string bucket;
+    std::string key;
+    std::map<int, Bytes> parts;  // part number -> size (after durability)
+  };
+  static sim::Task do_complete(S3Gateway* self, std::string upload_id, IoPtr io);
+  std::string object_name(const std::string& bucket, const std::string& key) const {
+    return bucket + "/" + key;
+  }
+  std::string part_name(const std::string& upload_id, int part) const {
+    return "_mpu/" + upload_id + "/" + std::to_string(part);
+  }
+
+  CephCluster& cluster_;
+  std::string pool_;
+  std::map<std::string, std::set<std::string>> buckets_;  // bucket -> keys
+  std::map<std::string, Multipart> uploads_;
+  std::uint64_t next_upload_ = 1;
+};
+
+}  // namespace chase::ceph

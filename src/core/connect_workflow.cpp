@@ -1,0 +1,479 @@
+#include "core/connect_workflow.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "redis/redis.hpp"
+#include "thredds/server.hpp"
+#include "util/rng.hpp"
+
+namespace chase::core {
+
+using kube::PodContext;
+using util::Bytes;
+
+namespace {
+
+/// Parse "a:b" into two integers.
+std::pair<std::uint64_t, std::uint64_t> parse_pair(const std::string& msg) {
+  const auto colon = msg.find(':');
+  return {std::stoull(msg.substr(0, colon)), std::stoull(msg.substr(colon + 1))};
+}
+
+}  // namespace
+
+struct ConnectWorkflow::State {
+  Nautilus* bed = nullptr;
+  ConnectWorkflowParams params;
+
+  // Scaled workload.
+  std::uint64_t files = 0;
+  double bytes_per_file = 0;     // payload per fetched file (subset or whole)
+  double total_bytes = 0;        // files * bytes_per_file
+  double inference_voxels = 0;
+  int url_lists = 0;
+
+  // Step-1 coordination.
+  sim::EventPtr download_complete = sim::make_event();
+  std::vector<std::string> bundle_paths;
+  int next_bundle = 0;
+
+  // Step-3 shard dispenser.
+  int next_shard = 0;
+  util::Rng straggler_rng{2027};
+
+  double time_scale() const { return params.data_fraction; }
+};
+
+ConnectWorkflow::ConnectWorkflow(Nautilus& bed, ConnectWorkflowParams params)
+    : bed_(bed), params_(std::move(params)), state_(std::make_shared<State>()) {
+  state_->bed = &bed_;
+  state_->params = params_;
+  const auto* ds = bed_.thredds->dataset(params_.dataset);
+  const std::uint64_t all_files = ds != nullptr ? ds->file_count : 0;
+  state_->files = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(static_cast<double>(all_files) * params_.data_fraction));
+  if (ds != nullptr) {
+    if (params_.variable.empty()) {
+      state_->bytes_per_file = static_cast<double>(ds->file_bytes());
+    } else {
+      state_->bytes_per_file =
+          static_cast<double>(ds->subset_bytes(params_.variable).value_or(0));
+    }
+  }
+  state_->total_bytes = state_->bytes_per_file * static_cast<double>(state_->files);
+  state_->inference_voxels = params_.paper.inference_voxels * params_.data_fraction;
+  state_->url_lists = static_cast<int>(std::min<std::uint64_t>(
+      static_cast<std::uint64_t>(std::max(1, params_.url_lists)), state_->files));
+  build();
+}
+
+std::uint64_t ConnectWorkflow::scaled_file_count() const { return state_->files; }
+double ConnectWorkflow::scaled_subset_bytes() const { return state_->total_bytes; }
+double ConnectWorkflow::scaled_archive_bytes() const {
+  const auto* ds = bed_.thredds->dataset(params_.dataset);
+  return ds == nullptr ? 0.0
+                       : static_cast<double>(ds->file_bytes()) *
+                             static_cast<double>(state_->files);
+}
+double ConnectWorkflow::scaled_inference_voxels() const { return state_->inference_voxels; }
+
+// ---------------------------------------------------------------------------------
+// Pod programs (all capture the shared workflow state; closures live in the
+// pod specs, which outlive the coroutines).
+// ---------------------------------------------------------------------------------
+
+namespace {
+
+kube::Program redis_program(std::shared_ptr<ConnectWorkflow::State> state);
+kube::Program coordinator_program(std::shared_ptr<ConnectWorkflow::State> state);
+kube::Program download_worker_program(std::shared_ptr<ConnectWorkflow::State> state);
+kube::Program merger_program(std::shared_ptr<ConnectWorkflow::State> state);
+
+}  // namespace
+
+void ConnectWorkflow::build() {
+  workflow_ = std::make_unique<wf::Workflow>(*bed_.kube, bed_.metrics, params_.ns,
+                                             "CONNECT workflow");
+  bed_.kube->create_namespace(params_.ns);
+  auto state = state_;
+  Nautilus* bed = &bed_;
+  auto step_enabled = [this](int n) {
+    return std::find(params_.steps.begin(), params_.steps.end(), n) !=
+           params_.steps.end();
+  };
+
+  // ------------------------------------------------------------------ step 1
+  if (step_enabled(1)) workflow_->add_step(wf::StepSpec{
+      "Step 1: THREDDS download", "1",
+      [state, bed](wf::StepContext& ctx) -> sim::Task {
+        auto& kube = ctx.kube();
+        const auto& p = state->params;
+
+        // Redis service pod (ReplicaSet so it self-heals).
+        kube::ReplicaSetSpec redis_rs;
+        redis_rs.ns = ctx.ns();
+        redis_rs.name = "redis";
+        redis_rs.replicas = 1;
+        redis_rs.labels = ctx.step_labels();
+        redis_rs.labels["app"] = "redis";
+        {
+          kube::ContainerSpec c;
+          c.name = "redis";
+          c.image = "library/redis";
+          c.requests = {1, util::gb(8), 0};
+          c.program = redis_program(state);
+          redis_rs.pod_template.containers.push_back(std::move(c));
+        }
+        kube.create_replica_set(redis_rs);
+        kube.create_service({ctx.ns(), "redis", {{"app", "redis"}}});
+
+        // Wait for Redis to come up.
+        while (!kube.resolve_service(ctx.ns(), "redis").has_value()) {
+          co_await ctx.sim().sleep(1.0);
+        }
+
+        // Coordinator: fills the URL-list queue, later pushes sentinels.
+        kube::JobSpec coord;
+        coord.ns = ctx.ns();
+        coord.name = "coordinator";
+        coord.labels = ctx.step_labels();
+        {
+          kube::ContainerSpec c;
+          c.name = "coordinator";
+          c.image = "chase/connect-coordinator";
+          c.requests = {1, util::gb(9), 0};
+          c.program = coordinator_program(state);
+          coord.pod_template.containers.push_back(std::move(c));
+        }
+        auto coord_job = kube.create_job(coord).value;
+
+        // Merge pods: combine small NetCDF files into HDF bundles in Ceph.
+        kube::JobSpec merge;
+        merge.ns = ctx.ns();
+        merge.name = "merge";
+        merge.labels = ctx.step_labels();
+        merge.completions = p.merge_pods;
+        merge.parallelism = p.merge_pods;
+        {
+          kube::ContainerSpec c;
+          c.name = "merger";
+          c.image = "chase/connect-merge";
+          c.requests = {5, util::gb(24), 0};
+          c.program = merger_program(state);
+          merge.pod_template.containers.push_back(std::move(c));
+        }
+        auto merge_job = kube.create_job(merge).value;
+
+        // Download workers.
+        kube::JobSpec download;
+        download.ns = ctx.ns();
+        download.name = "download";
+        download.labels = ctx.step_labels();
+        download.completions = p.download_workers;
+        download.parallelism = p.download_workers;
+        {
+          kube::ContainerSpec c;
+          c.name = "worker";
+          c.image = "chase/connect-download";
+          c.requests = {3, util::gb(16), 0};
+          c.program = download_worker_program(state);
+          download.pod_template.containers.push_back(std::move(c));
+        }
+        auto download_job = kube.create_job(download).value;
+
+        co_await download_job->done->wait(ctx.sim());
+        state->download_complete->trigger(ctx.sim());
+        co_await merge_job->done->wait(ctx.sim());
+        co_await coord_job->done->wait(ctx.sim());
+        kube.delete_replica_set(ctx.ns(), "redis");
+
+        ctx.add_data(state->total_bytes);
+      }});
+
+  // ------------------------------------------------------------------ step 2
+  if (step_enabled(2)) workflow_->add_step(wf::StepSpec{
+      "Step 2: model training", "2",
+      [state, bed](wf::StepContext& ctx) -> sim::Task {
+        auto& kube = ctx.kube();
+        const auto& p = state->params;
+
+        // Optional distributed pre-processing (paper §III-E1): K workers
+        // convert NetCDF to protobuf in parallel before training starts.
+        if (p.prep_workers > 1) {
+          kube::JobSpec prep;
+          prep.ns = ctx.ns();
+          prep.name = "prep";
+          prep.labels = ctx.step_labels();
+          prep.completions = p.prep_workers;
+          prep.parallelism = p.prep_workers;
+          kube::ContainerSpec c;
+          c.name = "prep";
+          c.image = "chase/connect-prep";
+          c.requests = {2, util::gb(8), 0};
+          auto st = state;
+          c.program = [st](PodContext& pctx) -> sim::Task {
+            const auto& pp = st->params;
+            const double share = st->total_bytes / pp.prep_workers;
+            // Read a shard of the archive from Ceph, convert to protobuf,
+            // write the serialized shard back for the trainer.
+            if (!st->bundle_paths.empty()) {
+              co_await st->bed->fs->read_file(pctx.net_node(), st->bundle_paths[0]);
+            }
+            // Same single-core conversion rate as the serial phase; the
+            // speedup comes purely from sharding across Job workers.
+            co_await pctx.compute(share / pp.prep_bytes_per_second, 1.0);
+            co_await st->bed->fs->write_file(pctx.net_node(),
+                                             "/protobuf/shard-" + pctx.pod().meta.name,
+                                             static_cast<Bytes>(share * 0.8));
+          };
+          prep.pod_template.containers.push_back(std::move(c));
+          auto prep_job = kube.create_job(prep).value;
+          co_await prep_job->done->wait(ctx.sim());
+        }
+
+        // Trainer pod(s).
+        const int gpus_per_pod = 1;
+        kube::JobSpec train;
+        train.ns = ctx.ns();
+        train.name = "train";
+        train.labels = ctx.step_labels();
+        train.completions = p.train_gpus;
+        train.parallelism = p.train_gpus;
+        kube::ContainerSpec c;
+        c.name = "trainer";
+        c.image = "tensorflow/ffn";
+        c.image_size = util::gb(2);
+        c.requests = {1, static_cast<Bytes>(14.8e9), gpus_per_pod};
+        auto st = state;
+        c.program = [st](PodContext& pctx) -> sim::Task {
+          const auto& pp = st->params;
+          pctx.set_memory_usage(static_cast<Bytes>(14.8e9));
+          // Load the training window (30 days, 381 MB) from Ceph.
+          if (!st->bundle_paths.empty()) {
+            co_await st->bed->fs->read_file(pctx.net_node(), st->bundle_paths[0]);
+          }
+          // Serial protobuf preparation phase (Fig. 5, purple) — skipped when
+          // the distributed prep job already ran.
+          if (pp.prep_workers <= 1) {
+            const double prep_seconds =
+                st->total_bytes / pp.prep_bytes_per_second * 1.0;
+            co_await pctx.compute(prep_seconds, 1.0);
+          }
+          // FFN training (Fig. 5, green).
+          const double single_gpu_s =
+              pp.cost.training_seconds(cluster::GpuModel::GTX1080Ti, 1) *
+              st->time_scale();
+          // Sync-SGD scaling: K workers split the steps but pay all-reduce
+          // overhead per extra worker. Each pod runs the whole wall-clock.
+          const double speedup =
+              pp.train_gpus /
+              (1.0 + (pp.train_gpus - 1) * (1.0 - pp.dist_train_efficiency));
+          co_await pctx.gpu_compute(single_gpu_s / speedup);
+          // Persist the trained model + parameters to the Ceph Object Store.
+          if (!pctx.cancelled() && pctx.pod().meta.name == "train-0") {
+            co_await st->bed->fs->write_file(pctx.net_node(), "/models/ffn-ckpt",
+                                             util::mb(100));
+          }
+        };
+        train.pod_template.containers.push_back(std::move(c));
+        auto train_job = kube.create_job(train).value;
+        co_await train_job->done->wait(ctx.sim());
+        ctx.add_data(state->params.paper.training_volume_bytes);
+      }});
+
+  // ------------------------------------------------------------------ step 3
+  if (step_enabled(3)) workflow_->add_step(wf::StepSpec{
+      "Step 3: model inference", "3",
+      [state, bed](wf::StepContext& ctx) -> sim::Task {
+        auto& kube = ctx.kube();
+        const auto& p = state->params;
+        state->next_shard = 0;
+
+        kube::JobSpec infer;
+        infer.ns = ctx.ns();
+        infer.name = "inference";
+        infer.labels = ctx.step_labels();
+        infer.completions = p.inference_gpus;
+        infer.parallelism = p.inference_gpus;
+        kube::ContainerSpec c;
+        c.name = "inference";
+        c.image = "tensorflow/ffn";
+        c.image_size = util::gb(2);
+        c.requests = {1, util::gb(12), 1};
+        auto st = state;
+        c.program = [st](PodContext& pctx) -> sim::Task {
+          const auto& pp = st->params;
+          pctx.set_memory_usage(util::gb(12));
+          const int shard = st->next_shard++;
+          // Load the trained model from the Ceph Object Store.
+          if (st->bed->fs->exists("/models/ffn-ckpt")) {
+            co_await st->bed->fs->read_file(pctx.net_node(), "/models/ffn-ckpt");
+          }
+          // Read this shard's slice of the archive (the 246 GB is evenly
+          // distributed across the GPUs).
+          const int total = std::max(1, pp.inference_gpus);
+          for (std::size_t b = static_cast<std::size_t>(shard);
+               b < st->bundle_paths.size(); b += static_cast<std::size_t>(total)) {
+            co_await st->bed->fs->read_file(pctx.net_node(), st->bundle_paths[b]);
+          }
+          // FFN flood-fill inference over the shard's voxels.
+          const double voxels = st->inference_voxels / total;
+          const double jitter = 1.0 + st->straggler_rng.uniform(0.0, pp.straggler_jitter);
+          co_await pctx.gpu_compute(
+              pp.cost.inference_seconds(voxels, cluster::GpuModel::GTX1080Ti, 1) *
+              jitter);
+          if (pctx.cancelled()) co_return;  // evicted: no side effects
+          // Store segmentation results.
+          const double result_bytes = pp.paper.viz_bytes / total;
+          co_await st->bed->fs->write_file(pctx.net_node(),
+                                           "/results/shard-" + std::to_string(shard),
+                                           static_cast<Bytes>(result_bytes));
+        };
+        infer.pod_template.containers.push_back(std::move(c));
+        auto infer_job = kube.create_job(infer).value;
+        co_await infer_job->done->wait(ctx.sim());
+        ctx.add_data(state->total_bytes);
+      }});
+
+  // ------------------------------------------------------------------ step 4
+  if (step_enabled(4)) workflow_->add_step(wf::StepSpec{
+      "Step 4: JupyterLab visualization", "4",
+      [state, bed](wf::StepContext& ctx) -> sim::Task {
+        auto& kube = ctx.kube();
+        kube::JobSpec viz;
+        viz.ns = ctx.ns();
+        viz.name = "jupyterlab";
+        viz.labels = ctx.step_labels();
+        kube::ContainerSpec c;
+        c.name = "jupyterlab";
+        c.image = "jupyter/datascience";
+        c.image_size = util::gb(3);
+        c.requests = {1, util::gb(12), 1};
+        auto st = state;
+        c.program = [st](PodContext& pctx) -> sim::Task {
+          const auto& pp = st->params;
+          pctx.set_memory_usage(util::gb(12));
+          // Mount the Ceph Object Store and load the most recent results.
+          for (const auto& path : st->bed->fs->list("/results/")) {
+            co_await st->bed->fs->read_file(pctx.net_node(), path);
+          }
+          // Plot segmented objects and compute object statistics.
+          co_await pctx.compute(pp.viz_render_seconds, 1.0);
+          pctx.set_gpu_usage(1);
+          co_await pctx.gpu_compute(30.0);
+        };
+        viz.pod_template.containers.push_back(std::move(c));
+        auto viz_job = kube.create_job(viz).value;
+        co_await viz_job->done->wait(ctx.sim());
+        ctx.add_data(state->params.paper.viz_bytes);
+      }});
+}
+
+// ---------------------------------------------------------------------------------
+
+namespace {
+
+kube::Program redis_program(std::shared_ptr<ConnectWorkflow::State> state) {
+  return [state](PodContext& ctx) -> sim::Task {
+    state->bed->redis->host_on(ctx.net_node());
+    ctx.set_memory_usage(util::gb(8));
+    while (!ctx.cancelled()) {
+      co_await ctx.sim().sleep(10.0);
+    }
+    state->bed->redis->host_on(-1);
+  };
+}
+
+kube::Program coordinator_program(std::shared_ptr<ConnectWorkflow::State> state) {
+  return [state](PodContext& ctx) -> sim::Task {
+    const auto& p = state->params;
+    ctx.set_memory_usage(util::gb(9));
+    redis::RedisClient client(ctx.sim(), ctx.network(), *state->bed->redis,
+                              ctx.net_node());
+    // Split the archive into URL lists (the queue "holds a list of files
+    // that contain urls to download").
+    const std::uint64_t lists = static_cast<std::uint64_t>(state->url_lists);
+    const std::uint64_t per = state->files / lists;
+    std::uint64_t assigned = 0;
+    for (std::uint64_t i = 0; i < lists; ++i) {
+      const std::uint64_t count = i + 1 == lists ? state->files - assigned : per;
+      co_await client.rpush("urls", std::to_string(assigned) + ":" + std::to_string(count));
+      assigned += count;
+    }
+    // Worker sentinels queue behind the lists (FIFO).
+    for (int w = 0; w < p.download_workers; ++w) {
+      co_await client.rpush("urls", "STOP");
+    }
+    // Once every download worker is done, stop the mergers (their sentinels
+    // queue behind any remaining merge backlog).
+    co_await state->download_complete->wait(ctx.sim());
+    for (int m = 0; m < p.merge_pods; ++m) {
+      co_await client.rpush("merge", "STOP");
+    }
+  };
+}
+
+kube::Program download_worker_program(std::shared_ptr<ConnectWorkflow::State> state) {
+  return [state](PodContext& ctx) -> sim::Task {
+    const auto& p = state->params;
+    ctx.set_memory_usage(util::gb(16));
+    ctx.set_cpu_usage(0.4);
+    redis::RedisClient client(ctx.sim(), ctx.network(), *state->bed->redis,
+                              ctx.net_node());
+    thredds::Aria2Client aria(ctx.sim(), *state->bed->thredds, ctx.net_node(),
+                              p.aria2_connections);
+    while (!ctx.cancelled()) {
+      std::string msg;
+      bool got = false;
+      co_await client.blpop("urls", &msg, &got);
+      if (!got || msg == "STOP") co_return;
+      const auto [first, count] = parse_pair(msg);
+      std::vector<std::size_t> files(count);
+      for (std::uint64_t i = 0; i < count; ++i) {
+        files[i] = static_cast<std::size_t>(first + i);
+      }
+      ctx.set_cpu_usage(2.5);  // decode + checksum while streaming
+      thredds::DownloadStats stats;
+      co_await aria.download(p.dataset, std::move(files), p.variable, &stats);
+      ctx.set_cpu_usage(0.4);
+      // Hand the downloaded slab to a merge pod.
+      co_await client.rpush("merge", std::to_string(stats.bytes) + ":" +
+                                         std::to_string(ctx.net_node()));
+    }
+  };
+}
+
+kube::Program merger_program(std::shared_ptr<ConnectWorkflow::State> state) {
+  return [state](PodContext& ctx) -> sim::Task {
+    const auto& p = state->params;
+    ctx.set_memory_usage(util::gb(24));
+    ctx.set_cpu_usage(0.3);
+    redis::RedisClient client(ctx.sim(), ctx.network(), *state->bed->redis,
+                              ctx.net_node());
+    while (!ctx.cancelled()) {
+      std::string msg;
+      bool got = false;
+      co_await client.blpop("merge", &msg, &got);
+      if (!got || msg == "STOP") co_return;
+      if (ctx.cancelled()) co_return;
+      const auto [bytes, source_node] = parse_pair(msg);
+      // Pull the slab from the worker that downloaded it.
+      co_await ctx.network().send(static_cast<net::NodeId>(source_node), ctx.net_node(),
+                                  bytes);
+      // Merge the small NetCDF files into one HDF bundle (CPU bound).
+      co_await ctx.compute(static_cast<double>(bytes) / p.merge_bytes_per_cpu_second,
+                           5.0);
+      // Transfer the bundle to the Ceph Object Store.
+      const std::string path = "/merra2/bundle-" + std::to_string(state->next_bundle++);
+      co_await state->bed->fs->write_file(ctx.net_node(), path, bytes);
+      state->bundle_paths.push_back(path);
+    }
+  };
+}
+
+}  // namespace
+
+}  // namespace chase::core

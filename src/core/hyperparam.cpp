@@ -1,0 +1,146 @@
+#include "core/hyperparam.hpp"
+
+#include <algorithm>
+
+#include "ml/ffn_infer.hpp"
+#include "redis/redis.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+namespace chase::core {
+
+struct HyperparamSweep::State {
+  Nautilus* bed = nullptr;
+  Options options;
+  std::vector<HyperparamSpec> specs;
+  std::vector<HyperparamResult>* results = nullptr;
+  ml::IvtField training_data;  // shared training volume (generated once)
+};
+
+HyperparamSweep::HyperparamSweep(Nautilus& bed, Options options)
+    : bed_(bed), options_(std::move(options)), state_(std::make_shared<State>()) {
+  state_->bed = &bed_;
+  state_->options = options_;
+  state_->results = &results_;
+  state_->training_data = ml::generate_ivt(options_.data);
+  bed_.kube->create_namespace(options_.ns);
+}
+
+sim::EventPtr HyperparamSweep::run(std::vector<HyperparamSpec> specs) {
+  state_->specs = std::move(specs);
+  auto state = state_;
+  auto done = sim::make_event();
+
+  // Host Redis on the first GPU node for the sweep (standalone service).
+  bed_.redis->host_on(bed_.inventory.machine(bed_.gpu_machines()[0]).net_node);
+  for (std::size_t i = 0; i < state_->specs.size(); ++i) {
+    bed_.redis->rpush("hyperparam-queue", std::to_string(i));
+  }
+  for (int w = 0; w < options_.workers; ++w) {
+    bed_.redis->rpush("hyperparam-queue", "STOP");
+  }
+
+  kube::JobSpec job;
+  job.ns = options_.ns;
+  job.name = "hyperparam";
+  job.labels = {{"app", "hyperparam"}};
+  job.completions = options_.workers;
+  job.parallelism = options_.workers;
+  kube::ContainerSpec c;
+  c.name = "trainer";
+  c.image = "tensorflow/ffn";
+  c.requests = {2, util::gb(12), 1};
+  c.program = [state](kube::PodContext& ctx) -> sim::Task {
+    redis::RedisClient client(ctx.sim(), ctx.network(), *state->bed->redis,
+                              ctx.net_node());
+    while (!ctx.cancelled()) {
+      std::string msg;
+      bool got = false;
+      co_await client.blpop("hyperparam-queue", &msg, &got);
+      if (!got || msg == "STOP") co_return;
+      const auto index = static_cast<std::size_t>(std::stoull(msg));
+      const HyperparamSpec spec = state->specs.at(index);
+
+      // Real training on the shared volume with this parameter set.
+      ml::FfnConfig cfg;
+      cfg.channels = 6;
+      cfg.modules = 1;
+      cfg.fov = 7;
+      ml::FfnModel model(cfg);
+      ml::FfnTrainer::Options topts;
+      topts.steps = spec.steps;
+      topts.recursion = spec.recursion;
+      topts.learning_rate = spec.learning_rate;
+      topts.optimizer = spec.optimizer;
+      ml::FfnTrainer trainer(model, state->training_data.ivt,
+                             state->training_data.truth, topts);
+      const float loss = trainer.train();
+
+      // Simulated GPU wall time for the trial.
+      const double start = ctx.sim().now();
+      co_await ctx.gpu_compute(state->options.gpu_seconds_per_step * spec.steps);
+
+      // Validate on the held-out split defined by the methodology seed.
+      ml::IvtFieldParams validation_params = state->options.data;
+      validation_params.seed = spec.split_seed;
+      auto validation = ml::generate_ivt(validation_params);
+      ml::InferenceOptions iopts;
+      iopts.seed_threshold = 300.f;
+      iopts.move_threshold = 0.7f;
+      iopts.segment_threshold = 0.5f;
+      auto inference = ml::ffn_inference(model, validation.ivt, iopts);
+      auto metrics = ml::voxel_metrics(inference.segments, validation.truth);
+
+      HyperparamResult result;
+      result.spec = spec;
+      result.final_loss = loss;
+      result.precision = metrics.precision();
+      result.recall = metrics.recall();
+      result.iou = metrics.iou();
+      result.pod = ctx.pod().meta.name;
+      result.wall_time = ctx.sim().now() - start;
+      state->results->push_back(std::move(result));
+    }
+  };
+  job.pod_template.containers.push_back(std::move(c));
+  auto handle = bed_.kube->create_job(job).value;
+
+  auto waiter = [](Nautilus* bed, kube::JobPtr job_handle, sim::EventPtr ev) -> sim::Task {
+    co_await job_handle->done->wait(bed->sim);
+    bed->redis->host_on(-1);
+    ev->trigger(bed->sim);
+  };
+  bed_.sim.spawn(waiter(&bed_, handle, done));
+  return done;
+}
+
+const HyperparamResult* HyperparamSweep::best() const {
+  const HyperparamResult* top = nullptr;
+  for (const auto& result : results_) {
+    if (top == nullptr || result.iou > top->iou) top = &result;
+  }
+  return top;
+}
+
+std::string HyperparamSweep::leaderboard() const {
+  std::vector<const HyperparamResult*> order;
+  for (const auto& result : results_) order.push_back(&result);
+  std::sort(order.begin(), order.end(),
+            [](const HyperparamResult* a, const HyperparamResult* b) {
+              return a->iou > b->iou;
+            });
+  util::Table table({"Params", "Optimizer", "Loss", "Precision", "Recall", "IoU", "Pod"});
+  for (const auto* result : order) {
+    table.add_row(
+        {result->spec.id,
+         result->spec.optimizer == ml::FfnModel::OptimizerConfig::Kind::Adam ? "adam"
+                                                                             : "sgd",
+         util::format_double(result->final_loss, 3),
+         util::format_double(result->precision, 3),
+         util::format_double(result->recall, 3), util::format_double(result->iou, 3),
+         result->pod});
+  }
+  return table.render("Multi-model validation leaderboard (paper SIII-E3)");
+}
+
+}  // namespace chase::core

@@ -1,0 +1,75 @@
+#pragma once
+/// \file hyperparam.hpp
+/// Hyperparameter & validation sweeps (paper §III-E3): "A Redis queue is
+/// being developed to store model training/testing validation split
+/// methodologies and parameter sets to be used in multi-model validation."
+///
+/// This implements that future-work item end to end: parameter sets (and
+/// their train/validation split seeds) go into the Redis queue; a
+/// Kubernetes Job of worker pods pops sets and — *really* — trains a small
+/// FFN on synthetic IVT data, validates on the held-out split, and records
+/// the metrics. The sweep's leaderboard picks the winning configuration.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/nautilus.hpp"
+#include "ml/eval.hpp"
+#include "ml/ffn.hpp"
+#include "ml/synth.hpp"
+
+namespace chase::core {
+
+struct HyperparamSpec {
+  std::string id;          // e.g. "lr0.02-adam"
+  float learning_rate = 0.02f;
+  int steps = 300;
+  int recursion = 1;
+  ml::FfnModel::OptimizerConfig::Kind optimizer =
+      ml::FfnModel::OptimizerConfig::Kind::Sgd;
+  /// Validation-split methodology: the seed of the held-out volume.
+  std::uint64_t split_seed = 1000;
+};
+
+struct HyperparamResult {
+  HyperparamSpec spec;
+  float final_loss = 0.f;
+  double precision = 0, recall = 0, iou = 0;
+  std::string pod;        // which worker evaluated it
+  double wall_time = 0;   // simulated seconds the trial occupied its pod
+};
+
+class HyperparamSweep {
+ public:
+  struct Options {
+    int workers = 4;
+    /// Data configuration for training volumes (validation volumes reuse it
+    /// with the split seed).
+    ml::IvtFieldParams data;
+    /// Simulated GPU-seconds charged per optimizer step (the real CPU math
+    /// is free in simulated time; this models the 1080ti cost).
+    double gpu_seconds_per_step = 0.05;
+    std::string ns = "hyperparam";
+  };
+
+  HyperparamSweep(Nautilus& bed, Options options);
+
+  /// Queue the parameter sets and launch the worker Job; the returned event
+  /// fires when every set has been evaluated.
+  sim::EventPtr run(std::vector<HyperparamSpec> specs);
+
+  const std::vector<HyperparamResult>& results() const { return results_; }
+  /// Best result by validation IoU; nullptr before any results.
+  const HyperparamResult* best() const;
+  std::string leaderboard() const;
+
+ private:
+  struct State;
+  Nautilus& bed_;
+  Options options_;
+  std::shared_ptr<State> state_;
+  std::vector<HyperparamResult> results_;
+};
+
+}  // namespace chase::core

@@ -1,0 +1,87 @@
+#include "core/jupyterhub.hpp"
+
+namespace chase::core {
+
+JupyterHub::JupyterHub(kube::KubeCluster& kube, Options options)
+    : kube_(kube), options_(std::move(options)) {
+  if (!kube_.has_namespace(options_.ns)) kube_.create_namespace(options_.ns);
+  kube_.sim().spawn(culler_loop(this));
+}
+
+kube::Result<kube::PodPtr> JupyterHub::spawn(const std::string& user) {
+  if (auto it = sessions_.find(user); it != sessions_.end()) {
+    if (!it->second.pod->terminal()) {
+      touch(user);
+      return {it->second.pod, ""};
+    }
+    sessions_.erase(it);
+  }
+  kube::PodSpec spec;
+  kube::ContainerSpec c;
+  c.name = "notebook";
+  c.image = "jupyter/datascience-notebook";
+  c.image_size = options_.image_size;
+  c.requests = options_.notebook_resources;
+  // The notebook serves until culled or stopped.
+  c.program = [](kube::PodContext& ctx) -> sim::Task {
+    while (!ctx.cancelled()) {
+      co_await ctx.sim().sleep(30.0);
+    }
+  };
+  spec.containers.push_back(std::move(c));
+  const std::string name = "jupyter-" + user + "-" + std::to_string(spawned_++);
+  auto result = kube_.create_pod(options_.ns, name, std::move(spec),
+                                 {{"app", "jupyterhub"}, {"user", user}});
+  if (!result.ok()) return result;
+  sessions_[user] = Session{result.value, kube_.sim().now()};
+  return result;
+}
+
+bool JupyterHub::has_session(const std::string& user) const {
+  auto it = sessions_.find(user);
+  return it != sessions_.end() && !it->second.pod->terminal();
+}
+
+void JupyterHub::touch(const std::string& user) {
+  if (auto it = sessions_.find(user); it != sessions_.end()) {
+    it->second.last_activity = kube_.sim().now();
+  }
+}
+
+void JupyterHub::stop(const std::string& user) {
+  auto it = sessions_.find(user);
+  if (it == sessions_.end()) return;
+  kube_.delete_pod(options_.ns, it->second.pod->meta.name);
+  sessions_.erase(it);
+}
+
+int JupyterHub::active_sessions() const {
+  int n = 0;
+  for (const auto& [user, session] : sessions_) {
+    n += !session.pod->terminal();
+  }
+  return n;
+}
+
+sim::Task JupyterHub::culler_loop(JupyterHub* self) {
+  auto alive = self->alive_;
+  auto& sim = self->kube_.sim();
+  while (*alive) {
+    co_await sim.sleep(self->options_.cull_period);
+    if (!*alive) co_return;
+    const double now = sim.now();
+    std::vector<std::string> idle;
+    for (const auto& [user, session] : self->sessions_) {
+      if (!session.pod->terminal() &&
+          now - session.last_activity > self->options_.idle_timeout) {
+        idle.push_back(user);
+      }
+    }
+    for (const auto& user : idle) {
+      self->stop(user);
+      self->culled_ += 1;
+    }
+  }
+}
+
+}  // namespace chase::core

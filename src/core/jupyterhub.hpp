@@ -1,0 +1,65 @@
+#pragma once
+/// \file jupyterhub.hpp
+/// JupyterHub (paper §VII): "This software allows for a web based
+/// environment to automatically be generated per user on demand. The
+/// Jupyter Notebook instance that is generated is attached to a GPU on the
+/// cluster... This process allows for quick development of code without the
+/// hassle of setting up any code or configuration locally."
+///
+/// The hub spawns one notebook pod per user on demand (GPU attached, CephFS
+/// mounted by the pod program), tracks activity, and culls idle sessions to
+/// return GPUs to the pool — the resource hygiene a shared cluster needs.
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "kube/cluster.hpp"
+
+namespace chase::core {
+
+class JupyterHub {
+ public:
+  struct Options {
+    std::string ns = "jupyterhub";
+    /// Per-notebook resources (paper: one GPU each).
+    kube::ResourceList notebook_resources{1.0, util::gb(12), 1};
+    kube::Bytes image_size = util::gb(3);
+    /// Idle sessions are culled after this long without activity.
+    double idle_timeout = 2 * util::kHour;
+    /// How often the culler checks.
+    double cull_period = 5 * util::kMinute;
+  };
+
+  JupyterHub(kube::KubeCluster& kube, Options options);
+  JupyterHub(kube::KubeCluster& kube) : JupyterHub(kube, Options{}) {}
+  ~JupyterHub() { *alive_ = false; }  // stops the culler loop safely
+
+  /// Get-or-create the user's notebook pod. Existing live sessions are
+  /// returned as-is (and touched).
+  kube::Result<kube::PodPtr> spawn(const std::string& user);
+  bool has_session(const std::string& user) const;
+  /// Record user activity (notebook keystrokes), resetting the idle clock.
+  void touch(const std::string& user);
+  /// Tear a session down immediately.
+  void stop(const std::string& user);
+
+  int active_sessions() const;
+  std::uint64_t sessions_culled() const { return culled_; }
+
+ private:
+  struct Session {
+    kube::PodPtr pod;
+    double last_activity = 0;
+  };
+  static sim::Task culler_loop(JupyterHub* self);
+
+  kube::KubeCluster& kube_;
+  Options options_;
+  std::map<std::string, Session> sessions_;
+  std::uint64_t culled_ = 0;
+  std::uint64_t spawned_ = 0;  // makes respawned pod names unique
+  std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
+};
+
+}  // namespace chase::core

@@ -1,0 +1,105 @@
+#include "core/nautilus.hpp"
+
+#include <sstream>
+
+namespace chase::core {
+
+using util::gbit_per_s;
+
+Nautilus::Nautilus(NautilusOptions options) : options_(std::move(options)) {
+  // --- network: CENIC-like core with per-site uplinks -----------------------
+  core_ = net.add_node("prp-core");
+  for (std::size_t s = 0; s < options_.sites.size(); ++s) {
+    auto sw = net.add_node(options_.sites[s] + "-switch");
+    const double gbps = options_.wan_gbps.empty()
+                            ? 100.0
+                            : options_.wan_gbps[s % options_.wan_gbps.size()];
+    // WAN latency: a few ms of fiber across California/the West.
+    net.add_link(sw, core_, gbit_per_s(gbps), 3e-3);
+    site_switches_.push_back(sw);
+  }
+
+  // --- orchestrator, with an image registry at the first site ----------------
+  auto registry_node = net.add_node("registry.sdsc");
+  net.add_link(registry_node, site_switches_[0], gbit_per_s(40), 1e-4);
+  kube::KubeCluster::Options kopts = options_.kube_options;
+  kopts.registry_node = registry_node;
+  kube = std::make_unique<kube::KubeCluster>(sim, net, inventory, &metrics, kopts);
+
+  // --- storage ------------------------------------------------------------------
+  ceph::CephCluster::Options copts;
+  copts.replication = options_.ceph_replication;
+  copts.pg_count = options_.ceph_pg_count;
+  ceph = std::make_unique<ceph::CephCluster>(sim, net, inventory, &metrics, copts);
+
+  // --- machines ---------------------------------------------------------------------
+  for (std::size_t s = 0; s < options_.sites.size(); ++s) {
+    const std::string& site = options_.sites[s];
+    for (int i = 0; i < options_.fiona8_per_site; ++i) {
+      const std::string name = site + "-fiona8-" + std::to_string(i);
+      auto nn = net.add_node(name);
+      net.add_link(nn, site_switches_[s], gbit_per_s(20), 1e-4);
+      auto mid = inventory.add(cluster::fiona8(name, site), nn);
+      kube->register_node(mid);
+      gpu_machines_.push_back(mid);
+    }
+    for (int i = 0; i < options_.storage_per_site; ++i) {
+      const std::string name = site + "-stor-" + std::to_string(i);
+      auto nn = net.add_node(name);
+      net.add_link(nn, site_switches_[s], gbit_per_s(40), 1e-4);
+      auto mid = inventory.add(
+          cluster::storage_fiona(name, site, options_.storage_capacity), nn);
+      storage_machines_.push_back(mid);
+      ceph->add_osd(mid);
+    }
+  }
+  fs = std::make_unique<ceph::CephFs>(*ceph, "cephfs-data", options_.ceph_replication);
+
+  // --- data service: THREDDS DTN at UCSD with the MERRA-2 catalog --------------
+  {
+    auto nn = net.add_node("thredds-dtn.ucsd");
+    net.add_link(nn, site_switches_[0], gbit_per_s(20), 1e-4);
+    thredds_machine_ = inventory.add(cluster::dtn("thredds-dtn", options_.sites[0]), nn);
+    thredds = std::make_unique<thredds::ThreddsServer>(sim, net, nn,
+                                                       options_.thredds_options);
+    thredds->add_dataset(thredds::make_merra2_m2i3npasm());
+  }
+
+  // --- queue + auth ---------------------------------------------------------------
+  redis = std::make_unique<redis::RedisServer>(sim);
+  sso.register_provider("ucsd.edu");
+  sso.register_provider("uci.edu");
+  sso.register_provider("berkeley.edu");
+
+  // --- cluster-level probes ----------------------------------------------------------
+  metrics.register_probe("net_total_rate", {}, [this] { return net.total_flow_rate(); });
+  metrics.register_probe("net_bytes_total", {},
+                         [this] { return net.total_bytes_delivered(); });
+  metrics.register_probe("kube_allocated_cpu", {},
+                         [this] { return kube->total_allocated().cpu; });
+  metrics.register_probe("kube_allocated_gpus", {}, [this] {
+    return static_cast<double>(kube->total_allocated().gpus);
+  });
+}
+
+std::string Nautilus::describe() const {
+  std::ostringstream os;
+  os << "Nautilus on PRP: " << options_.sites.size() << " sites\n";
+  for (std::size_t s = 0; s < options_.sites.size(); ++s) {
+    const double gbps = options_.wan_gbps.empty()
+                            ? 100.0
+                            : options_.wan_gbps[s % options_.wan_gbps.size()];
+    os << "  " << options_.sites[s] << ": " << options_.fiona8_per_site
+       << " FIONA8 (8x 1080ti), " << options_.storage_per_site
+       << " storage FIONA (" << util::format_bytes(static_cast<double>(options_.storage_capacity))
+       << "), uplink " << gbps << "G\n";
+  }
+  os << "Totals: " << inventory.total_gpus() << " GPUs, " << inventory.total_cpus()
+     << " CPU cores, " << util::format_bytes(static_cast<double>(inventory.total_memory()))
+     << " RAM, Ceph raw capacity "
+     << util::format_bytes(static_cast<double>(ceph->total_capacity())) << " ("
+     << options_.ceph_replication << "x replication)\n";
+  return os.str();
+}
+
+}  // namespace chase::core

@@ -1,0 +1,92 @@
+#pragma once
+/// \file nautilus.hpp
+/// The assembled CHASE-CI testbed: the "Nautilus" hyperconverged cluster on
+/// the Pacific Research Platform (paper §II, Figure 1). One object wires the
+/// whole stack together:
+///
+///   * a PRP-like WAN topology (per-site switches on a CENIC-like core,
+///     10/40/100 GbE),
+///   * FIONA8 GPU appliances and storage FIONAs at each site,
+///   * the Kubernetes orchestrator over all machines,
+///   * the Rook/Ceph object store over the storage nodes' disks,
+///   * a THREDDS DTN hosting the MERRA-2 catalog,
+///   * a Redis server (hosted on whatever pod the workflow schedules),
+///   * CILogon/RBAC and the Prometheus/Grafana-style metric registry.
+///
+/// This is the facade examples and benchmarks build on.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "auth/cilogon.hpp"
+#include "ceph/ceph.hpp"
+#include "ceph/cephfs.hpp"
+#include "cluster/machine.hpp"
+#include "kube/cluster.hpp"
+#include "mon/metrics.hpp"
+#include "net/network.hpp"
+#include "redis/redis.hpp"
+#include "sim/simulation.hpp"
+#include "thredds/catalog.hpp"
+#include "thredds/server.hpp"
+
+namespace chase::core {
+
+struct NautilusOptions {
+  /// PRP partner sites hosting compute (the project spans ~20 institutions;
+  /// 8 is enough to hold the paper's workload with room to spare).
+  std::vector<std::string> sites = {"UCSD",     "UCI",  "UCB", "Stanford",
+                                    "Caltech",  "USC",  "UCM", "UW"};
+  int fiona8_per_site = 2;        // 8 GPUs each -> 128 GPUs total
+  int storage_per_site = 1;
+  util::Bytes storage_capacity = util::tb(160);  // > 1.2 PB across 8 sites
+  /// WAN uplink per site, cycling 100/40/10 GbE like the real PRP mix.
+  std::vector<double> wan_gbps = {100, 40, 100, 40, 10, 40, 10, 100};
+  int ceph_replication = 2;
+  int ceph_pg_count = 128;
+  kube::KubeCluster::Options kube_options;
+  thredds::ThreddsServer::Options thredds_options;
+};
+
+class Nautilus {
+ public:
+  explicit Nautilus(NautilusOptions options);
+  Nautilus() : Nautilus(NautilusOptions{}) {}
+
+  // Core services (construction order matters; declared in init order).
+  sim::Simulation sim;
+  net::Network net{sim};
+  cluster::Inventory inventory{net};
+  mon::Registry metrics;
+  auth::CILogon sso;
+  auth::Rbac rbac;
+
+  std::unique_ptr<kube::KubeCluster> kube;
+  std::unique_ptr<ceph::CephCluster> ceph;
+  std::unique_ptr<ceph::CephFs> fs;
+  std::unique_ptr<redis::RedisServer> redis;
+  std::unique_ptr<thredds::ThreddsServer> thredds;
+
+  const NautilusOptions& options() const { return options_; }
+  net::NodeId core_switch() const { return core_; }
+  net::NodeId site_switch(std::size_t site) const { return site_switches_.at(site); }
+  const std::vector<cluster::MachineId>& gpu_machines() const { return gpu_machines_; }
+  const std::vector<cluster::MachineId>& storage_machines() const {
+    return storage_machines_;
+  }
+  cluster::MachineId thredds_machine() const { return thredds_machine_; }
+
+  /// Human-readable inventory (Figure 1 / bench_fig1).
+  std::string describe() const;
+
+ private:
+  NautilusOptions options_;
+  net::NodeId core_ = -1;
+  std::vector<net::NodeId> site_switches_;
+  std::vector<cluster::MachineId> gpu_machines_;
+  std::vector<cluster::MachineId> storage_machines_;
+  cluster::MachineId thredds_machine_ = -1;
+};
+
+}  // namespace chase::core

@@ -1,0 +1,92 @@
+#pragma once
+/// \file ppods.hpp
+/// PPoDS — "Process for the Practice of Data Science" (paper §VI): the
+/// collaborative exploratory-development layer over the workflow engine.
+/// The paper's requirements, mapped to this API:
+///
+///  * "keep everyone on the same track but allow for diversified execution
+///    plans and experimentation" — a session registers the workflow's steps
+///    with per-step *ownership*; members run independent trials of their
+///    step without touching the others.
+///  * "capturing, measuring, collecting and analyzing performance metrics
+///    during exploratory workflow development" — every trial records the
+///    full StepReport measurement; the session tracks improvement across
+///    trials.
+///  * "Creating tests for each piece of the workflow steps... the ability
+///    to test for specific outputs when specific inputs are put into place"
+///    — per-step expectations validated against each trial's measurements.
+///  * "workflow steps... centralized in one location where every one
+///    working on the project could see them" — the session renders a
+///    status board.
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/workflow.hpp"
+
+namespace chase::wf {
+
+/// One measured execution of one step during exploratory development.
+struct StepTrial {
+  std::string step;
+  std::string owner;
+  int number = 0;  // per-step trial counter
+  StepReport report;
+  std::string notes;
+  std::vector<std::string> failed_expectations;
+  bool passed() const { return failed_expectations.empty(); }
+};
+
+/// A per-step acceptance check over the measured report.
+struct StepExpectation {
+  std::string description;
+  std::function<bool(const StepReport&)> check;
+};
+
+class PpodsSession {
+ public:
+  PpodsSession(kube::KubeCluster& kube, mon::Registry& metrics, std::string ns,
+               std::string name);
+
+  // --- membership & ownership ------------------------------------------------
+  void add_member(const std::string& user);
+  const std::vector<std::string>& members() const { return members_; }
+  /// Register a workflow step and its owning developer.
+  void register_step(const std::string& step, const std::string& owner);
+  std::string owner_of(const std::string& step) const;
+  std::vector<std::string> steps() const;
+
+  // --- expectations ------------------------------------------------------------
+  void add_expectation(const std::string& step, std::string description,
+                       std::function<bool(const StepReport&)> check);
+
+  // --- trials ---------------------------------------------------------------------
+  /// Run one step implementation in isolation (its own single-step
+  /// workflow), measure it, validate expectations, and record the trial.
+  /// Returns an event that fires when the trial is recorded.
+  sim::EventPtr run_trial(StepSpec spec, const std::string& notes = "");
+
+  const std::vector<StepTrial>& trials() const { return trials_; }
+  /// Trials of one step, in execution order.
+  std::vector<const StepTrial*> trials_of(const std::string& step) const;
+  /// Duration improvement of a step: first trial time / best trial time
+  /// (1.0 when fewer than two trials exist).
+  double improvement(const std::string& step) const;
+  /// The latest trial of each step, failed expectations included.
+  std::string render_board() const;
+
+ private:
+  kube::KubeCluster& kube_;
+  mon::Registry& metrics_;
+  std::string ns_;
+  std::string name_;
+  std::vector<std::string> members_;
+  std::vector<std::pair<std::string, std::string>> step_owners_;
+  std::vector<std::pair<std::string, StepExpectation>> expectations_;
+  std::vector<StepTrial> trials_;
+  std::vector<std::unique_ptr<Workflow>> trial_runs_;  // keep coroutines alive
+};
+
+}  // namespace chase::wf

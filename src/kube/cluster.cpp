@@ -1,0 +1,968 @@
+#include "kube/cluster.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace chase::kube {
+
+namespace {
+std::string key_of(const std::string& ns, const std::string& name) {
+  return ns + "/" + name;
+}
+}  // namespace
+
+// --- PodContext --------------------------------------------------------------
+
+sim::Simulation& PodContext::sim() const { return cluster_->sim_; }
+net::Network& PodContext::network() const { return cluster_->net_; }
+
+net::NodeId PodContext::net_node() const {
+  return cluster_->inventory_.machine(pod_->node).net_node;
+}
+
+double PodContext::gpu_tflops() const {
+  const auto& spec = cluster_->inventory_.machine(pod_->node).spec;
+  return cluster::gpu_fp32_tflops(spec.gpu_model) * gpus();
+}
+
+sim::Task PodContext::compute(double cpu_seconds, double cores) {
+  assert(cores > 0.0);
+  const double prev = pod_->usage.cpu;
+  set_cpu_usage(cores);
+  co_await sim().sleep(cpu_seconds / cores);
+  set_cpu_usage(prev);
+}
+
+sim::Task PodContext::gpu_compute(double gpu_seconds) {
+  const int n = gpus();
+  assert(n > 0 && "gpu_compute on a pod without GPUs");
+  const int prev = pod_->usage.gpus;
+  set_gpu_usage(n);
+  co_await sim().sleep(gpu_seconds / n);
+  set_gpu_usage(prev);
+}
+
+void PodContext::fail(const std::string& reason) {
+  pod_->exit_code = 1;
+  if (pod_->reason.empty()) pod_->reason = reason;
+}
+
+// --- construction -------------------------------------------------------------
+
+KubeCluster::KubeCluster(sim::Simulation& sim, net::Network& net,
+                         cluster::Inventory& inventory, mon::Registry* metrics,
+                         Options options)
+    : sim_(sim), net_(net), inventory_(inventory), metrics_(metrics),
+      options_(options) {
+  create_namespace("default");
+  inventory_.subscribe([this](cluster::MachineId m, bool up) { on_machine_state(m, up); });
+}
+
+KubeCluster::KubeCluster(sim::Simulation& sim, net::Network& net,
+                         cluster::Inventory& inventory, mon::Registry* metrics)
+    : KubeCluster(sim, net, inventory, metrics, Options{}) {}
+
+// --- nodes ----------------------------------------------------------------------
+
+void KubeCluster::register_node(cluster::MachineId machine, Labels extra_labels) {
+  const auto& m = inventory_.machine(machine);
+  NodeInfo info;
+  info.machine = machine;
+  info.labels = std::move(extra_labels);
+  info.labels["site"] = m.spec.site;
+  info.labels["machine"] = std::to_string(machine);  // node pinning (DaemonSets)
+  if (m.spec.gpus > 0) {
+    info.labels["gpu-model"] = cluster::gpu_model_name(m.spec.gpu_model);
+  }
+  info.allocatable.cpu = m.spec.cpu_cores;
+  info.allocatable.memory = m.spec.memory;
+  info.allocatable.gpus = m.spec.gpus;
+  info.ready = m.up;
+  info.gpu_in_use.assign(static_cast<std::size_t>(m.spec.gpus), false);
+  nodes_[machine] = std::move(info);
+  for (auto& [key, ds] : daemon_sets_) reconcile_daemon_set(ds);
+  kick_scheduler();
+}
+
+const NodeInfo& KubeCluster::node(cluster::MachineId machine) const {
+  return nodes_.at(machine);
+}
+
+ResourceList KubeCluster::total_allocatable() const {
+  ResourceList total;
+  for (const auto& [id, n] : nodes_) {
+    if (n.ready) total += n.allocatable;
+  }
+  return total;
+}
+
+ResourceList KubeCluster::total_allocated() const {
+  ResourceList total;
+  for (const auto& [id, n] : nodes_) {
+    if (n.ready) total += n.allocated;
+  }
+  return total;
+}
+
+void KubeCluster::cordon(cluster::MachineId machine) {
+  nodes_.at(machine).unschedulable = true;
+}
+
+void KubeCluster::uncordon(cluster::MachineId machine) {
+  nodes_.at(machine).unschedulable = false;
+  kick_scheduler();
+}
+
+void KubeCluster::drain(cluster::MachineId machine) {
+  cordon(machine);
+  std::vector<PodPtr> doomed = nodes_.at(machine).pods;
+  for (const auto& pod : doomed) {
+    if (!pod->terminal()) evict_pod(pod, "Drained");
+  }
+}
+
+void KubeCluster::add_taint(cluster::MachineId machine, Taint taint) {
+  NodeInfo& info = nodes_.at(machine);
+  info.taints.push_back(taint);
+  if (taint.effect == TaintEffect::NoExecute) {
+    std::vector<PodPtr> doomed;
+    for (const auto& pod : info.pods) {
+      bool tolerated = false;
+      for (const auto& toleration : pod->spec.tolerations) {
+        tolerated = tolerated || toleration.tolerates(taint);
+      }
+      if (!tolerated) doomed.push_back(pod);
+    }
+    for (const auto& pod : doomed) {
+      if (!pod->terminal()) evict_pod(pod, "TaintNoExecute");
+    }
+  }
+}
+
+void KubeCluster::remove_taint(cluster::MachineId machine, const std::string& key) {
+  auto& taints = nodes_.at(machine).taints;
+  taints.erase(std::remove_if(taints.begin(), taints.end(),
+                              [&](const Taint& t) { return t.key == key; }),
+               taints.end());
+  kick_scheduler();
+}
+
+void KubeCluster::evict_pod(const PodPtr& pod, const std::string& reason) {
+  pod->cancelled = true;
+  if (pod->phase == PodPhase::Pending) {
+    pending_.erase(std::remove(pending_.begin(), pending_.end(), pod), pending_.end());
+  }
+  finalize_pod(pod, PodPhase::Failed, reason);
+}
+
+// --- namespaces / auth -------------------------------------------------------------
+
+void KubeCluster::create_namespace(const std::string& name) {
+  namespaces_.emplace(name, Namespace{name, false, {}, {}, 0});
+}
+
+bool KubeCluster::has_namespace(const std::string& name) const {
+  return namespaces_.count(name) > 0;
+}
+
+void KubeCluster::set_quota(const std::string& ns, ResourceQuota quota) {
+  auto& n = namespaces_.at(ns);
+  n.has_quota = true;
+  n.quota = quota;
+}
+
+const Namespace& KubeCluster::get_namespace(const std::string& ns) const {
+  return namespaces_.at(ns);
+}
+
+void KubeCluster::enable_auth(auth::CILogon* sso, auth::Rbac* rbac) {
+  sso_ = sso;
+  rbac_ = rbac;
+}
+
+std::string KubeCluster::admit(const std::string& ns, const ResourceList& requests,
+                               auth::Verb verb, const auth::Token* token, bool system) {
+  auto nit = namespaces_.find(ns);
+  if (nit == namespaces_.end()) return "namespace '" + ns + "' does not exist";
+  if (!system && sso_ != nullptr && rbac_ != nullptr) {
+    if (token == nullptr) return "authentication required";
+    auto identity = sso_->validate(*token);
+    if (!identity) return "invalid token";
+    if (!rbac_->allowed(ns, *identity, verb)) {
+      return "user '" + identity->user + "' is not authorized to " +
+             auth::verb_name(verb) + " in namespace '" + ns + "'";
+    }
+  }
+  Namespace& n = nit->second;
+  if (n.has_quota) {
+    ResourceList would = n.used + requests;
+    if (!would.fits_within(n.quota.hard) || n.pods_used + 1 > n.quota.max_pods) {
+      return "quota exceeded in namespace '" + ns + "' (used " + n.used.to_string() +
+             ", requested " + requests.to_string() + ")";
+    }
+  }
+  n.used += requests;
+  n.pods_used += 1;
+  return "";
+}
+
+void KubeCluster::release_quota(const std::string& ns, const ResourceList& requests) {
+  auto nit = namespaces_.find(ns);
+  if (nit == namespaces_.end()) return;
+  nit->second.used -= requests;
+  nit->second.pods_used -= 1;
+}
+
+// --- workload creation ----------------------------------------------------------
+
+Result<PodPtr> KubeCluster::create_pod(const std::string& ns, const std::string& name,
+                                       PodSpec spec, Labels labels, OwnerRef owner,
+                                       const auth::Token* token) {
+  return create_pod_impl(ns, name, std::move(spec), std::move(labels),
+                         std::move(owner), token, /*system=*/false);
+}
+
+Result<PodPtr> KubeCluster::create_pod_impl(const std::string& ns,
+                                            const std::string& name, PodSpec spec,
+                                            Labels labels, OwnerRef owner,
+                                            const auth::Token* token, bool system) {
+  const std::string key = key_of(ns, name);
+  if (pods_.count(key)) return {nullptr, "pod '" + key + "' already exists"};
+
+  auto pod = std::make_shared<Pod>();
+  pod->meta.ns = ns;
+  pod->meta.name = name;
+  pod->meta.labels = std::move(labels);
+  pod->meta.uid = next_uid_++;
+  pod->spec = std::move(spec);
+  pod->owner = std::move(owner);
+  pod->created_at = sim_.now();
+
+  if (std::string err = admit(ns, pod->requests(), auth::Verb::Create, token, system);
+      !err.empty()) {
+    return {nullptr, err};
+  }
+
+  pods_[key] = pod;
+  pending_.push_back(pod);
+  kick_scheduler();
+  notify_watchers(pod);
+  return {pod, ""};
+}
+
+void KubeCluster::delete_pod(const std::string& ns, const std::string& name) {
+  auto it = pods_.find(key_of(ns, name));
+  if (it == pods_.end()) return;
+  PodPtr pod = it->second;
+  if (pod->terminal()) return;
+  pod->cancelled = true;
+  if (pod->phase == PodPhase::Pending) {
+    pending_.erase(std::remove(pending_.begin(), pending_.end(), pod), pending_.end());
+  }
+  finalize_pod(pod, PodPhase::Failed, "Deleted");
+}
+
+Result<JobPtr> KubeCluster::create_job(JobSpec spec, const auth::Token* token) {
+  return create_job_impl(std::move(spec), token, /*system=*/false);
+}
+
+Result<JobPtr> KubeCluster::create_job_impl(JobSpec spec, const auth::Token* token,
+                                            bool system) {
+  // Authorization is checked once at Job admission; the controller's pods
+  // are created with system privileges (matching Kubernetes' model).
+  if (!system && sso_ != nullptr && rbac_ != nullptr) {
+    if (token == nullptr) return {nullptr, "authentication required"};
+    auto identity = sso_->validate(*token);
+    if (!identity) return {nullptr, "invalid token"};
+    if (!rbac_->allowed(spec.ns, *identity, auth::Verb::Create)) {
+      return {nullptr, "not authorized"};
+    }
+  }
+  if (!has_namespace(spec.ns)) {
+    return {nullptr, "namespace '" + spec.ns + "' does not exist"};
+  }
+  const std::string key = key_of(spec.ns, spec.name);
+  if (jobs_.count(key)) return {nullptr, "job '" + key + "' already exists"};
+  auto job = std::make_shared<Job>();
+  job->spec = std::move(spec);
+  job->created_at = sim_.now();
+  jobs_[key] = job;
+  reconcile_job(job);
+  return {job, ""};
+}
+
+Result<ReplicaSetPtr> KubeCluster::create_replica_set(ReplicaSetSpec spec,
+                                                      const auth::Token* token) {
+  if (sso_ != nullptr && rbac_ != nullptr) {
+    if (token == nullptr) return {nullptr, "authentication required"};
+    auto identity = sso_->validate(*token);
+    if (!identity) return {nullptr, "invalid token"};
+    if (!rbac_->allowed(spec.ns, *identity, auth::Verb::Create)) {
+      return {nullptr, "not authorized"};
+    }
+  }
+  if (!has_namespace(spec.ns)) {
+    return {nullptr, "namespace '" + spec.ns + "' does not exist"};
+  }
+  const std::string key = key_of(spec.ns, spec.name);
+  if (replica_sets_.count(key)) return {nullptr, "replicaset '" + key + "' already exists"};
+  auto rs = std::make_shared<ReplicaSet>();
+  rs->spec = std::move(spec);
+  replica_sets_[key] = rs;
+  reconcile_replica_set(rs);
+  return {rs, ""};
+}
+
+void KubeCluster::delete_replica_set(const std::string& ns, const std::string& name) {
+  auto it = replica_sets_.find(key_of(ns, name));
+  if (it == replica_sets_.end()) return;
+  it->second->deleted = true;
+  // Tear down its pods.
+  for (const auto& pod : list_pods(ns)) {
+    if (pod->owner.kind == "ReplicaSet" && pod->owner.name == name && !pod->terminal()) {
+      delete_pod(ns, pod->meta.name);
+    }
+  }
+}
+
+void KubeCluster::scale_replica_set(const std::string& ns, const std::string& name,
+                                    int replicas) {
+  auto it = replica_sets_.find(key_of(ns, name));
+  if (it == replica_sets_.end()) return;
+  ReplicaSetPtr rs = it->second;
+  rs->spec.replicas = replicas;
+  if (rs->active > replicas) {
+    // Scale down: delete the newest non-terminal pods first.
+    std::vector<PodPtr> owned;
+    for (const auto& pod : list_pods(ns)) {
+      if (pod->owner.kind == "ReplicaSet" && pod->owner.name == name &&
+          !pod->terminal()) {
+        owned.push_back(pod);
+      }
+    }
+    std::sort(owned.begin(), owned.end(), [](const PodPtr& a, const PodPtr& b) {
+      return a->meta.uid > b->meta.uid;
+    });
+    // Mark the ReplicaSet as deleted around each removal so the controller
+    // does not replace the pods we are intentionally removing.
+    const int excess = rs->active - replicas;
+    for (int i = 0; i < excess && i < static_cast<int>(owned.size()); ++i) {
+      const bool was_deleted = rs->deleted;
+      rs->deleted = true;
+      delete_pod(ns, owned[static_cast<std::size_t>(i)]->meta.name);
+      rs->deleted = was_deleted;
+    }
+  }
+  reconcile_replica_set(rs);
+}
+
+Result<DeploymentPtr> KubeCluster::create_deployment(DeploymentSpec spec,
+                                                     const auth::Token* token) {
+  const std::string key = key_of(spec.ns, spec.name);
+  if (deployments_.count(key)) return {nullptr, "deployment '" + key + "' already exists"};
+  auto deployment = std::make_shared<Deployment>();
+  deployment->spec = spec;
+  deployment->revision = 1;
+
+  ReplicaSetSpec rs;
+  rs.ns = spec.ns;
+  rs.name = deployment_rs_name(*deployment, 1);
+  rs.labels = spec.labels;
+  rs.labels["deployment"] = spec.name;
+  rs.pod_template = spec.pod_template;
+  rs.replicas = spec.replicas;
+  auto created = create_replica_set(rs, token);
+  if (!created.ok()) return {nullptr, created.error};
+  deployments_[key] = deployment;
+  deployment->rolled_out->trigger(sim_);
+  return {deployment, ""};
+}
+
+void KubeCluster::update_deployment(const std::string& ns, const std::string& name,
+                                    PodSpec new_template) {
+  auto it = deployments_.find(key_of(ns, name));
+  if (it == deployments_.end()) return;
+  DeploymentPtr deployment = it->second;
+  deployment->spec.pod_template = std::move(new_template);
+  deployment->revision += 1;
+  deployment->rolling = true;
+  deployment->rolled_out = sim::make_event();  // re-arm for this rollout
+  sim_.spawn(roll_deployment(this, deployment, deployment->revision));
+}
+
+sim::Task KubeCluster::roll_deployment(KubeCluster* self, DeploymentPtr deployment,
+                                       int target_revision) {
+  const std::string ns = deployment->spec.ns;
+  const std::string old_rs = self->deployment_rs_name(*deployment, target_revision - 1);
+  const std::string new_rs = self->deployment_rs_name(*deployment, target_revision);
+
+  ReplicaSetSpec rs;
+  rs.ns = ns;
+  rs.name = new_rs;
+  rs.labels = deployment->spec.labels;
+  rs.labels["deployment"] = deployment->spec.name;
+  rs.labels["revision"] = std::to_string(target_revision);
+  rs.pod_template = deployment->spec.pod_template;
+  rs.replicas = 0;
+  self->create_replica_set(rs);
+
+  // Surge one new pod at a time; retire an old one once the replacement is
+  // Running (max unavailable 0).
+  for (int i = 1; i <= deployment->spec.replicas; ++i) {
+    if (deployment->revision != target_revision) co_return;  // superseded
+    self->scale_replica_set(ns, new_rs, i);
+    // Wait for the i-th new pod to be Running.
+    while (true) {
+      int running = 0;
+      for (const auto& pod : self->list_pods(ns, {{"replicaset", new_rs}})) {
+        running += pod->phase == PodPhase::Running;
+      }
+      if (running >= i || deployment->revision != target_revision) break;
+      co_await self->sim_.sleep(1.0);
+    }
+    if (deployment->revision != target_revision) co_return;
+    self->scale_replica_set(ns, old_rs, deployment->spec.replicas - i);
+  }
+  if (deployment->revision != target_revision) co_return;
+  self->delete_replica_set(ns, old_rs);
+  self->replica_sets_.erase(key_of(ns, old_rs));
+  deployment->rolling = false;
+  deployment->rolled_out->trigger(self->sim_);
+}
+
+void KubeCluster::delete_deployment(const std::string& ns, const std::string& name) {
+  auto it = deployments_.find(key_of(ns, name));
+  if (it == deployments_.end()) return;
+  DeploymentPtr deployment = it->second;
+  deployment->revision += 1;  // cancels any in-flight rollout
+  for (int rev = 1; rev <= deployment->revision; ++rev) {
+    delete_replica_set(ns, deployment_rs_name(*deployment, rev));
+  }
+  deployments_.erase(it);
+}
+
+DeploymentPtr KubeCluster::get_deployment(const std::string& ns,
+                                          const std::string& name) const {
+  auto it = deployments_.find(key_of(ns, name));
+  return it == deployments_.end() ? nullptr : it->second;
+}
+
+Result<DaemonSetPtr> KubeCluster::create_daemon_set(DaemonSetSpec spec,
+                                                    const auth::Token* token) {
+  if (sso_ != nullptr && rbac_ != nullptr) {
+    if (token == nullptr) return {nullptr, "authentication required"};
+    auto identity = sso_->validate(*token);
+    if (!identity || !rbac_->allowed(spec.ns, *identity, auth::Verb::Create)) {
+      return {nullptr, "not authorized"};
+    }
+  }
+  if (!has_namespace(spec.ns)) {
+    return {nullptr, "namespace '" + spec.ns + "' does not exist"};
+  }
+  const std::string key = key_of(spec.ns, spec.name);
+  if (daemon_sets_.count(key)) return {nullptr, "daemonset '" + key + "' already exists"};
+  auto ds = std::make_shared<DaemonSet>();
+  ds->spec = std::move(spec);
+  daemon_sets_[key] = ds;
+  reconcile_daemon_set(ds);
+  return {ds, ""};
+}
+
+void KubeCluster::delete_daemon_set(const std::string& ns, const std::string& name) {
+  auto it = daemon_sets_.find(key_of(ns, name));
+  if (it == daemon_sets_.end()) return;
+  it->second->deleted = true;
+  for (const auto& pod : list_pods(ns)) {
+    if (pod->owner.kind == "DaemonSet" && pod->owner.name == name && !pod->terminal()) {
+      delete_pod(ns, pod->meta.name);
+    }
+  }
+  daemon_sets_.erase(it);
+}
+
+Result<CronJobPtr> KubeCluster::create_cron_job(CronJobSpec spec,
+                                                const auth::Token* token) {
+  if (sso_ != nullptr && rbac_ != nullptr) {
+    if (token == nullptr) return {nullptr, "authentication required"};
+    auto identity = sso_->validate(*token);
+    if (!identity || !rbac_->allowed(spec.ns, *identity, auth::Verb::Create)) {
+      return {nullptr, "not authorized"};
+    }
+  }
+  if (!has_namespace(spec.ns)) {
+    return {nullptr, "namespace '" + spec.ns + "' does not exist"};
+  }
+  if (spec.period <= 0.0) return {nullptr, "cron period must be positive"};
+  const std::string key = key_of(spec.ns, spec.name);
+  if (cron_jobs_.count(key)) return {nullptr, "cronjob '" + key + "' already exists"};
+  auto cron = std::make_shared<CronJob>();
+  cron->spec = std::move(spec);
+  cron_jobs_[key] = cron;
+  sim_.spawn(cron_loop(this, cron));
+  return {cron, ""};
+}
+
+sim::Task KubeCluster::cron_loop(KubeCluster* self, CronJobPtr cron) {
+  while (!cron->deleted) {
+    co_await self->sim_.sleep(cron->spec.period);
+    if (cron->deleted) co_return;
+    if (cron->suspended) continue;
+    if (cron->spec.forbid_concurrent && cron->last_job != nullptr &&
+        !cron->last_job->complete && !cron->last_job->failed_state) {
+      cron->skipped += 1;
+      continue;
+    }
+    JobSpec job = cron->spec.job_template;
+    job.ns = cron->spec.ns;
+    job.name = cron->spec.name + "-" + std::to_string(cron->fired);
+    for (const auto& [k, v] : cron->spec.labels) job.labels[k] = v;
+    job.labels["cronjob"] = cron->spec.name;
+    // Firings run with the CronJob's admission-time authority.
+    auto result = self->create_job_impl(std::move(job), nullptr, /*system=*/true);
+    cron->fired += 1;
+    if (result.ok()) cron->last_job = result.value;
+  }
+}
+
+void KubeCluster::suspend_cron_job(const std::string& ns, const std::string& name,
+                                   bool suspended) {
+  auto it = cron_jobs_.find(key_of(ns, name));
+  if (it != cron_jobs_.end()) it->second->suspended = suspended;
+}
+
+void KubeCluster::delete_cron_job(const std::string& ns, const std::string& name) {
+  auto it = cron_jobs_.find(key_of(ns, name));
+  if (it == cron_jobs_.end()) return;
+  it->second->deleted = true;
+  cron_jobs_.erase(it);
+}
+
+void KubeCluster::reconcile_daemon_set(const DaemonSetPtr& ds) {
+  if (ds->deleted) return;
+  for (const auto& [machine, info] : nodes_) {
+    if (!info.ready || !selector_matches(ds->spec.node_selector, info.labels)) continue;
+    // Already hosting a live daemon pod?
+    bool present = false;
+    for (const auto& pod : info.pods) {
+      present = present || (pod->owner.kind == "DaemonSet" &&
+                            pod->owner.name == ds->spec.name && !pod->terminal());
+    }
+    if (present) continue;
+    const std::string pod_name = ds->spec.name + "-" + std::to_string(ds->next_index++);
+    Labels labels = ds->spec.labels;
+    labels["daemonset"] = ds->spec.name;
+    PodSpec pod_spec = ds->spec.pod_template;
+    pod_spec.node_selector["machine"] = std::to_string(machine);  // pin
+    create_pod_impl(ds->spec.ns, pod_name, std::move(pod_spec), labels,
+                    OwnerRef{"DaemonSet", ds->spec.name}, nullptr, /*system=*/true);
+  }
+}
+
+void KubeCluster::create_service(ServiceSpec spec) {
+  const std::string key = key_of(spec.ns, spec.name);
+  services_[key] = std::move(spec);
+}
+
+std::optional<PodPtr> KubeCluster::resolve_service(const std::string& ns,
+                                                   const std::string& name) {
+  auto it = services_.find(key_of(ns, name));
+  if (it == services_.end()) return std::nullopt;
+  std::vector<PodPtr> ready;
+  for (const auto& pod : list_pods(ns, it->second.selector)) {
+    if (pod->phase == PodPhase::Running) ready.push_back(pod);
+  }
+  if (ready.empty()) return std::nullopt;
+  std::size_t& rr = service_rr_[key_of(ns, name)];
+  return ready[rr++ % ready.size()];
+}
+
+// --- queries ----------------------------------------------------------------------
+
+PodPtr KubeCluster::get_pod(const std::string& ns, const std::string& name) const {
+  auto it = pods_.find(key_of(ns, name));
+  return it == pods_.end() ? nullptr : it->second;
+}
+
+std::vector<PodPtr> KubeCluster::list_pods(const std::string& ns,
+                                           const Labels& selector) const {
+  std::vector<PodPtr> out;
+  for (const auto& [key, pod] : pods_) {
+    if (pod->meta.ns != ns) continue;
+    if (!selector_matches(selector, pod->meta.labels)) continue;
+    out.push_back(pod);
+  }
+  return out;
+}
+
+JobPtr KubeCluster::get_job(const std::string& ns, const std::string& name) const {
+  auto it = jobs_.find(key_of(ns, name));
+  return it == jobs_.end() ? nullptr : it->second;
+}
+
+void KubeCluster::watch_pods(std::function<void(const PodPtr&)> fn) {
+  watchers_.push_back(std::move(fn));
+}
+
+void KubeCluster::notify_watchers(const PodPtr& pod) {
+  for (auto& fn : watchers_) fn(pod);
+}
+
+// --- scheduler ----------------------------------------------------------------------
+
+void KubeCluster::kick_scheduler() {
+  if (pass_scheduled_ || pending_.empty()) return;
+  pass_scheduled_ = true;
+  sim_.schedule(options_.scheduling_latency, [this] {
+    pass_scheduled_ = false;
+    scheduling_pass();
+  });
+}
+
+void KubeCluster::scheduling_pass() {
+  std::deque<PodPtr> still_pending;
+  while (!pending_.empty()) {
+    PodPtr pod = pending_.front();
+    pending_.pop_front();
+    if (pod->terminal() || pod->cancelled) continue;
+    auto choice = pick_node(*pod);
+    if (!choice) {
+      // Preemption: a high-priority pod may push lower-priority pods off a
+      // node; the evicted pods' owners recreate them and they queue behind.
+      if (pod->spec.priority > 0 && try_preempt(*pod)) {
+        choice = pick_node(*pod);
+      }
+      if (!choice) {
+        still_pending.push_back(pod);
+        continue;
+      }
+    }
+    bind(pod, *choice);
+  }
+  pending_ = std::move(still_pending);
+}
+
+bool KubeCluster::node_admits(const NodeInfo& info, const Pod& pod) const {
+  if (!info.ready || info.unschedulable) return false;
+  if (!selector_matches(pod.spec.node_selector, info.labels)) return false;
+  for (const auto& taint : info.taints) {
+    if (taint.effect != TaintEffect::NoSchedule &&
+        taint.effect != TaintEffect::NoExecute) {
+      continue;
+    }
+    bool tolerated = false;
+    for (const auto& toleration : pod.spec.tolerations) {
+      tolerated = tolerated || toleration.tolerates(taint);
+    }
+    if (!tolerated) return false;
+  }
+  return true;
+}
+
+bool KubeCluster::try_preempt(const Pod& pod) {
+  const ResourceList requests = pod.requests();
+  // Pick the node where evicting the cheapest set of strictly-lower-priority
+  // pods frees enough room; prefer evicting as little priority as possible.
+  cluster::MachineId best_node = -1;
+  std::vector<PodPtr> best_victims;
+  int best_cost = INT_MAX;
+  for (auto& [machine, info] : nodes_) {
+    if (!node_admits(info, pod)) continue;
+    if (requests.fits_within(info.allocatable) == false) continue;
+    // Candidate victims: lower-priority pods, lowest priority first.
+    std::vector<PodPtr> candidates;
+    for (const auto& victim : info.pods) {
+      if (!victim->terminal() && victim->spec.priority < pod.spec.priority) {
+        candidates.push_back(victim);
+      }
+    }
+    std::sort(candidates.begin(), candidates.end(),
+              [](const PodPtr& a, const PodPtr& b) {
+                return a->spec.priority < b->spec.priority;
+              });
+    ResourceList would = info.allocated;
+    std::vector<PodPtr> victims;
+    int cost = 0;
+    for (const auto& victim : candidates) {
+      ResourceList after = would + requests;
+      if (after.fits_within(info.allocatable)) break;
+      would -= victim->requests();
+      victims.push_back(victim);
+      cost += victim->spec.priority + 1;
+    }
+    ResourceList after = would + requests;
+    if (!after.fits_within(info.allocatable)) continue;  // still no room
+    if (!victims.empty() && cost < best_cost) {
+      best_cost = cost;
+      best_node = machine;
+      best_victims = victims;
+    }
+  }
+  if (best_node < 0) return false;
+  for (const auto& victim : best_victims) evict_pod(victim, "Preempted");
+  return true;
+}
+
+std::optional<cluster::MachineId> KubeCluster::pick_node(const Pod& pod) const {
+  const ResourceList requests = pod.requests();
+  std::optional<cluster::MachineId> best;
+  double best_score = -1.0;
+  for (const auto& [machine, info] : nodes_) {
+    if (!node_admits(info, pod)) continue;
+    ResourceList would = info.allocated + requests;
+    if (!would.fits_within(info.allocatable)) continue;
+    // Spread: prefer the node with the most free CPU/GPU fraction
+    // (least-allocated). BinPack inverts the score to consolidate.
+    const double cpu_free = 1.0 - would.cpu / std::max(1.0, info.allocatable.cpu);
+    const double gpu_free =
+        info.allocatable.gpus > 0
+            ? 1.0 - static_cast<double>(would.gpus) / info.allocatable.gpus
+            : 0.0;
+    double score = cpu_free + gpu_free;
+    if (options_.policy == SchedulingPolicy::BinPack) score = -score;
+    if (score > best_score) {
+      best_score = score;
+      best = machine;
+    }
+  }
+  return best;
+}
+
+void KubeCluster::bind(const PodPtr& pod, cluster::MachineId machine) {
+  NodeInfo& info = nodes_.at(machine);
+  pod->node = machine;
+  info.allocated += pod->requests();
+  info.pods.push_back(pod);
+  // Device plugin: grant specific GPU ids.
+  const int want = pod->requests().gpus;
+  for (std::size_t i = 0; i < info.gpu_in_use.size() &&
+                          pod->gpu_ids.size() < static_cast<std::size_t>(want);
+       ++i) {
+    if (!info.gpu_in_use[i]) {
+      info.gpu_in_use[i] = true;
+      pod->gpu_ids.push_back(static_cast<int>(i));
+    }
+  }
+  assert(pod->gpu_ids.size() == static_cast<std::size_t>(want));
+  pod->scheduled->trigger(sim_);
+  sim_.spawn(run_pod(this, pod));
+}
+
+// --- kubelet ------------------------------------------------------------------------
+
+sim::Task KubeCluster::run_pod(KubeCluster* self, PodPtr pod) {
+  // Image pull: first use of an image on a node fetches it from the
+  // registry; later pods hit the node-local cache.
+  if (self->options_.registry_node >= 0 && pod->node >= 0) {
+    NodeInfo& info = self->nodes_.at(pod->node);
+    const net::NodeId here = self->inventory_.machine(pod->node).net_node;
+    for (const auto& c : pod->spec.containers) {
+      const bool cached = std::find(info.image_cache.begin(), info.image_cache.end(),
+                                    c.image) != info.image_cache.end();
+      if (!cached) {
+        co_await self->net_.send(self->options_.registry_node, here, c.image_size);
+        info.image_cache.push_back(c.image);
+      }
+    }
+  }
+  co_await self->sim_.sleep(self->options_.container_start_latency);
+  if (pod->terminal() || pod->cancelled) co_return;
+
+  pod->phase = PodPhase::Running;
+  pod->started_at = self->sim_.now();
+  pod->usage = pod->requests();
+  pod->usage.gpus = 0;  // GPU usage reported explicitly via gpu_compute
+  pod->context.reset(new PodContext(self, pod.get()));
+  self->register_pod_metrics(pod);
+  self->notify_watchers(pod);
+
+  if (!pod->spec.containers.empty()) {
+    auto all_done = sim::make_event();
+    auto latch = std::make_shared<sim::Latch>(
+        static_cast<std::int64_t>(pod->spec.containers.size()), all_done);
+    for (std::size_t i = 0; i < pod->spec.containers.size(); ++i) {
+      self->sim_.spawn(run_container(self, pod, i, latch));
+    }
+    co_await all_done->wait(self->sim_);
+  }
+
+  if (pod->terminal()) co_return;  // failed via node loss / deletion meanwhile
+  self->finalize_pod(pod, pod->exit_code == 0 ? PodPhase::Succeeded : PodPhase::Failed,
+                     pod->reason);
+}
+
+sim::Task KubeCluster::run_container(KubeCluster* self, PodPtr pod, std::size_t index,
+                                     std::shared_ptr<sim::Latch> latch) {
+  const ContainerSpec& c = pod->spec.containers[index];
+  if (c.program) {
+    co_await c.program(*pod->context);
+  }
+  latch->count_down(self->sim_);
+}
+
+void KubeCluster::finalize_pod(const PodPtr& pod, PodPhase phase,
+                               const std::string& reason) {
+  if (pod->terminal()) return;
+  pod->phase = phase;
+  pod->reason = reason;
+  pod->finished_at = sim_.now();
+  pod->usage = ResourceList{};
+  release_node_resources(pod);
+  release_quota(pod->meta.ns, pod->requests());
+  unregister_pod_metrics(pod);
+  pod->terminated->trigger(sim_);
+  on_pod_terminated(pod);
+  notify_watchers(pod);
+  kick_scheduler();
+}
+
+void KubeCluster::release_node_resources(const PodPtr& pod) {
+  if (pod->node < 0) return;
+  auto it = nodes_.find(pod->node);
+  if (it == nodes_.end()) return;
+  NodeInfo& info = it->second;
+  info.allocated -= pod->requests();
+  for (int gpu : pod->gpu_ids) {
+    if (gpu >= 0 && gpu < static_cast<int>(info.gpu_in_use.size())) {
+      info.gpu_in_use[static_cast<std::size_t>(gpu)] = false;
+    }
+  }
+  info.pods.erase(std::remove(info.pods.begin(), info.pods.end(), pod), info.pods.end());
+}
+
+// --- monitoring -----------------------------------------------------------------------
+
+mon::Labels KubeCluster::pod_metric_labels(const Pod& pod) const {
+  mon::Labels labels(pod.meta.labels.begin(), pod.meta.labels.end());
+  labels["ns"] = pod.meta.ns;
+  labels["pod"] = pod.meta.name;
+  return labels;
+}
+
+void KubeCluster::register_pod_metrics(const PodPtr& pod) {
+  if (metrics_ == nullptr) return;
+  const mon::Labels labels = pod_metric_labels(*pod);
+  Pod* raw = pod.get();
+  metrics_->register_probe("pod_cpu_cores", labels, [raw] { return raw->usage.cpu; });
+  metrics_->register_probe("pod_memory_bytes", labels,
+                           [raw] { return static_cast<double>(raw->usage.memory); });
+  metrics_->register_probe("pod_gpus", labels,
+                           [raw] { return static_cast<double>(raw->usage.gpus); });
+}
+
+void KubeCluster::unregister_pod_metrics(const PodPtr& pod) {
+  if (metrics_ == nullptr) return;
+  const mon::Labels labels = pod_metric_labels(*pod);
+  const double t = sim_.now();
+  for (const char* name : {"pod_cpu_cores", "pod_memory_bytes", "pod_gpus"}) {
+    metrics_->unregister_probe(name, labels);
+    metrics_->record(name, labels, t, 0.0);  // close the series at zero
+  }
+}
+
+// --- controllers ------------------------------------------------------------------------
+
+void KubeCluster::on_machine_state(cluster::MachineId machine, bool up) {
+  auto it = nodes_.find(machine);
+  if (it == nodes_.end()) return;
+  NodeInfo& info = it->second;
+  info.ready = up;
+  if (!up) {
+    // Node controller: evict every pod bound to the lost node; their owners
+    // (Job/ReplicaSet controllers) recreate them elsewhere (paper §V: "If a
+    // node is taken offline the pods on that node will be rescheduled").
+    std::vector<PodPtr> doomed = info.pods;
+    for (const auto& pod : doomed) {
+      if (!pod->terminal()) {
+        pod->cancelled = true;
+        finalize_pod(pod, PodPhase::Failed, "NodeLost");
+      }
+    }
+  } else {
+    for (auto& [key, ds] : daemon_sets_) reconcile_daemon_set(ds);
+    kick_scheduler();
+  }
+}
+
+void KubeCluster::on_pod_terminated(const PodPtr& pod) {
+  if (!pod->owner.valid()) return;
+  const std::string key = key_of(pod->meta.ns, pod->owner.name);
+  if (pod->owner.kind == "Job") {
+    auto it = jobs_.find(key);
+    if (it == jobs_.end()) return;
+    JobPtr job = it->second;
+    job->active -= 1;
+    if (pod->phase == PodPhase::Succeeded) {
+      job->succeeded += 1;
+    } else if (pod->reason != "NodeLost" && pod->reason != "Drained" &&
+               pod->reason != "Preempted" && pod->reason != "TaintNoExecute") {
+      // Evictions (node loss, drains, preemption, taints) are rescheduled
+      // without counting against the backoff limit, matching Kubernetes'
+      // distinction between pod failures and disruptions.
+      job->failed += 1;
+    }
+    if (job->succeeded >= job->spec.completions) {
+      if (!job->complete) {
+        job->complete = true;
+        job->finished_at = sim_.now();
+        job->done->trigger(sim_);
+      }
+      return;
+    }
+    if (job->failed > job->spec.backoff_limit) {
+      if (!job->failed_state) {
+        job->failed_state = true;
+        job->finished_at = sim_.now();
+        job->done->trigger(sim_);
+      }
+      return;
+    }
+    reconcile_job(job);
+  } else if (pod->owner.kind == "ReplicaSet") {
+    auto it = replica_sets_.find(key);
+    if (it == replica_sets_.end()) return;
+    ReplicaSetPtr rs = it->second;
+    rs->active -= 1;
+    if (!rs->deleted) reconcile_replica_set(rs);
+  } else if (pod->owner.kind == "DaemonSet") {
+    auto it = daemon_sets_.find(key);
+    if (it != daemon_sets_.end()) reconcile_daemon_set(it->second);
+  }
+}
+
+void KubeCluster::reconcile_job(const JobPtr& job) {
+  if (job->complete || job->failed_state) return;
+  const int want_active =
+      std::min(job->spec.parallelism, job->spec.completions - job->succeeded);
+  while (job->active < want_active) {
+    const std::string pod_name =
+        job->spec.name + "-" + std::to_string(job->next_index++);
+    Labels labels = job->spec.labels;
+    labels["job"] = job->spec.name;
+    auto result = create_pod_impl(job->spec.ns, pod_name, job->spec.pod_template,
+                                  labels, OwnerRef{"Job", job->spec.name}, nullptr,
+                                  /*system=*/true);
+    if (!result.ok()) {
+      job->failed_state = true;
+      job->finished_at = sim_.now();
+      job->done->trigger(sim_);
+      return;
+    }
+    job->active += 1;
+  }
+}
+
+void KubeCluster::reconcile_replica_set(const ReplicaSetPtr& rs) {
+  if (rs->deleted) return;
+  while (rs->active < rs->spec.replicas) {
+    const std::string pod_name = rs->spec.name + "-" + std::to_string(rs->next_index++);
+    Labels labels = rs->spec.labels;
+    labels["replicaset"] = rs->spec.name;
+    auto result = create_pod_impl(rs->spec.ns, pod_name, rs->spec.pod_template,
+                                  labels, OwnerRef{"ReplicaSet", rs->spec.name},
+                                  nullptr, /*system=*/true);
+    if (!result.ok()) return;  // e.g. quota: retry on next termination
+    rs->active += 1;
+  }
+}
+
+}  // namespace chase::kube

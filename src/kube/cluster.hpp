@@ -1,0 +1,275 @@
+#pragma once
+/// \file cluster.hpp
+/// The orchestrator facade: API server (object store + admission + RBAC),
+/// scheduler, per-node kubelets with a GPU device plugin, and the Job /
+/// ReplicaSet / node-lifecycle controllers. This is the "Kubernetes" of the
+/// simulation — the paper's §II-A container-orchestration layer.
+///
+/// Workload programs interact with the world through PodContext (identity,
+/// CPU/GPU compute primitives, live usage reporting for the monitoring
+/// layer). The workflow manager (chase::wf) declares desired state (Jobs,
+/// ReplicaSets) and the controllers converge on it, including rescheduling
+/// pods off failed nodes (§V).
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "auth/cilogon.hpp"
+#include "cluster/machine.hpp"
+#include "kube/types.hpp"
+#include "mon/metrics.hpp"
+#include "net/network.hpp"
+#include "sim/event.hpp"
+#include "sim/simulation.hpp"
+
+namespace chase::kube {
+
+class KubeCluster;
+
+/// Handle given to container programs: who am I, where am I running, and
+/// primitives for consuming simulated compute while reporting live usage.
+class PodContext {
+ public:
+  sim::Simulation& sim() const;
+  net::Network& network() const;
+  KubeCluster& cluster() const { return *cluster_; }
+
+  const Pod& pod() const { return *pod_; }
+  cluster::MachineId machine() const { return pod_->node; }
+  /// Network endpoint of the machine this pod runs on.
+  net::NodeId net_node() const;
+  int gpus() const { return static_cast<int>(pod_->gpu_ids.size()); }
+  /// Aggregate fp32 TFLOPS of the GPUs granted to this pod.
+  double gpu_tflops() const;
+  /// True once the pod has been deleted or its node was lost; long-running
+  /// programs should poll this between work items and bail out.
+  bool cancelled() const { return pod_->cancelled; }
+
+  /// Consume `cpu_seconds` of single-core work spread across `cores`
+  /// (wall-clock = cpu_seconds / cores). Reports usage while running.
+  sim::Task compute(double cpu_seconds, double cores);
+  /// Consume `gpu_seconds` of single-GPU work across all granted GPUs.
+  sim::Task gpu_compute(double gpu_seconds);
+
+  /// Live usage reporting (sampled by the monitoring layer).
+  void set_cpu_usage(double cores) { pod_->usage.cpu = cores; }
+  void set_memory_usage(Bytes b) { pod_->usage.memory = b; }
+  void set_gpu_usage(int gpus) { pod_->usage.gpus = gpus; }
+
+  /// Mark the pod as failed; the phase is applied when the program returns.
+  void fail(const std::string& reason);
+
+ private:
+  friend class KubeCluster;
+  PodContext(KubeCluster* cluster, Pod* pod) : cluster_(cluster), pod_(pod) {}
+  KubeCluster* cluster_;
+  Pod* pod_;
+};
+
+/// Scheduler/kubelet view of a registered node.
+struct NodeInfo {
+  cluster::MachineId machine = -1;
+  Labels labels;
+  ResourceList allocatable;
+  ResourceList allocated;
+  bool ready = true;
+  bool unschedulable = false;  // cordoned
+  std::vector<Taint> taints;
+  std::vector<bool> gpu_in_use;
+  std::vector<std::string> image_cache;
+  std::vector<PodPtr> pods;  // non-terminal pods bound here
+};
+
+class KubeCluster {
+ public:
+  /// Node-scoring policy: Spread (least-allocated, the Kubernetes default)
+  /// balances load; BinPack (most-allocated) consolidates pods onto fewer
+  /// nodes, freeing whole FIONA8s for large GPU pods.
+  enum class SchedulingPolicy { Spread, BinPack };
+
+  struct Options {
+    /// Delay between a pod becoming schedulable and binding (API latency).
+    double scheduling_latency = 0.2;
+    /// Extra per-pod container start overhead after image pull.
+    double container_start_latency = 1.0;
+    /// If >= 0, node of the image registry; image pulls then cost a network
+    /// transfer on first use per node. Negative disables pull modelling.
+    net::NodeId registry_node = -1;
+    SchedulingPolicy policy = SchedulingPolicy::Spread;
+  };
+
+  KubeCluster(sim::Simulation& sim, net::Network& net, cluster::Inventory& inventory,
+              mon::Registry* metrics, Options options);
+  KubeCluster(sim::Simulation& sim, net::Network& net, cluster::Inventory& inventory,
+              mon::Registry* metrics = nullptr);
+
+  // --- nodes ---------------------------------------------------------------
+
+  /// Register a machine as a schedulable node. Adds implicit labels
+  /// "site" and "gpu-model" from the machine spec, plus `extra_labels`.
+  void register_node(cluster::MachineId machine, Labels extra_labels = {});
+  const NodeInfo& node(cluster::MachineId machine) const;
+  std::size_t node_count() const { return nodes_.size(); }
+  /// Cluster-wide allocatable and allocated resources over ready nodes.
+  ResourceList total_allocatable() const;
+  ResourceList total_allocated() const;
+
+  /// Mark a node unschedulable (existing pods keep running).
+  void cordon(cluster::MachineId machine);
+  void uncordon(cluster::MachineId machine);
+  /// Cordon + evict every pod on the node (reason "Drained"; owners
+  /// recreate elsewhere, and drains do not count as Job failures).
+  void drain(cluster::MachineId machine);
+  /// Taint a node. NoSchedule keeps new non-tolerating pods away;
+  /// NoExecute additionally evicts running non-tolerating pods.
+  void add_taint(cluster::MachineId machine, Taint taint);
+  void remove_taint(cluster::MachineId machine, const std::string& key);
+
+  // --- namespaces, quota, auth ----------------------------------------------
+
+  void create_namespace(const std::string& name);
+  bool has_namespace(const std::string& name) const;
+  void set_quota(const std::string& ns, ResourceQuota quota);
+  const Namespace& get_namespace(const std::string& ns) const;
+
+  /// Enable CILogon/RBAC admission: requests must then carry a token whose
+  /// identity is authorized in the target namespace.
+  void enable_auth(auth::CILogon* sso, auth::Rbac* rbac);
+
+  // --- workloads -------------------------------------------------------------
+
+  Result<PodPtr> create_pod(const std::string& ns, const std::string& name,
+                            PodSpec spec, Labels labels = {}, OwnerRef owner = {},
+                            const auth::Token* token = nullptr);
+  /// Delete a pod: cancels it if running; controllers will not replace pods
+  /// deleted through their owner's deletion path.
+  void delete_pod(const std::string& ns, const std::string& name);
+
+  Result<JobPtr> create_job(JobSpec spec, const auth::Token* token = nullptr);
+  Result<ReplicaSetPtr> create_replica_set(ReplicaSetSpec spec,
+                                           const auth::Token* token = nullptr);
+  void delete_replica_set(const std::string& ns, const std::string& name);
+  /// Change a ReplicaSet's desired replica count: scales up by creating
+  /// pods, down by deleting the newest pods first.
+  void scale_replica_set(const std::string& ns, const std::string& name, int replicas);
+
+  Result<DeploymentPtr> create_deployment(DeploymentSpec spec,
+                                          const auth::Token* token = nullptr);
+  /// Roll the deployment to a new pod template, one pod at a time
+  /// (surge 1). `rolled_out` is re-armed and fires when the new revision
+  /// fully owns the replicas.
+  void update_deployment(const std::string& ns, const std::string& name,
+                         PodSpec new_template);
+  void delete_deployment(const std::string& ns, const std::string& name);
+  DeploymentPtr get_deployment(const std::string& ns, const std::string& name) const;
+
+  /// One pod per matching ready node; pods are added when nodes register or
+  /// come back, and their losses are not replaced elsewhere.
+  Result<DaemonSetPtr> create_daemon_set(DaemonSetSpec spec,
+                                         const auth::Token* token = nullptr);
+  void delete_daemon_set(const std::string& ns, const std::string& name);
+
+  /// Fire the job template every `period` seconds (first firing one period
+  /// from now). Suspend/resume pauses firings; delete stops them.
+  Result<CronJobPtr> create_cron_job(CronJobSpec spec,
+                                     const auth::Token* token = nullptr);
+  void suspend_cron_job(const std::string& ns, const std::string& name, bool suspended);
+  void delete_cron_job(const std::string& ns, const std::string& name);
+
+  void create_service(ServiceSpec spec);
+  /// Resolve a service to a running pod (round-robin); nullopt if none.
+  std::optional<PodPtr> resolve_service(const std::string& ns, const std::string& name);
+
+  // --- queries ----------------------------------------------------------------
+
+  PodPtr get_pod(const std::string& ns, const std::string& name) const;
+  std::vector<PodPtr> list_pods(const std::string& ns, const Labels& selector = {}) const;
+  JobPtr get_job(const std::string& ns, const std::string& name) const;
+
+  /// Subscribe to pod phase transitions (integration tests, workflow layer).
+  void watch_pods(std::function<void(const PodPtr&)> fn);
+
+  sim::Simulation& sim() { return sim_; }
+  net::Network& network() { return net_; }
+  cluster::Inventory& inventory() { return inventory_; }
+  mon::Registry* metrics() { return metrics_; }
+  const Options& options() const { return options_; }
+
+ private:
+  friend class PodContext;
+
+  // admission
+  Result<PodPtr> create_pod_impl(const std::string& ns, const std::string& name,
+                                 PodSpec spec, Labels labels, OwnerRef owner,
+                                 const auth::Token* token, bool system);
+  Result<JobPtr> create_job_impl(JobSpec spec, const auth::Token* token, bool system);
+  std::string admit(const std::string& ns, const ResourceList& requests,
+                    auth::Verb verb, const auth::Token* token, bool system);
+  void release_quota(const std::string& ns, const ResourceList& requests);
+
+  // scheduling
+  void kick_scheduler();
+  void scheduling_pass();
+  std::optional<cluster::MachineId> pick_node(const Pod& pod) const;
+  bool node_admits(const NodeInfo& info, const Pod& pod) const;
+  /// Try to make room for `pod` by evicting lower-priority pods on one
+  /// node; returns true if preemption happened.
+  bool try_preempt(const Pod& pod);
+  void evict_pod(const PodPtr& pod, const std::string& reason);
+  void bind(const PodPtr& pod, cluster::MachineId machine);
+
+  // kubelet
+  static sim::Task run_pod(KubeCluster* self, PodPtr pod);
+  static sim::Task run_container(KubeCluster* self, PodPtr pod, std::size_t index,
+                                 std::shared_ptr<sim::Latch> latch);
+  void finalize_pod(const PodPtr& pod, PodPhase phase, const std::string& reason);
+  void release_node_resources(const PodPtr& pod);
+  void register_pod_metrics(const PodPtr& pod);
+  void unregister_pod_metrics(const PodPtr& pod);
+  mon::Labels pod_metric_labels(const Pod& pod) const;
+
+  // controllers
+  void on_machine_state(cluster::MachineId machine, bool up);
+  void on_pod_terminated(const PodPtr& pod);
+  void reconcile_job(const JobPtr& job);
+  void reconcile_replica_set(const ReplicaSetPtr& rs);
+  void reconcile_daemon_set(const DaemonSetPtr& ds);
+  static sim::Task cron_loop(KubeCluster* self, CronJobPtr cron);
+  void notify_watchers(const PodPtr& pod);
+  static sim::Task roll_deployment(KubeCluster* self, DeploymentPtr deployment,
+                                   int target_revision);
+  std::string deployment_rs_name(const Deployment& deployment, int revision) const {
+    return deployment.spec.name + "-rev" + std::to_string(revision);
+  }
+
+  sim::Simulation& sim_;
+  net::Network& net_;
+  cluster::Inventory& inventory_;
+  mon::Registry* metrics_;
+  Options options_;
+
+  std::map<cluster::MachineId, NodeInfo> nodes_;
+  std::map<std::string, Namespace> namespaces_;
+  std::map<std::string, PodPtr> pods_;          // key ns + "/" + name
+  std::map<std::string, JobPtr> jobs_;          // key ns + "/" + name
+  std::map<std::string, ReplicaSetPtr> replica_sets_;
+  std::map<std::string, DeploymentPtr> deployments_;
+  std::map<std::string, DaemonSetPtr> daemon_sets_;
+  std::map<std::string, CronJobPtr> cron_jobs_;
+  std::map<std::string, ServiceSpec> services_;
+  std::map<std::string, std::size_t> service_rr_;
+  std::deque<PodPtr> pending_;
+  bool pass_scheduled_ = false;
+  std::uint64_t next_uid_ = 1;
+  std::vector<std::function<void(const PodPtr&)>> watchers_;
+
+  auth::CILogon* sso_ = nullptr;
+  auth::Rbac* rbac_ = nullptr;
+};
+
+}  // namespace chase::kube

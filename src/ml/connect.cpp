@@ -1,0 +1,161 @@
+#include "ml/connect.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <map>
+#include <numeric>
+
+namespace chase::ml {
+
+namespace {
+
+/// Union-find over flat voxel indices.
+class DisjointSet {
+ public:
+  explicit DisjointSet(std::size_t n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), std::size_t{0});
+  }
+  std::size_t find(std::size_t a) {
+    while (parent_[a] != a) {
+      parent_[a] = parent_[parent_[a]];  // path halving
+      a = parent_[a];
+    }
+    return a;
+  }
+  void unite(std::size_t a, std::size_t b) {
+    a = find(a);
+    b = find(b);
+    if (a != b) parent_[std::max(a, b)] = std::min(a, b);
+  }
+
+ private:
+  std::vector<std::size_t> parent_;
+};
+
+}  // namespace
+
+ConnectResult connect_label(const Volume<float>& ivt, const ConnectParams& params) {
+  const int nx = ivt.nx(), ny = ivt.ny(), nt = ivt.nz();
+  ConnectResult out;
+  out.labels = Volume<std::int32_t>(nx, ny, nt, 0);
+
+  const float thr = static_cast<float>(params.threshold);
+  auto above = [&](int x, int y, int t) { return ivt.at(x, y, t) > thr; };
+
+  DisjointSet ds(ivt.size());
+  // Scan with backward-looking neighbour offsets only (each union seen once).
+  std::vector<std::array<int, 3>> offsets;
+  for (int dt = -1; dt <= 0; ++dt) {
+    for (int dy = -1; dy <= 1; ++dy) {
+      for (int dx = -1; dx <= 1; ++dx) {
+        if (dt == 0 && (dy > 0 || (dy == 0 && dx >= 0))) continue;  // forward half
+        const int diag = std::abs(dx) + std::abs(dy) + std::abs(dt);
+        if (!params.diagonal_connectivity && diag > 1) continue;
+        offsets.push_back({dx, dy, dt});
+      }
+    }
+  }
+
+  for (int t = 0; t < nt; ++t) {
+    for (int y = 0; y < ny; ++y) {
+      for (int x = 0; x < nx; ++x) {
+        if (!above(x, y, t)) continue;
+        const std::size_t here = ivt.index(x, y, t);
+        for (const auto& [dx, dy, dt] : offsets) {
+          const int nx2 = x + dx, ny2 = y + dy, nt2 = t + dt;
+          if (!ivt.inside(nx2, ny2, nt2) || !above(nx2, ny2, nt2)) continue;
+          ds.unite(here, ivt.index(nx2, ny2, nt2));
+        }
+      }
+    }
+  }
+
+  // Collect components and assign dense ids (ordered by root index, i.e.
+  // first-seen scan order — deterministic).
+  struct Accum {
+    std::size_t voxels = 0;
+    int t_start = 1 << 30, t_end = -1;
+    float max_intensity = 0.f;
+    std::map<int, std::array<double, 3>> per_t;  // t -> (sum x, sum y, count)
+  };
+  std::map<std::size_t, Accum> components;
+  for (int t = 0; t < nt; ++t) {
+    for (int y = 0; y < ny; ++y) {
+      for (int x = 0; x < nx; ++x) {
+        if (!above(x, y, t)) continue;
+        Accum& a = components[ds.find(ivt.index(x, y, t))];
+        a.voxels += 1;
+        a.t_start = std::min(a.t_start, t);
+        a.t_end = std::max(a.t_end, t);
+        a.max_intensity = std::max(a.max_intensity, ivt.at(x, y, t));
+        auto& cell = a.per_t[t];
+        cell[0] += x;
+        cell[1] += y;
+        cell[2] += 1;
+      }
+    }
+  }
+
+  std::map<std::size_t, int> root_to_id;
+  int next_id = 1;
+  for (const auto& [root, accum] : components) {
+    if (accum.voxels < params.min_voxels) continue;
+    root_to_id[root] = next_id;
+    ConnectObject obj;
+    obj.id = next_id;
+    obj.voxels = accum.voxels;
+    obj.t_start = accum.t_start;
+    obj.t_end = accum.t_end;
+    obj.max_intensity = accum.max_intensity;
+    for (int t = accum.t_start; t <= accum.t_end; ++t) {
+      auto it = accum.per_t.find(t);
+      if (it == accum.per_t.end()) {
+        // Diagonal-in-time connections may skip a step spatially; carry the
+        // previous centroid forward.
+        if (!obj.track.empty()) obj.track.push_back(obj.track.back());
+        continue;
+      }
+      obj.track.emplace_back(it->second[0] / it->second[2], it->second[1] / it->second[2]);
+    }
+    out.objects.push_back(std::move(obj));
+    ++next_id;
+  }
+
+  for (int t = 0; t < nt; ++t) {
+    for (int y = 0; y < ny; ++y) {
+      for (int x = 0; x < nx; ++x) {
+        if (!above(x, y, t)) continue;
+        auto it = root_to_id.find(ds.find(ivt.index(x, y, t)));
+        if (it != root_to_id.end()) out.labels.at(x, y, t) = it->second;
+      }
+    }
+  }
+  return out;
+}
+
+ConnectStats summarize(const ConnectResult& result) {
+  ConnectStats s;
+  s.object_count = result.objects.size();
+  if (result.objects.empty()) return s;
+  double durations = 0, voxels = 0, tracks = 0;
+  for (const auto& obj : result.objects) {
+    durations += obj.duration();
+    voxels += static_cast<double>(obj.voxels);
+    s.max_intensity = std::max(s.max_intensity, static_cast<double>(obj.max_intensity));
+    double len = 0;
+    for (std::size_t i = 1; i < obj.track.size(); ++i) {
+      const double dx = obj.track[i].first - obj.track[i - 1].first;
+      const double dy = obj.track[i].second - obj.track[i - 1].second;
+      len += std::sqrt(dx * dx + dy * dy);
+    }
+    tracks += len;
+  }
+  const double n = static_cast<double>(result.objects.size());
+  s.mean_duration = durations / n;
+  s.mean_voxels = voxels / n;
+  s.mean_track_length = tracks / n;
+  return s;
+}
+
+}  // namespace chase::ml

@@ -1,0 +1,37 @@
+#include "ml/cost.hpp"
+
+namespace chase::ml {
+
+double FfnCostModel::forward_flops() const {
+  const double fov3 = static_cast<double>(fov) * fov * fov;
+  // conv_in (2->C) + 2 convs per module (C->C) + conv_out (C->1); 27-tap
+  // kernels; 2 FLOPs per MAC.
+  const double macs_in = 2.0 * channels * 27.0 * fov3;
+  const double macs_mod = 2.0 * modules * (static_cast<double>(channels) * channels * 27.0 * fov3);
+  const double macs_out = static_cast<double>(channels) * 1.0 * 27.0 * fov3;
+  return 2.0 * (macs_in + macs_mod + macs_out);
+}
+
+double FfnCostModel::training_flops() const {
+  return train_steps * train_flops_multiplier * forward_flops();
+}
+
+double FfnCostModel::inference_flops(double voxels) const {
+  const double moves = voxels / voxels_per_move * coverage_redundancy;
+  return moves * forward_flops();
+}
+
+double FfnCostModel::effective_flops(cluster::GpuModel gpu) const {
+  return cluster::gpu_fp32_tflops(gpu) * 1e12 * gpu_efficiency;
+}
+
+double FfnCostModel::training_seconds(cluster::GpuModel gpu, int gpus) const {
+  return training_flops() / (effective_flops(gpu) * gpus);
+}
+
+double FfnCostModel::inference_seconds(double voxels, cluster::GpuModel gpu,
+                                       int gpus) const {
+  return inference_flops(voxels) / (effective_flops(gpu) * gpus);
+}
+
+}  // namespace chase::ml

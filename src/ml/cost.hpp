@@ -1,0 +1,78 @@
+#pragma once
+/// \file cost.hpp
+/// FLOP-based GPU wall-clock model bridging the real (small) FFN to the
+/// paper's hardware scale. The paper trained/inferred a production-size FFN
+/// (TensorFlow, 33³ FOV) on NVIDIA 1080ti GPUs; we count the FLOPs of that
+/// configuration analytically and divide by a derated GPU throughput to
+/// predict step durations:
+///
+///   * Step 2 (training): 306 min total on one GPU, of which the serial
+///     data-preparation phase (NetCDF -> protobuf) is network/CPU bound.
+///   * Step 3 (inference): 2.3e10 voxels across 50 GPUs in 1133 min.
+///
+/// All constants are in one place, documented, and exercised by tests that
+/// check the predictions land near the paper's Table I.
+
+#include <cstdint>
+
+#include "cluster/machine.hpp"
+
+namespace chase::ml {
+
+struct FfnCostModel {
+  // --- production network configuration (Januszewski et al. defaults) -----
+  int fov = 33;
+  int channels = 32;
+  int modules = 12;
+
+  // --- execution efficiency ------------------------------------------------
+  /// Fraction of peak fp32 a real TF conv workload sustains on a 1080ti.
+  double gpu_efficiency = 0.30;
+
+  // --- training -------------------------------------------------------------
+  /// SGD steps of the paper's training run (30 days of data, 381 MB volume).
+  /// Chosen so one 1080ti trains in ~244 min; with the serial protobuf prep
+  /// phase in front this reproduces the paper's 306-minute Step 2.
+  double train_steps = 3.46e5;
+  /// Backward+update costs ~2x forward.
+  double train_flops_multiplier = 3.0;
+
+  // --- inference --------------------------------------------------------------
+  /// Voxels freshly covered per FOV move. Half-FOV steps re-evaluate ~97% of
+  /// the patch, and most moves refine rather than extend the segment.
+  double voxels_per_move = 800.0;
+  /// Seeds / multi-pass redundancy: each voxel area is visited this many
+  /// times on average across seeds. Together with voxels_per_move this puts
+  /// 2.3e10 voxels on 50 derated 1080tis at ~1130 min (paper: 1133 min).
+  double coverage_redundancy = 8.4;
+
+  /// FLOPs of one forward FOV pass (2 FLOPs per MAC).
+  double forward_flops() const;
+  /// FLOPs to train for `train_steps`.
+  double training_flops() const;
+  /// FLOPs to run inference over `voxels`.
+  double inference_flops(double voxels) const;
+
+  /// Seconds on `gpus` GPUs of the given model.
+  double training_seconds(cluster::GpuModel gpu, int gpus = 1) const;
+  double inference_seconds(double voxels, cluster::GpuModel gpu, int gpus) const;
+  /// Effective sustained FLOP/s of one GPU.
+  double effective_flops(cluster::GpuModel gpu) const;
+};
+
+/// The paper's workload constants (Table I / §III).
+struct PaperWorkload {
+  double archive_bytes = 455e9;
+  double subset_bytes = 246e9;
+  std::uint64_t file_count = 112249;
+  double training_volume_bytes = 381e6;
+  std::uint64_t training_voxels = 576ULL * 361 * 240;
+  double inference_voxels = 2.3e10;
+  int inference_gpus = 50;
+  double step1_minutes = 37;
+  double step2_minutes = 306;
+  double step3_minutes = 1133;
+  double viz_bytes = 5.8e9;
+};
+
+}  // namespace chase::ml

@@ -1,0 +1,431 @@
+#include "ml/ffn.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace chase::ml {
+
+namespace {
+
+inline float relu(float v) { return v > 0.f ? v : 0.f; }
+
+void relu_forward(const Tensor4& x, Tensor4& y) {
+  y = x;
+  float* d = y.data();
+  for (std::size_t i = 0; i < y.size(); ++i) d[i] = relu(d[i]);
+}
+
+/// dL/dx for y = relu(x): pass gradient where x > 0.
+void relu_backward(const Tensor4& x, Tensor4& dy) {
+  const float* xd = x.data();
+  float* gd = dy.data();
+  for (std::size_t i = 0; i < dy.size(); ++i) {
+    if (xd[i] <= 0.f) gd[i] = 0.f;
+  }
+}
+
+void add_into(Tensor4& dst, const Tensor4& src) {
+  float* d = dst.data();
+  const float* s = src.data();
+  for (std::size_t i = 0; i < dst.size(); ++i) d[i] += s[i];
+}
+
+}  // namespace
+
+// --- Conv3d ---------------------------------------------------------------------
+
+void Conv3d::init(int in_channels, int out_channels, util::Rng& rng) {
+  in_c = in_channels;
+  out_c = out_channels;
+  w.resize(static_cast<std::size_t>(in_c) * out_c * 27);
+  b.assign(static_cast<std::size_t>(out_c), 0.f);
+  // He initialization for relu stacks.
+  const double stddev = std::sqrt(2.0 / (in_c * 27.0));
+  for (auto& weight : w) weight = static_cast<float>(rng.normal(0.0, stddev));
+}
+
+void Conv3d::forward(const Tensor4& x, Tensor4& y) const {
+  const int nx = x.nx(), ny = x.ny(), nz = x.nz();
+  y = Tensor4(out_c, nx, ny, nz);
+  for (int oc = 0; oc < out_c; ++oc) {
+    for (int z = 0; z < nz; ++z) {
+      for (int yy = 0; yy < ny; ++yy) {
+        for (int xx = 0; xx < nx; ++xx) {
+          float acc = b[static_cast<std::size_t>(oc)];
+          for (int ic = 0; ic < in_c; ++ic) {
+            for (int dz = -1; dz <= 1; ++dz) {
+              const int sz = z + dz;
+              if (sz < 0 || sz >= nz) continue;
+              for (int dy = -1; dy <= 1; ++dy) {
+                const int sy = yy + dy;
+                if (sy < 0 || sy >= ny) continue;
+                for (int dx = -1; dx <= 1; ++dx) {
+                  const int sx = xx + dx;
+                  if (sx < 0 || sx >= nx) continue;
+                  acc += w[weight_index(oc, ic, dz, dy, dx)] * x.at(ic, sx, sy, sz);
+                }
+              }
+            }
+          }
+          y.at(oc, xx, yy, z) = acc;
+        }
+      }
+    }
+  }
+}
+
+void Conv3d::backward(const Tensor4& x, const Tensor4& dy, Tensor4* dx,
+                      std::vector<float>& dw, std::vector<float>& db) const {
+  const int nx = x.nx(), ny = x.ny(), nz = x.nz();
+  if (dx != nullptr) *dx = Tensor4(in_c, nx, ny, nz);
+  dw.assign(w.size(), 0.f);
+  db.assign(b.size(), 0.f);
+  for (int oc = 0; oc < out_c; ++oc) {
+    for (int z = 0; z < nz; ++z) {
+      for (int yy = 0; yy < ny; ++yy) {
+        for (int xx = 0; xx < nx; ++xx) {
+          const float g = dy.at(oc, xx, yy, z);
+          if (g == 0.f) continue;
+          db[static_cast<std::size_t>(oc)] += g;
+          for (int ic = 0; ic < in_c; ++ic) {
+            for (int dz = -1; dz <= 1; ++dz) {
+              const int sz = z + dz;
+              if (sz < 0 || sz >= nz) continue;
+              for (int dy2 = -1; dy2 <= 1; ++dy2) {
+                const int sy = yy + dy2;
+                if (sy < 0 || sy >= ny) continue;
+                for (int dx2 = -1; dx2 <= 1; ++dx2) {
+                  const int sx = xx + dx2;
+                  if (sx < 0 || sx >= nx) continue;
+                  dw[weight_index(oc, ic, dz, dy2, dx2)] += g * x.at(ic, sx, sy, sz);
+                  if (dx != nullptr) {
+                    dx->at(ic, sx, sy, sz) += g * w[weight_index(oc, ic, dz, dy2, dx2)];
+                  }
+                }
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+// --- FfnModel -------------------------------------------------------------------
+
+FfnModel::FfnModel(const FfnConfig& config) : config_(config) {
+  assert(config_.fov % 2 == 1);
+  util::Rng rng(config_.seed);
+  const int C = config_.channels;
+  convs_.resize(static_cast<std::size_t>(2 + 2 * config_.modules));
+  convs_[0].init(2, C, rng);
+  for (int m = 0; m < config_.modules; ++m) {
+    convs_[static_cast<std::size_t>(1 + 2 * m)].init(C, C, rng);
+    convs_[static_cast<std::size_t>(2 + 2 * m)].init(C, C, rng);
+  }
+  convs_.back().init(C, 1, rng);
+  vw_.resize(convs_.size());
+  vb_.resize(convs_.size());
+  sw_.resize(convs_.size());
+  sb_.resize(convs_.size());
+  for (std::size_t i = 0; i < convs_.size(); ++i) {
+    vw_[i].assign(convs_[i].w.size(), 0.f);
+    vb_[i].assign(convs_[i].b.size(), 0.f);
+    sw_[i].assign(convs_[i].w.size(), 0.f);
+    sb_[i].assign(convs_[i].b.size(), 0.f);
+  }
+}
+
+void FfnModel::forward(const Tensor4& input, Tensor4& logits, Workspace* ws) const {
+  // Activation log (for backward): x0=input, then per-layer pre-activations.
+  // Layout of computation:
+  //   h = conv_in(input)
+  //   for each module: h = h + conv2(relu(conv1(relu(h))))
+  //   logits = conv_out(relu(h))
+  std::vector<Tensor4> acts;
+  Tensor4 h;
+  convs_[0].forward(input, h);
+  acts.push_back(input);  // input to conv_in
+  acts.push_back(h);      // pre-activation trunk state after conv_in
+
+  for (int m = 0; m < config_.modules; ++m) {
+    Tensor4 r1, t1, r2, t2;
+    relu_forward(h, r1);
+    convs_[static_cast<std::size_t>(1 + 2 * m)].forward(r1, t1);
+    relu_forward(t1, r2);
+    convs_[static_cast<std::size_t>(2 + 2 * m)].forward(r2, t2);
+    add_into(t2, h);  // residual: h_{m+1} = h_m + conv2(relu(conv1(relu(h_m))))
+    acts.push_back(r1);
+    acts.push_back(t1);
+    acts.push_back(r2);
+    h = std::move(t2);
+    acts.push_back(h);
+  }
+  Tensor4 rout;
+  relu_forward(h, rout);
+  convs_.back().forward(rout, logits);
+  acts.push_back(rout);
+  if (ws != nullptr) ws->activations = std::move(acts);
+}
+
+float FfnModel::logistic_loss(const Tensor4& logits, const Volume<std::uint8_t>& target,
+                              Tensor4& dlogits) {
+  dlogits = Tensor4(1, logits.nx(), logits.ny(), logits.nz());
+  double total = 0.0;
+  const std::size_t n = logits.voxels();
+  for (int z = 0; z < logits.nz(); ++z) {
+    for (int y = 0; y < logits.ny(); ++y) {
+      for (int x = 0; x < logits.nx(); ++x) {
+        const float logit = logits.at(0, x, y, z);
+        const float label = target.at(x, y, z) ? 1.f : 0.f;
+        const float p = 1.f / (1.f + std::exp(-logit));
+        // Numerically-stable BCE with logits.
+        const float loss = std::max(logit, 0.f) - logit * label +
+                           std::log1p(std::exp(-std::abs(logit)));
+        total += loss;
+        dlogits.at(0, x, y, z) = (p - label) / static_cast<float>(n);
+      }
+    }
+  }
+  return static_cast<float>(total / static_cast<double>(n));
+}
+
+void FfnModel::train_step(const Tensor4& input, const Tensor4& dlogits,
+                          const Workspace& ws, float learning_rate, float momentum) {
+  OptimizerConfig config;
+  config.kind = OptimizerConfig::Kind::Sgd;
+  config.learning_rate = learning_rate;
+  config.momentum = momentum;
+  train_step(input, dlogits, ws, config);
+}
+
+void FfnModel::train_step(const Tensor4& input, const Tensor4& dlogits,
+                          const Workspace& ws, const OptimizerConfig& optimizer) {
+  (void)input;
+  const auto& acts = ws.activations;
+  // acts layout: [input, h0, (r1, t1, r2, h_m)*modules, rout]
+  std::vector<std::vector<float>> dw(convs_.size());
+  std::vector<std::vector<float>> db(convs_.size());
+
+  // conv_out.
+  const Tensor4& rout = acts.back();
+  Tensor4 d_rout;
+  convs_.back().backward(rout, dlogits, &d_rout, dw.back(), db.back());
+  // relu before conv_out; its input is the final trunk state h_M.
+  const Tensor4& h_final = acts[acts.size() - 2];
+  relu_backward(h_final, d_rout);
+  Tensor4 dh = std::move(d_rout);
+
+  for (int m = config_.modules - 1; m >= 0; --m) {
+    const std::size_t base = 2 + static_cast<std::size_t>(m) * 4;
+    const Tensor4& r1 = acts[base];      // relu(h_m)
+    const Tensor4& t1 = acts[base + 1];  // conv1(r1)
+    const Tensor4& r2 = acts[base + 2];  // relu(t1)
+    // Trunk input to this module: h_m (acts[base - 1]).
+    const Tensor4& h_in = acts[base - 1];
+
+    // Residual: dh flows both into the skip and the conv branch.
+    Tensor4 d_r2;
+    convs_[static_cast<std::size_t>(2 + 2 * m)].backward(
+        r2, dh, &d_r2, dw[static_cast<std::size_t>(2 + 2 * m)],
+        db[static_cast<std::size_t>(2 + 2 * m)]);
+    relu_backward(t1, d_r2);
+    Tensor4 d_r1;
+    convs_[static_cast<std::size_t>(1 + 2 * m)].backward(
+        r1, d_r2, &d_r1, dw[static_cast<std::size_t>(1 + 2 * m)],
+        db[static_cast<std::size_t>(1 + 2 * m)]);
+    relu_backward(h_in, d_r1);
+    add_into(dh, d_r1);  // total gradient at h_m
+  }
+
+  // conv_in: gradient w.r.t. its input is not needed.
+  convs_[0].backward(acts[0], dh, nullptr, dw[0], db[0]);
+
+  // Parameter update.
+  if (optimizer.kind == OptimizerConfig::Kind::Sgd) {
+    for (std::size_t l = 0; l < convs_.size(); ++l) {
+      if (dw[l].empty()) continue;
+      for (std::size_t i = 0; i < convs_[l].w.size(); ++i) {
+        vw_[l][i] = optimizer.momentum * vw_[l][i] - optimizer.learning_rate * dw[l][i];
+        convs_[l].w[i] += vw_[l][i];
+      }
+      for (std::size_t i = 0; i < convs_[l].b.size(); ++i) {
+        vb_[l][i] = optimizer.momentum * vb_[l][i] - optimizer.learning_rate * db[l][i];
+        convs_[l].b[i] += vb_[l][i];
+      }
+    }
+  } else {
+    // Adam (Kingma & Ba) with bias correction.
+    adam_steps_ += 1;
+    const double t = static_cast<double>(adam_steps_);
+    const double bias1 = 1.0 - std::pow(optimizer.beta1, t);
+    const double bias2 = 1.0 - std::pow(optimizer.beta2, t);
+    auto update = [&](std::vector<float>& param, std::vector<float>& m,
+                      std::vector<float>& s, const std::vector<float>& grad) {
+      for (std::size_t i = 0; i < param.size(); ++i) {
+        m[i] = optimizer.beta1 * m[i] + (1.f - optimizer.beta1) * grad[i];
+        s[i] = optimizer.beta2 * s[i] + (1.f - optimizer.beta2) * grad[i] * grad[i];
+        const double mhat = m[i] / bias1;
+        const double shat = s[i] / bias2;
+        param[i] -= static_cast<float>(optimizer.learning_rate * mhat /
+                                       (std::sqrt(shat) + optimizer.epsilon));
+      }
+    };
+    for (std::size_t l = 0; l < convs_.size(); ++l) {
+      if (dw[l].empty()) continue;
+      update(convs_[l].w, vw_[l], sw_[l], dw[l]);
+      update(convs_[l].b, vb_[l], sb_[l], db[l]);
+    }
+  }
+}
+
+double FfnModel::forward_macs() const {
+  const std::size_t fov3 = static_cast<std::size_t>(config_.fov) * config_.fov * config_.fov;
+  double macs = 0.0;
+  for (const auto& conv : convs_) macs += conv.macs(fov3);
+  return macs;
+}
+
+std::size_t FfnModel::parameter_count() const {
+  std::size_t n = 0;
+  for (const auto& conv : convs_) n += conv.w.size() + conv.b.size();
+  return n;
+}
+
+std::vector<float> FfnModel::serialize() const {
+  std::vector<float> blob;
+  for (const auto& conv : convs_) {
+    blob.insert(blob.end(), conv.w.begin(), conv.w.end());
+    blob.insert(blob.end(), conv.b.begin(), conv.b.end());
+  }
+  return blob;
+}
+
+bool FfnModel::deserialize(const std::vector<float>& blob) {
+  std::size_t offset = 0;
+  for (auto& conv : convs_) {
+    if (offset + conv.w.size() + conv.b.size() > blob.size()) return false;
+    std::copy_n(blob.begin() + static_cast<std::ptrdiff_t>(offset), conv.w.size(),
+                conv.w.begin());
+    offset += conv.w.size();
+    std::copy_n(blob.begin() + static_cast<std::ptrdiff_t>(offset), conv.b.size(),
+                conv.b.begin());
+    offset += conv.b.size();
+  }
+  return offset == blob.size();
+}
+
+// --- FfnTrainer ------------------------------------------------------------------
+
+FfnTrainer::FfnTrainer(FfnModel& model, const Volume<float>& image,
+                       const Volume<std::uint8_t>& labels, Options options)
+    : model_(model), image_(image), labels_(labels), options_(options),
+      rng_(options.seed) {
+  const int half = model_.config().fov / 2;
+  for (int z = half; z < labels_.nz() - half; ++z) {
+    for (int y = half; y < labels_.ny() - half; ++y) {
+      for (int x = half; x < labels_.nx() - half; ++x) {
+        if (labels_.at(x, y, z)) positive_sites_.push_back(labels_.index(x, y, z));
+      }
+    }
+  }
+}
+
+void FfnTrainer::sample_center(int& x, int& y, int& z) {
+  const int half = model_.config().fov / 2;
+  if (!positive_sites_.empty() && rng_.chance(0.9)) {
+    const std::size_t flat =
+        positive_sites_[rng_.uniform_u64(positive_sites_.size())];
+    const int nx = labels_.nx(), ny = labels_.ny();
+    x = static_cast<int>(flat % static_cast<std::size_t>(nx));
+    y = static_cast<int>((flat / static_cast<std::size_t>(nx)) % static_cast<std::size_t>(ny));
+    z = static_cast<int>(flat / (static_cast<std::size_t>(nx) * ny));
+  } else {
+    x = half + static_cast<int>(rng_.uniform_u64(
+                   static_cast<std::uint64_t>(std::max(1, image_.nx() - 2 * half))));
+    y = half + static_cast<int>(rng_.uniform_u64(
+                   static_cast<std::uint64_t>(std::max(1, image_.ny() - 2 * half))));
+    z = half + static_cast<int>(rng_.uniform_u64(
+                   static_cast<std::uint64_t>(std::max(1, image_.nz() - 2 * half))));
+  }
+}
+
+void FfnTrainer::extract_input(int cx, int cy, int cz, const Volume<float>& pom,
+                               Tensor4& input) const {
+  const int fov = model_.config().fov;
+  const int half = fov / 2;
+  input = Tensor4(2, fov, fov, fov);
+  for (int z = 0; z < fov; ++z) {
+    for (int y = 0; y < fov; ++y) {
+      for (int x = 0; x < fov; ++x) {
+        const int sx = cx + x - half, sy = cy + y - half, sz = cz + z - half;
+        const float img = image_.get_or(sx, sy, sz, 0.f);
+        input.at(0, x, y, z) = (img - options_.input_mean) / options_.input_scale;
+        input.at(1, x, y, z) = pom.get_or(sx, sy, sz, model_.config().pom_init);
+      }
+    }
+  }
+}
+
+float FfnTrainer::step() {
+  const int fov = model_.config().fov;
+  const int half = fov / 2;
+  int cx, cy, cz;
+  sample_center(cx, cy, cz);
+
+  // Local POM initialized to background prior with an active seed center.
+  Volume<float> pom(image_.nx(), image_.ny(), image_.nz(), model_.config().pom_init);
+  pom.at(cx, cy, cz) = model_.config().pom_seed;
+
+  // Label patch around the center.
+  Volume<std::uint8_t> target(fov, fov, fov, 0);
+  for (int z = 0; z < fov; ++z) {
+    for (int y = 0; y < fov; ++y) {
+      for (int x = 0; x < fov; ++x) {
+        target.at(x, y, z) = labels_.get_or(cx + x - half, cy + y - half, cz + z - half,
+                                            std::uint8_t{0});
+      }
+    }
+  }
+
+  float last_loss = 0.f;
+  for (int r = 0; r < options_.recursion; ++r) {
+    Tensor4 input;
+    extract_input(cx, cy, cz, pom, input);
+    Tensor4 logits;
+    FfnModel::Workspace ws;
+    model_.forward(input, logits, &ws);
+    Tensor4 dlogits;
+    last_loss = FfnModel::logistic_loss(logits, target, dlogits);
+    FfnModel::OptimizerConfig opt;
+    opt.kind = options_.optimizer;
+    opt.learning_rate = options_.learning_rate;
+    opt.momentum = options_.momentum;
+    model_.train_step(input, dlogits, ws, opt);
+    // Write back the refined POM for the next recursion step.
+    for (int z = 0; z < fov; ++z) {
+      for (int y = 0; y < fov; ++y) {
+        for (int x = 0; x < fov; ++x) {
+          const int sx = cx + x - half, sy = cy + y - half, sz = cz + z - half;
+          if (pom.inside(sx, sy, sz)) {
+            pom.at(sx, sy, sz) =
+                1.f / (1.f + std::exp(-logits.at(0, x, y, z)));
+          }
+        }
+      }
+    }
+  }
+  losses_.push_back(last_loss);
+  return last_loss;
+}
+
+float FfnTrainer::train() {
+  for (int i = 0; i < options_.steps; ++i) step();
+  const std::size_t tail = std::max<std::size_t>(1, losses_.size() / 10);
+  double total = 0;
+  for (std::size_t i = losses_.size() - tail; i < losses_.size(); ++i) total += losses_[i];
+  return static_cast<float>(total / static_cast<double>(tail));
+}
+
+}  // namespace chase::ml

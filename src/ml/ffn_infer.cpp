@@ -1,0 +1,130 @@
+#include "ml/ffn_infer.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <deque>
+#include <set>
+
+namespace chase::ml {
+
+std::vector<std::array<int, 3>> find_seeds(const Volume<float>& image, float threshold) {
+  std::vector<std::array<int, 3>> seeds;
+  for (int z = 0; z < image.nz(); ++z) {
+    for (int y = 0; y < image.ny(); ++y) {
+      for (int x = 0; x < image.nx(); ++x) {
+        const float v = image.at(x, y, z);
+        if (v <= threshold) continue;
+        bool is_max = true;
+        for (int dz = -1; dz <= 1 && is_max; ++dz) {
+          for (int dy = -1; dy <= 1 && is_max; ++dy) {
+            for (int dx = -1; dx <= 1 && is_max; ++dx) {
+              if (dx == 0 && dy == 0 && dz == 0) continue;
+              if (image.get_or(x + dx, y + dy, z + dz, -1e30f) > v) is_max = false;
+            }
+          }
+        }
+        if (is_max) seeds.push_back({x, y, z});
+      }
+    }
+  }
+  std::sort(seeds.begin(), seeds.end(), [&](const auto& a, const auto& b) {
+    const float va = image.at(a[0], a[1], a[2]);
+    const float vb = image.at(b[0], b[1], b[2]);
+    if (va != vb) return va > vb;
+    return a < b;
+  });
+  return seeds;
+}
+
+InferenceResult ffn_inference(const FfnModel& model, const Volume<float>& image,
+                              const InferenceOptions& options) {
+  const int fov = model.config().fov;
+  const int half = fov / 2;
+  InferenceResult out;
+  out.segments = Volume<std::int32_t>(image.nx(), image.ny(), image.nz(), 0);
+
+  const auto seeds = find_seeds(image, options.seed_threshold);
+  Volume<float> pom(image.nx(), image.ny(), image.nz(), 0.f);
+
+  Tensor4 input(2, fov, fov, fov);
+  Tensor4 logits;
+
+  int next_id = 1;
+  for (const auto& seed : seeds) {
+    const int sx = seed[0], sy = seed[1], sz = seed[2];
+    if (out.segments.at(sx, sy, sz) != 0) continue;  // already claimed
+
+    // Fresh per-object POM canvas (background prior).
+    pom.fill(model.config().pom_init);
+    pom.at(sx, sy, sz) = model.config().pom_seed;
+
+    std::deque<std::array<int, 3>> queue{{sx, sy, sz}};
+    std::set<std::array<int, 3>> visited{{sx, sy, sz}};
+    int moves = 0;
+    while (!queue.empty() && moves < options.max_moves) {
+      const auto [cx, cy, cz] = queue.front();
+      queue.pop_front();
+      ++moves;
+      ++out.fov_moves;
+
+      // Build input patch.
+      for (int z = 0; z < fov; ++z) {
+        for (int y = 0; y < fov; ++y) {
+          for (int x = 0; x < fov; ++x) {
+            const int ix = cx + x - half, iy = cy + y - half, iz = cz + z - half;
+            input.at(0, x, y, z) =
+                (image.get_or(ix, iy, iz, 0.f) - options.input_mean) / options.input_scale;
+            input.at(1, x, y, z) = pom.get_or(ix, iy, iz, model.config().pom_init);
+          }
+        }
+      }
+      model.forward(input, logits);
+      // Write refined POM back.
+      for (int z = 0; z < fov; ++z) {
+        for (int y = 0; y < fov; ++y) {
+          for (int x = 0; x < fov; ++x) {
+            const int ix = cx + x - half, iy = cy + y - half, iz = cz + z - half;
+            if (pom.inside(ix, iy, iz)) {
+              pom.at(ix, iy, iz) = 1.f / (1.f + std::exp(-logits.at(0, x, y, z)));
+            }
+          }
+        }
+      }
+      // Move policy: step half a FOV along each axis where the POM at the
+      // candidate position is confident.
+      static constexpr std::array<std::array<int, 3>, 6> kDirections{
+          {{1, 0, 0}, {-1, 0, 0}, {0, 1, 0}, {0, -1, 0}, {0, 0, 1}, {0, 0, -1}}};
+      for (const auto& d : kDirections) {
+        const std::array<int, 3> next{cx + d[0] * half, cy + d[1] * half,
+                                      cz + d[2] * half};
+        if (!pom.inside(next[0], next[1], next[2])) continue;
+        if (visited.count(next)) continue;
+        if (pom.at(next[0], next[1], next[2]) < options.move_threshold) continue;
+        visited.insert(next);
+        queue.push_back(next);
+      }
+    }
+
+    // Claim segmented voxels.
+    std::size_t claimed = 0;
+    for (int z = 0; z < image.nz(); ++z) {
+      for (int y = 0; y < image.ny(); ++y) {
+        for (int x = 0; x < image.nx(); ++x) {
+          if (pom.at(x, y, z) >= options.segment_threshold &&
+              out.segments.at(x, y, z) == 0) {
+            out.segments.at(x, y, z) = next_id;
+            ++claimed;
+          }
+        }
+      }
+    }
+    if (claimed > 0) {
+      ++next_id;
+      ++out.objects;
+    }
+  }
+  return out;
+}
+
+}  // namespace chase::ml

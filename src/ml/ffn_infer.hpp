@@ -1,0 +1,45 @@
+#pragma once
+/// \file ffn_infer.hpp
+/// Flood-fill inference: grow one object at a time from seed points by
+/// repeatedly applying the FFN over its field of view and moving the FOV to
+/// positions where the predicted object map (POM) crossed the move
+/// threshold — the canonical FFN inference policy [20], §III-C of the paper.
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "ml/ffn.hpp"
+#include "ml/volume.hpp"
+
+namespace chase::ml {
+
+struct InferenceOptions {
+  /// POM value required to move the FOV to a new position.
+  float move_threshold = 0.8f;
+  /// POM value required to claim a voxel for the segment.
+  float segment_threshold = 0.6f;
+  /// Image value above which local maxima become seeds.
+  float seed_threshold = 250.f;
+  /// Maximum FOV moves per seed (safety bound).
+  int max_moves = 4000;
+  /// Input normalization (must match training).
+  float input_mean = 200.f;
+  float input_scale = 200.f;
+};
+
+struct InferenceResult {
+  Volume<std::int32_t> segments;  // 0 background, 1..N object ids
+  int objects = 0;
+  std::uint64_t fov_moves = 0;    // total network evaluations (cost proxy)
+};
+
+/// Find seed points: strict local maxima of `image` above the threshold,
+/// sorted by decreasing intensity.
+std::vector<std::array<int, 3>> find_seeds(const Volume<float>& image, float threshold);
+
+/// Segment the whole volume.
+InferenceResult ffn_inference(const FfnModel& model, const Volume<float>& image,
+                              const InferenceOptions& options);
+
+}  // namespace chase::ml

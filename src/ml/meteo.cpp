@@ -1,0 +1,93 @@
+#include "ml/meteo.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace chase::ml {
+
+namespace {
+constexpr double kGravity = 9.80665;  // m/s^2
+}
+
+void compute_ivt_components(const MeteoState& state, Volume<float>& ivt_u,
+                            Volume<float>& ivt_v) {
+  const int nx = state.qv.nx(), ny = state.qv.ny(), nl = state.qv.nz();
+  assert(static_cast<int>(state.pressure_levels.size()) == nl);
+  ivt_u = Volume<float>(nx, ny, 1);
+  ivt_v = Volume<float>(nx, ny, 1);
+  for (int y = 0; y < ny; ++y) {
+    for (int x = 0; x < nx; ++x) {
+      double su = 0.0, sv = 0.0;
+      // Trapezoidal integration over pressure (levels descend in pressure).
+      for (int l = 0; l + 1 < nl; ++l) {
+        const double dp = state.pressure_levels[l] - state.pressure_levels[l + 1];
+        const double qu0 = state.qv.at(x, y, l) * state.u.at(x, y, l);
+        const double qu1 = state.qv.at(x, y, l + 1) * state.u.at(x, y, l + 1);
+        const double qv0 = state.qv.at(x, y, l) * state.v.at(x, y, l);
+        const double qv1 = state.qv.at(x, y, l + 1) * state.v.at(x, y, l + 1);
+        su += 0.5 * (qu0 + qu1) * dp;
+        sv += 0.5 * (qv0 + qv1) * dp;
+      }
+      ivt_u.at(x, y, 0) = static_cast<float>(su / kGravity);
+      ivt_v.at(x, y, 0) = static_cast<float>(sv / kGravity);
+    }
+  }
+}
+
+Volume<float> compute_ivt(const MeteoState& state) {
+  Volume<float> iu, iv;
+  compute_ivt_components(state, iu, iv);
+  Volume<float> magnitude(state.qv.nx(), state.qv.ny(), 1);
+  for (int y = 0; y < state.qv.ny(); ++y) {
+    for (int x = 0; x < state.qv.nx(); ++x) {
+      magnitude.at(x, y, 0) = std::hypot(iu.at(x, y, 0), iv.at(x, y, 0));
+    }
+  }
+  return magnitude;
+}
+
+MeteoState generate_meteo_state(const MeteoParams& params) {
+  util::Rng rng(params.seed);
+  MeteoState state;
+  state.u = Volume<float>(params.nx, params.ny, params.levels);
+  state.v = Volume<float>(params.nx, params.ny, params.levels);
+  state.qv = Volume<float>(params.nx, params.ny, params.levels);
+  state.pressure_levels.resize(static_cast<std::size_t>(params.levels));
+  for (int l = 0; l < params.levels; ++l) {
+    // Levels spaced evenly in pressure from the surface to the model top.
+    const double frac = static_cast<double>(l) / (params.levels - 1);
+    state.pressure_levels[static_cast<std::size_t>(l)] =
+        params.surface_pressure + frac * (params.top_pressure - params.surface_pressure);
+  }
+
+  const double cos_a = std::cos(params.plume_angle);
+  const double sin_a = std::sin(params.plume_angle);
+  for (int l = 0; l < params.levels; ++l) {
+    // Moisture scale height: most vapour in the lowest ~quarter of levels.
+    const double height_frac = static_cast<double>(l) / (params.levels - 1);
+    const double humidity_profile = std::exp(-height_frac * 5.0);
+    // Jet maximizes slightly above the surface (low-level jet).
+    const double jet_profile = std::exp(-std::pow((height_frac - 0.12) / 0.15, 2.0));
+    for (int y = 0; y < params.ny; ++y) {
+      for (int x = 0; x < params.nx; ++x) {
+        const double dx = x - params.plume_x;
+        const double dy = y - params.plume_y;
+        const double along = dx * cos_a + dy * sin_a;
+        const double across = -dx * sin_a + dy * cos_a;
+        const double plume =
+            std::exp(-0.5 * (along * along / (params.plume_length * params.plume_length) +
+                             across * across / (params.plume_width * params.plume_width)));
+        const double noise = 1.0 + 0.05 * rng.normal();
+        state.qv.at(x, y, l) = static_cast<float>(
+            (params.surface_humidity + params.plume_humidity * plume) *
+            humidity_profile * noise);
+        const double wind = params.background_wind + params.jet_speed * plume * jet_profile;
+        state.u.at(x, y, l) = static_cast<float>(wind * cos_a);
+        state.v.at(x, y, l) = static_cast<float>(wind * sin_a);
+      }
+    }
+  }
+  return state;
+}
+
+}  // namespace chase::ml

@@ -1,0 +1,60 @@
+#pragma once
+/// \file meteo.hpp
+/// The meteorological side of the case study: M2I3NPASM carries assimilated
+/// 3-D fields (winds U/V, specific humidity QV) on 42 pressure levels, and
+/// the workflow's first processing step "calculat[es] Integrated Water Vapor
+/// Transport (IVT) from the assimilated meteorological field data archive"
+/// (paper §III). This module implements that derivation:
+///
+///   IVT = (1/g) * | ∫ qv * (u, v) dp |            [kg m^-1 s^-1]
+///
+/// discretized over the model's pressure levels, plus a physically-motivated
+/// synthetic state generator: an atmospheric river is a moist low-level jet,
+/// so the generator builds a moisture plume and a co-located wind jet whose
+/// integral reproduces AR-like IVT ridges.
+
+#include <vector>
+
+#include "ml/volume.hpp"
+#include "util/rng.hpp"
+
+namespace chase::ml {
+
+/// One assimilated model state: 3-D fields on (x, y, level). Level 0 is the
+/// surface; pressures decrease with level index.
+struct MeteoState {
+  Volume<float> u;   // eastward wind, m/s
+  Volume<float> v;   // northward wind, m/s
+  Volume<float> qv;  // specific humidity, kg/kg
+  std::vector<double> pressure_levels;  // Pa, descending (surface first)
+};
+
+/// Vertically integrate: returns the IVT magnitude field (x, y, 1).
+Volume<float> compute_ivt(const MeteoState& state);
+/// Component form (eastward, northward) for transport-direction analyses.
+void compute_ivt_components(const MeteoState& state, Volume<float>& ivt_u,
+                            Volume<float>& ivt_v);
+
+struct MeteoParams {
+  int nx = 96;
+  int ny = 64;
+  int levels = 42;
+  double surface_pressure = 101325.0;  // Pa
+  double top_pressure = 10000.0;       // Pa
+  /// Background humidity at the surface (kg/kg), decaying with height.
+  double surface_humidity = 0.008;
+  /// Background zonal wind (m/s).
+  double background_wind = 6.0;
+  /// Atmospheric-river plume: moisture enhancement and jet speed.
+  double plume_humidity = 0.014;
+  double jet_speed = 35.0;
+  /// Plume geometry (grid units).
+  double plume_x = 40, plume_y = 32, plume_length = 22, plume_width = 4;
+  double plume_angle = 0.3;  // radians
+  std::uint64_t seed = 7;
+};
+
+/// Build a synthetic assimilated state with one embedded atmospheric river.
+MeteoState generate_meteo_state(const MeteoParams& params);
+
+}  // namespace chase::ml

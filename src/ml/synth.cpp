@@ -1,0 +1,97 @@
+#include "ml/synth.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace chase::ml {
+
+namespace {
+
+/// Smooth spatial noise: a small sum of random plane waves (cheap, smooth,
+/// deterministic — enough texture to make segmentation non-trivial).
+class WaveNoise {
+ public:
+  WaveNoise(util::Rng& rng, int waves) {
+    for (int i = 0; i < waves; ++i) {
+      waves_.push_back(Wave{rng.uniform(0.02, 0.25), rng.uniform(0.02, 0.25),
+                            rng.uniform(0.0, 0.15), rng.uniform(0.0, 2.0 * M_PI),
+                            rng.uniform(0.5, 1.0)});
+    }
+  }
+  double sample(double x, double y, double t) const {
+    double v = 0.0;
+    for (const auto& w : waves_) {
+      v += w.amp * std::sin(w.kx * x + w.ky * y + w.kt * t + w.phase);
+    }
+    return v / std::sqrt(static_cast<double>(waves_.size()));
+  }
+
+ private:
+  struct Wave {
+    double kx, ky, kt, phase, amp;
+  };
+  std::vector<Wave> waves_;
+};
+
+}  // namespace
+
+IvtField generate_ivt(const IvtFieldParams& params) {
+  util::Rng rng(params.seed);
+  IvtField out;
+  out.ivt = Volume<float>(params.nx, params.ny, params.nt);
+  out.truth = Volume<std::uint8_t>(params.nx, params.ny, params.nt, 0);
+
+  // Event genesis: spread through time and space.
+  for (int e = 0; e < params.events; ++e) {
+    IvtEvent ev;
+    ev.x0 = rng.uniform(0.1, 0.7) * params.nx;
+    ev.y0 = rng.uniform(0.15, 0.85) * params.ny;
+    ev.vx = rng.uniform(0.3, 1.2);   // eastward advection
+    ev.vy = rng.uniform(-0.3, 0.3);
+    ev.length = rng.uniform(0.12, 0.25) * params.nx;
+    ev.width = rng.uniform(0.02, 0.05) * params.nx + 1.5;
+    ev.angle = rng.uniform(-0.5, 0.5);
+    ev.intensity = params.event_intensity * rng.uniform(0.75, 1.3);
+    const int duration = static_cast<int>(rng.uniform(0.2, 0.5) * params.nt);
+    ev.t_start = static_cast<int>(rng.uniform(0.0, 0.7) * params.nt);
+    ev.t_end = std::min(params.nt - 1, ev.t_start + duration);
+    out.events.push_back(ev);
+  }
+
+  WaveNoise noise(rng, 8);
+
+  for (int t = 0; t < params.nt; ++t) {
+    for (int y = 0; y < params.ny; ++y) {
+      for (int x = 0; x < params.nx; ++x) {
+        double v = params.background +
+                   params.noise * noise.sample(x, y, t) * 3.0;
+        double event_part = 0.0;
+        for (const auto& ev : out.events) {
+          if (t < ev.t_start || t > ev.t_end) continue;
+          const double age = static_cast<double>(t - ev.t_start);
+          const double life = static_cast<double>(ev.t_end - ev.t_start) + 1.0;
+          // Intensity envelope over the life cycle (ramp up, decay).
+          const double envelope = std::sin(M_PI * std::min(1.0, (age + 0.5) / life));
+          const double cx = ev.x0 + ev.vx * age;
+          const double cy = ev.y0 + ev.vy * age;
+          // Rotated anisotropic Gaussian ridge.
+          const double dx = x - cx;
+          const double dy = y - cy;
+          const double along = dx * std::cos(ev.angle) + dy * std::sin(ev.angle);
+          const double across = -dx * std::sin(ev.angle) + dy * std::cos(ev.angle);
+          const double g = std::exp(-0.5 * (along * along / (ev.length * ev.length) +
+                                            across * across / (ev.width * ev.width)));
+          event_part += ev.intensity * envelope * g;
+        }
+        v += event_part;
+        out.ivt.at(x, y, t) = static_cast<float>(std::max(0.0, v));
+        if (event_part > params.label_threshold) out.truth.at(x, y, t) = 1;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace chase::ml

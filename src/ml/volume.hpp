@@ -1,0 +1,84 @@
+#pragma once
+/// \file volume.hpp
+/// Dense 3-D volumes and 4-D (channelled) tensors for the ML algorithms.
+/// The atmospheric data is a (x=lon, y=lat, t=time) volume — the paper's
+/// 576×361×240 training volume and 576×361×112,249 inference volume; the FFN
+/// operates on (channel, x, y, t) tensors.
+
+#include <cassert>
+#include <cstddef>
+#include <vector>
+
+namespace chase::ml {
+
+/// Dense 3-D grid, x fastest.
+template <typename T>
+class Volume {
+ public:
+  Volume() : nx_(0), ny_(0), nz_(0) {}
+  Volume(int nx, int ny, int nz, T fill = T{})
+      : nx_(nx), ny_(ny), nz_(nz),
+        data_(static_cast<std::size_t>(nx) * ny * nz, fill) {}
+
+  int nx() const { return nx_; }
+  int ny() const { return ny_; }
+  int nz() const { return nz_; }
+  std::size_t size() const { return data_.size(); }
+
+  bool inside(int x, int y, int z) const {
+    return x >= 0 && x < nx_ && y >= 0 && y < ny_ && z >= 0 && z < nz_;
+  }
+  std::size_t index(int x, int y, int z) const {
+    assert(inside(x, y, z));
+    return (static_cast<std::size_t>(z) * ny_ + y) * nx_ + x;
+  }
+  T& at(int x, int y, int z) { return data_[index(x, y, z)]; }
+  const T& at(int x, int y, int z) const { return data_[index(x, y, z)]; }
+  /// Clamped read: out-of-bounds returns `fallback`.
+  T get_or(int x, int y, int z, T fallback) const {
+    return inside(x, y, z) ? data_[index(x, y, z)] : fallback;
+  }
+
+  T* data() { return data_.data(); }
+  const T* data() const { return data_.data(); }
+  void fill(T v) { data_.assign(data_.size(), v); }
+
+ private:
+  int nx_, ny_, nz_;
+  std::vector<T> data_;
+};
+
+/// Dense 4-D tensor (channel, z, y, x), x fastest — the conv layout.
+class Tensor4 {
+ public:
+  Tensor4() : c_(0), nx_(0), ny_(0), nz_(0) {}
+  Tensor4(int c, int nx, int ny, int nz, float fill = 0.f)
+      : c_(c), nx_(nx), ny_(ny), nz_(nz),
+        data_(static_cast<std::size_t>(c) * nx * ny * nz, fill) {}
+
+  int channels() const { return c_; }
+  int nx() const { return nx_; }
+  int ny() const { return ny_; }
+  int nz() const { return nz_; }
+  std::size_t size() const { return data_.size(); }
+  std::size_t voxels() const { return static_cast<std::size_t>(nx_) * ny_ * nz_; }
+
+  std::size_t index(int c, int x, int y, int z) const {
+    return ((static_cast<std::size_t>(c) * nz_ + z) * ny_ + y) * nx_ + x;
+  }
+  float& at(int c, int x, int y, int z) { return data_[index(c, x, y, z)]; }
+  float at(int c, int x, int y, int z) const { return data_[index(c, x, y, z)]; }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+  /// Pointer to the start of one channel's (z,y,x) block.
+  float* channel(int c) { return data_.data() + index(c, 0, 0, 0); }
+  const float* channel(int c) const { return data_.data() + index(c, 0, 0, 0); }
+  void fill(float v) { data_.assign(data_.size(), v); }
+
+ private:
+  int c_, nx_, ny_, nz_;
+  std::vector<float> data_;
+};
+
+}  // namespace chase::ml

@@ -1,0 +1,212 @@
+#include "mon/metrics.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "util/csv.hpp"
+#include "util/units.hpp"
+
+namespace chase::mon {
+
+double TimeSeries::max_over_time() const {
+  double m = 0.0;
+  bool first = true;
+  for (auto [t, v] : samples_) {
+    m = first ? v : std::max(m, v);
+    first = false;
+  }
+  return m;
+}
+
+double TimeSeries::min_over_time() const {
+  double m = 0.0;
+  bool first = true;
+  for (auto [t, v] : samples_) {
+    m = first ? v : std::min(m, v);
+    first = false;
+  }
+  return m;
+}
+
+double TimeSeries::avg_over_time() const {
+  if (samples_.empty()) return 0.0;
+  double s = 0.0;
+  for (auto [t, v] : samples_) s += v;
+  return s / static_cast<double>(samples_.size());
+}
+
+double TimeSeries::rate() const {
+  if (samples_.size() < 2) return 0.0;
+  const auto& [t0, v0] = samples_.front();
+  const auto& [t1, v1] = samples_.back();
+  if (t1 <= t0) return 0.0;
+  return (v1 - v0) / (t1 - t0);
+}
+
+double TimeSeries::quantile_over_time(double q) const {
+  if (samples_.empty()) return 0.0;
+  std::vector<double> values;
+  values.reserve(samples_.size());
+  for (auto [t, v] : samples_) values.push_back(v);
+  std::sort(values.begin(), values.end());
+  q = std::min(std::max(q, 0.0), 1.0);
+  const auto index = static_cast<std::size_t>(q * static_cast<double>(values.size() - 1));
+  return values[index];
+}
+
+double TimeSeries::value_at(double t) const {
+  auto it = std::upper_bound(
+      samples_.begin(), samples_.end(), t,
+      [](double lhs, const std::pair<double, double>& s) { return lhs < s.first; });
+  if (it == samples_.begin()) return 0.0;
+  return std::prev(it)->second;
+}
+
+void Registry::register_probe(std::string name, Labels labels,
+                              std::function<double()> fn) {
+  probes_.push_back(Probe{SeriesKey{std::move(name), std::move(labels)}, std::move(fn)});
+}
+
+void Registry::unregister_probe(const std::string& name, const Labels& labels) {
+  const SeriesKey key{name, labels};
+  probes_.erase(std::remove_if(probes_.begin(), probes_.end(),
+                               [&](const Probe& p) {
+                                 return !(p.key < key) && !(key < p.key);
+                               }),
+                probes_.end());
+}
+
+void Registry::record(const std::string& name, const Labels& labels, double t,
+                      double v) {
+  series(name, labels).append(t, v);
+}
+
+TimeSeries& Registry::series(const std::string& name, const Labels& labels) {
+  return series_[SeriesKey{name, labels}];
+}
+
+const TimeSeries* Registry::find(const std::string& name, const Labels& labels) const {
+  auto it = series_.find(SeriesKey{name, labels});
+  return it == series_.end() ? nullptr : &it->second;
+}
+
+std::vector<std::pair<SeriesKey, const TimeSeries*>> Registry::select(
+    const std::string& name, const Labels& selector) const {
+  std::vector<std::pair<SeriesKey, const TimeSeries*>> out;
+  for (const auto& [key, ts] : series_) {
+    if (key.name != name) continue;
+    bool match = true;
+    for (const auto& [k, v] : selector) {
+      auto it = key.labels.find(k);
+      if (it == key.labels.end() || it->second != v) {
+        match = false;
+        break;
+      }
+    }
+    if (match) out.emplace_back(key, &ts);
+  }
+  return out;
+}
+
+double Registry::sum_at(const std::string& name, const Labels& selector,
+                        double t) const {
+  double s = 0.0;
+  for (const auto& [key, ts] : select(name, selector)) s += ts->value_at(t);
+  return s;
+}
+
+double Registry::max_sum(const std::string& name, const Labels& selector) const {
+  auto sel = select(name, selector);
+  std::set<double> grid;
+  for (const auto& [key, ts] : sel) {
+    for (auto [t, v] : ts->samples()) grid.insert(t);
+  }
+  double best = 0.0;
+  for (double t : grid) best = std::max(best, sum_at(name, selector, t));
+  return best;
+}
+
+void Registry::start_sampler(sim::Simulation& sim, double period, sim::EventPtr stop) {
+  auto loop = [](Registry* self, sim::Simulation* s, double p,
+                 sim::EventPtr halt) -> sim::Task {
+    while (true) {
+      self->sample_now(s->now());
+      if (halt->fired()) co_return;
+      co_await s->sleep(p);
+    }
+  };
+  sim.spawn(loop(this, &sim, period, std::move(stop)));
+}
+
+void Registry::sample_now(double t) {
+  for (const auto& probe : probes_) {
+    series_[probe.key].append(t, probe.fn());
+  }
+  for (auto& alert : alerts_) {
+    const double value = sum_at(alert.rule.metric, alert.rule.selector, t);
+    const bool fire =
+        alert.rule.above ? value > alert.rule.threshold : value < alert.rule.threshold;
+    if (fire && !alert.firing) {
+      alert.firing = true;
+      alert.since = t;
+      alert.transitions += 1;
+    } else if (!fire && alert.firing) {
+      alert.firing = false;
+    }
+    record("alert_firing", {{"alert", alert.rule.name}}, t, alert.firing ? 1.0 : 0.0);
+  }
+}
+
+void Registry::add_alert(AlertRule rule) {
+  alerts_.push_back(AlertState{std::move(rule), false, 0.0, 0});
+}
+
+std::vector<std::string> Registry::firing_alerts() const {
+  std::vector<std::string> out;
+  for (const auto& alert : alerts_) {
+    if (alert.firing) out.push_back(alert.rule.name);
+  }
+  return out;
+}
+
+std::string key_to_string(const SeriesKey& key) {
+  std::string s = key.name;
+  if (!key.labels.empty()) {
+    s += "{";
+    bool first = true;
+    for (const auto& [k, v] : key.labels) {
+      if (!first) s += ",";
+      s += k + "=" + v;
+      first = false;
+    }
+    s += "}";
+  }
+  return s;
+}
+
+std::string Registry::chart(const std::string& title, const std::string& value_label,
+                            const std::string& name, const Labels& selector,
+                            double scale) const {
+  util::AsciiChart chart;
+  for (const auto& [key, ts] : select(name, selector)) {
+    util::Series s;
+    s.name = key_to_string(key);
+    for (auto [t, v] : ts->samples()) s.points.emplace_back(t, v * scale);
+    chart.add_series(std::move(s));
+  }
+  return chart.render(title, value_label);
+}
+
+void Registry::export_csv(const std::string& path, const std::string& name,
+                          const Labels& selector) const {
+  util::CsvWriter csv(path, {"series", "time_s", "value"});
+  for (const auto& [key, ts] : select(name, selector)) {
+    const std::string label = key_to_string(key);
+    for (auto [t, v] : ts->samples()) {
+      csv.add_row(std::vector<std::string>{label, util::format_double(t, 3),
+                                           util::format_double(v, 6)});
+    }
+  }
+}
+
+}  // namespace chase::mon

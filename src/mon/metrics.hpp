@@ -1,0 +1,134 @@
+#pragma once
+/// \file metrics.hpp
+/// The Prometheus/Grafana substitute (paper §II-A, Figures 3–6): a metric
+/// registry with labelled time series, pull-style probes sampled on a fixed
+/// period by a simulation process, push-style counters/gauges, and the query
+/// functions (max/avg/rate over time) the benchmark reports use to regenerate
+/// the paper's dashboard panels.
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/event.hpp"
+#include "sim/simulation.hpp"
+#include "util/chart.hpp"
+
+namespace chase::mon {
+
+using Labels = std::map<std::string, std::string>;
+
+struct SeriesKey {
+  std::string name;
+  Labels labels;
+  bool operator<(const SeriesKey& o) const {
+    if (name != o.name) return name < o.name;
+    return labels < o.labels;
+  }
+};
+
+/// One metric's samples, ordered by time.
+class TimeSeries {
+ public:
+  void append(double t, double v) { samples_.emplace_back(t, v); }
+  const std::vector<std::pair<double, double>>& samples() const { return samples_; }
+  bool empty() const { return samples_.empty(); }
+
+  double last() const { return samples_.empty() ? 0.0 : samples_.back().second; }
+  double max_over_time() const;
+  double min_over_time() const;
+  double avg_over_time() const;
+  /// Average increase per second between first and last sample (for
+  /// cumulative counters).
+  double rate() const;
+  /// Value at or before `t` (step interpolation); 0 before first sample.
+  double value_at(double t) const;
+  /// Quantile of the sampled values, q in [0, 1].
+  double quantile_over_time(double q) const;
+
+ private:
+  std::vector<std::pair<double, double>> samples_;
+};
+
+/// Threshold alert over selected series (the Grafana alerting model): fires
+/// when the aggregate (sum across matching series) crosses the threshold.
+struct AlertRule {
+  std::string name;
+  std::string metric;
+  Labels selector;
+  /// true: fire when sum > threshold; false: fire when sum < threshold.
+  bool above = true;
+  double threshold = 0.0;
+};
+
+struct AlertState {
+  AlertRule rule;
+  bool firing = false;
+  double since = 0.0;       // when the current firing episode began
+  int transitions = 0;      // count of fired events
+};
+
+class Registry {
+ public:
+  /// Register a pull-style probe: sampled every period by the sampler task.
+  void register_probe(std::string name, Labels labels, std::function<double()> fn);
+  /// Drop a probe (e.g. when a pod terminates). Its recorded series remains.
+  void unregister_probe(const std::string& name, const Labels& labels);
+
+  /// Push a sample directly (event-style metrics).
+  void record(const std::string& name, const Labels& labels, double t, double v);
+
+  /// Get (or create) a series.
+  TimeSeries& series(const std::string& name, const Labels& labels = {});
+  const TimeSeries* find(const std::string& name, const Labels& labels = {}) const;
+
+  /// All series whose metric name matches and whose labels contain `selector`.
+  std::vector<std::pair<SeriesKey, const TimeSeries*>> select(
+      const std::string& name, const Labels& selector = {}) const;
+
+  /// Sum across selected series evaluated at time t.
+  double sum_at(const std::string& name, const Labels& selector, double t) const;
+  /// Max over time of the per-timestamp sum across selected series.
+  /// (Assumes series were sampled on a common grid, which the sampler does.)
+  double max_sum(const std::string& name, const Labels& selector) const;
+
+  /// Spawn a process sampling all probes every `period` seconds until `stop`
+  /// fires (sampling once more after it fires, then exiting).
+  void start_sampler(sim::Simulation& sim, double period, sim::EventPtr stop);
+
+  /// Take one sample of every probe right now (also evaluates alert rules).
+  void sample_now(double t);
+
+  /// Register an alert rule; evaluated at every sample. The alert's boolean
+  /// state is recorded as series "alert_firing"{alert=<name>}.
+  void add_alert(AlertRule rule);
+  const std::vector<AlertState>& alerts() const { return alerts_; }
+  /// Names of alerts currently firing.
+  std::vector<std::string> firing_alerts() const;
+
+  /// Render selected series as an ASCII chart (the "Grafana panel").
+  std::string chart(const std::string& title, const std::string& value_label,
+                    const std::string& name, const Labels& selector = {},
+                    double scale = 1.0) const;
+
+  /// Export selected series to CSV at `path` (long format:
+  /// series,time,value).
+  void export_csv(const std::string& path, const std::string& name,
+                  const Labels& selector = {}) const;
+
+ private:
+  struct Probe {
+    SeriesKey key;
+    std::function<double()> fn;
+  };
+  std::map<SeriesKey, TimeSeries> series_;
+  std::vector<Probe> probes_;
+  std::vector<AlertState> alerts_;
+};
+
+/// Format a series key as name{k=v,...} for legends.
+std::string key_to_string(const SeriesKey& key);
+
+}  // namespace chase::mon

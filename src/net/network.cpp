@@ -1,0 +1,325 @@
+#include "net/network.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <deque>
+#include <stdexcept>
+
+namespace chase::net {
+
+namespace {
+constexpr double kByteEpsilon = 0.5;  // flows within half a byte are done
+}
+
+NodeId Network::add_node(std::string name) {
+  nodes_.push_back(Node{std::move(name), true, {}});
+  invalidate_routes();
+  return static_cast<NodeId>(nodes_.size() - 1);
+}
+
+LinkId Network::add_link(NodeId a, NodeId b, double bandwidth_bps, double latency_s) {
+  assert(a >= 0 && a < static_cast<NodeId>(nodes_.size()));
+  assert(b >= 0 && b < static_cast<NodeId>(nodes_.size()));
+  assert(bandwidth_bps > 0.0);
+  const LinkId forward = static_cast<LinkId>(links_.size());
+  links_.push_back(DirectedLink{a, b, bandwidth_bps, latency_s, {}});
+  links_.push_back(DirectedLink{b, a, bandwidth_bps, latency_s, {}});
+  nodes_[a].out.push_back(forward);
+  nodes_[b].out.push_back(forward + 1);
+  invalidate_routes();
+  return forward;
+}
+
+void Network::set_node_up(NodeId id, bool up) {
+  if (nodes_.at(id).up == up) return;
+  nodes_[id].up = up;
+  invalidate_routes();
+  if (!up) {
+    // Fail every flow whose path touches the node.
+    std::vector<std::uint64_t> doomed;
+    for (const auto& [fid, flow] : flows_) {
+      if (flow.handle->src == id || flow.handle->dst == id) {
+        doomed.push_back(fid);
+        continue;
+      }
+      for (LinkId l : flow.path) {
+        if (links_[l].from == id || links_[l].to == id) {
+          doomed.push_back(fid);
+          break;
+        }
+      }
+    }
+    for (auto fid : doomed) fail_flow(fid);
+  }
+}
+
+std::vector<LinkId> Network::route(NodeId src, NodeId dst) {
+  const auto key = std::make_pair(src, dst);
+  if (auto it = route_cache_.find(key); it != route_cache_.end()) return it->second;
+
+  // BFS by hop count; deterministic tie-break by link id order.
+  std::vector<LinkId> via(nodes_.size(), -1);
+  std::vector<bool> seen(nodes_.size(), false);
+  std::deque<NodeId> q;
+  seen[src] = true;
+  q.push_back(src);
+  while (!q.empty() && !seen[dst]) {
+    NodeId n = q.front();
+    q.pop_front();
+    for (LinkId l : nodes_[n].out) {
+      NodeId next = links_[l].to;
+      if (seen[next] || !nodes_[next].up) continue;
+      seen[next] = true;
+      via[next] = l;
+      q.push_back(next);
+    }
+  }
+  std::vector<LinkId> path;
+  if (seen[dst]) {
+    for (NodeId n = dst; n != src; n = links_[via[n]].from) path.push_back(via[n]);
+    std::reverse(path.begin(), path.end());
+  }
+  route_cache_[key] = path;
+  return path;
+}
+
+bool Network::reachable(NodeId src, NodeId dst) {
+  if (!nodes_.at(src).up || !nodes_.at(dst).up) return false;
+  return src == dst || !route(src, dst).empty();
+}
+
+TransferPtr Network::transfer(NodeId src, NodeId dst, Bytes bytes, TransferOptions opts) {
+  auto handle = std::make_shared<Transfer>();
+  handle->src = src;
+  handle->dst = dst;
+  handle->bytes = bytes;
+  handle->start_time = sim_.now();
+
+  if (!nodes_.at(src).up || !nodes_.at(dst).up) {
+    handle->failed = true;
+    handle->finish_time = sim_.now();
+    handle->done->trigger(sim_);
+    return handle;
+  }
+
+  double latency = opts.extra_latency;
+  std::vector<LinkId> path;
+  if (src != dst) {
+    path = route(src, dst);
+    if (path.empty()) {
+      handle->failed = true;
+      handle->finish_time = sim_.now();
+      handle->done->trigger(sim_);
+      return handle;
+    }
+    for (LinkId l : path) latency += links_[l].latency;
+  }
+
+  if (bytes == 0 || src == dst) {
+    // Local copies and pure control messages pay latency only.
+    sim_.schedule(latency, [this, handle] {
+      handle->finish_time = sim_.now();
+      bytes_delivered_ += static_cast<double>(handle->bytes);
+      handle->done->trigger(sim_);
+    });
+    return handle;
+  }
+
+  // The flow starts after the path latency (slow-start abstracted away).
+  sim_.schedule(latency, [this, handle, path = std::move(path), opts] {
+    if (handle->failed) return;
+    // Re-check liveness at flow start.
+    for (LinkId l : path) {
+      if (!nodes_[links_[l].from].up || !nodes_[links_[l].to].up) {
+        handle->failed = true;
+        handle->finish_time = sim_.now();
+        handle->done->trigger(sim_);
+        return;
+      }
+    }
+    settle_progress();
+    const std::uint64_t id = next_flow_id_++;
+    Flow flow;
+    flow.handle = handle;
+    flow.path = path;
+    flow.remaining = static_cast<double>(handle->bytes);
+    flow.rate_cap = opts.rate_cap;
+    flow.last_update = sim_.now();
+    for (LinkId l : path) links_[l].flow_ids.push_back(id);
+    flows_.emplace(id, std::move(flow));
+    recompute_rates();
+    schedule_next_completion();
+  });
+  return handle;
+}
+
+sim::Task Network::send(NodeId src, NodeId dst, Bytes bytes, TransferOptions opts) {
+  auto handle = transfer(src, dst, bytes, opts);
+  co_await handle->done->wait(sim_);
+}
+
+void Network::settle_progress() {
+  const double now = sim_.now();
+  for (auto& [id, flow] : flows_) {
+    const double dt = now - flow.last_update;
+    if (dt > 0.0 && flow.rate > 0.0) {
+      const double moved = std::min(flow.remaining, flow.rate * dt);
+      flow.remaining -= moved;
+      bytes_delivered_ += moved;
+    }
+    flow.last_update = now;
+  }
+}
+
+void Network::recompute_rates() {
+  // Progressive filling (max-min fairness) with per-flow rate caps.
+  struct LinkState {
+    double residual;
+    int count;
+  };
+  std::vector<LinkState> ls(links_.size());
+  for (std::size_t i = 0; i < links_.size(); ++i) {
+    ls[i] = {links_[i].capacity, 0};
+  }
+  std::map<std::uint64_t, double> pending;  // unassigned flows -> cap
+  for (auto& [id, flow] : flows_) {
+    pending[id] = flow.rate_cap;
+    for (LinkId l : flow.path) ++ls[l].count;
+  }
+
+  auto freeze_flow = [&](std::uint64_t id, double rate) {
+    flows_[id].rate = rate;
+    for (LinkId l : flows_[id].path) {
+      ls[l].residual = std::max(0.0, ls[l].residual - rate);
+      --ls[l].count;
+    }
+    pending.erase(id);
+  };
+
+  while (!pending.empty()) {
+    // Bottleneck share among links that still carry unassigned flows.
+    double share = std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i < links_.size(); ++i) {
+      if (ls[i].count > 0) share = std::min(share, ls[i].residual / ls[i].count);
+    }
+    // Any flow whose cap is below the bottleneck share freezes at its cap.
+    bool froze_capped = false;
+    for (auto it = pending.begin(); it != pending.end();) {
+      const auto id = it->first;
+      const double cap = it->second;
+      ++it;
+      if (cap < share) {
+        freeze_flow(id, cap);
+        froze_capped = true;
+      }
+    }
+    if (froze_capped) continue;  // shares changed; recompute
+    if (!std::isfinite(share)) {
+      // No constraining link (e.g. all flows capped and handled above).
+      for (auto it = pending.begin(); it != pending.end();) {
+        const auto id = it->first;
+        ++it;
+        freeze_flow(id, flows_[id].rate_cap);
+      }
+      break;
+    }
+    // Freeze all unassigned flows crossing the bottleneck link at `share`.
+    LinkId bottleneck = -1;
+    for (std::size_t i = 0; i < links_.size(); ++i) {
+      if (ls[i].count > 0 && ls[i].residual / ls[i].count <= share * (1.0 + 1e-9) + 1e-9) {
+        bottleneck = static_cast<LinkId>(i);
+        break;
+      }
+    }
+    assert(bottleneck >= 0);
+    std::vector<std::uint64_t> on_link;
+    for (std::uint64_t fid : links_[bottleneck].flow_ids) {
+      if (pending.count(fid)) on_link.push_back(fid);
+    }
+    for (std::uint64_t fid : on_link) freeze_flow(fid, share);
+  }
+}
+
+void Network::schedule_next_completion() {
+  const std::uint64_t gen = ++completion_gen_;
+  double eta = std::numeric_limits<double>::infinity();
+  for (const auto& [id, flow] : flows_) {
+    if (flow.remaining <= kByteEpsilon) {
+      eta = 0.0;
+      break;
+    }
+    if (flow.rate > 0.0) eta = std::min(eta, flow.remaining / flow.rate);
+  }
+  if (!std::isfinite(eta)) return;  // all flows starved; rearmed on change
+  sim_.schedule(eta, [this, gen] {
+    if (gen != completion_gen_) return;  // superseded by a newer rate change
+    settle_progress();
+    std::vector<std::uint64_t> finished;
+    for (const auto& [id, flow] : flows_) {
+      if (flow.remaining <= kByteEpsilon) finished.push_back(id);
+    }
+    for (auto id : finished) finish_flow(id, /*failed=*/false);
+    recompute_rates();
+    schedule_next_completion();
+  });
+}
+
+void Network::finish_flow(std::uint64_t id, bool failed) {
+  auto it = flows_.find(id);
+  if (it == flows_.end()) return;
+  auto handle = it->second.handle;
+  if (!failed) {
+    // Account any residual rounding as delivered.
+    bytes_delivered_ += std::max(0.0, it->second.remaining);
+  }
+  for (LinkId l : it->second.path) {
+    auto& v = links_[l].flow_ids;
+    v.erase(std::remove(v.begin(), v.end(), id), v.end());
+  }
+  flows_.erase(it);
+  handle->failed = failed;
+  handle->finish_time = sim_.now();
+  handle->done->trigger(sim_);
+}
+
+void Network::fail_flow(std::uint64_t id) {
+  settle_progress();
+  finish_flow(id, /*failed=*/true);
+  recompute_rates();
+  schedule_next_completion();
+}
+
+double Network::node_tx_rate(NodeId id) const {
+  double r = 0.0;
+  for (const auto& [fid, flow] : flows_) {
+    if (flow.handle->src == id) r += flow.rate;
+  }
+  return r;
+}
+
+double Network::node_rx_rate(NodeId id) const {
+  double r = 0.0;
+  for (const auto& [fid, flow] : flows_) {
+    if (flow.handle->dst == id) r += flow.rate;
+  }
+  return r;
+}
+
+double Network::total_flow_rate() const {
+  double r = 0.0;
+  for (const auto& [fid, flow] : flows_) r += flow.rate;
+  return r;
+}
+
+double Network::link_utilization(LinkId id) const {
+  const auto& link = links_.at(id);
+  double used = 0.0;
+  for (std::uint64_t fid : link.flow_ids) {
+    auto it = flows_.find(fid);
+    if (it != flows_.end()) used += it->second.rate;
+  }
+  return used / link.capacity;
+}
+
+}  // namespace chase::net

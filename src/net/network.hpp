@@ -1,0 +1,136 @@
+#pragma once
+/// \file network.hpp
+/// Flow-level simulation of the Pacific Research Platform: nodes (FIONAs,
+/// DTNs, switches), full-duplex links (10/40/100 GbE), shortest-path routing
+/// and max-min fair bandwidth sharing among concurrent flows — the standard
+/// fluid abstraction for bulk science data movement.
+///
+/// A transfer occupies one flow along its route. Whenever the flow set
+/// changes, rates are recomputed by progressive filling (with optional
+/// per-flow rate caps, used to model single-TCP-connection limits), and every
+/// flow's completion event is rescheduled from its remaining byte count.
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/event.hpp"
+#include "sim/simulation.hpp"
+#include "util/units.hpp"
+
+namespace chase::net {
+
+using NodeId = int;
+using LinkId = int;
+using util::Bytes;
+
+struct TransferOptions {
+  /// Cap on this flow's rate (bytes/s), e.g. a single TCP stream's ceiling.
+  double rate_cap = std::numeric_limits<double>::infinity();
+  /// Extra fixed startup delay beyond path latency (request handling etc.).
+  double extra_latency = 0.0;
+};
+
+/// Live handle for an in-flight (or finished) transfer.
+struct Transfer {
+  sim::EventPtr done = sim::make_event();
+  NodeId src = -1;
+  NodeId dst = -1;
+  Bytes bytes = 0;
+  double start_time = 0.0;
+  double finish_time = -1.0;  // set when done fires
+  bool failed = false;        // node/link went down mid-flight
+};
+
+using TransferPtr = std::shared_ptr<Transfer>;
+
+class Network {
+ public:
+  explicit Network(sim::Simulation& sim) : sim_(sim) {}
+
+  // --- topology -----------------------------------------------------------
+
+  NodeId add_node(std::string name);
+  /// Adds a full-duplex link (two directed links of `bandwidth` each).
+  LinkId add_link(NodeId a, NodeId b, double bandwidth_bps, double latency_s);
+
+  std::size_t node_count() const { return nodes_.size(); }
+  const std::string& node_name(NodeId id) const { return nodes_.at(id).name; }
+  /// Mark a node up/down. Taking a node down fails all flows routed through
+  /// it and removes it from routing until it comes back.
+  void set_node_up(NodeId id, bool up);
+  bool node_up(NodeId id) const { return nodes_.at(id).up; }
+
+  // --- transfers ----------------------------------------------------------
+
+  /// Start a transfer; the returned handle's `done` event fires at
+  /// completion (or failure). Zero-byte transfers still pay latency.
+  TransferPtr transfer(NodeId src, NodeId dst, Bytes bytes, TransferOptions opts = {});
+
+  /// Coroutine sugar: start a transfer and await it. Returns (via the
+  /// handle) after the last byte arrives.
+  sim::Task send(NodeId src, NodeId dst, Bytes bytes, TransferOptions opts = {});
+
+  // --- introspection (sampled by the monitoring layer) ---------------------
+
+  /// Instantaneous egress/ingress rate of a node over all active flows.
+  double node_tx_rate(NodeId id) const;
+  double node_rx_rate(NodeId id) const;
+  /// Sum of all active flow rates (cluster-wide instantaneous throughput).
+  double total_flow_rate() const;
+  std::size_t active_flows() const { return flows_.size(); }
+  /// Cumulative bytes delivered over the network since construction.
+  double total_bytes_delivered() const { return bytes_delivered_; }
+  /// Instantaneous utilization of a link's a->b direction, in [0, 1].
+  double link_utilization(LinkId id) const;
+
+  /// True if a route currently exists.
+  bool reachable(NodeId src, NodeId dst);
+
+ private:
+  struct Node {
+    std::string name;
+    bool up = true;
+    std::vector<LinkId> out;  // directed links leaving this node
+  };
+  struct DirectedLink {
+    NodeId from, to;
+    double capacity;  // bytes/s
+    double latency;   // s
+    std::vector<std::uint64_t> flow_ids;
+  };
+  struct Flow {
+    TransferPtr handle;
+    std::vector<LinkId> path;
+    double remaining;    // bytes
+    double rate = 0.0;   // bytes/s
+    double rate_cap;
+    double last_update;  // sim time of last settle
+  };
+
+  void settle_progress();
+  void recompute_rates();
+  /// (Re)arm the single pending completion event at the earliest flow ETA.
+  /// One event per rate change keeps the queue O(#changes), not O(#flows).
+  void schedule_next_completion();
+  /// Remove a flow and fire its handle.
+  void finish_flow(std::uint64_t id, bool failed);
+  void fail_flow(std::uint64_t id);
+  std::vector<LinkId> route(NodeId src, NodeId dst);
+  void invalidate_routes() { route_cache_.clear(); }
+
+  sim::Simulation& sim_;
+  std::vector<Node> nodes_;
+  std::vector<DirectedLink> links_;
+  std::map<std::uint64_t, Flow> flows_;  // ordered for determinism
+  std::uint64_t next_flow_id_ = 0;
+  std::uint64_t completion_gen_ = 0;  // invalidates stale completion events
+  double bytes_delivered_ = 0.0;
+  std::map<std::pair<NodeId, NodeId>, std::vector<LinkId>> route_cache_;
+};
+
+}  // namespace chase::net

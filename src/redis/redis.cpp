@@ -1,0 +1,316 @@
+#include "redis/redis.hpp"
+
+#include <algorithm>
+
+namespace chase::redis {
+
+namespace {
+constexpr chase::util::Bytes kRequestBytes = 128;
+constexpr double kServiceTime = 50e-6;
+}  // namespace
+
+// --- server ----------------------------------------------------------------------
+
+bool RedisServer::handoff(const std::string& key, const std::string& value) {
+  auto it = blocked_.find(key);
+  if (it == blocked_.end() || it->second.empty()) return false;
+  Waiter w = it->second.front();
+  it->second.pop_front();
+  *w.slot = value;
+  *w.ok = true;
+  w.ready->trigger(sim_);
+  return true;
+}
+
+void RedisServer::lpush(const std::string& key, std::string value) {
+  if (handoff(key, value)) return;
+  lists_[key].push_front(std::move(value));
+}
+
+void RedisServer::rpush(const std::string& key, std::string value) {
+  if (handoff(key, value)) return;
+  lists_[key].push_back(std::move(value));
+}
+
+std::optional<std::string> RedisServer::lpop(const std::string& key) {
+  auto it = lists_.find(key);
+  if (it == lists_.end() || it->second.empty()) return std::nullopt;
+  std::string v = std::move(it->second.front());
+  it->second.pop_front();
+  return v;
+}
+
+std::optional<std::string> RedisServer::rpop(const std::string& key) {
+  auto it = lists_.find(key);
+  if (it == lists_.end() || it->second.empty()) return std::nullopt;
+  std::string v = std::move(it->second.back());
+  it->second.pop_back();
+  return v;
+}
+
+std::size_t RedisServer::llen(const std::string& key) const {
+  auto it = lists_.find(key);
+  return it == lists_.end() ? 0 : it->second.size();
+}
+
+bool RedisServer::sadd(const std::string& key, const std::string& member) {
+  return sets_[key].insert(member).second;
+}
+
+bool RedisServer::srem(const std::string& key, const std::string& member) {
+  auto it = sets_.find(key);
+  return it != sets_.end() && it->second.erase(member) > 0;
+}
+
+bool RedisServer::sismember(const std::string& key, const std::string& member) const {
+  auto it = sets_.find(key);
+  return it != sets_.end() && it->second.count(member) > 0;
+}
+
+std::size_t RedisServer::scard(const std::string& key) const {
+  auto it = sets_.find(key);
+  return it == sets_.end() ? 0 : it->second.size();
+}
+
+void RedisServer::hset(const std::string& key, const std::string& field,
+                       std::string value) {
+  hashes_[key][field] = std::move(value);
+}
+
+std::optional<std::string> RedisServer::hget(const std::string& key,
+                                             const std::string& field) const {
+  auto it = hashes_.find(key);
+  if (it == hashes_.end()) return std::nullopt;
+  auto fit = it->second.find(field);
+  if (fit == it->second.end()) return std::nullopt;
+  return fit->second;
+}
+
+std::size_t RedisServer::hlen(const std::string& key) const {
+  auto it = hashes_.find(key);
+  return it == hashes_.end() ? 0 : it->second.size();
+}
+
+void RedisServer::set(const std::string& key, std::string value) {
+  strings_[key] = std::move(value);
+}
+
+std::optional<std::string> RedisServer::get(const std::string& key) const {
+  auto it = strings_.find(key);
+  if (it == strings_.end()) return std::nullopt;
+  return it->second;
+}
+
+bool RedisServer::del(const std::string& key) {
+  return strings_.erase(key) + lists_.erase(key) + sets_.erase(key) +
+             hashes_.erase(key) >
+         0;
+}
+
+std::int64_t RedisServer::incrby(const std::string& key, std::int64_t delta) {
+  std::int64_t v = 0;
+  if (auto it = strings_.find(key); it != strings_.end()) {
+    v = std::stoll(it->second);
+  }
+  v += delta;
+  strings_[key] = std::to_string(v);
+  return v;
+}
+
+void RedisServer::expire(const std::string& key, double seconds) {
+  const std::uint64_t generation = ++expiry_generation_;
+  expiries_[key] = Expiry{sim_.now() + seconds, generation};
+  sim_.schedule(seconds, [this, key, generation] {
+    auto it = expiries_.find(key);
+    if (it == expiries_.end() || it->second.generation != generation) return;
+    expiries_.erase(it);
+    del(key);
+  });
+}
+
+std::optional<double> RedisServer::ttl(const std::string& key) const {
+  auto it = expiries_.find(key);
+  if (it == expiries_.end()) return std::nullopt;
+  return it->second.deadline - sim_.now();
+}
+
+bool RedisServer::persist(const std::string& key) {
+  return expiries_.erase(key) > 0;
+}
+
+RedisServer::SubscriptionPtr RedisServer::subscribe(const std::string& channel) {
+  auto sub = std::make_shared<Subscription>();
+  channels_[channel].push_back(sub);
+  return sub;
+}
+
+void RedisServer::unsubscribe(const std::string& channel, const SubscriptionPtr& sub) {
+  auto it = channels_.find(channel);
+  if (it == channels_.end()) return;
+  auto& subs = it->second;
+  subs.erase(std::remove(subs.begin(), subs.end(), sub), subs.end());
+}
+
+std::size_t RedisServer::publish(const std::string& channel, const std::string& message) {
+  auto it = channels_.find(channel);
+  if (it == channels_.end()) return 0;
+  for (auto& sub : it->second) {
+    sub->messages.push_back(message);
+    sub->ready->trigger(sim_);
+  }
+  return it->second.size();
+}
+
+std::size_t RedisServer::subscriber_count(const std::string& channel) const {
+  auto it = channels_.find(channel);
+  return it == channels_.end() ? 0 : it->second.size();
+}
+
+std::size_t RedisServer::total_keys() const {
+  return lists_.size() + sets_.size() + hashes_.size() + strings_.size();
+}
+
+// --- client ----------------------------------------------------------------------
+
+sim::Task RedisClient::round_trip(bool* ok) {
+  *ok = false;
+  const net::NodeId server = server_.node();
+  if (server < 0) co_return;
+  auto request = net_.transfer(client_, server, kRequestBytes);
+  co_await request->done->wait(sim_);
+  if (request->failed) co_return;
+  co_await sim_.sleep(kServiceTime);
+  auto response = net_.transfer(server, client_, kRequestBytes);
+  co_await response->done->wait(sim_);
+  if (response->failed) co_return;
+  *ok = true;
+}
+
+sim::Task RedisClient::rpush(const std::string& key, std::string value, bool* ok) {
+  bool fine = false;
+  co_await round_trip(&fine);
+  if (fine) server_.rpush(key, std::move(value));
+  if (ok != nullptr) *ok = fine;
+}
+
+sim::Task RedisClient::lpush(const std::string& key, std::string value, bool* ok) {
+  bool fine = false;
+  co_await round_trip(&fine);
+  if (fine) server_.lpush(key, std::move(value));
+  if (ok != nullptr) *ok = fine;
+}
+
+sim::Task RedisClient::lpop(const std::string& key, std::optional<std::string>* out,
+                            bool* ok) {
+  bool fine = false;
+  co_await round_trip(&fine);
+  if (fine) *out = server_.lpop(key);
+  if (ok != nullptr) *ok = fine;
+}
+
+sim::Task RedisClient::blpop(const std::string& key, std::string* out, bool* got) {
+  *got = false;
+  bool fine = false;
+  // Request leg.
+  const net::NodeId server = server_.node();
+  if (server < 0) co_return;
+  auto request = net_.transfer(client_, server, kRequestBytes);
+  co_await request->done->wait(sim_);
+  if (request->failed) co_return;
+  co_await sim_.sleep(kServiceTime);
+
+  // Immediate element, or block until one is pushed.
+  if (auto v = server_.lpop(key)) {
+    *out = std::move(*v);
+    fine = true;
+  } else {
+    auto ready = sim::make_event();
+    bool delivered = false;
+    server_.blocked_[key].push_back(RedisServer::Waiter{ready, out, &delivered});
+    co_await ready->wait(sim_);
+    fine = delivered;
+  }
+  if (!fine) co_return;
+
+  // Response leg.
+  auto response = net_.transfer(server_.node(), client_, kRequestBytes);
+  co_await response->done->wait(sim_);
+  if (response->failed) co_return;
+  *got = true;
+}
+
+sim::Task RedisClient::llen(const std::string& key, std::size_t* out, bool* ok) {
+  bool fine = false;
+  co_await round_trip(&fine);
+  if (fine) *out = server_.llen(key);
+  if (ok != nullptr) *ok = fine;
+}
+
+sim::Task RedisClient::sadd(const std::string& key, const std::string& member,
+                            bool* added, bool* ok) {
+  bool fine = false;
+  co_await round_trip(&fine);
+  if (fine) {
+    const bool was_added = server_.sadd(key, member);
+    if (added != nullptr) *added = was_added;
+  }
+  if (ok != nullptr) *ok = fine;
+}
+
+sim::Task RedisClient::incrby(const std::string& key, std::int64_t delta,
+                              std::int64_t* out, bool* ok) {
+  bool fine = false;
+  co_await round_trip(&fine);
+  if (fine) {
+    const std::int64_t v = server_.incrby(key, delta);
+    if (out != nullptr) *out = v;
+  }
+  if (ok != nullptr) *ok = fine;
+}
+
+sim::Task RedisClient::get(const std::string& key, std::optional<std::string>* out,
+                           bool* ok) {
+  bool fine = false;
+  co_await round_trip(&fine);
+  if (fine) *out = server_.get(key);
+  if (ok != nullptr) *ok = fine;
+}
+
+sim::Task RedisClient::set(const std::string& key, std::string value, bool* ok) {
+  bool fine = false;
+  co_await round_trip(&fine);
+  if (fine) server_.set(key, std::move(value));
+  if (ok != nullptr) *ok = fine;
+}
+
+sim::Task RedisClient::publish(const std::string& channel, std::string message,
+                               std::size_t* receivers, bool* ok) {
+  bool fine = false;
+  co_await round_trip(&fine);
+  if (fine) {
+    const std::size_t n = server_.publish(channel, std::move(message));
+    if (receivers != nullptr) *receivers = n;
+  }
+  if (ok != nullptr) *ok = fine;
+}
+
+sim::Task RedisClient::next_message(RedisServer::SubscriptionPtr sub, std::string* out,
+                                    bool* ok) {
+  *ok = false;
+  while (sub->messages.empty()) {
+    // Re-arm and wait for the next publish.
+    if (sub->ready->fired()) sub->ready = sim::make_event();
+    co_await sub->ready->wait(sim_);
+  }
+  *out = std::move(sub->messages.front());
+  sub->messages.pop_front();
+  // The push delivery leg (server -> client).
+  const net::NodeId server = server_.node();
+  if (server < 0) co_return;
+  auto push = net_.transfer(server, client_, 128);
+  co_await push->done->wait(sim_);
+  if (push->failed) co_return;
+  *ok = true;
+}
+
+}  // namespace chase::redis

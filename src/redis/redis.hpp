@@ -1,0 +1,151 @@
+#pragma once
+/// \file redis.hpp
+/// The Redis work-queue substitute (paper §III-A): an in-memory data-
+/// structure store with lists (the job queue), sets, hashes and counters.
+/// "The Redis queue holds a list of files that contain urls to download...
+/// each pod pops a message off the queue"; workers keep popping until the
+/// queue drains.
+///
+/// The store itself is deterministic, synchronous state; RedisClient wraps
+/// every command in request/response network round-trips against the node
+/// hosting the server, including FIFO blocking pops (BLPOP) with handoff.
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "net/network.hpp"
+#include "sim/event.hpp"
+#include "sim/simulation.hpp"
+
+namespace chase::redis {
+
+/// Server-side state. Commands here are instantaneous (no I/O); use
+/// RedisClient for access from workload programs.
+class RedisServer {
+ public:
+  explicit RedisServer(sim::Simulation& sim) : sim_(sim) {}
+
+  /// Where the server currently runs; -1 means not hosted (clients fail).
+  void host_on(net::NodeId node) { node_ = node; }
+  net::NodeId node() const { return node_; }
+
+  // lists
+  void lpush(const std::string& key, std::string value);
+  void rpush(const std::string& key, std::string value);
+  std::optional<std::string> lpop(const std::string& key);
+  std::optional<std::string> rpop(const std::string& key);
+  std::size_t llen(const std::string& key) const;
+
+  // sets
+  bool sadd(const std::string& key, const std::string& member);
+  bool srem(const std::string& key, const std::string& member);
+  bool sismember(const std::string& key, const std::string& member) const;
+  std::size_t scard(const std::string& key) const;
+
+  // hashes
+  void hset(const std::string& key, const std::string& field, std::string value);
+  std::optional<std::string> hget(const std::string& key, const std::string& field) const;
+  std::size_t hlen(const std::string& key) const;
+
+  // strings / counters
+  void set(const std::string& key, std::string value);
+  std::optional<std::string> get(const std::string& key) const;
+  bool del(const std::string& key);
+  std::int64_t incrby(const std::string& key, std::int64_t delta);
+
+  // expiry
+  /// Expire the key `seconds` of simulated time from now (any type).
+  /// Re-arming replaces the previous deadline; writes do not clear it.
+  void expire(const std::string& key, double seconds);
+  /// Remaining lifetime, or nullopt if no expiry is set.
+  std::optional<double> ttl(const std::string& key) const;
+  /// Remove the pending expiry; returns true if one existed.
+  bool persist(const std::string& key);
+
+  // pub/sub
+  struct Subscription {
+    std::deque<std::string> messages;
+    sim::EventPtr ready = sim::make_event();  // re-armed after each drain
+  };
+  using SubscriptionPtr = std::shared_ptr<Subscription>;
+  SubscriptionPtr subscribe(const std::string& channel);
+  void unsubscribe(const std::string& channel, const SubscriptionPtr& sub);
+  /// Deliver to all current subscribers; returns the receiver count.
+  std::size_t publish(const std::string& channel, const std::string& message);
+  std::size_t subscriber_count(const std::string& channel) const;
+
+  std::size_t total_keys() const;
+
+ private:
+  friend class RedisClient;
+  struct Waiter {
+    sim::EventPtr ready;
+    std::string* slot;
+    bool* ok;
+  };
+  /// Deliver to a blocked BLPOP waiter if any; returns true if handed off.
+  bool handoff(const std::string& key, const std::string& value);
+
+  sim::Simulation& sim_;
+  net::NodeId node_ = -1;
+  std::map<std::string, std::deque<std::string>> lists_;
+  std::map<std::string, std::set<std::string>> sets_;
+  std::map<std::string, std::map<std::string, std::string>> hashes_;
+  std::map<std::string, std::string> strings_;
+  std::map<std::string, std::deque<Waiter>> blocked_;
+  struct Expiry {
+    double deadline;
+    std::uint64_t generation;
+  };
+  std::map<std::string, Expiry> expiries_;
+  std::uint64_t expiry_generation_ = 0;
+  std::map<std::string, std::vector<SubscriptionPtr>> channels_;
+};
+
+/// Client used from pod programs; every call is a network round-trip.
+class RedisClient {
+ public:
+  RedisClient(sim::Simulation& sim, net::Network& net, RedisServer& server,
+              net::NodeId client_node)
+      : sim_(sim), net_(net), server_(server), client_(client_node) {}
+
+  /// All commands set *ok=false (if provided) when the server is
+  /// unreachable; value out-params are only written on success.
+
+  sim::Task rpush(const std::string& key, std::string value, bool* ok = nullptr);
+  sim::Task lpush(const std::string& key, std::string value, bool* ok = nullptr);
+  sim::Task lpop(const std::string& key, std::optional<std::string>* out,
+                 bool* ok = nullptr);
+  /// Blocking left pop: waits until an element is available (FIFO among
+  /// waiters). Sets *got=false only on network failure.
+  sim::Task blpop(const std::string& key, std::string* out, bool* got);
+  sim::Task llen(const std::string& key, std::size_t* out, bool* ok = nullptr);
+  sim::Task sadd(const std::string& key, const std::string& member, bool* added = nullptr,
+                 bool* ok = nullptr);
+  sim::Task incrby(const std::string& key, std::int64_t delta, std::int64_t* out = nullptr,
+                   bool* ok = nullptr);
+  sim::Task get(const std::string& key, std::optional<std::string>* out,
+                bool* ok = nullptr);
+  sim::Task set(const std::string& key, std::string value, bool* ok = nullptr);
+  sim::Task publish(const std::string& channel, std::string message,
+                    std::size_t* receivers = nullptr, bool* ok = nullptr);
+  /// Await the next message on a subscription (round-trip paid once per
+  /// delivered message).
+  sim::Task next_message(RedisServer::SubscriptionPtr sub, std::string* out, bool* ok);
+
+ private:
+  /// One request/response round-trip; returns success via *ok.
+  sim::Task round_trip(bool* ok);
+
+  sim::Simulation& sim_;
+  net::Network& net_;
+  RedisServer& server_;
+  net::NodeId client_;
+};
+
+}  // namespace chase::redis

@@ -1,0 +1,96 @@
+#include "sim/simulation.hpp"
+
+#include <cassert>
+#include <cstdio>
+#include <exception>
+
+namespace chase::sim {
+
+void SleepAwaiter::await_suspend(std::coroutine_handle<> h) const {
+  sim->schedule(delay, [h] { h.resume(); });
+}
+
+std::coroutine_handle<> Task::promise_type::FinalAwaiter::await_suspend(
+    Task::Handle h) noexcept {
+  auto& p = h.promise();
+  std::coroutine_handle<> cont =
+      p.continuation ? p.continuation : std::coroutine_handle<>(std::noop_coroutine());
+  if (p.owner != nullptr) {
+    // Detached task: deregister and self-destroy. Destroying a coroutine that
+    // is suspended at its final suspend point is well-defined.
+    p.owner->unregister_detached(h.address());
+    h.destroy();
+  }
+  return cont;
+}
+
+void Task::promise_type::unhandled_exception() {
+  // Simulation processes must not leak exceptions: there is no caller stack
+  // to propagate into. Treat as a programming error.
+  std::fprintf(stderr, "chase::sim::Task: unhandled exception in process\n");
+  std::terminate();
+}
+
+Task& Task::operator=(Task&& other) noexcept {
+  if (this != &other) {
+    if (handle_) handle_.destroy();
+    handle_ = other.handle_;
+    other.handle_ = {};
+  }
+  return *this;
+}
+
+Task::~Task() {
+  if (handle_) handle_.destroy();
+}
+
+Simulation::~Simulation() {
+  // Drop pending callbacks first (they may reference coroutine frames), then
+  // destroy frames that never completed.
+  while (!queue_.empty()) queue_.pop();
+  for (void* frame : detached_) {
+    std::coroutine_handle<>::from_address(frame).destroy();
+  }
+}
+
+void Simulation::schedule(double delay, std::function<void()> fn) {
+  assert(delay >= 0.0 && "cannot schedule into the past");
+  if (delay < 0.0) delay = 0.0;
+  queue_.push(Entry{now_ + delay, seq_++, std::move(fn)});
+}
+
+void Simulation::spawn(Task task) {
+  Task::Handle h = task.handle_;
+  task.handle_ = {};  // release ownership to the simulation
+  h.promise().owner = this;
+  detached_.insert(h.address());
+  // Start at the next event boundary so spawn() is safe to call from
+  // anywhere, including inside another process.
+  schedule(0.0, [h] { h.resume(); });
+}
+
+std::uint64_t Simulation::run(double until) {
+  std::uint64_t n = 0;
+  while (!queue_.empty() && queue_.top().time <= until) {
+    step();
+    ++n;
+  }
+  if (now_ < until && until < std::numeric_limits<double>::infinity()) {
+    now_ = until;
+  }
+  return n;
+}
+
+bool Simulation::step() {
+  if (queue_.empty()) return false;
+  // Move the entry out before popping so the callback survives the pop.
+  Entry e = std::move(const_cast<Entry&>(queue_.top()));
+  queue_.pop();
+  assert(e.time + 1e-12 >= now_ && "time went backwards");
+  now_ = e.time;
+  ++events_processed_;
+  e.fn();
+  return true;
+}
+
+}  // namespace chase::sim

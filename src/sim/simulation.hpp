@@ -1,0 +1,138 @@
+#pragma once
+/// \file simulation.hpp
+/// Deterministic single-threaded discrete-event simulation kernel.
+///
+/// The kernel executes callbacks ordered by (virtual time, insertion
+/// sequence). On top of the raw callback queue, `task.hpp` provides C++20
+/// coroutine "processes" that `co_await` virtual delays and events — the
+/// style in which all CHASE-CI workloads (download workers, trainers,
+/// controllers, OSD recovery, ...) are written.
+
+#include <coroutine>
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+namespace chase::sim {
+
+class Simulation;
+
+/// An awaitable virtual-time delay; produced by Simulation::sleep().
+struct SleepAwaiter {
+  Simulation* sim;
+  double delay;
+  bool await_ready() const noexcept { return delay <= 0.0; }
+  void await_suspend(std::coroutine_handle<> h) const;
+  void await_resume() const noexcept {}
+};
+
+/// Fire-and-forget coroutine process. A Task is either:
+///  * awaited by a parent coroutine (`co_await child()`), in which case the
+///    parent owns the frame and resumes when the child finishes, or
+///  * spawned detached via Simulation::spawn(), in which case the frame
+///    destroys itself on completion (or at Simulation teardown).
+class [[nodiscard]] Task {
+ public:
+  struct promise_type;
+  using Handle = std::coroutine_handle<promise_type>;
+
+  struct promise_type {
+    std::coroutine_handle<> continuation{};
+    Simulation* owner = nullptr;  // set when spawned detached
+    Task get_return_object() { return Task{Handle::from_promise(*this)}; }
+    std::suspend_always initial_suspend() noexcept { return {}; }
+    struct FinalAwaiter {
+      bool await_ready() const noexcept { return false; }
+      std::coroutine_handle<> await_suspend(Handle h) noexcept;
+      void await_resume() const noexcept {}
+    };
+    FinalAwaiter final_suspend() noexcept { return {}; }
+    void return_void() {}
+    void unhandled_exception();
+  };
+
+  Task(Task&& other) noexcept : handle_(other.handle_) { other.handle_ = {}; }
+  Task& operator=(Task&& other) noexcept;
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+  ~Task();
+
+  bool valid() const { return static_cast<bool>(handle_); }
+
+  /// Awaiting a Task starts it and suspends the awaiter until it returns.
+  /// Awaiting a temporary is safe: temporaries alive across a suspension
+  /// point are stored in the awaiting coroutine's frame.
+  struct Awaiter {
+    Handle child;
+    bool await_ready() const noexcept { return false; }
+    std::coroutine_handle<> await_suspend(std::coroutine_handle<> parent) noexcept {
+      child.promise().continuation = parent;
+      return child;  // symmetric transfer into the child
+    }
+    void await_resume() const noexcept {}
+  };
+  Awaiter operator co_await() { return Awaiter{handle_}; }
+
+ private:
+  friend class Simulation;
+  explicit Task(Handle h) : handle_(h) {}
+  Handle handle_{};
+};
+
+/// The event queue + virtual clock.
+class Simulation {
+ public:
+  Simulation() = default;
+  ~Simulation();
+
+  Simulation(const Simulation&) = delete;
+  Simulation& operator=(const Simulation&) = delete;
+
+  double now() const { return now_; }
+
+  /// Schedule `fn` to run `delay` seconds from now (delay >= 0).
+  void schedule(double delay, std::function<void()> fn);
+
+  /// Awaitable delay for coroutine processes.
+  SleepAwaiter sleep(double delay) { return SleepAwaiter{this, delay}; }
+
+  /// Start a detached coroutine process. The frame self-destroys when the
+  /// coroutine returns; any frames still suspended when the Simulation is
+  /// destroyed are destroyed with it.
+  void spawn(Task task);
+
+  /// Run until the queue drains or `until` is reached (whichever first).
+  /// Returns the number of events processed in this call.
+  std::uint64_t run(double until = std::numeric_limits<double>::infinity());
+
+  /// Process a single event; returns false if the queue is empty.
+  bool step();
+
+  std::uint64_t events_processed() const { return events_processed_; }
+  bool empty() const { return queue_.empty(); }
+
+ private:
+  friend struct Task::promise_type;
+  void unregister_detached(void* frame) { detached_.erase(frame); }
+
+  struct Entry {
+    double time;
+    std::uint64_t seq;
+    std::function<void()> fn;
+    bool operator>(const Entry& o) const {
+      if (time != o.time) return time > o.time;
+      return seq > o.seq;
+    }
+  };
+
+  double now_ = 0.0;
+  std::uint64_t seq_ = 0;
+  std::uint64_t events_processed_ = 0;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> queue_;
+  std::unordered_set<void*> detached_;
+};
+
+}  // namespace chase::sim

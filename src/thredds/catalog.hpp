@@ -1,0 +1,76 @@
+#pragma once
+/// \file catalog.hpp
+/// Dataset catalog for the THREDDS substitute (paper §III-A): scientific
+/// datasets composed of many timestamped files, each holding several
+/// variables. THREDDS' key capability used by the paper is *variable
+/// subsetting* — "transfer only that specific variable instead of the entire
+/// file", which reduced the MERRA-2 archive from 455 GB to 246 GB.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/units.hpp"
+
+namespace chase::thredds {
+
+using util::Bytes;
+
+/// Days since 1970-01-01 for a civil date (Howard Hinnant's algorithm);
+/// valid for all Gregorian dates of interest.
+std::int64_t days_from_civil(int year, int month, int day);
+
+struct DateTime {
+  int year = 1970, month = 1, day = 1, hour = 0;
+  std::string to_string() const;  // "1980-01-01T03:00Z"
+};
+
+struct Variable {
+  std::string name;          // e.g. "IVT"
+  Bytes bytes_per_file = 0;  // size of this variable's slab in one file
+};
+
+/// A time series of NetCDF-ish files on a regular cadence.
+struct Dataset {
+  std::string name;          // e.g. "M2I3NPASM"
+  DateTime start;
+  double cadence_hours = 3;  // file every N hours
+  std::size_t file_count = 0;
+  std::vector<Variable> variables;
+  /// Grid metadata (global resolution of 576x361 pixels, 42 levels).
+  int grid_x = 576, grid_y = 361, levels = 42;
+
+  /// Bytes of one whole file (all variables).
+  Bytes file_bytes() const;
+  /// Bytes of one file when subset to `variable`; nullopt if unknown.
+  std::optional<Bytes> subset_bytes(const std::string& variable) const;
+  /// Whole-archive byte totals.
+  Bytes total_bytes() const { return file_bytes() * file_count; }
+  std::optional<Bytes> total_subset_bytes(const std::string& variable) const;
+
+  DateTime file_time(std::size_t index) const;
+  /// "/thredds/M2I3NPASM/1980-01-01T03:00Z.nc4"
+  std::string file_url(std::size_t index) const;
+
+  /// Index of the first file at or after the given instant; file_count if
+  /// past the archive end.
+  std::size_t index_at_or_after(const DateTime& t) const;
+  /// Indices of all files in [from, to] inclusive — the subset-tool's
+  /// time-range selection.
+  std::vector<std::size_t> files_in_range(const DateTime& from, const DateTime& to) const;
+};
+
+/// Total hours since the epoch for ordering DateTimes.
+double hours_since_epoch(const DateTime& t);
+
+/// THREDDS catalog page: one entry per dataset with variables, time span,
+/// file count and sizes (the paper links the live catalog in §III-A).
+std::string render_catalog(const std::vector<Dataset>& datasets);
+
+/// Build the paper's archive: MERRA-2 M2I3NPASM, 3-hourly from
+/// 1980-01-01T00Z through 2018-05-31T21Z (the paper counts 112,249 NetCDF
+/// files and 455 GB total; the IVT subset is 246 GB).
+Dataset make_merra2_m2i3npasm();
+
+}  // namespace chase::thredds

@@ -1,0 +1,69 @@
+#include "util/chart.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "util/units.hpp"
+
+namespace chase::util {
+
+std::string AsciiChart::render(const std::string& title,
+                               const std::string& value_label) const {
+  static const char kGlyphs[] = "*o+x#@%&=~";
+  std::ostringstream out;
+  if (!title.empty()) out << title << "\n";
+
+  double tmin = std::numeric_limits<double>::max(), tmax = -tmin;
+  double vmin = 0.0, vmax = -std::numeric_limits<double>::max();
+  bool any = false;
+  for (const auto& s : series_) {
+    for (auto [t, v] : s.points) {
+      tmin = std::min(tmin, t);
+      tmax = std::max(tmax, t);
+      vmax = std::max(vmax, v);
+      vmin = std::min(vmin, v);
+      any = true;
+    }
+  }
+  if (!any) {
+    out << "  (no data)\n";
+    return out.str();
+  }
+  if (tmax <= tmin) tmax = tmin + 1.0;
+  if (vmax <= vmin) vmax = vmin + 1.0;
+
+  std::vector<std::string> grid(height_, std::string(width_, ' '));
+  for (std::size_t si = 0; si < series_.size(); ++si) {
+    const char glyph = kGlyphs[si % (sizeof(kGlyphs) - 1)];
+    for (auto [t, v] : series_[si].points) {
+      int col = static_cast<int>(std::lround((t - tmin) / (tmax - tmin) * (width_ - 1)));
+      int row = static_cast<int>(std::lround((v - vmin) / (vmax - vmin) * (height_ - 1)));
+      col = std::clamp(col, 0, width_ - 1);
+      row = std::clamp(row, 0, height_ - 1);
+      grid[height_ - 1 - row][col] = glyph;
+    }
+  }
+
+  const std::string top_label = format_double(vmax, vmax < 10 ? 2 : 0);
+  const std::string bot_label = format_double(vmin, vmin < 10 && vmin != 0 ? 2 : 0);
+  const std::size_t lw = std::max(top_label.size(), bot_label.size());
+  for (int r = 0; r < height_; ++r) {
+    std::string label(lw, ' ');
+    if (r == 0) label = std::string(lw - top_label.size(), ' ') + top_label;
+    if (r == height_ - 1) label = std::string(lw - bot_label.size(), ' ') + bot_label;
+    out << label << " |" << grid[r] << "\n";
+  }
+  out << std::string(lw, ' ') << " +" << std::string(width_, '-') << "\n";
+  out << std::string(lw, ' ') << "  " << format_duration(tmin)
+      << std::string(std::max<int>(1, width_ - 16), ' ') << format_duration(tmax) << "\n";
+  out << "  [" << value_label << "]  legend:";
+  for (std::size_t si = 0; si < series_.size(); ++si) {
+    out << "  " << kGlyphs[si % (sizeof(kGlyphs) - 1)] << "=" << series_[si].name;
+  }
+  out << "\n";
+  return out.str();
+}
+
+}  // namespace chase::util

@@ -1,0 +1,33 @@
+#pragma once
+/// \file chart.hpp
+/// ASCII time-series charts — the stand-in for the paper's Grafana panels
+/// (Figures 3–6). Multiple series are overlaid with distinct glyphs.
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace chase::util {
+
+struct Series {
+  std::string name;
+  std::vector<std::pair<double, double>> points;  // (time seconds, value)
+};
+
+class AsciiChart {
+ public:
+  AsciiChart(int width = 78, int height = 16) : width_(width), height_(height) {}
+
+  void add_series(Series s) { series_.push_back(std::move(s)); }
+
+  /// Render all series on a shared time/value grid with axis labels and a
+  /// legend. `value_label` names the Y axis (e.g. "MB/s").
+  std::string render(const std::string& title, const std::string& value_label) const;
+
+ private:
+  int width_;
+  int height_;
+  std::vector<Series> series_;
+};
+
+}  // namespace chase::util

@@ -1,0 +1,43 @@
+#include "util/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace chase::util {
+
+Histogram::Histogram(double lo, double hi, std::size_t buckets)
+    : lo_(lo), hi_(hi), counts_(std::max<std::size_t>(1, buckets), 0) {}
+
+void Histogram::add(double v) {
+  if (count_ == 0) {
+    min_ = max_ = v;
+  } else {
+    min_ = std::min(min_, v);
+    max_ = std::max(max_, v);
+  }
+  ++count_;
+  sum_ += v;
+  double rel = (v - lo_) / (hi_ - lo_);
+  auto idx = static_cast<long>(std::floor(rel * static_cast<double>(counts_.size())));
+  idx = std::clamp<long>(idx, 0, static_cast<long>(counts_.size()) - 1);
+  ++counts_[static_cast<std::size_t>(idx)];
+}
+
+double Histogram::quantile(double q) const {
+  if (count_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(count_);
+  double cum = 0.0;
+  const double bw = (hi_ - lo_) / static_cast<double>(counts_.size());
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const double next = cum + static_cast<double>(counts_[i]);
+    if (next >= target && counts_[i] > 0) {
+      const double frac = (target - cum) / static_cast<double>(counts_[i]);
+      return lo_ + (static_cast<double>(i) + frac) * bw;
+    }
+    cum = next;
+  }
+  return max_;
+}
+
+}  // namespace chase::util

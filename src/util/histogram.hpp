@@ -1,0 +1,36 @@
+#pragma once
+/// \file histogram.hpp
+/// Streaming histogram with quantile estimation, used for latency and
+/// object-statistics reporting.
+
+#include <cstddef>
+#include <vector>
+
+namespace chase::util {
+
+class Histogram {
+ public:
+  /// Fixed-width buckets over [lo, hi); values outside are clamped into the
+  /// first/last bucket. `buckets` must be >= 1.
+  Histogram(double lo, double hi, std::size_t buckets);
+
+  void add(double v);
+  std::size_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double mean() const { return count_ ? sum_ / static_cast<double>(count_) : 0.0; }
+  double min() const { return count_ ? min_ : 0.0; }
+  double max() const { return count_ ? max_ : 0.0; }
+  /// Linear-interpolated quantile estimate, q in [0, 1].
+  double quantile(double q) const;
+  const std::vector<std::size_t>& buckets() const { return counts_; }
+
+ private:
+  double lo_, hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace chase::util

@@ -1,0 +1,24 @@
+#pragma once
+/// \file table.hpp
+/// ASCII table rendering for benchmark reports (Table I style output).
+
+#include <string>
+#include <vector>
+
+namespace chase::util {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+  /// Render with box-drawing separators; title is optional.
+  std::string render(const std::string& title = "") const;
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace chase::util

@@ -1,0 +1,102 @@
+#include "util/thread_pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+
+namespace chase::util {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) {
+    threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lk(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::submit(std::function<void()> fn) {
+  {
+    std::lock_guard lk(mu_);
+    queue_.push(std::move(fn));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock lk(mu_);
+  idle_cv_.wait(lk, [this] { return queue_.empty() && active_ == 0; });
+}
+
+void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
+                              const std::function<void(std::size_t)>& fn) {
+  if (begin >= end) return;
+  const std::size_t n = end - begin;
+  const std::size_t nthreads = workers_.size() + 1;  // workers + caller
+  const std::size_t chunk = std::max<std::size_t>(1, (n + nthreads - 1) / nthreads);
+
+  std::atomic<std::size_t> next{begin};
+  std::atomic<std::size_t> pending{0};
+  std::mutex done_mu;
+  std::condition_variable done_cv;
+
+  auto run_chunks = [&] {
+    for (;;) {
+      const std::size_t lo = next.fetch_add(chunk);
+      if (lo >= end) break;
+      const std::size_t hi = std::min(end, lo + chunk);
+      for (std::size_t i = lo; i < hi; ++i) fn(i);
+    }
+  };
+
+  const std::size_t helpers = std::min<std::size_t>(workers_.size(), (n + chunk - 1) / chunk);
+  pending.store(helpers);
+  for (std::size_t t = 0; t < helpers; ++t) {
+    submit([&] {
+      run_chunks();
+      if (pending.fetch_sub(1) == 1) {
+        std::lock_guard lk(done_mu);
+        done_cv.notify_all();
+      }
+    });
+  }
+  run_chunks();
+  std::unique_lock lk(done_mu);
+  done_cv.wait(lk, [&] { return pending.load() == 0; });
+}
+
+ThreadPool& ThreadPool::shared() {
+  static ThreadPool pool;
+  return pool;
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock lk(mu_);
+      cv_.wait(lk, [this] { return stop_ || !queue_.empty(); });
+      if (stop_ && queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop();
+      ++active_;
+    }
+    task();
+    {
+      std::lock_guard lk(mu_);
+      --active_;
+      if (queue_.empty() && active_ == 0) idle_cv_.notify_all();
+    }
+  }
+}
+
+}  // namespace chase::util

@@ -1,0 +1,44 @@
+#pragma once
+/// \file units.hpp
+/// Units and human-readable formatting used across the CHASE-CI simulation:
+/// byte counts, bandwidths (bytes/second) and simulated durations (seconds).
+/// The paper reports decimal units (GB = 1e9 bytes, 10GbE = 1.25e9 B/s), so
+/// all helpers here are decimal.
+
+#include <cstdint>
+#include <string>
+
+namespace chase::util {
+
+using Bytes = std::uint64_t;
+
+inline constexpr double kKB = 1e3;
+inline constexpr double kMB = 1e6;
+inline constexpr double kGB = 1e9;
+inline constexpr double kTB = 1e12;
+inline constexpr double kPB = 1e15;
+
+/// Convenience literals for byte quantities, e.g. `gb(246)` == 246e9 bytes.
+constexpr Bytes kb(double v) { return static_cast<Bytes>(v * kKB); }
+constexpr Bytes mb(double v) { return static_cast<Bytes>(v * kMB); }
+constexpr Bytes gb(double v) { return static_cast<Bytes>(v * kGB); }
+constexpr Bytes tb(double v) { return static_cast<Bytes>(v * kTB); }
+
+/// Link speeds. Ethernet rates are bits/second on the wire; all simulation
+/// bandwidth values are bytes/second, so 10GbE == 1.25e9 B/s.
+constexpr double gbit_per_s(double gbits) { return gbits * 1e9 / 8.0; }
+
+inline constexpr double kMinute = 60.0;
+inline constexpr double kHour = 3600.0;
+inline constexpr double kDay = 86400.0;
+
+/// "246.0GB", "381MB", "2.3KB", "17B".
+std::string format_bytes(double bytes);
+/// "593MB/s", "2.64GB/s".
+std::string format_rate(double bytes_per_s);
+/// "37m", "18h53m", "4.2s".
+std::string format_duration(double seconds);
+/// Fixed-precision helper, e.g. format_double(3.14159, 2) == "3.14".
+std::string format_double(double v, int precision);
+
+}  // namespace chase::util

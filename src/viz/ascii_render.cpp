@@ -1,0 +1,51 @@
+#include "viz/ascii_render.hpp"
+
+#include <algorithm>
+
+namespace chase::viz {
+
+namespace {
+constexpr char kRamp[] = " .:-=+*#%@";
+constexpr int kRampSize = sizeof(kRamp) - 1;
+}  // namespace
+
+std::string render_field_slice(const ml::Volume<float>& field, int t, int max_width) {
+  if (t < 0 || t >= field.nz() || field.nx() == 0) return "(empty)\n";
+  const int stride = std::max(1, field.nx() / max_width);
+  float lo = field.at(0, 0, t), hi = lo;
+  for (int y = 0; y < field.ny(); ++y) {
+    for (int x = 0; x < field.nx(); ++x) {
+      lo = std::min(lo, field.at(x, y, t));
+      hi = std::max(hi, field.at(x, y, t));
+    }
+  }
+  const float range = hi > lo ? hi - lo : 1.f;
+  std::string out;
+  for (int y = 0; y < field.ny(); y += stride) {
+    for (int x = 0; x < field.nx(); x += stride) {
+      const float v = (field.at(x, y, t) - lo) / range;
+      const int idx = std::clamp(static_cast<int>(v * (kRampSize - 1) + 0.5f), 0,
+                                 kRampSize - 1);
+      out += kRamp[idx];
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+std::string render_label_slice(const ml::Volume<std::int32_t>& labels, int t,
+                               int max_width) {
+  if (t < 0 || t >= labels.nz() || labels.nx() == 0) return "(empty)\n";
+  const int stride = std::max(1, labels.nx() / max_width);
+  std::string out;
+  for (int y = 0; y < labels.ny(); y += stride) {
+    for (int x = 0; x < labels.nx(); x += stride) {
+      const std::int32_t id = labels.at(x, y, t);
+      out += id == 0 ? '.' : static_cast<char>('A' + (id - 1) % 26);
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace chase::viz

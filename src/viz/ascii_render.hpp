@@ -1,0 +1,22 @@
+#pragma once
+/// \file ascii_render.hpp
+/// Terminal rendering of IVT fields and segmentations — the stand-in for the
+/// JupyterLab visualization notebook of workflow Step 4 ("load the most
+/// recent results, plot out the segmented objects").
+
+#include <cstdint>
+#include <string>
+
+#include "ml/volume.hpp"
+
+namespace chase::viz {
+
+/// Render one time slice of a scalar field as an intensity map
+/// (characters " .:-=+*#%@" by value). `t` is the slice index.
+std::string render_field_slice(const ml::Volume<float>& field, int t, int max_width = 78);
+
+/// Render one time slice of a label volume; each object id gets a letter.
+std::string render_label_slice(const ml::Volume<std::int32_t>& labels, int t,
+                               int max_width = 78);
+
+}  // namespace chase::viz

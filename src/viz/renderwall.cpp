@@ -1,0 +1,88 @@
+#include "viz/renderwall.hpp"
+
+#include <algorithm>
+
+#include "util/rng.hpp"
+
+namespace chase::viz {
+
+void RenderWall::run(const std::vector<net::NodeId>& gpu_nodes, net::NodeId display,
+                     net::NodeId input, std::uint64_t frames, sim::EventPtr done) {
+  sim_.spawn(frame_loop(this, gpu_nodes, display, input, frames, std::move(done)));
+}
+
+sim::Task RenderWall::frame_loop(RenderWall* self, std::vector<net::NodeId> gpu_nodes,
+                                 net::NodeId display, net::NodeId input,
+                                 std::uint64_t frames, sim::EventPtr done) {
+  util::Rng rng(self->options_.seed);
+  const double frame_period = 1.0 / self->options_.frame_rate_hz;
+  const double tile_bytes =
+      self->options_.tile_pixels * self->options_.bytes_per_pixel;
+
+  for (std::uint64_t f = 0; f < frames; ++f) {
+    const double input_time = self->sim_.now();
+
+    // Input event: wand state from the input site to every render node
+    // (tiny payload; pays WAN latency).
+    std::vector<net::TransferPtr> input_events;
+    for (auto node : gpu_nodes) {
+      input_events.push_back(self->net_.transfer(input, node, 64));
+    }
+    for (auto& ev : input_events) co_await ev->done->wait(self->sim_);
+
+    // Each node renders its tile (jittered GPU time) then streams it to the
+    // display; the frame completes when the last tile lands.
+    auto frame_done = sim::make_event();
+    auto latch = std::make_shared<sim::Latch>(
+        static_cast<std::int64_t>(gpu_nodes.size()), frame_done);
+    struct TileJob {
+      RenderWall* wall;
+      net::NodeId node, display;
+      double render_s;
+      double bytes;
+      std::shared_ptr<sim::Latch> latch;
+    };
+    for (auto node : gpu_nodes) {
+      const double render_s =
+          self->options_.tile_pixels / self->options_.render_pixels_per_s *
+          (1.0 + rng.uniform(0.0, self->options_.render_jitter));
+      auto tile = [](TileJob job) -> sim::Task {
+        co_await job.wall->sim_.sleep(job.render_s);
+        co_await job.wall->net_.send(job.node, job.display,
+                                     static_cast<util::Bytes>(job.bytes));
+        job.latch->count_down(job.wall->sim_);
+      };
+      self->sim_.spawn(tile(TileJob{self, node, display, render_s, tile_bytes, latch}));
+    }
+    co_await frame_done->wait(self->sim_);
+    self->latencies_.push_back(self->sim_.now() - input_time);
+
+    // Pace to the frame rate.
+    const double elapsed = self->sim_.now() - input_time;
+    if (elapsed < frame_period) co_await self->sim_.sleep(frame_period - elapsed);
+  }
+  done->trigger(self->sim_);
+}
+
+RenderWallReport RenderWall::report() const {
+  RenderWallReport r;
+  r.frames = latencies_.size();
+  if (latencies_.empty()) return r;
+  std::vector<double> sorted = latencies_;
+  std::sort(sorted.begin(), sorted.end());
+  double total = 0.0;
+  std::uint64_t on_time = 0;
+  const double budget = 1.0 / options_.frame_rate_hz;
+  for (double l : sorted) {
+    total += l;
+    on_time += l <= budget;
+  }
+  r.mean_latency = total / static_cast<double>(sorted.size());
+  r.p50_latency = sorted[sorted.size() / 2];
+  r.p99_latency = sorted[std::min(sorted.size() - 1, sorted.size() * 99 / 100)];
+  r.max_latency = sorted.back();
+  r.on_time_fraction = static_cast<double>(on_time) / static_cast<double>(sorted.size());
+  return r;
+}
+
+}  // namespace chase::viz

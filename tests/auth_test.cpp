@@ -1,0 +1,93 @@
+#include <gtest/gtest.h>
+
+#include "auth/cilogon.hpp"
+
+namespace ca = chase::auth;
+
+TEST(CILogon, LoginWithFederatedProvider) {
+  ca::CILogon sso;
+  sso.register_provider("ucsd.edu");
+  auto token = sso.login("ucsd.edu", "ialtintas");
+  ASSERT_TRUE(token.has_value());
+  auto id = sso.validate(*token);
+  ASSERT_TRUE(id.has_value());
+  EXPECT_EQ(id->user, "ialtintas");
+  EXPECT_EQ(id->provider, "ucsd.edu");
+}
+
+TEST(CILogon, UnknownProviderRejected) {
+  ca::CILogon sso;
+  sso.register_provider("ucsd.edu");
+  EXPECT_FALSE(sso.login("evil.example", "mallory").has_value());
+}
+
+TEST(CILogon, RevokedTokenInvalid) {
+  ca::CILogon sso;
+  sso.register_provider("ucsd.edu");
+  auto token = *sso.login("ucsd.edu", "alice");
+  sso.revoke(token);
+  EXPECT_FALSE(sso.validate(token).has_value());
+}
+
+TEST(CILogon, ForgedTokenRejected) {
+  ca::CILogon sso;
+  sso.register_provider("ucsd.edu");
+  auto token = *sso.login("ucsd.edu", "alice");
+  ca::Token forged = token;
+  forged.identity.user = "bob";  // token id valid but identity mismatched
+  EXPECT_FALSE(sso.validate(forged).has_value());
+}
+
+TEST(CILogon, ManyProviders) {
+  ca::CILogon sso;
+  for (int i = 0; i < 2500; ++i) {
+    sso.register_provider("campus" + std::to_string(i) + ".edu");
+  }
+  EXPECT_EQ(sso.provider_count(), 2500u);
+  EXPECT_TRUE(sso.login("campus42.edu", "student").has_value());
+}
+
+TEST(Rbac, AdminHasAllVerbs) {
+  ca::Rbac rbac;
+  ca::Identity pi{"ucsd.edu", "pi"};
+  rbac.grant_admin("atmos", pi);
+  for (auto verb : {ca::Verb::Get, ca::Verb::Create, ca::Verb::Delete, ca::Verb::Admin}) {
+    EXPECT_TRUE(rbac.allowed("atmos", pi, verb));
+  }
+  EXPECT_TRUE(rbac.is_admin("atmos", pi));
+}
+
+TEST(Rbac, MemberCannotAdmin) {
+  ca::Rbac rbac;
+  ca::Identity student{"ucsd.edu", "student"};
+  rbac.grant_member("atmos", student);
+  EXPECT_TRUE(rbac.allowed("atmos", student, ca::Verb::Create));
+  EXPECT_TRUE(rbac.allowed("atmos", student, ca::Verb::Get));
+  EXPECT_FALSE(rbac.allowed("atmos", student, ca::Verb::Admin));
+  EXPECT_FALSE(rbac.is_admin("atmos", student));
+}
+
+TEST(Rbac, NamespacesAreIsolated) {
+  ca::Rbac rbac;
+  ca::Identity pi{"ucsd.edu", "pi"};
+  rbac.grant_admin("atmos", pi);
+  EXPECT_FALSE(rbac.allowed("carl-uci", pi, ca::Verb::Get));
+  EXPECT_FALSE(rbac.allowed("carl-uci", pi, ca::Verb::Create));
+}
+
+TEST(Rbac, RevokeAllRemovesAccess) {
+  ca::Rbac rbac;
+  ca::Identity who{"ucsd.edu", "x"};
+  rbac.grant_admin("ns", who);
+  rbac.grant_member("ns", who);
+  rbac.revoke_all("ns", who);
+  EXPECT_FALSE(rbac.allowed("ns", who, ca::Verb::Get));
+}
+
+TEST(Rbac, MembersListed) {
+  ca::Rbac rbac;
+  rbac.grant_admin("ns", {"p", "admin1"});
+  rbac.grant_member("ns", {"p", "member1"});
+  rbac.grant_member("ns", {"p", "member2"});
+  EXPECT_EQ(rbac.members("ns").size(), 3u);
+}

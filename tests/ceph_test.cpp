@@ -1,0 +1,300 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "ceph/ceph.hpp"
+#include "ceph/cephfs.hpp"
+
+namespace ce = chase::ceph;
+namespace cc = chase::cluster;
+namespace cn = chase::net;
+namespace cs = chase::sim;
+namespace cu = chase::util;
+
+namespace {
+
+struct StorageBed {
+  cs::Simulation sim;
+  cn::Network net{sim};
+  cc::Inventory inventory{net};
+  cn::NodeId switch_node;
+  cn::NodeId client;
+  std::unique_ptr<ce::CephCluster> ceph;
+  std::vector<cc::MachineId> storage_machines;
+  std::vector<int> osds;
+
+  explicit StorageBed(int storage_nodes = 4, ce::CephCluster::Options opts = {}) {
+    switch_node = net.add_node("switch");
+    client = net.add_node("client");
+    net.add_link(client, switch_node, cu::gbit_per_s(40), 1e-4);
+    ceph = std::make_unique<ce::CephCluster>(sim, net, inventory, nullptr, opts);
+    for (int i = 0; i < storage_nodes; ++i) {
+      auto name = "stor-" + std::to_string(i);
+      auto nn = net.add_node(name);
+      net.add_link(nn, switch_node, cu::gbit_per_s(40), 1e-4);
+      auto mid = inventory.add(cc::storage_fiona(name, "UCSD", cu::tb(100)), nn);
+      storage_machines.push_back(mid);
+      osds.push_back(ceph->add_osd(mid));
+    }
+  }
+};
+
+}  // namespace
+
+TEST(Ceph, PutAndGetRoundTrip) {
+  StorageBed bed;
+  bed.ceph->create_pool("data");
+  auto put = bed.ceph->put_async(bed.client, "data", "obj1", cu::gb(1));
+  bed.sim.run();
+  EXPECT_TRUE(put->ok);
+  EXPECT_TRUE(bed.ceph->exists("data", "obj1"));
+  EXPECT_EQ(*bed.ceph->object_size("data", "obj1"), cu::gb(1));
+
+  auto get = bed.ceph->get_async(bed.client, "data", "obj1");
+  bed.sim.run();
+  EXPECT_TRUE(get->ok);
+  EXPECT_EQ(get->bytes, cu::gb(1));
+}
+
+TEST(Ceph, MissingObjectGetFails) {
+  StorageBed bed;
+  bed.ceph->create_pool("data");
+  auto get = bed.ceph->get_async(bed.client, "data", "ghost");
+  bed.sim.run();
+  EXPECT_FALSE(get->ok);
+}
+
+TEST(Ceph, MissingPoolPutFails) {
+  StorageBed bed;
+  auto put = bed.ceph->put_async(bed.client, "nope", "x", 100);
+  bed.sim.run();
+  EXPECT_FALSE(put->ok);
+}
+
+TEST(Ceph, ReplicationConsumesCapacityOnEachReplica) {
+  ce::CephCluster::Options opts;
+  opts.replication = 3;
+  StorageBed bed(4, opts);
+  bed.ceph->create_pool("data");
+  auto put = bed.ceph->put_async(bed.client, "data", "obj", cu::gb(2));
+  bed.sim.run();
+  ASSERT_TRUE(put->ok);
+  cu::Bytes used = 0;
+  int holders = 0;
+  for (int osd : bed.osds) {
+    if (bed.ceph->osd_used(osd) > 0) {
+      ++holders;
+      used += bed.ceph->osd_used(osd);
+    }
+  }
+  EXPECT_EQ(holders, 3);
+  EXPECT_EQ(used, cu::gb(2) * 3);
+}
+
+TEST(Ceph, OverwriteDoesNotLeakCapacity) {
+  StorageBed bed;
+  bed.ceph->create_pool("data", 2);
+  auto p1 = bed.ceph->put_async(bed.client, "data", "obj", cu::gb(4));
+  bed.sim.run();
+  auto p2 = bed.ceph->put_async(bed.client, "data", "obj", cu::gb(1));
+  bed.sim.run();
+  ASSERT_TRUE(p1->ok && p2->ok);
+  cu::Bytes used = 0;
+  for (int osd : bed.osds) used += bed.ceph->osd_used(osd);
+  EXPECT_EQ(used, cu::gb(1) * 2);
+}
+
+TEST(Ceph, RemoveFreesCapacity) {
+  StorageBed bed;
+  bed.ceph->create_pool("data", 2);
+  auto put = bed.ceph->put_async(bed.client, "data", "obj", cu::gb(1));
+  bed.sim.run();
+  ASSERT_TRUE(put->ok);
+  bed.ceph->remove("data", "obj");
+  for (int osd : bed.osds) EXPECT_EQ(bed.ceph->osd_used(osd), 0u);
+  EXPECT_FALSE(bed.ceph->exists("data", "obj"));
+}
+
+TEST(Ceph, ReplicasOnDistinctMachines) {
+  ce::CephCluster::Options opts;
+  opts.replication = 3;
+  opts.pg_count = 64;
+  StorageBed bed(5, opts);
+  bed.ceph->create_pool("data");
+  for (int pg = 0; pg < 64; ++pg) {
+    auto acting = bed.ceph->acting_set("data", pg);
+    ASSERT_EQ(acting.size(), 3u) << "pg " << pg;
+    std::set<cc::MachineId> machines;
+    for (int osd : acting) {
+      machines.insert(bed.storage_machines[static_cast<std::size_t>(osd)]);
+    }
+    EXPECT_EQ(machines.size(), 3u) << "pg " << pg;
+  }
+}
+
+TEST(Ceph, PlacementIsBalanced) {
+  ce::CephCluster::Options opts;
+  opts.replication = 2;
+  opts.pg_count = 512;
+  StorageBed bed(8, opts);
+  bed.ceph->create_pool("data");
+  std::vector<int> load(8, 0);
+  for (int pg = 0; pg < 512; ++pg) {
+    for (int osd : bed.ceph->acting_set("data", pg)) load[static_cast<std::size_t>(osd)]++;
+  }
+  const double expected = 512.0 * 2 / 8;
+  for (int l : load) {
+    EXPECT_GT(l, expected * 0.6);
+    EXPECT_LT(l, expected * 1.4);
+  }
+}
+
+TEST(Ceph, AddingOsdMovesLittleData) {
+  ce::CephCluster::Options opts;
+  opts.replication = 2;
+  opts.pg_count = 512;
+  StorageBed bed(8, opts);
+  bed.ceph->create_pool("data");
+  std::vector<std::vector<int>> before(512);
+  for (int pg = 0; pg < 512; ++pg) before[pg] = bed.ceph->acting_set("data", pg);
+
+  // Add a 9th OSD.
+  auto nn = bed.net.add_node("stor-8");
+  bed.net.add_link(nn, bed.switch_node, cu::gbit_per_s(40), 1e-4);
+  auto mid = bed.inventory.add(cc::storage_fiona("stor-8", "UCSD", cu::tb(100)), nn);
+  bed.ceph->add_osd(mid);
+  bed.sim.run();
+
+  int changed = 0;
+  for (int pg = 0; pg < 512; ++pg) {
+    if (bed.ceph->acting_set("data", pg) != before[pg]) ++changed;
+  }
+  // Ideal straw2 movement: 2/9 of PG-replicas gain the new OSD (~22%); allow
+  // generous slack but require far less than a full reshuffle.
+  EXPECT_LT(changed, 512 * 40 / 100);
+  EXPECT_GT(changed, 512 * 8 / 100);
+}
+
+TEST(Ceph, OsdFailureDegradesThenRecovers) {
+  ce::CephCluster::Options opts;
+  opts.replication = 2;
+  opts.pg_count = 32;
+  opts.recovery_rate = 1e9;
+  StorageBed bed(4, opts);
+  bed.ceph->create_pool("data");
+  for (int i = 0; i < 50; ++i) {
+    bed.ceph->put_async(bed.client, "data", "obj" + std::to_string(i), cu::gb(1));
+  }
+  bed.sim.run();
+  ASSERT_TRUE(bed.ceph->health().healthy());
+  ASSERT_EQ(bed.ceph->object_count("data"), 50u);
+
+  bed.inventory.set_up(bed.storage_machines[0], false);
+  auto after_fail = bed.ceph->health();
+  EXPECT_FALSE(after_fail.healthy());
+  EXPECT_GT(after_fail.pgs_recovering + after_fail.pgs_degraded, 0);
+
+  bed.sim.run();  // recovery traffic drains
+  auto recovered = bed.ceph->health();
+  EXPECT_TRUE(recovered.healthy()) << "clean=" << recovered.pgs_clean
+                                   << " degraded=" << recovered.pgs_degraded
+                                   << " recovering=" << recovered.pgs_recovering;
+  // All objects still readable.
+  auto get = bed.ceph->get_async(bed.client, "data", "obj7");
+  bed.sim.run();
+  EXPECT_TRUE(get->ok);
+}
+
+TEST(Ceph, ReplicationFactorOneLosesRedundancy) {
+  ce::CephCluster::Options opts;
+  opts.replication = 1;
+  StorageBed bed(3, opts);
+  bed.ceph->create_pool("data");
+  auto put = bed.ceph->put_async(bed.client, "data", "obj", cu::gb(1));
+  bed.sim.run();
+  ASSERT_TRUE(put->ok);
+  int holders = 0;
+  for (int osd : bed.osds) holders += bed.ceph->osd_used(osd) > 0;
+  EXPECT_EQ(holders, 1);
+}
+
+TEST(Ceph, HigherReplicationTakesLonger) {
+  double times[2];
+  for (int run = 0; run < 2; ++run) {
+    ce::CephCluster::Options opts;
+    opts.replication = run == 0 ? 1 : 3;
+    StorageBed bed(4, opts);
+    bed.ceph->create_pool("data");
+    auto put = bed.ceph->put_async(bed.client, "data", "obj", cu::gb(8));
+    bed.sim.run();
+    ASSERT_TRUE(put->ok);
+    times[run] = put->finish_time - put->start_time;
+  }
+  EXPECT_GT(times[1], times[0] * 1.3);
+}
+
+TEST(Ceph, HealthCountsBytesStored) {
+  StorageBed bed;
+  bed.ceph->create_pool("data", 2);
+  bed.ceph->put_async(bed.client, "data", "a", cu::gb(1));
+  bed.ceph->put_async(bed.client, "data", "b", cu::gb(2));
+  bed.sim.run();
+  EXPECT_EQ(bed.ceph->health().bytes_stored, cu::gb(3));
+  // Written bytes include replication.
+  EXPECT_DOUBLE_EQ(bed.ceph->total_bytes_written(), static_cast<double>(cu::gb(3)) * 2);
+}
+
+// Property sweep: every object's PG is stable and within range for varied
+// pool/object names.
+class PgMapping : public ::testing::TestWithParam<int> {};
+
+TEST_P(PgMapping, StableAndInRange) {
+  ce::CephCluster::Options opts;
+  opts.pg_count = GetParam();
+  StorageBed bed(3, opts);
+  bed.ceph->create_pool("p");
+  for (int i = 0; i < 200; ++i) {
+    const std::string name = "object-" + std::to_string(i * 7919);
+    const int pg1 = bed.ceph->pg_of("p", name);
+    const int pg2 = bed.ceph->pg_of("p", name);
+    EXPECT_EQ(pg1, pg2);
+    EXPECT_GE(pg1, 0);
+    EXPECT_LT(pg1, GetParam());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(PgCounts, PgMapping, ::testing::Values(16, 64, 128, 256));
+
+TEST(CephFs, WriteListReadRemove) {
+  StorageBed bed;
+  ce::CephFs fs(*bed.ceph, "cephfs-data", 2);
+  static bool done;
+  done = false;
+  auto writer = [](StorageBed* b, ce::CephFs* f) -> cs::Task {
+    co_await f->write_file(b->client, "/merra2/1980/jan.h5", cu::mb(500));
+    co_await f->write_file(b->client, "/merra2/1980/feb.h5", cu::mb(400));
+    co_await f->write_file(b->client, "/models/ffn.ckpt", cu::mb(381));
+    done = true;
+  };
+  bed.sim.spawn(writer(&bed, &fs));
+  bed.sim.run();
+  ASSERT_TRUE(done);
+
+  EXPECT_TRUE(fs.exists("/models/ffn.ckpt"));
+  EXPECT_EQ(*fs.file_size("/models/ffn.ckpt"), cu::mb(381));
+  EXPECT_EQ(fs.list("/merra2/").size(), 2u);
+  EXPECT_EQ(fs.bytes_under("/merra2/"), cu::mb(900));
+  EXPECT_EQ(fs.list("/").size(), 3u);
+
+  fs.remove_file("/merra2/1980/jan.h5");
+  EXPECT_EQ(fs.list("/merra2/").size(), 1u);
+  EXPECT_FALSE(fs.exists("/merra2/1980/jan.h5"));
+}
+
+TEST(CephFs, ReadMissingFileFails) {
+  StorageBed bed;
+  ce::CephFs fs(*bed.ceph);
+  auto io = fs.read_file_async(bed.client, "/nope");
+  bed.sim.run();
+  EXPECT_FALSE(io->ok);
+}

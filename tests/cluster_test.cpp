@@ -1,0 +1,82 @@
+#include <gtest/gtest.h>
+
+#include "cluster/machine.hpp"
+#include "net/network.hpp"
+#include "sim/simulation.hpp"
+
+namespace cc = chase::cluster;
+namespace cn = chase::net;
+namespace cs = chase::sim;
+namespace cu = chase::util;
+
+TEST(MachineSpecs, FionaMatchesPaper) {
+  auto f = cc::fiona("f1", "UCSD");
+  EXPECT_EQ(f.cpu_cores, 24);  // dual 12-core
+  EXPECT_EQ(f.memory, cu::gb(96));
+  EXPECT_EQ(f.disk_capacity, cu::tb(1));
+  EXPECT_DOUBLE_EQ(f.nic_bps, cu::gbit_per_s(20));  // two 10 GbE
+  EXPECT_EQ(f.gpus, 0);
+}
+
+TEST(MachineSpecs, Fiona8HasEightGameGpus) {
+  auto f = cc::fiona8("f8", "UCSD");
+  EXPECT_EQ(f.gpus, 8);
+  EXPECT_EQ(f.gpu_model, cc::GpuModel::GTX1080Ti);
+  EXPECT_GT(cc::gpu_fp32_tflops(f.gpu_model), 10.0);
+}
+
+TEST(MachineSpecs, GpuModelNames) {
+  EXPECT_STREQ(cc::gpu_model_name(cc::GpuModel::GTX1080Ti), "GTX 1080ti");
+  EXPECT_STREQ(cc::gpu_model_name(cc::GpuModel::None), "none");
+  EXPECT_DOUBLE_EQ(cc::gpu_fp32_tflops(cc::GpuModel::None), 0.0);
+}
+
+TEST(Inventory, TotalsAggregate) {
+  cs::Simulation sim;
+  cn::Network net(sim);
+  cc::Inventory inv(net);
+  auto n1 = net.add_node("m1");
+  auto n2 = net.add_node("m2");
+  inv.add(cc::fiona8("m1", "UCSD"), n1);
+  inv.add(cc::fiona("m2", "UCI"), n2);
+  EXPECT_EQ(inv.size(), 2u);
+  EXPECT_EQ(inv.total_gpus(), 8);
+  EXPECT_EQ(inv.total_cpus(), 48);
+  EXPECT_EQ(inv.total_memory(), cu::gb(192) + cu::gb(96));
+}
+
+TEST(Inventory, FailurePropagatesToNetworkAndSubscribers) {
+  cs::Simulation sim;
+  cn::Network net(sim);
+  cc::Inventory inv(net);
+  auto n1 = net.add_node("m1");
+  auto id = inv.add(cc::fiona("m1", "UCSD"), n1);
+
+  int notifications = 0;
+  bool last_state = true;
+  inv.subscribe([&](cc::MachineId, bool up) {
+    ++notifications;
+    last_state = up;
+  });
+
+  inv.set_up(id, false);
+  EXPECT_FALSE(inv.up(id));
+  EXPECT_FALSE(net.node_up(n1));
+  EXPECT_EQ(notifications, 1);
+  EXPECT_FALSE(last_state);
+
+  // Idempotent: setting the same state again does not re-notify.
+  inv.set_up(id, false);
+  EXPECT_EQ(notifications, 1);
+
+  inv.set_up(id, true);
+  EXPECT_TRUE(net.node_up(n1));
+  EXPECT_EQ(notifications, 2);
+  EXPECT_TRUE(last_state);
+}
+
+TEST(Inventory, StorageFionaCapacity) {
+  auto s = cc::storage_fiona("s1", "SDSC", cu::tb(100));
+  EXPECT_EQ(s.disk_capacity, cu::tb(100));
+  EXPECT_GT(s.disk_write_bw, 1e9);
+}

@@ -1,0 +1,172 @@
+#include <gtest/gtest.h>
+
+#include "core/connect_workflow.hpp"
+#include "core/nautilus.hpp"
+#include "core/workflow.hpp"
+
+namespace co = chase::core;
+namespace cw = chase::wf;
+namespace ck = chase::kube;
+namespace cs = chase::sim;
+namespace cu = chase::util;
+
+TEST(Nautilus, BuildsThePlatform) {
+  co::Nautilus bed;
+  // 8 sites x 2 FIONA8 x 8 GPUs.
+  EXPECT_EQ(bed.inventory.total_gpus(), 128);
+  EXPECT_EQ(bed.kube->node_count(), 16u);
+  EXPECT_EQ(bed.ceph->osd_count(), 8u);
+  // "over a petabyte of storage".
+  EXPECT_GE(bed.ceph->total_capacity(), cu::tb(1000));
+  // THREDDS hosts the MERRA-2 catalog.
+  ASSERT_NE(bed.thredds->dataset("M2I3NPASM"), nullptr);
+  EXPECT_EQ(bed.thredds->dataset("M2I3NPASM")->file_count, 112249u);
+  // Federation ready.
+  EXPECT_TRUE(bed.sso.has_provider("ucsd.edu"));
+  auto desc = bed.describe();
+  EXPECT_NE(desc.find("UCSD"), std::string::npos);
+  EXPECT_NE(desc.find("128 GPUs"), std::string::npos);
+}
+
+TEST(Workflow, MeasuresStepsSequentially) {
+  co::Nautilus bed;
+  cw::Workflow wf(*bed.kube, bed.metrics, "default", "test-wf");
+
+  auto make_step = [&](const std::string& name, const std::string& label,
+                       double run_seconds, int pods) {
+    return cw::StepSpec{
+        name, label,
+        [&bed, label, run_seconds, pods](cw::StepContext& ctx) -> chase::sim::Task {
+          ck::JobSpec job;
+          job.ns = "default";
+          job.name = "job-" + label;
+          job.labels = ctx.step_labels();
+          job.completions = pods;
+          job.parallelism = pods;
+          ck::ContainerSpec c;
+          c.requests = {2, cu::gb(4), 0};
+          c.program = [run_seconds](ck::PodContext& pctx) -> chase::sim::Task {
+            co_await pctx.compute(run_seconds * 2.0, 2.0);
+          };
+          job.pod_template.containers.push_back(std::move(c));
+          auto j = ctx.kube().create_job(job).value;
+          co_await j->done->wait(ctx.sim());
+          ctx.add_data(1e9);
+        }};
+  };
+  wf.add_step(make_step("alpha", "a", 10.0, 2));
+  wf.add_step(make_step("beta", "b", 5.0, 3));
+
+  auto stop = cs::make_event();
+  bed.metrics.start_sampler(bed.sim, 5.0, stop);
+  auto done = wf.start(bed.sim);
+  ASSERT_TRUE(cs::run_until(bed.sim, done));
+  stop->trigger(bed.sim);
+  bed.sim.run();
+
+  ASSERT_TRUE(wf.finished());
+  ASSERT_EQ(wf.reports().size(), 2u);
+  const auto& alpha = wf.reports()[0];
+  const auto& beta = wf.reports()[1];
+  EXPECT_EQ(alpha.pods, 2);
+  EXPECT_EQ(beta.pods, 3);
+  EXPECT_DOUBLE_EQ(alpha.cpus, 4);
+  EXPECT_DOUBLE_EQ(beta.cpus, 6);
+  EXPECT_DOUBLE_EQ(alpha.data_bytes, 1e9);
+  EXPECT_GE(alpha.duration(), 10.0);
+  EXPECT_GE(beta.duration(), 5.0);
+  // Steps are sequential.
+  EXPECT_GE(beta.start_time, alpha.end_time);
+  // Peak memory: pods request 4 GB and report it while running.
+  EXPECT_GE(alpha.peak_memory_bytes, static_cast<double>(cu::gb(4)));
+  auto table = wf.summary_table();
+  EXPECT_NE(table.find("alpha"), std::string::npos);
+}
+
+TEST(ConnectWorkflow, ScaledDownRunCompletesAllFourSteps) {
+  co::Nautilus bed;
+  co::ConnectWorkflowParams params;
+  params.data_fraction = 2e-4;  // ~22 files
+  params.download_workers = 3;
+  params.merge_pods = 1;
+  params.url_lists = 5;
+  params.inference_gpus = 4;
+  params.viz_render_seconds = 10.0;
+  co::ConnectWorkflow cwf(bed, params);
+
+  EXPECT_GE(cwf.scaled_file_count(), 20u);
+  EXPECT_LT(cwf.scaled_file_count(), 30u);
+
+  auto stop = cs::make_event();
+  bed.metrics.start_sampler(bed.sim, 30.0, stop);
+  auto done = cwf.workflow().start(bed.sim);
+  ASSERT_TRUE(cs::run_until(bed.sim, done));
+  stop->trigger(bed.sim);
+
+  ASSERT_EQ(cwf.workflow().reports().size(), 4u);
+  const auto& reports = cwf.workflow().reports();
+
+  // Step 1: 3 workers + 1 merger + 1 coordinator + 1 redis = 6 pods, 0 GPUs.
+  EXPECT_EQ(reports[0].pods, 6);
+  EXPECT_EQ(reports[0].gpus, 0);
+  EXPECT_NEAR(reports[0].data_bytes, cwf.scaled_subset_bytes(), 1.0);
+  // Step 2: one trainer with one GPU.
+  EXPECT_EQ(reports[1].pods, 1);
+  EXPECT_EQ(reports[1].gpus, 1);
+  // Step 3: 4 inference pods, one GPU each.
+  EXPECT_EQ(reports[2].pods, 4);
+  EXPECT_EQ(reports[2].gpus, 4);
+  // Step 4: one JupyterLab pod.
+  EXPECT_EQ(reports[3].pods, 1);
+
+  // Data made it into the Ceph Object Store.
+  EXPECT_GT(bed.fs->list("/merra2/").size(), 0u);
+  EXPECT_TRUE(bed.fs->exists("/models/ffn-ckpt"));
+  EXPECT_EQ(bed.fs->list("/results/").size(), 4u);
+
+  // All steps took nonzero time, and inference dominates training at equal
+  // scale factors when sharded over few GPUs.
+  for (const auto& r : reports) EXPECT_GT(r.duration(), 0.0);
+}
+
+TEST(ConnectWorkflow, SubsettingReducesBytes) {
+  co::Nautilus bed;
+  co::ConnectWorkflowParams with_subset;
+  with_subset.data_fraction = 1e-4;
+  co::ConnectWorkflow a(bed, with_subset);
+
+  co::ConnectWorkflowParams whole_files = with_subset;
+  whole_files.variable = "";  // no subsetting: 455 GB archive
+  whole_files.ns = "atmos-whole";
+  co::ConnectWorkflow b(bed, whole_files);
+
+  EXPECT_NEAR(b.scaled_subset_bytes() / a.scaled_subset_bytes(), 455.0 / 246.0, 0.05);
+}
+
+TEST(ConnectWorkflow, WorkerCpuMetricsRecordedPerPod) {
+  co::Nautilus bed;
+  co::ConnectWorkflowParams params;
+  params.data_fraction = 1e-4;
+  params.download_workers = 2;
+  params.merge_pods = 1;
+  params.url_lists = 4;
+  params.inference_gpus = 2;
+  params.viz_render_seconds = 5.0;
+  co::ConnectWorkflow cwf(bed, params);
+
+  auto stop = cs::make_event();
+  bed.metrics.start_sampler(bed.sim, 0.5, stop);
+  auto done = cwf.workflow().start(bed.sim);
+  ASSERT_TRUE(cs::run_until(bed.sim, done));
+  stop->trigger(bed.sim);
+
+  // Fig. 3 data: per-worker CPU series exist under step=1.
+  auto cpu_series = bed.metrics.select("pod_cpu_cores", {{"step", "1"}, {"job", "download"}});
+  EXPECT_EQ(cpu_series.size(), 2u);
+  for (const auto& [key, ts] : cpu_series) {
+    EXPECT_GT(ts->max_over_time(), 1.0);  // busy while downloading
+  }
+  // Fig. 6 data: GPU usage series under step=3.
+  auto gpu_series = bed.metrics.select("pod_gpus", {{"step", "3"}});
+  EXPECT_EQ(gpu_series.size(), 2u);
+}

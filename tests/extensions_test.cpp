@@ -1,0 +1,213 @@
+/// Tests for the substrate extensions: Redis pub/sub and key expiry,
+/// THREDDS time-range selection and catalog rendering, monitoring alert
+/// rules and quantile queries.
+
+#include <gtest/gtest.h>
+
+#include "mon/metrics.hpp"
+#include "redis/redis.hpp"
+#include "thredds/catalog.hpp"
+
+namespace cr = chase::redis;
+namespace cm = chase::mon;
+namespace ct = chase::thredds;
+namespace cn = chase::net;
+namespace cs = chase::sim;
+namespace cu = chase::util;
+
+// --- Redis expiry -----------------------------------------------------------------
+
+TEST(RedisExpiry, KeyDisappearsAfterTtl) {
+  cs::Simulation sim;
+  cr::RedisServer server(sim);
+  server.set("session", "token");
+  server.expire("session", 30.0);
+  ASSERT_TRUE(server.ttl("session").has_value());
+  EXPECT_NEAR(*server.ttl("session"), 30.0, 1e-9);
+  sim.run(29.0);
+  EXPECT_TRUE(server.get("session").has_value());
+  sim.run(31.0);
+  EXPECT_FALSE(server.get("session").has_value());
+  EXPECT_FALSE(server.ttl("session").has_value());
+}
+
+TEST(RedisExpiry, RearmReplacesDeadline) {
+  cs::Simulation sim;
+  cr::RedisServer server(sim);
+  server.set("k", "v");
+  server.expire("k", 10.0);
+  sim.run(5.0);
+  server.expire("k", 100.0);  // push it out
+  sim.run(50.0);
+  EXPECT_TRUE(server.get("k").has_value());
+  sim.run(200.0);
+  EXPECT_FALSE(server.get("k").has_value());
+}
+
+TEST(RedisExpiry, PersistCancelsExpiry) {
+  cs::Simulation sim;
+  cr::RedisServer server(sim);
+  server.set("k", "v");
+  server.expire("k", 10.0);
+  EXPECT_TRUE(server.persist("k"));
+  EXPECT_FALSE(server.persist("k"));
+  sim.run(100.0);
+  EXPECT_TRUE(server.get("k").has_value());
+}
+
+TEST(RedisExpiry, WorksOnLists) {
+  cs::Simulation sim;
+  cr::RedisServer server(sim);
+  server.rpush("queue", "a");
+  server.expire("queue", 5.0);
+  sim.run(10.0);
+  EXPECT_EQ(server.llen("queue"), 0u);
+}
+
+// --- Redis pub/sub -----------------------------------------------------------------
+
+TEST(RedisPubSub, DeliversToAllSubscribers) {
+  cs::Simulation sim;
+  cr::RedisServer server(sim);
+  auto sub1 = server.subscribe("events");
+  auto sub2 = server.subscribe("events");
+  EXPECT_EQ(server.subscriber_count("events"), 2u);
+  EXPECT_EQ(server.publish("events", "step1-done"), 2u);
+  EXPECT_EQ(sub1->messages.size(), 1u);
+  EXPECT_EQ(sub2->messages.size(), 1u);
+  EXPECT_EQ(server.publish("empty-channel", "x"), 0u);
+}
+
+TEST(RedisPubSub, UnsubscribeStopsDelivery) {
+  cs::Simulation sim;
+  cr::RedisServer server(sim);
+  auto sub = server.subscribe("ch");
+  server.unsubscribe("ch", sub);
+  EXPECT_EQ(server.publish("ch", "m"), 0u);
+}
+
+TEST(RedisPubSub, ClientAwaitsNextMessage) {
+  cs::Simulation sim;
+  cn::Network net(sim);
+  auto sw = net.add_node("sw");
+  auto server_node = net.add_node("redis");
+  auto client_node = net.add_node("worker");
+  net.add_link(server_node, sw, cu::gbit_per_s(10), 1e-4);
+  net.add_link(client_node, sw, cu::gbit_per_s(10), 1e-4);
+  cr::RedisServer server(sim);
+  server.host_on(server_node);
+  cr::RedisClient client(sim, net, server, client_node);
+
+  auto sub = server.subscribe("workflow-events");
+  static std::vector<std::string> received;
+  received.clear();
+  auto listener = [](cr::RedisClient* c, cr::RedisServer::SubscriptionPtr s) -> cs::Task {
+    for (int i = 0; i < 2; ++i) {
+      std::string msg;
+      bool ok = false;
+      co_await c->next_message(s, &msg, &ok);
+      if (ok) received.push_back(msg);
+    }
+  };
+  sim.spawn(listener(&client, sub));
+  sim.schedule(10.0, [&] { server.publish("workflow-events", "train-start"); });
+  sim.schedule(20.0, [&] { server.publish("workflow-events", "train-end"); });
+  sim.run();
+  ASSERT_EQ(received.size(), 2u);
+  EXPECT_EQ(received[0], "train-start");
+  EXPECT_EQ(received[1], "train-end");
+}
+
+// --- THREDDS time ranges ----------------------------------------------------------------
+
+TEST(ThreddsRange, IndexAtOrAfter) {
+  auto ds = ct::make_merra2_m2i3npasm();
+  EXPECT_EQ(ds.index_at_or_after({1980, 1, 1, 0}), 0u);
+  EXPECT_EQ(ds.index_at_or_after({1980, 1, 1, 3}), 1u);
+  EXPECT_EQ(ds.index_at_or_after({1980, 1, 1, 2}), 1u);  // rounds up
+  EXPECT_EQ(ds.index_at_or_after({1979, 6, 1, 0}), 0u);  // before archive
+  EXPECT_EQ(ds.index_at_or_after({2030, 1, 1, 0}), ds.file_count);
+}
+
+TEST(ThreddsRange, ThirtyDayTrainingWindow) {
+  // The paper trains on "30 days of data (240 3-hourly images)".
+  auto ds = ct::make_merra2_m2i3npasm();
+  auto window = ds.files_in_range({1980, 1, 1, 0}, {1980, 1, 30, 21});
+  EXPECT_EQ(window.size(), 240u);
+  EXPECT_EQ(window.front(), 0u);
+}
+
+TEST(ThreddsRange, RangeRespectsBounds) {
+  auto ds = ct::make_merra2_m2i3npasm();
+  auto all = ds.files_in_range({1970, 1, 1, 0}, {2030, 1, 1, 0});
+  EXPECT_EQ(all.size(), ds.file_count);
+  auto none = ds.files_in_range({2020, 1, 1, 0}, {2021, 1, 1, 0});
+  EXPECT_TRUE(none.empty());
+}
+
+TEST(ThreddsCatalog, RendersDatasets) {
+  auto page = ct::render_catalog({ct::make_merra2_m2i3npasm()});
+  EXPECT_NE(page.find("M2I3NPASM"), std::string::npos);
+  EXPECT_NE(page.find("IVT"), std::string::npos);
+  EXPECT_NE(page.find("112249 files"), std::string::npos);
+  EXPECT_NE(page.find("1980-01-01T00:00Z"), std::string::npos);
+}
+
+// --- monitoring alerts -------------------------------------------------------------------
+
+TEST(Alerts, FiresAboveThresholdAndClears) {
+  cm::Registry reg;
+  double gpu_temp = 60.0;
+  reg.register_probe("gpu_temp", {{"node", "f8"}}, [&] { return gpu_temp; });
+  reg.add_alert({"gpu-hot", "gpu_temp", {}, true, 85.0});
+
+  reg.sample_now(0);
+  EXPECT_TRUE(reg.firing_alerts().empty());
+  gpu_temp = 92.0;
+  reg.sample_now(10);
+  ASSERT_EQ(reg.firing_alerts().size(), 1u);
+  EXPECT_EQ(reg.firing_alerts()[0], "gpu-hot");
+  EXPECT_DOUBLE_EQ(reg.alerts()[0].since, 10.0);
+  gpu_temp = 70.0;
+  reg.sample_now(20);
+  EXPECT_TRUE(reg.firing_alerts().empty());
+  EXPECT_EQ(reg.alerts()[0].transitions, 1);
+  // State recorded as a series for dashboards.
+  const auto* ts = reg.find("alert_firing", {{"alert", "gpu-hot"}});
+  ASSERT_NE(ts, nullptr);
+  EXPECT_DOUBLE_EQ(ts->value_at(10), 1.0);
+  EXPECT_DOUBLE_EQ(ts->value_at(20), 0.0);
+}
+
+TEST(Alerts, BelowThresholdDirection) {
+  cm::Registry reg;
+  double free_gpus = 50;
+  reg.register_probe("free_gpus", {}, [&] { return free_gpus; });
+  reg.add_alert({"gpus-exhausted", "free_gpus", {}, false, 5.0});
+  reg.sample_now(0);
+  EXPECT_TRUE(reg.firing_alerts().empty());
+  free_gpus = 2;
+  reg.sample_now(10);
+  EXPECT_EQ(reg.firing_alerts().size(), 1u);
+}
+
+TEST(Alerts, SelectorSumsAcrossSeries) {
+  cm::Registry reg;
+  double a = 30, b = 40;
+  reg.register_probe("mem", {{"pod", "a"}}, [&] { return a; });
+  reg.register_probe("mem", {{"pod", "b"}}, [&] { return b; });
+  reg.add_alert({"mem-high", "mem", {}, true, 65.0});
+  reg.sample_now(0);
+  EXPECT_EQ(reg.firing_alerts().size(), 1u);  // 70 > 65
+}
+
+TEST(Quantile, OverTime) {
+  cm::TimeSeries ts;
+  for (int i = 0; i < 100; ++i) ts.append(i, static_cast<double>(i));
+  EXPECT_NEAR(ts.quantile_over_time(0.5), 49.5, 1.0);
+  EXPECT_NEAR(ts.quantile_over_time(0.99), 98.0, 1.5);
+  EXPECT_DOUBLE_EQ(ts.quantile_over_time(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(ts.quantile_over_time(1.0), 99.0);
+  cm::TimeSeries empty;
+  EXPECT_DOUBLE_EQ(empty.quantile_over_time(0.5), 0.0);
+}

@@ -1,0 +1,212 @@
+/// Tests for the hyperparameter/validation sweep (paper §III-E3), the
+/// DaemonSet controller, and the Adam optimizer.
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+
+#include "core/hyperparam.hpp"
+#include "core/nautilus.hpp"
+
+namespace co = chase::core;
+namespace ck = chase::kube;
+namespace cs = chase::sim;
+namespace cu = chase::util;
+namespace ml = chase::ml;
+
+TEST(Hyperparam, SweepEvaluatesAllParameterSets) {
+  co::Nautilus bed;
+  co::HyperparamSweep::Options opts;
+  opts.workers = 2;
+  opts.data.nx = 40;
+  opts.data.ny = 28;
+  opts.data.nt = 12;
+  opts.data.events = 3;
+  co::HyperparamSweep sweep(bed, opts);
+
+  std::vector<co::HyperparamSpec> specs;
+  for (float lr : {0.005f, 0.02f}) {
+    co::HyperparamSpec spec;
+    spec.id = "lr" + cu::format_double(lr, 3);
+    spec.learning_rate = lr;
+    spec.steps = 120;
+    specs.push_back(spec);
+  }
+  auto done = sweep.run(specs);
+  ASSERT_TRUE(cs::run_until(bed.sim, done));
+
+  ASSERT_EQ(sweep.results().size(), 2u);
+  std::set<std::string> ids;
+  std::set<std::string> pods;
+  for (const auto& result : sweep.results()) {
+    ids.insert(result.spec.id);
+    pods.insert(result.pod);
+    EXPECT_GT(result.final_loss, 0.f);
+    EXPECT_GE(result.iou, 0.0);
+    EXPECT_GT(result.wall_time, 0.0);
+  }
+  EXPECT_EQ(ids.size(), 2u);
+  EXPECT_EQ(pods.size(), 2u);  // parallel workers shared the queue
+
+  ASSERT_NE(sweep.best(), nullptr);
+  const auto board = sweep.leaderboard();
+  EXPECT_NE(board.find("lr0.020"), std::string::npos);
+  EXPECT_NE(board.find("IoU"), std::string::npos);
+}
+
+TEST(Hyperparam, ValidationSplitSeedChangesData) {
+  co::Nautilus bed;
+  co::HyperparamSweep::Options opts;
+  opts.workers = 1;
+  opts.data.nx = 32;
+  opts.data.ny = 24;
+  opts.data.nt = 8;
+  co::HyperparamSweep sweep(bed, opts);
+  co::HyperparamSpec a;
+  a.id = "split-A";
+  a.steps = 60;
+  a.split_seed = 500;
+  co::HyperparamSpec b = a;
+  b.id = "split-B";
+  b.split_seed = 501;
+  auto done = sweep.run({a, b});
+  ASSERT_TRUE(cs::run_until(bed.sim, done));
+  ASSERT_EQ(sweep.results().size(), 2u);
+  // Same model config, different validation volumes -> different metrics.
+  EXPECT_NE(sweep.results()[0].iou, sweep.results()[1].iou);
+}
+
+TEST(AdamOptimizer, ConvergesOnSyntheticData) {
+  ml::IvtFieldParams p;
+  p.nx = 40;
+  p.ny = 28;
+  p.nt = 12;
+  p.seed = 21;
+  auto field = ml::generate_ivt(p);
+  ml::FfnConfig cfg;
+  cfg.channels = 4;
+  cfg.modules = 1;
+  cfg.fov = 7;
+  ml::FfnModel model(cfg);
+  ml::FfnTrainer::Options opts;
+  opts.steps = 300;
+  opts.recursion = 1;
+  opts.learning_rate = 0.005f;  // typical Adam LR scale
+  opts.optimizer = ml::FfnModel::OptimizerConfig::Kind::Adam;
+  ml::FfnTrainer trainer(model, field.ivt, field.truth, opts);
+  trainer.train();
+  const auto& losses = trainer.loss_history();
+  const double head = std::accumulate(losses.begin(), losses.begin() + 30, 0.0) / 30;
+  const double tail = std::accumulate(losses.end() - 30, losses.end(), 0.0) / 30;
+  EXPECT_LT(tail, head * 0.5) << "head=" << head << " tail=" << tail;
+}
+
+TEST(DaemonSet, OnePodPerMatchingNode) {
+  co::Nautilus bed;  // 16 FIONA8s
+  ck::DaemonSetSpec spec;
+  spec.ns = "default";
+  spec.name = "node-exporter";
+  spec.labels = {{"app", "node-exporter"}};
+  ck::ContainerSpec c;
+  c.requests = {0.1, cu::gb(1), 0};
+  c.program = [](ck::PodContext& ctx) -> cs::Task {
+    while (!ctx.cancelled()) co_await ctx.sim().sleep(60.0);
+  };
+  spec.pod_template.containers.push_back(std::move(c));
+  auto ds = bed.kube->create_daemon_set(spec);
+  ASSERT_TRUE(ds.ok()) << ds.error;
+  bed.sim.run(60.0);
+
+  std::set<int> nodes;
+  int running = 0;
+  for (const auto& pod : bed.kube->list_pods("default", {{"app", "node-exporter"}})) {
+    if (pod->phase == ck::PodPhase::Running) {
+      ++running;
+      nodes.insert(pod->node);
+    }
+  }
+  EXPECT_EQ(running, 16);
+  EXPECT_EQ(nodes.size(), 16u);  // exactly one per node
+}
+
+TEST(DaemonSet, FollowsNodeLifecycle) {
+  co::Nautilus bed;
+  ck::DaemonSetSpec spec;
+  spec.ns = "default";
+  spec.name = "agent";
+  spec.labels = {{"app", "agent"}};
+  ck::ContainerSpec c;
+  c.requests = {0.1, cu::gb(1), 0};
+  c.program = [](ck::PodContext& ctx) -> cs::Task {
+    while (!ctx.cancelled()) co_await ctx.sim().sleep(60.0);
+  };
+  spec.pod_template.containers.push_back(std::move(c));
+  bed.kube->create_daemon_set(spec);
+  bed.sim.run(60.0);
+
+  auto running_count = [&] {
+    int n = 0;
+    for (const auto& pod : bed.kube->list_pods("default", {{"app", "agent"}})) {
+      n += pod->phase == ck::PodPhase::Running;
+    }
+    return n;
+  };
+  ASSERT_EQ(running_count(), 16);
+
+  // Node goes down: its daemon pod dies and is NOT recreated elsewhere.
+  bed.inventory.set_up(bed.gpu_machines()[3], false);
+  bed.sim.run(bed.sim.now() + 120.0);
+  EXPECT_EQ(running_count(), 15);
+
+  // Node returns: the daemon follows.
+  bed.inventory.set_up(bed.gpu_machines()[3], true);
+  bed.sim.run(bed.sim.now() + 120.0);
+  EXPECT_EQ(running_count(), 16);
+}
+
+TEST(DaemonSet, NodeSelectorRestrictsPlacement) {
+  co::Nautilus bed;
+  ck::DaemonSetSpec spec;
+  spec.ns = "default";
+  spec.name = "ucsd-agent";
+  spec.labels = {{"app", "ucsd-agent"}};
+  spec.node_selector = {{"site", "UCSD"}};
+  ck::ContainerSpec c;
+  c.requests = {0.1, cu::gb(1), 0};
+  c.program = [](ck::PodContext& ctx) -> cs::Task {
+    while (!ctx.cancelled()) co_await ctx.sim().sleep(60.0);
+  };
+  spec.pod_template.containers.push_back(std::move(c));
+  bed.kube->create_daemon_set(spec);
+  bed.sim.run(60.0);
+  int running = 0;
+  for (const auto& pod : bed.kube->list_pods("default", {{"app", "ucsd-agent"}})) {
+    if (pod->phase == ck::PodPhase::Running) {
+      ++running;
+      EXPECT_EQ(bed.inventory.machine(pod->node).spec.site, "UCSD");
+    }
+  }
+  EXPECT_EQ(running, 2);  // 2 FIONA8s per site
+}
+
+TEST(DaemonSet, DeleteRemovesAllDaemonPods) {
+  co::Nautilus bed;
+  ck::DaemonSetSpec spec;
+  spec.ns = "default";
+  spec.name = "agent";
+  spec.labels = {{"app", "agent"}};
+  ck::ContainerSpec c;
+  c.requests = {0.1, cu::gb(1), 0};
+  c.program = [](ck::PodContext& ctx) -> cs::Task {
+    while (!ctx.cancelled()) co_await ctx.sim().sleep(60.0);
+  };
+  spec.pod_template.containers.push_back(std::move(c));
+  bed.kube->create_daemon_set(spec);
+  bed.sim.run(60.0);
+  bed.kube->delete_daemon_set("default", "agent");
+  bed.sim.run(bed.sim.now() + 60.0);
+  for (const auto& pod : bed.kube->list_pods("default", {{"app", "agent"}})) {
+    EXPECT_TRUE(pod->terminal());
+  }
+}

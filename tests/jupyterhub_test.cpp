@@ -1,0 +1,85 @@
+/// Tests for the JupyterHub on-demand notebook layer (paper §VII).
+
+#include <gtest/gtest.h>
+
+#include "core/jupyterhub.hpp"
+#include "core/nautilus.hpp"
+
+namespace co = chase::core;
+namespace ck = chase::kube;
+namespace cu = chase::util;
+
+TEST(JupyterHub, SpawnsGpuNotebookOnDemand) {
+  co::Nautilus bed;
+  co::JupyterHub hub(*bed.kube);
+  auto session = hub.spawn("ssellars");
+  ASSERT_TRUE(session.ok()) << session.error;
+  bed.sim.run(60.0);
+  EXPECT_EQ(session.value->phase, ck::PodPhase::Running);
+  EXPECT_EQ(session.value->gpu_ids.size(), 1u);  // "attached to a GPU"
+  EXPECT_TRUE(hub.has_session("ssellars"));
+  EXPECT_EQ(hub.active_sessions(), 1);
+}
+
+TEST(JupyterHub, SecondSpawnReturnsSameSession) {
+  co::Nautilus bed;
+  co::JupyterHub hub(*bed.kube);
+  auto first = hub.spawn("alice");
+  bed.sim.run(60.0);
+  auto second = hub.spawn("alice");
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(first.value.get(), second.value.get());
+  EXPECT_EQ(hub.active_sessions(), 1);
+}
+
+TEST(JupyterHub, PerUserSessions) {
+  co::Nautilus bed;
+  co::JupyterHub hub(*bed.kube);
+  for (const char* user : {"a", "b", "c"}) hub.spawn(user);
+  bed.sim.run(60.0);
+  EXPECT_EQ(hub.active_sessions(), 3);
+  hub.stop("b");
+  bed.sim.run(bed.sim.now() + 30.0);
+  EXPECT_EQ(hub.active_sessions(), 2);
+  EXPECT_FALSE(hub.has_session("b"));
+  EXPECT_TRUE(hub.has_session("a"));
+}
+
+TEST(JupyterHub, IdleSessionsAreCulledActiveOnesKept) {
+  co::Nautilus bed;
+  co::JupyterHub::Options opts;
+  opts.idle_timeout = 30 * cu::kMinute;
+  opts.cull_period = 5 * cu::kMinute;
+  co::JupyterHub hub(*bed.kube, opts);
+  hub.spawn("worker");
+  hub.spawn("idler");
+  bed.sim.run(60.0);
+  ASSERT_EQ(hub.active_sessions(), 2);
+
+  // "worker" keeps typing; "idler" walks away.
+  for (int i = 1; i <= 12; ++i) {
+    bed.sim.schedule(i * 10 * cu::kMinute, [&hub] { hub.touch("worker"); });
+  }
+  bed.sim.run(2 * cu::kHour);
+  EXPECT_TRUE(hub.has_session("worker"));
+  EXPECT_FALSE(hub.has_session("idler"));
+  EXPECT_EQ(hub.sessions_culled(), 1u);
+  // The culled notebook's GPU returned to the pool.
+  EXPECT_EQ(bed.kube->total_allocated().gpus, 1);
+}
+
+TEST(JupyterHub, RespawnAfterCullCreatesFreshPod) {
+  co::Nautilus bed;
+  co::JupyterHub::Options opts;
+  opts.idle_timeout = 10 * cu::kMinute;
+  opts.cull_period = cu::kMinute;
+  co::JupyterHub hub(*bed.kube, opts);
+  auto first = hub.spawn("u");
+  bed.sim.run(cu::kHour);
+  ASSERT_FALSE(hub.has_session("u"));
+  auto second = hub.spawn("u");
+  ASSERT_TRUE(second.ok());
+  EXPECT_NE(first.value.get(), second.value.get());
+  bed.sim.run(bed.sim.now() + 120.0);
+  EXPECT_EQ(second.value->phase, ck::PodPhase::Running);
+}

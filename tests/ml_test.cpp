@@ -1,0 +1,594 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+#include <set>
+
+#include "ml/connect.hpp"
+#include "ml/cost.hpp"
+#include "ml/eval.hpp"
+#include "ml/ffn.hpp"
+#include "ml/ffn_infer.hpp"
+#include "ml/synth.hpp"
+#include "ml/volume.hpp"
+
+namespace ml = chase::ml;
+namespace cc = chase::cluster;
+
+// --- Volume / Tensor -----------------------------------------------------------
+
+TEST(Volume, IndexingRoundTrip) {
+  ml::Volume<float> v(4, 5, 6);
+  int counter = 0;
+  for (int z = 0; z < 6; ++z) {
+    for (int y = 0; y < 5; ++y) {
+      for (int x = 0; x < 4; ++x) v.at(x, y, z) = static_cast<float>(counter++);
+    }
+  }
+  EXPECT_EQ(v.size(), 120u);
+  EXPECT_FLOAT_EQ(v.at(0, 0, 0), 0.f);
+  EXPECT_FLOAT_EQ(v.at(3, 4, 5), 119.f);
+  EXPECT_FLOAT_EQ(v.get_or(-1, 0, 0, -7.f), -7.f);
+  EXPECT_FLOAT_EQ(v.get_or(1, 0, 0, -7.f), 1.f);
+}
+
+TEST(Tensor4, ChannelLayout) {
+  ml::Tensor4 t(3, 2, 2, 2);
+  t.at(2, 1, 1, 1) = 5.f;
+  EXPECT_FLOAT_EQ(t.channel(2)[t.index(0, 1, 1, 1)], 5.f);
+  EXPECT_EQ(t.voxels(), 8u);
+  EXPECT_EQ(t.size(), 24u);
+}
+
+// --- synthetic IVT ----------------------------------------------------------------
+
+TEST(Synth, DeterministicForSeed) {
+  ml::IvtFieldParams p;
+  p.nx = 32;
+  p.ny = 24;
+  p.nt = 10;
+  auto a = ml::generate_ivt(p);
+  auto b = ml::generate_ivt(p);
+  for (std::size_t i = 0; i < a.ivt.size(); ++i) {
+    ASSERT_FLOAT_EQ(a.ivt.data()[i], b.ivt.data()[i]);
+  }
+  p.seed = 43;
+  auto c = ml::generate_ivt(p);
+  int diffs = 0;
+  for (std::size_t i = 0; i < a.ivt.size(); ++i) diffs += a.ivt.data()[i] != c.ivt.data()[i];
+  EXPECT_GT(diffs, 1000);
+}
+
+TEST(Synth, EventsCreateLabeledVoxels) {
+  ml::IvtFieldParams p;
+  p.nx = 64;
+  p.ny = 48;
+  p.nt = 24;
+  p.events = 4;
+  auto field = ml::generate_ivt(p);
+  std::size_t labeled = 0;
+  for (std::size_t i = 0; i < field.truth.size(); ++i) labeled += field.truth.data()[i];
+  EXPECT_GT(labeled, 100u);
+  EXPECT_LT(labeled, field.truth.size() / 4);  // events are sparse
+  EXPECT_EQ(field.events.size(), 4u);
+}
+
+TEST(Synth, LabeledVoxelsHaveHighIvt) {
+  ml::IvtFieldParams p;
+  p.nx = 48;
+  p.ny = 32;
+  p.nt = 16;
+  auto field = ml::generate_ivt(p);
+  double labeled_sum = 0, unlabeled_sum = 0;
+  std::size_t nl = 0, nu = 0;
+  for (int t = 0; t < p.nt; ++t) {
+    for (int y = 0; y < p.ny; ++y) {
+      for (int x = 0; x < p.nx; ++x) {
+        if (field.truth.at(x, y, t)) {
+          labeled_sum += field.ivt.at(x, y, t);
+          ++nl;
+        } else {
+          unlabeled_sum += field.ivt.at(x, y, t);
+          ++nu;
+        }
+      }
+    }
+  }
+  ASSERT_GT(nl, 0u);
+  EXPECT_GT(labeled_sum / nl, 2.5 * (unlabeled_sum / nu));
+}
+
+TEST(Synth, BackgroundNearConfiguredMean) {
+  ml::IvtFieldParams p;
+  p.nx = 48;
+  p.ny = 32;
+  p.nt = 8;
+  p.events = 0;
+  auto field = ml::generate_ivt(p);
+  double sum = 0;
+  for (std::size_t i = 0; i < field.ivt.size(); ++i) sum += field.ivt.data()[i];
+  EXPECT_NEAR(sum / static_cast<double>(field.ivt.size()), p.background, 15.0);
+}
+
+// --- CONNECT ----------------------------------------------------------------------
+
+namespace {
+
+/// Brute-force flood fill reference for correctness checking.
+ml::Volume<std::int32_t> reference_label(const ml::Volume<float>& ivt, double thr,
+                                         bool diagonal) {
+  ml::Volume<std::int32_t> labels(ivt.nx(), ivt.ny(), ivt.nz(), 0);
+  int next = 1;
+  for (int t = 0; t < ivt.nz(); ++t) {
+    for (int y = 0; y < ivt.ny(); ++y) {
+      for (int x = 0; x < ivt.nx(); ++x) {
+        if (ivt.at(x, y, t) <= thr || labels.at(x, y, t) != 0) continue;
+        std::vector<std::array<int, 3>> stack{{x, y, t}};
+        labels.at(x, y, t) = next;
+        while (!stack.empty()) {
+          auto [cx, cy, ct] = stack.back();
+          stack.pop_back();
+          for (int dt = -1; dt <= 1; ++dt) {
+            for (int dy = -1; dy <= 1; ++dy) {
+              for (int dx = -1; dx <= 1; ++dx) {
+                if (dx == 0 && dy == 0 && dt == 0) continue;
+                if (!diagonal && std::abs(dx) + std::abs(dy) + std::abs(dt) > 1) continue;
+                const int nx = cx + dx, ny = cy + dy, nt = ct + dt;
+                if (!ivt.inside(nx, ny, nt)) continue;
+                if (ivt.at(nx, ny, nt) <= thr || labels.at(nx, ny, nt) != 0) continue;
+                labels.at(nx, ny, nt) = next;
+                stack.push_back({nx, ny, nt});
+              }
+            }
+          }
+        }
+        ++next;
+      }
+    }
+  }
+  return labels;
+}
+
+/// Do two labelings partition the foreground identically (up to renaming)?
+bool same_partition(const ml::Volume<std::int32_t>& a, const ml::Volume<std::int32_t>& b) {
+  std::map<std::int32_t, std::int32_t> a2b, b2a;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const auto va = a.data()[i], vb = b.data()[i];
+    if ((va == 0) != (vb == 0)) return false;
+    if (va == 0) continue;
+    if (auto it = a2b.find(va); it != a2b.end()) {
+      if (it->second != vb) return false;
+    } else {
+      a2b[va] = vb;
+    }
+    if (auto it = b2a.find(vb); it != b2a.end()) {
+      if (it->second != va) return false;
+    } else {
+      b2a[vb] = va;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+TEST(Connect, MatchesBruteForceOnRandomVolumes) {
+  for (std::uint64_t seed : {1ULL, 7ULL, 23ULL}) {
+    ml::IvtFieldParams p;
+    p.nx = 24;
+    p.ny = 20;
+    p.nt = 12;
+    p.events = 3;
+    p.seed = seed;
+    auto field = ml::generate_ivt(p);
+    ml::ConnectParams cp;
+    cp.threshold = 250.0;
+    cp.min_voxels = 1;  // keep everything for exact comparison
+    auto result = ml::connect_label(field.ivt, cp);
+    auto reference = reference_label(field.ivt, cp.threshold, true);
+    EXPECT_TRUE(same_partition(result.labels, reference)) << "seed " << seed;
+  }
+}
+
+TEST(Connect, SixConnectivityMatchesBruteForce) {
+  ml::IvtFieldParams p;
+  p.nx = 20;
+  p.ny = 16;
+  p.nt = 10;
+  p.seed = 5;
+  auto field = ml::generate_ivt(p);
+  ml::ConnectParams cp;
+  cp.threshold = 250.0;
+  cp.min_voxels = 1;
+  cp.diagonal_connectivity = false;
+  auto result = ml::connect_label(field.ivt, cp);
+  auto reference = reference_label(field.ivt, cp.threshold, false);
+  EXPECT_TRUE(same_partition(result.labels, reference));
+}
+
+TEST(Connect, TracksObjectLifeCycle) {
+  // One hand-built moving blob: a 3x3 square moving +2x per step for t=2..5.
+  ml::Volume<float> ivt(32, 16, 10, 0.f);
+  for (int t = 2; t <= 5; ++t) {
+    const int cx = 4 + 2 * (t - 2);
+    for (int dy = -1; dy <= 1; ++dy) {
+      for (int dx = -1; dx <= 1; ++dx) ivt.at(cx + dx, 8 + dy, t) = 500.f;
+    }
+  }
+  ml::ConnectParams cp;
+  cp.min_voxels = 4;
+  auto result = ml::connect_label(ivt, cp);
+  ASSERT_EQ(result.objects.size(), 1u);
+  const auto& obj = result.objects[0];
+  EXPECT_EQ(obj.t_start, 2);
+  EXPECT_EQ(obj.t_end, 5);
+  EXPECT_EQ(obj.duration(), 4);
+  EXPECT_EQ(obj.voxels, 36u);
+  ASSERT_EQ(obj.track.size(), 4u);
+  EXPECT_NEAR(obj.track[0].first, 4.0, 1e-9);
+  EXPECT_NEAR(obj.track[3].first, 10.0, 1e-9);
+  // Pathway length: 3 hops of 2 grid units.
+  auto stats = ml::summarize(result);
+  EXPECT_NEAR(stats.mean_track_length, 6.0, 1e-9);
+  EXPECT_EQ(stats.object_count, 1u);
+}
+
+TEST(Connect, SeparateObjectsGetSeparateIds) {
+  ml::Volume<float> ivt(20, 20, 6, 0.f);
+  for (int t = 0; t < 3; ++t) {
+    ivt.at(3, 3, t) = 400.f;
+    ivt.at(4, 3, t) = 400.f;
+    ivt.at(15, 15, t) = 400.f;
+    ivt.at(16, 15, t) = 400.f;
+  }
+  ml::ConnectParams cp;
+  cp.min_voxels = 2;
+  auto result = ml::connect_label(ivt, cp);
+  EXPECT_EQ(result.objects.size(), 2u);
+  EXPECT_NE(result.labels.at(3, 3, 0), result.labels.at(15, 15, 0));
+}
+
+TEST(Connect, MinVoxelsFiltersSpeckle) {
+  ml::Volume<float> ivt(16, 16, 4, 0.f);
+  ivt.at(2, 2, 1) = 400.f;  // single-voxel speckle
+  for (int x = 8; x < 12; ++x) {
+    for (int y = 8; y < 12; ++y) ivt.at(x, y, 2) = 400.f;  // 16-voxel object
+  }
+  ml::ConnectParams cp;
+  cp.min_voxels = 8;
+  auto result = ml::connect_label(ivt, cp);
+  ASSERT_EQ(result.objects.size(), 1u);
+  EXPECT_EQ(result.objects[0].voxels, 16u);
+  EXPECT_EQ(result.labels.at(2, 2, 1), 0);
+}
+
+TEST(Connect, TemporalConnectionJoinsMovingObject) {
+  // Blob at (5,5) for t=0, at (6,5) for t=1: spatially disjoint per-frame
+  // but connected through time -> one object.
+  ml::Volume<float> ivt(16, 16, 2, 0.f);
+  ivt.at(5, 5, 0) = 400.f;
+  ivt.at(6, 5, 1) = 400.f;
+  ml::ConnectParams cp;
+  cp.min_voxels = 1;
+  auto result = ml::connect_label(ivt, cp);
+  EXPECT_EQ(result.objects.size(), 1u);
+  EXPECT_EQ(result.objects[0].duration(), 2);
+}
+
+TEST(Connect, FindsSyntheticEventsApproximately) {
+  ml::IvtFieldParams p;
+  p.nx = 96;
+  p.ny = 64;
+  p.nt = 48;
+  p.events = 5;
+  p.seed = 11;
+  auto field = ml::generate_ivt(p);
+  ml::ConnectParams cp;
+  cp.threshold = p.label_threshold;
+  cp.min_voxels = 20;
+  auto result = ml::connect_label(field.ivt, cp);
+  // Some events may merge/fragment, but the count must be in the ballpark.
+  EXPECT_GE(result.objects.size(), 2u);
+  EXPECT_LE(result.objects.size(), 12u);
+  // Segmentation should overlap the truth mask substantially.
+  auto metrics = ml::voxel_metrics(result.labels, field.truth);
+  EXPECT_GT(metrics.recall(), 0.6);
+}
+
+// --- FFN model mechanics --------------------------------------------------------------
+
+TEST(Conv3d, IdentityKernelPassesThrough) {
+  chase::util::Rng rng(3);
+  ml::Conv3d conv;
+  conv.init(1, 1, rng);
+  std::fill(conv.w.begin(), conv.w.end(), 0.f);
+  conv.w[conv.weight_index(0, 0, 0, 0, 0)] = 1.f;  // center tap
+  conv.b[0] = 0.f;
+  ml::Tensor4 x(1, 5, 5, 5);
+  for (std::size_t i = 0; i < x.size(); ++i) x.data()[i] = static_cast<float>(i % 7);
+  ml::Tensor4 y;
+  conv.forward(x, y);
+  for (std::size_t i = 0; i < x.size(); ++i) ASSERT_FLOAT_EQ(y.data()[i], x.data()[i]);
+}
+
+TEST(Conv3d, GradientMatchesFiniteDifference) {
+  chase::util::Rng rng(17);
+  ml::Conv3d conv;
+  conv.init(2, 2, rng);
+  ml::Tensor4 x(2, 4, 4, 4);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x.data()[i] = static_cast<float>(rng.normal(0, 1));
+  }
+  // Loss: L = sum(y^2)/2; dL/dy = y.
+  ml::Tensor4 y;
+  conv.forward(x, y);
+  std::vector<float> dw, db;
+  ml::Tensor4 dx;
+  conv.backward(x, y, &dx, dw, db);
+
+  const float eps = 1e-3f;
+  auto loss = [&](const ml::Tensor4& input) {
+    ml::Tensor4 out;
+    conv.forward(input, out);
+    double total = 0;
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      total += 0.5 * out.data()[i] * out.data()[i];
+    }
+    return total;
+  };
+  // Check several input gradients.
+  for (std::size_t i : {0ul, 13ul, 64ul, 100ul}) {
+    ml::Tensor4 xp = x;
+    xp.data()[i] += eps;
+    ml::Tensor4 xm = x;
+    xm.data()[i] -= eps;
+    const double numeric = (loss(xp) - loss(xm)) / (2 * eps);
+    EXPECT_NEAR(numeric, dx.data()[i], 2e-2) << "input grad " << i;
+  }
+  // Check several weight gradients.
+  for (std::size_t i : {0ul, 30ul, 77ul}) {
+    const float saved = conv.w[i];
+    conv.w[i] = saved + eps;
+    const double lp = loss(x);
+    conv.w[i] = saved - eps;
+    const double lm = loss(x);
+    conv.w[i] = saved;
+    const double numeric = (lp - lm) / (2 * eps);
+    EXPECT_NEAR(numeric, dw[i], 2e-2) << "weight grad " << i;
+  }
+}
+
+TEST(FfnModel, ForwardShapeAndDeterminism) {
+  ml::FfnConfig cfg;
+  cfg.channels = 4;
+  cfg.modules = 1;
+  cfg.fov = 7;
+  ml::FfnModel model(cfg);
+  ml::Tensor4 input(2, 7, 7, 7, 0.3f);
+  ml::Tensor4 l1, l2;
+  model.forward(input, l1);
+  model.forward(input, l2);
+  ASSERT_EQ(l1.channels(), 1);
+  ASSERT_EQ(l1.nx(), 7);
+  for (std::size_t i = 0; i < l1.size(); ++i) ASSERT_FLOAT_EQ(l1.data()[i], l2.data()[i]);
+}
+
+TEST(FfnModel, SerializeRoundTrip) {
+  ml::FfnConfig cfg;
+  cfg.channels = 4;
+  cfg.modules = 1;
+  cfg.fov = 7;
+  ml::FfnModel a(cfg);
+  auto blob = a.serialize();
+  EXPECT_EQ(blob.size(), a.parameter_count());
+
+  cfg.seed = 777;  // different init
+  ml::FfnModel b(cfg);
+  ASSERT_TRUE(b.deserialize(blob));
+  ml::Tensor4 input(2, 7, 7, 7, 0.5f);
+  ml::Tensor4 la, lb;
+  a.forward(input, la);
+  b.forward(input, lb);
+  for (std::size_t i = 0; i < la.size(); ++i) ASSERT_FLOAT_EQ(la.data()[i], lb.data()[i]);
+
+  EXPECT_FALSE(b.deserialize(std::vector<float>(3, 0.f)));
+}
+
+TEST(FfnModel, LogisticLossBehaves)
+{
+  ml::Tensor4 logits(1, 2, 1, 1);
+  logits.at(0, 0, 0, 0) = 10.f;   // confident positive
+  logits.at(0, 1, 0, 0) = -10.f;  // confident negative
+  ml::Volume<std::uint8_t> target(2, 1, 1, 0);
+  target.at(0, 0, 0) = 1;
+  ml::Tensor4 dlogits;
+  const float good = ml::FfnModel::logistic_loss(logits, target, dlogits);
+  EXPECT_LT(good, 0.01f);
+
+  logits.at(0, 0, 0, 0) = -10.f;
+  logits.at(0, 1, 0, 0) = 10.f;
+  const float bad = ml::FfnModel::logistic_loss(logits, target, dlogits);
+  EXPECT_GT(bad, 5.f);
+}
+
+TEST(FfnTrainer, LossDecreasesOnSyntheticData) {
+  ml::IvtFieldParams p;
+  p.nx = 48;
+  p.ny = 32;
+  p.nt = 16;
+  p.events = 4;
+  p.seed = 21;
+  auto field = ml::generate_ivt(p);
+
+  ml::FfnConfig cfg;
+  cfg.channels = 4;
+  cfg.modules = 1;
+  cfg.fov = 7;
+  ml::FfnModel model(cfg);
+  ml::FfnTrainer::Options opts;
+  opts.steps = 450;
+  opts.recursion = 1;
+  opts.learning_rate = 0.01f;
+  ml::FfnTrainer trainer(model, field.ivt, field.truth, opts);
+  trainer.train();
+  const auto& losses = trainer.loss_history();
+  ASSERT_EQ(losses.size(), 450u);
+  const double head = std::accumulate(losses.begin(), losses.begin() + 30, 0.0) / 30;
+  const double tail = std::accumulate(losses.end() - 30, losses.end(), 0.0) / 30;
+  EXPECT_LT(tail, head * 0.6) << "head=" << head << " tail=" << tail;
+}
+
+// --- FFN inference ------------------------------------------------------------------
+
+TEST(FindSeeds, LocatesLocalMaxima) {
+  ml::Volume<float> image(16, 16, 4, 0.f);
+  image.at(4, 4, 1) = 500.f;
+  image.at(12, 10, 2) = 400.f;
+  image.at(12, 11, 2) = 350.f;  // not a local max (neighbour is higher)
+  auto seeds = ml::find_seeds(image, 300.f);
+  ASSERT_EQ(seeds.size(), 2u);
+  EXPECT_EQ(seeds[0], (std::array<int, 3>{4, 4, 1}));  // strongest first
+  EXPECT_EQ(seeds[1], (std::array<int, 3>{12, 10, 2}));
+}
+
+TEST(FfnEndToEnd, TrainedModelSegmentsHeldOutData) {
+  // Train on one synthetic volume, infer on a different seed (the paper's
+  // "training volume is removed from the test data volume").
+  ml::IvtFieldParams train_params;
+  train_params.nx = 48;
+  train_params.ny = 32;
+  train_params.nt = 16;
+  train_params.events = 4;
+  train_params.seed = 31;
+  auto train_field = ml::generate_ivt(train_params);
+
+  ml::FfnConfig cfg;
+  cfg.channels = 6;
+  cfg.modules = 1;
+  cfg.fov = 7;
+  ml::FfnModel model(cfg);
+  ml::FfnTrainer::Options topts;
+  topts.steps = 500;
+  topts.recursion = 1;
+  topts.learning_rate = 0.01f;
+  ml::FfnTrainer trainer(model, train_field.ivt, train_field.truth, topts);
+  trainer.train();
+
+  ml::IvtFieldParams test_params = train_params;
+  test_params.seed = 77;
+  auto test_field = ml::generate_ivt(test_params);
+
+  ml::InferenceOptions iopts;
+  iopts.seed_threshold = 300.f;
+  iopts.move_threshold = 0.7f;
+  iopts.segment_threshold = 0.5f;
+  auto result = ml::ffn_inference(model, test_field.ivt, iopts);
+  EXPECT_GT(result.objects, 0);
+  EXPECT_GT(result.fov_moves, 0u);
+
+  auto metrics = ml::voxel_metrics(result.segments, test_field.truth);
+  EXPECT_GT(metrics.recall(), 0.35) << "recall=" << metrics.recall();
+  EXPECT_GT(metrics.precision(), 0.35) << "precision=" << metrics.precision();
+}
+
+TEST(FfnInference, EmptyImageYieldsNoObjects) {
+  ml::FfnConfig cfg;
+  cfg.channels = 4;
+  cfg.modules = 1;
+  cfg.fov = 7;
+  ml::FfnModel model(cfg);
+  ml::Volume<float> image(24, 24, 8, 50.f);  // below seed threshold everywhere
+  ml::InferenceOptions opts;
+  auto result = ml::ffn_inference(model, image, opts);
+  EXPECT_EQ(result.objects, 0);
+  EXPECT_EQ(result.fov_moves, 0u);
+}
+
+// --- metrics ---------------------------------------------------------------------------
+
+TEST(Eval, VoxelMetricsBasics) {
+  ml::Volume<std::int32_t> pred(4, 1, 1, 0);
+  ml::Volume<std::uint8_t> truth(4, 1, 1, 0);
+  pred.at(0, 0, 0) = 1;  // TP
+  truth.at(0, 0, 0) = 1;
+  pred.at(1, 0, 0) = 2;  // FP
+  truth.at(2, 0, 0) = 1;  // FN
+  auto m = ml::voxel_metrics(pred, truth);
+  EXPECT_EQ(m.true_positive, 1u);
+  EXPECT_EQ(m.false_positive, 1u);
+  EXPECT_EQ(m.false_negative, 1u);
+  EXPECT_DOUBLE_EQ(m.precision(), 0.5);
+  EXPECT_DOUBLE_EQ(m.recall(), 0.5);
+  EXPECT_DOUBLE_EQ(m.iou(), 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(m.f1(), 0.5);
+}
+
+TEST(Eval, EmptyVolumesSafe) {
+  ml::Volume<std::int32_t> pred(4, 4, 4, 0);
+  ml::Volume<std::uint8_t> truth(4, 4, 4, 0);
+  auto m = ml::voxel_metrics(pred, truth);
+  EXPECT_DOUBLE_EQ(m.precision(), 0.0);
+  EXPECT_DOUBLE_EQ(m.iou(), 0.0);
+}
+
+TEST(Eval, ObjectDetectionByOverlap) {
+  ml::Volume<std::int32_t> truth(10, 10, 1, 0);
+  // Object 1: covered; object 2: barely touched.
+  for (int x = 0; x < 4; ++x) truth.at(x, 0, 0) = 1;
+  for (int x = 0; x < 4; ++x) truth.at(x, 5, 0) = 2;
+  ml::Volume<std::int32_t> pred(10, 10, 1, 0);
+  for (int x = 0; x < 3; ++x) pred.at(x, 0, 0) = 7;  // 75% of object 1
+  pred.at(0, 5, 0) = 8;                              // 25% of object 2
+  auto m = ml::object_metrics(pred, truth, 0.5);
+  EXPECT_EQ(m.truth_objects, 2);
+  EXPECT_EQ(m.detected, 1);
+  EXPECT_EQ(m.predicted_objects, 2);
+  EXPECT_DOUBLE_EQ(m.detection_rate(), 0.5);
+}
+
+// --- cost model ---------------------------------------------------------------------------
+
+TEST(CostModel, ReproducesPaperStepDurations) {
+  ml::FfnCostModel cost;
+  ml::PaperWorkload paper;
+  // Training on one 1080ti should be most of the 306-minute step (the rest
+  // is the serial data-prep phase).
+  const double train_min = cost.training_seconds(cc::GpuModel::GTX1080Ti, 1) / 60.0;
+  EXPECT_GT(train_min, 180);
+  EXPECT_LT(train_min, 290);
+  // Inference: 2.3e10 voxels on 50 GPUs -> about 1133 minutes.
+  const double infer_min =
+      cost.inference_seconds(paper.inference_voxels, cc::GpuModel::GTX1080Ti,
+                             paper.inference_gpus) / 60.0;
+  EXPECT_NEAR(infer_min, paper.step3_minutes, paper.step3_minutes * 0.15);
+}
+
+TEST(CostModel, InferenceScalesInverselyWithGpus) {
+  ml::FfnCostModel cost;
+  const double t50 = cost.inference_seconds(1e9, cc::GpuModel::GTX1080Ti, 50);
+  const double t25 = cost.inference_seconds(1e9, cc::GpuModel::GTX1080Ti, 25);
+  EXPECT_NEAR(t25 / t50, 2.0, 1e-9);
+}
+
+TEST(CostModel, ForwardFlopsMatchSmallModelCount) {
+  // The analytic FLOP formula must agree with the real model's MAC count.
+  ml::FfnCostModel cost;
+  cost.fov = 9;
+  cost.channels = 8;
+  cost.modules = 2;
+  ml::FfnConfig cfg;
+  cfg.fov = 9;
+  cfg.channels = 8;
+  cfg.modules = 2;
+  ml::FfnModel model(cfg);
+  EXPECT_NEAR(cost.forward_flops(), 2.0 * model.forward_macs(),
+              0.01 * cost.forward_flops());
+}
+
+TEST(CostModel, PaperWorkloadConstants) {
+  ml::PaperWorkload paper;
+  EXPECT_EQ(paper.file_count, 112249u);
+  // 576 x 361 x 112249 ~ 2.3e10 voxels (paper's number).
+  const double voxels = 576.0 * 361.0 * 112249.0;
+  EXPECT_NEAR(voxels, paper.inference_voxels, 0.02 * voxels);
+}

@@ -1,0 +1,111 @@
+#include <gtest/gtest.h>
+
+#include "mon/metrics.hpp"
+#include "sim/simulation.hpp"
+
+namespace cm = chase::mon;
+namespace cs = chase::sim;
+
+TEST(TimeSeries, Stats) {
+  cm::TimeSeries ts;
+  ts.append(0, 1);
+  ts.append(10, 5);
+  ts.append(20, 3);
+  EXPECT_DOUBLE_EQ(ts.max_over_time(), 5);
+  EXPECT_DOUBLE_EQ(ts.min_over_time(), 1);
+  EXPECT_DOUBLE_EQ(ts.avg_over_time(), 3);
+  EXPECT_DOUBLE_EQ(ts.last(), 3);
+  EXPECT_DOUBLE_EQ(ts.rate(), (3.0 - 1.0) / 20.0);
+}
+
+TEST(TimeSeries, ValueAtStepInterpolation) {
+  cm::TimeSeries ts;
+  ts.append(10, 1);
+  ts.append(20, 2);
+  EXPECT_DOUBLE_EQ(ts.value_at(5), 0);
+  EXPECT_DOUBLE_EQ(ts.value_at(10), 1);
+  EXPECT_DOUBLE_EQ(ts.value_at(15), 1);
+  EXPECT_DOUBLE_EQ(ts.value_at(25), 2);
+}
+
+TEST(TimeSeries, EmptySeriesSafe) {
+  cm::TimeSeries ts;
+  EXPECT_DOUBLE_EQ(ts.max_over_time(), 0);
+  EXPECT_DOUBLE_EQ(ts.rate(), 0);
+  EXPECT_DOUBLE_EQ(ts.value_at(100), 0);
+}
+
+TEST(Registry, ProbeSampling) {
+  cs::Simulation sim;
+  cm::Registry reg;
+  double cpu = 0.0;
+  reg.register_probe("cpu", {{"pod", "w1"}}, [&] { return cpu; });
+  auto stop = cs::make_event();
+  reg.start_sampler(sim, 10.0, stop);
+  sim.schedule(15.0, [&] { cpu = 4.0; });
+  sim.schedule(35.0, [&] { stop->trigger(sim); });
+  sim.run(60.0);
+  const auto* ts = reg.find("cpu", {{"pod", "w1"}});
+  ASSERT_NE(ts, nullptr);
+  // Samples at t=0,10,20,30,40 (final sample after stop fired).
+  ASSERT_GE(ts->samples().size(), 4u);
+  EXPECT_DOUBLE_EQ(ts->value_at(10), 0.0);
+  EXPECT_DOUBLE_EQ(ts->value_at(20), 4.0);
+}
+
+TEST(Registry, SamplerStopsAfterEvent) {
+  cs::Simulation sim;
+  cm::Registry reg;
+  reg.register_probe("g", {}, [] { return 1.0; });
+  auto stop = cs::make_event();
+  reg.start_sampler(sim, 5.0, stop);
+  sim.schedule(12.0, [&] { stop->trigger(sim); });
+  sim.run(1000.0);
+  // The queue must drain: no endless sampler.
+  EXPECT_TRUE(sim.empty());
+}
+
+TEST(Registry, SelectByLabelSubset) {
+  cm::Registry reg;
+  reg.record("mem", {{"pod", "a"}, {"step", "1"}}, 0, 10);
+  reg.record("mem", {{"pod", "b"}, {"step", "1"}}, 0, 20);
+  reg.record("mem", {{"pod", "c"}, {"step", "2"}}, 0, 40);
+  EXPECT_EQ(reg.select("mem").size(), 3u);
+  EXPECT_EQ(reg.select("mem", {{"step", "1"}}).size(), 2u);
+  EXPECT_EQ(reg.select("mem", {{"step", "2"}}).size(), 1u);
+  EXPECT_EQ(reg.select("other").size(), 0u);
+}
+
+TEST(Registry, SumAtAndMaxSum) {
+  cm::Registry reg;
+  reg.record("mem", {{"pod", "a"}}, 0, 10);
+  reg.record("mem", {{"pod", "a"}}, 10, 30);
+  reg.record("mem", {{"pod", "b"}}, 0, 5);
+  reg.record("mem", {{"pod", "b"}}, 10, 1);
+  EXPECT_DOUBLE_EQ(reg.sum_at("mem", {}, 0), 15);
+  EXPECT_DOUBLE_EQ(reg.sum_at("mem", {}, 10), 31);
+  EXPECT_DOUBLE_EQ(reg.max_sum("mem", {}), 31);
+}
+
+TEST(Registry, UnregisterProbeStopsSampling) {
+  cs::Simulation sim;
+  cm::Registry reg;
+  reg.register_probe("x", {{"i", "1"}}, [] { return 1.0; });
+  reg.sample_now(0);
+  reg.unregister_probe("x", {{"i", "1"}});
+  reg.sample_now(1);
+  EXPECT_EQ(reg.find("x", {{"i", "1"}})->samples().size(), 1u);
+}
+
+TEST(Registry, ChartContainsSeriesName) {
+  cm::Registry reg;
+  for (int i = 0; i < 10; ++i) reg.record("gpu", {{"pod", "inf-0"}}, i, i % 3);
+  std::string chart = reg.chart("GPU usage", "gpus", "gpu");
+  EXPECT_NE(chart.find("inf-0"), std::string::npos);
+  EXPECT_NE(chart.find("GPU usage"), std::string::npos);
+}
+
+TEST(Registry, KeyToString) {
+  EXPECT_EQ(cm::key_to_string({"cpu", {}}), "cpu");
+  EXPECT_EQ(cm::key_to_string({"cpu", {{"pod", "a"}}}), "cpu{pod=a}");
+}

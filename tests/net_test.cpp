@@ -1,0 +1,229 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "net/network.hpp"
+#include "sim/simulation.hpp"
+#include "util/units.hpp"
+
+namespace cn = chase::net;
+namespace cs = chase::sim;
+namespace cu = chase::util;
+
+namespace {
+
+struct Net2 {
+  cs::Simulation sim;
+  cn::Network net{sim};
+  cn::NodeId a, b;
+  explicit Net2(double bw = 100.0, double latency = 0.0) {
+    a = net.add_node("a");
+    b = net.add_node("b");
+    net.add_link(a, b, bw, latency);
+  }
+};
+
+}  // namespace
+
+TEST(Network, SingleFlowUsesFullBandwidth) {
+  Net2 w(100.0);
+  auto t = w.net.transfer(w.a, w.b, 1000);
+  w.sim.run();
+  EXPECT_FALSE(t->failed);
+  EXPECT_DOUBLE_EQ(t->finish_time, 10.0);
+}
+
+TEST(Network, LatencyDelaysCompletion) {
+  Net2 w(100.0, 2.5);
+  auto t = w.net.transfer(w.a, w.b, 1000);
+  w.sim.run();
+  EXPECT_DOUBLE_EQ(t->finish_time, 12.5);
+}
+
+TEST(Network, TwoFlowsShareFairly) {
+  Net2 w(100.0);
+  auto t1 = w.net.transfer(w.a, w.b, 1000);
+  auto t2 = w.net.transfer(w.a, w.b, 1000);
+  w.sim.run();
+  // Both at 50 B/s until both finish at t=20.
+  EXPECT_DOUBLE_EQ(t1->finish_time, 20.0);
+  EXPECT_DOUBLE_EQ(t2->finish_time, 20.0);
+}
+
+TEST(Network, ShortFlowFinishesThenLongSpeedsUp) {
+  Net2 w(100.0);
+  auto small = w.net.transfer(w.a, w.b, 500);
+  auto big = w.net.transfer(w.a, w.b, 1500);
+  w.sim.run();
+  // Share 50/50 until small finishes at t=10 (500B at 50B/s); big then has
+  // 1000B left at 100B/s -> finishes at t=20.
+  EXPECT_DOUBLE_EQ(small->finish_time, 10.0);
+  EXPECT_DOUBLE_EQ(big->finish_time, 20.0);
+}
+
+TEST(Network, RateCapHonored) {
+  Net2 w(100.0);
+  cn::TransferOptions opts;
+  opts.rate_cap = 10.0;
+  auto t = w.net.transfer(w.a, w.b, 100, opts);
+  w.sim.run();
+  EXPECT_DOUBLE_EQ(t->finish_time, 10.0);
+}
+
+TEST(Network, CappedFlowLeavesBandwidthToOthers) {
+  Net2 w(100.0);
+  cn::TransferOptions capped;
+  capped.rate_cap = 20.0;
+  auto slow = w.net.transfer(w.a, w.b, 200, capped);   // 20 B/s -> 10s
+  auto fast = w.net.transfer(w.a, w.b, 800);           // 80 B/s -> 10s
+  w.sim.run();
+  EXPECT_DOUBLE_EQ(slow->finish_time, 10.0);
+  EXPECT_DOUBLE_EQ(fast->finish_time, 10.0);
+}
+
+TEST(Network, MultiHopBottleneck) {
+  cs::Simulation sim;
+  cn::Network net(sim);
+  auto a = net.add_node("a");
+  auto m = net.add_node("switch");
+  auto b = net.add_node("b");
+  net.add_link(a, m, 100.0, 0.0);
+  net.add_link(m, b, 50.0, 0.0);  // bottleneck
+  auto t = net.transfer(a, b, 500);
+  sim.run();
+  EXPECT_DOUBLE_EQ(t->finish_time, 10.0);
+}
+
+TEST(Network, CrossTrafficSharesBottleneckOnly) {
+  // a->c and b->c share the s->c link; a->b does not.
+  cs::Simulation sim;
+  cn::Network net(sim);
+  auto a = net.add_node("a");
+  auto b = net.add_node("b");
+  auto c = net.add_node("c");
+  auto s = net.add_node("s");
+  net.add_link(a, s, 100.0, 0.0);
+  net.add_link(b, s, 100.0, 0.0);
+  net.add_link(c, s, 100.0, 0.0);
+  auto t1 = net.transfer(a, c, 500);
+  auto t2 = net.transfer(b, c, 500);
+  sim.run();
+  // Each gets 50 B/s on the shared s->c link.
+  EXPECT_DOUBLE_EQ(t1->finish_time, 10.0);
+  EXPECT_DOUBLE_EQ(t2->finish_time, 10.0);
+}
+
+TEST(Network, FullDuplexIndependentDirections) {
+  Net2 w(100.0);
+  auto fwd = w.net.transfer(w.a, w.b, 1000);
+  auto rev = w.net.transfer(w.b, w.a, 1000);
+  w.sim.run();
+  // Opposite directions do not contend.
+  EXPECT_DOUBLE_EQ(fwd->finish_time, 10.0);
+  EXPECT_DOUBLE_EQ(rev->finish_time, 10.0);
+}
+
+TEST(Network, ZeroByteTransferPaysLatencyOnly) {
+  Net2 w(100.0, 1.5);
+  auto t = w.net.transfer(w.a, w.b, 0);
+  w.sim.run();
+  EXPECT_DOUBLE_EQ(t->finish_time, 1.5);
+}
+
+TEST(Network, LocalTransferIsLatencyFree) {
+  Net2 w;
+  auto t = w.net.transfer(w.a, w.a, 1000000);
+  w.sim.run();
+  EXPECT_DOUBLE_EQ(t->finish_time, 0.0);
+  EXPECT_FALSE(t->failed);
+}
+
+TEST(Network, UnreachableFails) {
+  cs::Simulation sim;
+  cn::Network net(sim);
+  auto a = net.add_node("a");
+  auto b = net.add_node("b");  // no link
+  auto t = net.transfer(a, b, 100);
+  sim.run();
+  EXPECT_TRUE(t->failed);
+}
+
+TEST(Network, NodeDownFailsInFlightFlows) {
+  cs::Simulation sim;
+  cn::Network net(sim);
+  auto a = net.add_node("a");
+  auto s = net.add_node("s");
+  auto b = net.add_node("b");
+  net.add_link(a, s, 100.0, 0.0);
+  net.add_link(s, b, 100.0, 0.0);
+  auto t = net.transfer(a, b, 10000);
+  sim.schedule(5.0, [&] { net.set_node_up(s, false); });
+  sim.run();
+  EXPECT_TRUE(t->failed);
+  EXPECT_DOUBLE_EQ(t->finish_time, 5.0);
+}
+
+TEST(Network, ReroutesAroundDownNodeForNewFlows) {
+  cs::Simulation sim;
+  cn::Network net(sim);
+  auto a = net.add_node("a");
+  auto s1 = net.add_node("s1");
+  auto s2 = net.add_node("s2");
+  auto b = net.add_node("b");
+  net.add_link(a, s1, 100.0, 0.0);
+  net.add_link(s1, b, 100.0, 0.0);
+  net.add_link(a, s2, 50.0, 0.0);
+  net.add_link(s2, b, 50.0, 0.0);
+  net.set_node_up(s1, false);
+  EXPECT_TRUE(net.reachable(a, b));
+  auto t = net.transfer(a, b, 500);
+  sim.run();
+  EXPECT_FALSE(t->failed);
+  EXPECT_DOUBLE_EQ(t->finish_time, 10.0);  // via the 50 B/s path
+}
+
+TEST(Network, InstantaneousRatesObservable) {
+  Net2 w(100.0);
+  w.net.transfer(w.a, w.b, 10000);
+  w.sim.run(1.0);
+  EXPECT_DOUBLE_EQ(w.net.node_tx_rate(w.a), 100.0);
+  EXPECT_DOUBLE_EQ(w.net.node_rx_rate(w.b), 100.0);
+  EXPECT_DOUBLE_EQ(w.net.total_flow_rate(), 100.0);
+  EXPECT_EQ(w.net.active_flows(), 1u);
+}
+
+TEST(Network, BytesDeliveredAccumulates) {
+  Net2 w(100.0);
+  w.net.transfer(w.a, w.b, 1000);
+  w.sim.run();
+  EXPECT_NEAR(w.net.total_bytes_delivered(), 1000.0, 1.0);
+}
+
+TEST(Network, SendCoroutineCompletes) {
+  Net2 w(100.0);
+  static double done_at;
+  done_at = -1;
+  auto proc = [](Net2* env) -> cs::Task {
+    co_await env->net.send(env->a, env->b, 1000);
+    done_at = env->sim.now();
+  };
+  w.sim.spawn(proc(&w));
+  w.sim.run();
+  EXPECT_DOUBLE_EQ(done_at, 10.0);
+}
+
+// Property sweep: with N identical flows on one link, each finishes at N*T.
+class FairnessSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(FairnessSweep, NFlowsFinishTogether) {
+  const int n = GetParam();
+  Net2 w(1000.0);
+  std::vector<cn::TransferPtr> ts;
+  for (int i = 0; i < n; ++i) ts.push_back(w.net.transfer(w.a, w.b, 1000));
+  w.sim.run();
+  for (auto& t : ts) {
+    EXPECT_NEAR(t->finish_time, static_cast<double>(n), 1e-6);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Counts, FairnessSweep, ::testing::Values(1, 2, 3, 5, 8, 16, 64));

@@ -1,0 +1,147 @@
+/// Tests for the PPoDS collaborative workflow-development layer (paper §VI).
+
+#include <gtest/gtest.h>
+
+#include "core/nautilus.hpp"
+#include "core/ppods.hpp"
+
+namespace co = chase::core;
+namespace cw = chase::wf;
+namespace ck = chase::kube;
+namespace cs = chase::sim;
+namespace cu = chase::util;
+
+namespace {
+
+std::string name_of(cw::StepContext& ctx) {
+  static int counter = 0;
+  return "trial-" + ctx.step_label() + "-" + std::to_string(counter++);
+}
+
+/// A step implementation parameterized by worker count — the knob a
+/// developer iterates on during exploratory development.
+cw::StepSpec make_step(const std::string& name, int workers, double work_seconds) {
+  return cw::StepSpec{
+      name, name,
+      [workers, work_seconds](cw::StepContext& ctx) -> cs::Task {
+        ck::JobSpec job;
+        job.ns = ctx.ns();
+        job.name = name_of(ctx);
+        job.labels = ctx.step_labels();
+        job.completions = workers;
+        job.parallelism = workers;
+        ck::ContainerSpec c;
+        c.requests = {2, cu::gb(4), 0};
+        const double per_worker = work_seconds / workers;
+        c.program = [per_worker](ck::PodContext& pctx) -> cs::Task {
+          co_await pctx.compute(per_worker * 2.0, 2.0);
+        };
+        job.pod_template.containers.push_back(std::move(c));
+        auto handle = ctx.kube().create_job(job).value;
+        co_await handle->done->wait(ctx.sim());
+        ctx.add_data(1e9);
+      }};
+}
+
+}  // namespace
+
+TEST(Ppods, MembershipAndOwnership) {
+  co::Nautilus bed;
+  cw::PpodsSession session(*bed.kube, bed.metrics, "dev", "connect-dev");
+  session.register_step("download", "kyle");
+  session.register_step("training", "isaac");
+  session.register_step("download", "kyle");  // idempotent
+  EXPECT_EQ(session.members().size(), 2u);
+  EXPECT_EQ(session.owner_of("download"), "kyle");
+  EXPECT_EQ(session.owner_of("unknown"), "");
+  EXPECT_EQ(session.steps().size(), 2u);
+  // Re-assign ownership.
+  session.register_step("download", "scott");
+  EXPECT_EQ(session.owner_of("download"), "scott");
+  EXPECT_EQ(session.steps().size(), 2u);
+}
+
+TEST(Ppods, TrialsRecordMeasurements) {
+  co::Nautilus bed;
+  cw::PpodsSession session(*bed.kube, bed.metrics, "dev", "s");
+  session.register_step("download", "kyle");
+  auto done = session.run_trial(make_step("download", 2, 100.0), "first try");
+  ASSERT_TRUE(cs::run_until(bed.sim, done));
+  ASSERT_EQ(session.trials().size(), 1u);
+  const auto& trial = session.trials()[0];
+  EXPECT_EQ(trial.step, "download");
+  EXPECT_EQ(trial.owner, "kyle");
+  EXPECT_EQ(trial.number, 1);
+  EXPECT_EQ(trial.notes, "first try");
+  EXPECT_EQ(trial.report.pods, 2);
+  EXPECT_GT(trial.report.duration(), 0.0);
+  EXPECT_DOUBLE_EQ(trial.report.data_bytes, 1e9);
+}
+
+TEST(Ppods, ImprovementAcrossTrials) {
+  co::Nautilus bed;
+  cw::PpodsSession session(*bed.kube, bed.metrics, "dev", "s");
+  session.register_step("download", "kyle");
+  // Iteration: 1 worker, then 4 workers — the paper's "scaling the number
+  // of workers" exploration.
+  auto t1 = session.run_trial(make_step("download", 1, 400.0), "serial");
+  cs::run_until(bed.sim, t1);
+  auto t2 = session.run_trial(make_step("download", 4, 400.0), "4 workers");
+  cs::run_until(bed.sim, t2);
+  ASSERT_EQ(session.trials().size(), 2u);
+  EXPECT_EQ(session.trials()[1].number, 2);
+  EXPECT_GT(session.improvement("download"), 2.5);
+  EXPECT_DOUBLE_EQ(session.improvement("nope"), 1.0);
+}
+
+TEST(Ppods, ExpectationsValidateTrials) {
+  co::Nautilus bed;
+  cw::PpodsSession session(*bed.kube, bed.metrics, "dev", "s");
+  session.register_step("download", "kyle");
+  session.add_expectation("download", "processes 1GB",
+                          [](const cw::StepReport& r) { return r.data_bytes >= 1e9; });
+  session.add_expectation("download", "finishes under 3 minutes",
+                          [](const cw::StepReport& r) { return r.duration() < 180.0; });
+
+  auto slow = session.run_trial(make_step("download", 1, 400.0), "too slow");
+  cs::run_until(bed.sim, slow);
+  EXPECT_FALSE(session.trials()[0].passed());
+  ASSERT_EQ(session.trials()[0].failed_expectations.size(), 1u);
+  EXPECT_EQ(session.trials()[0].failed_expectations[0], "finishes under 3 minutes");
+
+  auto fast = session.run_trial(make_step("download", 8, 400.0), "8 workers");
+  cs::run_until(bed.sim, fast);
+  EXPECT_TRUE(session.trials()[1].passed());
+}
+
+TEST(Ppods, BoardRendersStatus) {
+  co::Nautilus bed;
+  cw::PpodsSession session(*bed.kube, bed.metrics, "dev", "connect");
+  session.register_step("download", "kyle");
+  session.register_step("training", "isaac");
+  session.add_expectation("download", "under 1s",
+                          [](const cw::StepReport& r) { return r.duration() < 1.0; });
+  auto done = session.run_trial(make_step("download", 2, 100.0));
+  cs::run_until(bed.sim, done);
+  const std::string board = session.render_board();
+  EXPECT_NE(board.find("connect"), std::string::npos);
+  EXPECT_NE(board.find("kyle"), std::string::npos);
+  EXPECT_NE(board.find("FAILING: under 1s"), std::string::npos);
+  EXPECT_NE(board.find("not run"), std::string::npos);  // training untried
+}
+
+TEST(Ppods, ParallelTrialsOfDifferentSteps) {
+  // "Development can happen in parallel": two owners run their steps
+  // concurrently in the same namespace.
+  co::Nautilus bed;
+  cw::PpodsSession session(*bed.kube, bed.metrics, "dev", "s");
+  session.register_step("download", "kyle");
+  session.register_step("training", "isaac");
+  auto a = session.run_trial(make_step("download", 2, 100.0));
+  auto b = session.run_trial(make_step("training", 3, 100.0));
+  cs::run_until(bed.sim, a);
+  cs::run_until(bed.sim, b);
+  EXPECT_EQ(session.trials().size(), 2u);
+  EXPECT_EQ(session.trials_of("download").size(), 1u);
+  EXPECT_EQ(session.trials_of("training").size(), 1u);
+}

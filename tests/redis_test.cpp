@@ -1,0 +1,226 @@
+#include <gtest/gtest.h>
+
+#include "redis/redis.hpp"
+
+namespace cr = chase::redis;
+namespace cn = chase::net;
+namespace cs = chase::sim;
+namespace cu = chase::util;
+
+namespace {
+
+struct RedisBed {
+  cs::Simulation sim;
+  cn::Network net{sim};
+  cn::NodeId server_node, client_node, client2_node;
+  cr::RedisServer server{sim};
+
+  RedisBed() {
+    auto sw = net.add_node("switch");
+    server_node = net.add_node("redis");
+    client_node = net.add_node("w1");
+    client2_node = net.add_node("w2");
+    net.add_link(server_node, sw, cu::gbit_per_s(10), 1e-4);
+    net.add_link(client_node, sw, cu::gbit_per_s(10), 1e-4);
+    net.add_link(client2_node, sw, cu::gbit_per_s(10), 1e-4);
+    server.host_on(server_node);
+  }
+};
+
+}  // namespace
+
+TEST(RedisServer, ListSemantics) {
+  cs::Simulation sim;
+  cr::RedisServer s(sim);
+  s.rpush("q", "a");
+  s.rpush("q", "b");
+  s.lpush("q", "z");
+  EXPECT_EQ(s.llen("q"), 3u);
+  EXPECT_EQ(*s.lpop("q"), "z");
+  EXPECT_EQ(*s.lpop("q"), "a");
+  EXPECT_EQ(*s.rpop("q"), "b");
+  EXPECT_FALSE(s.lpop("q").has_value());
+}
+
+TEST(RedisServer, SetSemantics) {
+  cs::Simulation sim;
+  cr::RedisServer s(sim);
+  EXPECT_TRUE(s.sadd("done", "file1"));
+  EXPECT_FALSE(s.sadd("done", "file1"));  // duplicate
+  EXPECT_TRUE(s.sismember("done", "file1"));
+  EXPECT_EQ(s.scard("done"), 1u);
+  EXPECT_TRUE(s.srem("done", "file1"));
+  EXPECT_EQ(s.scard("done"), 0u);
+}
+
+TEST(RedisServer, HashAndStringSemantics) {
+  cs::Simulation sim;
+  cr::RedisServer s(sim);
+  s.hset("params", "lr", "0.001");
+  s.hset("params", "depth", "12");
+  EXPECT_EQ(*s.hget("params", "lr"), "0.001");
+  EXPECT_EQ(s.hlen("params"), 2u);
+  s.set("phase", "training");
+  EXPECT_EQ(*s.get("phase"), "training");
+  EXPECT_EQ(s.incrby("count", 5), 5);
+  EXPECT_EQ(s.incrby("count", -2), 3);
+  EXPECT_TRUE(s.del("phase"));
+  EXPECT_FALSE(s.get("phase").has_value());
+}
+
+TEST(RedisClient, RoundTripLatency) {
+  RedisBed bed;
+  cr::RedisClient client(bed.sim, bed.net, bed.server, bed.client_node);
+  static double finished;
+  finished = -1;
+  auto prog = [](RedisBed* b, cr::RedisClient* c) -> cs::Task {
+    bool ok = false;
+    co_await c->rpush("q", "task1", &ok);
+    EXPECT_TRUE(ok);
+    finished = b->sim.now();
+  };
+  bed.sim.spawn(prog(&bed, &client));
+  bed.sim.run();
+  // Two hops each way (client-switch-server) at 1e-4s per hop, twice.
+  EXPECT_GT(finished, 3e-4);
+  EXPECT_LT(finished, 0.05);
+  EXPECT_EQ(bed.server.llen("q"), 1u);
+}
+
+TEST(RedisClient, BlpopWaitsForPush) {
+  RedisBed bed;
+  cr::RedisClient consumer(bed.sim, bed.net, bed.server, bed.client_node);
+  cr::RedisClient producer(bed.sim, bed.net, bed.server, bed.client2_node);
+  static std::string got_value;
+  static double got_at;
+  got_value.clear();
+  got_at = -1;
+
+  auto consume = [](RedisBed* b, cr::RedisClient* c) -> cs::Task {
+    std::string v;
+    bool got = false;
+    co_await c->blpop("q", &v, &got);
+    EXPECT_TRUE(got);
+    got_value = v;
+    got_at = b->sim.now();
+  };
+  auto produce = [](RedisBed* b, cr::RedisClient* p) -> cs::Task {
+    co_await b->sim.sleep(5.0);
+    co_await p->rpush("q", "payload");
+  };
+  bed.sim.spawn(consume(&bed, &consumer));
+  bed.sim.spawn(produce(&bed, &producer));
+  bed.sim.run();
+  EXPECT_EQ(got_value, "payload");
+  EXPECT_GT(got_at, 5.0);
+}
+
+TEST(RedisClient, BlpopImmediateWhenAvailable) {
+  RedisBed bed;
+  bed.server.rpush("q", "ready");
+  cr::RedisClient client(bed.sim, bed.net, bed.server, bed.client_node);
+  static bool got;
+  got = false;
+  auto prog = [](RedisBed*, cr::RedisClient* c) -> cs::Task {
+    std::string v;
+    bool ok = false;
+    co_await c->blpop("q", &v, &ok);
+    got = ok && v == "ready";
+  };
+  bed.sim.spawn(prog(&bed, &client));
+  bed.sim.run();
+  EXPECT_TRUE(got);
+}
+
+TEST(RedisClient, BlpopFifoAmongWaiters) {
+  RedisBed bed;
+  cr::RedisClient c1(bed.sim, bed.net, bed.server, bed.client_node);
+  cr::RedisClient c2(bed.sim, bed.net, bed.server, bed.client2_node);
+  static std::vector<std::string> results;
+  results.clear();
+  auto waiter = [](cr::RedisClient* c, std::string tag) -> cs::Task {
+    std::string v;
+    bool got = false;
+    co_await c->blpop("q", &v, &got);
+    if (got) results.push_back(tag + ":" + v);
+  };
+  bed.sim.spawn(waiter(&c1, "first"));
+  bed.sim.schedule(1.0, [&] { bed.sim.spawn(waiter(&c2, "second")); });
+  bed.sim.schedule(5.0, [&] {
+    bed.server.rpush("q", "m1");
+    bed.server.rpush("q", "m2");
+  });
+  bed.sim.run();
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_EQ(results[0], "first:m1");
+  EXPECT_EQ(results[1], "second:m2");
+}
+
+TEST(RedisClient, FailsWhenServerUnhosted) {
+  RedisBed bed;
+  bed.server.host_on(-1);
+  cr::RedisClient client(bed.sim, bed.net, bed.server, bed.client_node);
+  static bool ok_out;
+  ok_out = true;
+  auto prog = [](cr::RedisClient* c) -> cs::Task {
+    bool ok = true;
+    co_await c->rpush("q", "x", &ok);
+    ok_out = ok;
+  };
+  bed.sim.spawn(prog(&client));
+  bed.sim.run();
+  EXPECT_FALSE(ok_out);
+}
+
+TEST(RedisClient, FailsWhenServerNodeDown) {
+  RedisBed bed;
+  bed.net.set_node_up(bed.server_node, false);
+  cr::RedisClient client(bed.sim, bed.net, bed.server, bed.client_node);
+  static bool ok_out;
+  ok_out = true;
+  auto prog = [](cr::RedisClient* c) -> cs::Task {
+    bool ok = true;
+    co_await c->rpush("q", "x", &ok);
+    ok_out = ok;
+  };
+  bed.sim.spawn(prog(&client));
+  bed.sim.run();
+  EXPECT_FALSE(ok_out);
+}
+
+TEST(RedisClient, WorkQueuePattern) {
+  // The paper's Step-1 pattern: a queue of file lists, workers popping until
+  // a sentinel. Verify every message is processed exactly once.
+  RedisBed bed;
+  const int kMessages = 50;
+  const int kWorkers = 2;
+  for (int i = 0; i < kMessages; ++i) {
+    bed.server.rpush("files", "list-" + std::to_string(i));
+  }
+  for (int w = 0; w < kWorkers; ++w) bed.server.rpush("files", "STOP");
+
+  static std::set<std::string> seen;
+  static int stops;
+  seen.clear();
+  stops = 0;
+  auto worker = [](RedisBed* b, cn::NodeId node) -> cs::Task {
+    cr::RedisClient client(b->sim, b->net, b->server, node);
+    while (true) {
+      std::string msg;
+      bool got = false;
+      co_await client.blpop("files", &msg, &got);
+      if (!got || msg == "STOP") {
+        ++stops;
+        co_return;
+      }
+      EXPECT_TRUE(seen.insert(msg).second) << "duplicate delivery of " << msg;
+      co_await b->sim.sleep(0.5);  // simulate download work
+    }
+  };
+  bed.sim.spawn(worker(&bed, bed.client_node));
+  bed.sim.spawn(worker(&bed, bed.client2_node));
+  bed.sim.run();
+  EXPECT_EQ(seen.size(), static_cast<std::size_t>(kMessages));
+  EXPECT_EQ(stops, kWorkers);
+  EXPECT_EQ(bed.server.llen("files"), 0u);
+}

@@ -1,0 +1,164 @@
+/// Tests for the S3-compatible object gateway over Ceph.
+
+#include <gtest/gtest.h>
+
+#include "ceph/s3.hpp"
+
+namespace ce = chase::ceph;
+namespace cc = chase::cluster;
+namespace cn = chase::net;
+namespace cs = chase::sim;
+namespace cu = chase::util;
+
+namespace {
+
+struct S3Bed {
+  cs::Simulation sim;
+  cn::Network net{sim};
+  cc::Inventory inventory{net};
+  cn::NodeId client;
+  std::unique_ptr<ce::CephCluster> ceph;
+  std::unique_ptr<ce::S3Gateway> s3;
+
+  S3Bed() {
+    auto sw = net.add_node("switch");
+    client = net.add_node("client");
+    net.add_link(client, sw, cu::gbit_per_s(40), 1e-4);
+    ce::CephCluster::Options opts;
+    opts.replication = 2;
+    ceph = std::make_unique<ce::CephCluster>(sim, net, inventory, nullptr, opts);
+    for (int i = 0; i < 4; ++i) {
+      auto name = "stor-" + std::to_string(i);
+      auto nn = net.add_node(name);
+      net.add_link(nn, sw, cu::gbit_per_s(40), 1e-4);
+      ceph->add_osd(inventory.add(cc::storage_fiona(name, "SDSC", cu::tb(50)), nn));
+    }
+    s3 = std::make_unique<ce::S3Gateway>(*ceph);
+  }
+};
+
+}  // namespace
+
+TEST(S3, BucketLifecycle) {
+  S3Bed bed;
+  EXPECT_TRUE(bed.s3->create_bucket("merra"));
+  EXPECT_FALSE(bed.s3->create_bucket("merra"));  // duplicate
+  EXPECT_FALSE(bed.s3->create_bucket(""));
+  EXPECT_TRUE(bed.s3->bucket_exists("merra"));
+  EXPECT_EQ(bed.s3->list_buckets(), (std::vector<std::string>{"merra"}));
+  EXPECT_TRUE(bed.s3->delete_bucket("merra"));
+  EXPECT_FALSE(bed.s3->bucket_exists("merra"));
+}
+
+TEST(S3, PutGetHeadDelete) {
+  S3Bed bed;
+  bed.s3->create_bucket("results");
+  auto put = bed.s3->put_object(bed.client, "results", "run1/segments.h5", cu::gb(1));
+  bed.sim.run();
+  ASSERT_TRUE(put->ok);
+  EXPECT_EQ(*bed.s3->head_object("results", "run1/segments.h5"), cu::gb(1));
+
+  auto get = bed.s3->get_object(bed.client, "results", "run1/segments.h5");
+  bed.sim.run();
+  EXPECT_TRUE(get->ok);
+  EXPECT_EQ(get->bytes, cu::gb(1));
+
+  EXPECT_TRUE(bed.s3->delete_object("results", "run1/segments.h5"));
+  EXPECT_FALSE(bed.s3->delete_object("results", "run1/segments.h5"));
+  EXPECT_FALSE(bed.s3->head_object("results", "run1/segments.h5").has_value());
+}
+
+TEST(S3, PutToMissingBucketFails) {
+  S3Bed bed;
+  auto put = bed.s3->put_object(bed.client, "nope", "key", 100);
+  bed.sim.run();
+  EXPECT_FALSE(put->ok);
+}
+
+TEST(S3, ListObjectsByPrefix) {
+  S3Bed bed;
+  bed.s3->create_bucket("b");
+  for (const char* key : {"runs/1/a", "runs/1/b", "runs/2/a", "models/x"}) {
+    bed.s3->put_object(bed.client, "b", key, cu::mb(10));
+  }
+  bed.sim.run();
+  EXPECT_EQ(bed.s3->list_objects("b").size(), 4u);
+  EXPECT_EQ(bed.s3->list_objects("b", "runs/").size(), 3u);
+  EXPECT_EQ(bed.s3->list_objects("b", "runs/1/").size(), 2u);
+  EXPECT_EQ(bed.s3->list_objects("b", "zzz").size(), 0u);
+  EXPECT_EQ(bed.s3->list_objects("missing").size(), 0u);
+}
+
+TEST(S3, NonEmptyBucketCannotBeDeleted) {
+  S3Bed bed;
+  bed.s3->create_bucket("b");
+  bed.s3->put_object(bed.client, "b", "k", 100);
+  bed.sim.run();
+  EXPECT_FALSE(bed.s3->delete_bucket("b"));
+  bed.s3->delete_object("b", "k");
+  EXPECT_TRUE(bed.s3->delete_bucket("b"));
+}
+
+TEST(S3, MultipartUploadComposes) {
+  S3Bed bed;
+  bed.s3->create_bucket("archive");
+  auto id = bed.s3->initiate_multipart("archive", "big.tar");
+  ASSERT_FALSE(id.empty());
+  // Parts out of order.
+  auto p2 = bed.s3->upload_part(bed.client, id, 2, cu::gb(1));
+  auto p1 = bed.s3->upload_part(bed.client, id, 1, cu::gb(2));
+  auto p3 = bed.s3->upload_part(bed.client, id, 3, cu::mb(500));
+  bed.sim.run();
+  ASSERT_TRUE(p1->ok && p2->ok && p3->ok);
+
+  auto done = bed.s3->complete_multipart(id);
+  bed.sim.run();
+  ASSERT_TRUE(done->ok);
+  EXPECT_EQ(done->bytes, cu::gb(3) + cu::mb(500));
+  EXPECT_EQ(*bed.s3->head_object("archive", "big.tar"), cu::gb(3) + cu::mb(500));
+  // Parts were freed: only the composed object remains in the pool.
+  EXPECT_EQ(bed.ceph->object_count("s3-objects"), 1u);
+  // Capacity accounting: 3.5GB x replication 2.
+  cu::Bytes used = 0;
+  for (int osd = 0; osd < 4; ++osd) used += bed.ceph->osd_used(osd);
+  EXPECT_EQ(used, (cu::gb(3) + cu::mb(500)) * 2);
+}
+
+TEST(S3, MultipartAbortFreesParts) {
+  S3Bed bed;
+  bed.s3->create_bucket("b");
+  auto id = bed.s3->initiate_multipart("b", "k");
+  bed.s3->upload_part(bed.client, id, 1, cu::gb(1));
+  bed.sim.run();
+  bed.s3->abort_multipart(id);
+  EXPECT_EQ(bed.ceph->object_count("s3-objects"), 0u);
+  // Completing an aborted upload fails.
+  auto done = bed.s3->complete_multipart(id);
+  bed.sim.run();
+  EXPECT_FALSE(done->ok);
+}
+
+TEST(S3, MultipartToMissingBucketRejected) {
+  S3Bed bed;
+  EXPECT_TRUE(bed.s3->initiate_multipart("ghost", "k").empty());
+  auto part = bed.s3->upload_part(bed.client, "bogus-id", 1, 100);
+  bed.sim.run();
+  EXPECT_FALSE(part->ok);
+}
+
+TEST(S3, ComposePreservesReadability) {
+  S3Bed bed;
+  bed.s3->create_bucket("b");
+  auto id = bed.s3->initiate_multipart("b", "k");
+  for (int part = 1; part <= 5; ++part) {
+    bed.s3->upload_part(bed.client, id, part, cu::mb(100));
+  }
+  bed.sim.run();
+  auto done = bed.s3->complete_multipart(id);
+  bed.sim.run();
+  ASSERT_TRUE(done->ok);
+  auto get = bed.s3->get_object(bed.client, "b", "k");
+  bed.sim.run();
+  EXPECT_TRUE(get->ok);
+  EXPECT_EQ(get->bytes, cu::mb(100) * 5);
+}

@@ -1,0 +1,232 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event.hpp"
+#include "sim/simulation.hpp"
+
+namespace cs = chase::sim;
+
+TEST(Simulation, RunsEventsInTimeOrder) {
+  cs::Simulation sim;
+  std::vector<int> order;
+  sim.schedule(3.0, [&] { order.push_back(3); });
+  sim.schedule(1.0, [&] { order.push_back(1); });
+  sim.schedule(2.0, [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(sim.now(), 3.0);
+}
+
+TEST(Simulation, FifoAtSameTimestamp) {
+  cs::Simulation sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.schedule(1.0, [&order, i] { order.push_back(i); });
+  }
+  sim.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(Simulation, RunUntilStopsEarly) {
+  cs::Simulation sim;
+  int fired = 0;
+  sim.schedule(1.0, [&] { fired++; });
+  sim.schedule(5.0, [&] { fired++; });
+  sim.run(2.0);
+  EXPECT_EQ(fired, 1);
+  EXPECT_DOUBLE_EQ(sim.now(), 2.0);
+  sim.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulation, NestedScheduling) {
+  cs::Simulation sim;
+  double inner_time = -1;
+  sim.schedule(1.0, [&] { sim.schedule(2.0, [&] { inner_time = sim.now(); }); });
+  sim.run();
+  EXPECT_DOUBLE_EQ(inner_time, 3.0);
+}
+
+TEST(Simulation, EventsProcessedCount) {
+  cs::Simulation sim;
+  for (int i = 0; i < 7; ++i) sim.schedule(i, [] {});
+  sim.run();
+  EXPECT_EQ(sim.events_processed(), 7u);
+}
+
+namespace {
+
+cs::Task sleeper(cs::Simulation& sim, double dt, double* woke_at) {
+  co_await sim.sleep(dt);
+  *woke_at = sim.now();
+}
+
+cs::Task parent_task(cs::Simulation& sim, std::vector<int>* log) {
+  log->push_back(1);
+  co_await sim.sleep(1.0);
+  log->push_back(2);
+  double t = 0;
+  co_await sleeper(sim, 2.0, &t);  // await a child coroutine
+  log->push_back(3);
+  EXPECT_DOUBLE_EQ(t, 3.0);
+}
+
+}  // namespace
+
+TEST(Task, SleepAdvancesClock) {
+  cs::Simulation sim;
+  double woke = -1;
+  sim.spawn(sleeper(sim, 5.0, &woke));
+  sim.run();
+  EXPECT_DOUBLE_EQ(woke, 5.0);
+}
+
+TEST(Task, AwaitChildTask) {
+  cs::Simulation sim;
+  std::vector<int> log;
+  sim.spawn(parent_task(sim, &log));
+  sim.run();
+  EXPECT_EQ(log, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(sim.now(), 3.0);
+}
+
+TEST(Task, ZeroDelaySleepDoesNotSuspendForever) {
+  cs::Simulation sim;
+  double woke = -1;
+  sim.spawn(sleeper(sim, 0.0, &woke));
+  sim.run();
+  EXPECT_DOUBLE_EQ(woke, 0.0);
+}
+
+TEST(Task, ManyConcurrentProcesses) {
+  cs::Simulation sim;
+  static int finished;
+  finished = 0;
+  auto proc = [](cs::Simulation& s, double dt) -> cs::Task {
+    co_await s.sleep(dt);
+    finished++;
+  };
+  for (int i = 0; i < 1000; ++i) sim.spawn(proc(sim, 1.0 + i * 0.001));
+  sim.run();
+  EXPECT_EQ(finished, 1000);
+}
+
+TEST(Task, UnfinishedTaskCleanedUpAtTeardown) {
+  // A process suspended forever must be destroyed with the simulation
+  // without leaking or crashing (ASAN would catch both).
+  auto forever = [](cs::Simulation& s) -> cs::Task {
+    co_await s.sleep(1e18);
+  };
+  cs::Simulation sim;
+  sim.spawn(forever(sim));
+  sim.run(10.0);
+}
+
+TEST(Event, TriggerWakesAllWaiters) {
+  cs::Simulation sim;
+  auto ev = cs::make_event();
+  static int woken;
+  woken = 0;
+  auto waiter = [](cs::Simulation& s, cs::EventPtr e) -> cs::Task {
+    co_await e->wait(s);
+    woken++;
+  };
+  for (int i = 0; i < 5; ++i) sim.spawn(waiter(sim, ev));
+  sim.schedule(2.0, [&] { ev->trigger(sim); });
+  sim.run();
+  EXPECT_EQ(woken, 5);
+  EXPECT_TRUE(ev->fired());
+}
+
+TEST(Event, AwaitAlreadyFiredEventReturnsImmediately) {
+  cs::Simulation sim;
+  auto ev = cs::make_event();
+  ev->trigger(sim);
+  double at = -1;
+  auto waiter = [&](cs::Simulation& s, cs::EventPtr e) -> cs::Task {
+    co_await s.sleep(3.0);
+    co_await e->wait(s);
+    at = s.now();
+  };
+  sim.spawn(waiter(sim, ev));
+  sim.run();
+  EXPECT_DOUBLE_EQ(at, 3.0);
+}
+
+TEST(Event, DoubleTriggerIsIdempotent) {
+  cs::Simulation sim;
+  auto ev = cs::make_event();
+  ev->trigger(sim);
+  EXPECT_NO_THROW(ev->trigger(sim));
+}
+
+TEST(Event, WaitAll) {
+  cs::Simulation sim;
+  auto e1 = cs::make_event();
+  auto e2 = cs::make_event();
+  auto e3 = cs::make_event();
+  double done_at = -1;
+  auto waiter = [&](cs::Simulation& s) -> cs::Task {
+    std::vector<cs::EventPtr> group{e1, e2, e3};
+    co_await cs::wait_all(s, std::move(group));
+    done_at = s.now();
+  };
+  sim.spawn(waiter(sim));
+  sim.schedule(1.0, [&] { e2->trigger(sim); });
+  sim.schedule(5.0, [&] { e1->trigger(sim); });
+  sim.schedule(3.0, [&] { e3->trigger(sim); });
+  sim.run();
+  EXPECT_DOUBLE_EQ(done_at, 5.0);
+}
+
+TEST(Semaphore, LimitsConcurrency) {
+  cs::Simulation sim;
+  cs::Semaphore sem(2);
+  static int active;
+  static int peak;
+  active = peak = 0;
+  auto worker = [](cs::Simulation& s, cs::Semaphore& sm) -> cs::Task {
+    co_await sm.acquire();
+    active++;
+    peak = std::max(peak, active);
+    co_await s.sleep(1.0);
+    active--;
+    sm.release(s);
+  };
+  for (int i = 0; i < 10; ++i) sim.spawn(worker(sim, sem));
+  sim.run();
+  EXPECT_EQ(peak, 2);
+  EXPECT_EQ(active, 0);
+  // 10 jobs, 2 at a time, 1s each -> 5s.
+  EXPECT_DOUBLE_EQ(sim.now(), 5.0);
+}
+
+TEST(Semaphore, FifoHandoff) {
+  cs::Simulation sim;
+  cs::Semaphore sem(1);
+  static std::vector<int> order;
+  order.clear();
+  auto worker = [](cs::Simulation& s, cs::Semaphore& sm, int id) -> cs::Task {
+    co_await sm.acquire();
+    order.push_back(id);
+    co_await s.sleep(1.0);
+    sm.release(s);
+  };
+  for (int i = 0; i < 4; ++i) sim.spawn(worker(sim, sem, i));
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(Latch, FiresAtZero) {
+  cs::Simulation sim;
+  auto done = cs::make_event();
+  cs::Latch latch(3, done);
+  sim.schedule(1.0, [&] { latch.count_down(sim); });
+  sim.schedule(2.0, [&] { latch.count_down(sim); });
+  sim.run();
+  EXPECT_FALSE(done->fired());
+  sim.schedule(0.0, [&] { latch.count_down(sim); });
+  sim.run();
+  EXPECT_TRUE(done->fired());
+}

@@ -1,0 +1,208 @@
+#include <gtest/gtest.h>
+
+#include "thredds/catalog.hpp"
+#include "thredds/server.hpp"
+
+namespace ct = chase::thredds;
+namespace cn = chase::net;
+namespace cs = chase::sim;
+namespace cu = chase::util;
+
+TEST(Calendar, DaysFromCivil) {
+  EXPECT_EQ(ct::days_from_civil(1970, 1, 1), 0);
+  EXPECT_EQ(ct::days_from_civil(1970, 1, 2), 1);
+  EXPECT_EQ(ct::days_from_civil(1969, 12, 31), -1);
+  // Leap handling.
+  EXPECT_EQ(ct::days_from_civil(2000, 3, 1) - ct::days_from_civil(2000, 2, 28), 2);
+  EXPECT_EQ(ct::days_from_civil(1900, 3, 1) - ct::days_from_civil(1900, 2, 28), 1);
+}
+
+TEST(Merra2, MatchesPaperArchive) {
+  auto ds = ct::make_merra2_m2i3npasm();
+  // "112,249 NetCDF files"
+  EXPECT_EQ(ds.file_count, 112249u);
+  // "total archive size from 455GB to 246GB"
+  EXPECT_NEAR(static_cast<double>(ds.total_bytes()), 455e9, 0.01 * 455e9);
+  auto ivt = ds.total_subset_bytes("IVT");
+  ASSERT_TRUE(ivt.has_value());
+  EXPECT_NEAR(static_cast<double>(*ivt), 246e9, 0.005 * 246e9);
+  // 576x361 grid, 42 levels.
+  EXPECT_EQ(ds.grid_x, 576);
+  EXPECT_EQ(ds.grid_y, 361);
+  EXPECT_EQ(ds.levels, 42);
+}
+
+TEST(Merra2, FileTimesAndUrls) {
+  auto ds = ct::make_merra2_m2i3npasm();
+  EXPECT_EQ(ds.file_time(0).to_string(), "1980-01-01T00:00Z");
+  EXPECT_EQ(ds.file_time(1).to_string(), "1980-01-01T03:00Z");
+  EXPECT_EQ(ds.file_time(8).to_string(), "1980-01-02T00:00Z");
+  // Last file: 2018-06-01T00Z (inclusive endpoint).
+  EXPECT_EQ(ds.file_time(ds.file_count - 1).to_string(), "2018-06-01T00:00Z");
+  EXPECT_EQ(ds.file_url(0), "/thredds/M2I3NPASM/1980-01-01T00:00Z.nc4");
+}
+
+TEST(Merra2, SubsetSmallerThanWholeFile) {
+  auto ds = ct::make_merra2_m2i3npasm();
+  auto ivt = ds.subset_bytes("IVT");
+  ASSERT_TRUE(ivt.has_value());
+  EXPECT_LT(*ivt, ds.file_bytes());
+  EXPECT_FALSE(ds.subset_bytes("NOPE").has_value());
+}
+
+namespace {
+
+struct ThreddsBed {
+  cs::Simulation sim;
+  cn::Network net{sim};
+  cn::NodeId server_node;
+  cn::NodeId client_node;
+  std::unique_ptr<ct::ThreddsServer> server;
+
+  explicit ThreddsBed(ct::ThreddsServer::Options opts = {}) {
+    auto sw = net.add_node("switch");
+    server_node = net.add_node("thredds-dtn");
+    client_node = net.add_node("worker");
+    net.add_link(server_node, sw, cu::gbit_per_s(20), 1e-3);
+    net.add_link(client_node, sw, cu::gbit_per_s(20), 1e-3);
+    server = std::make_unique<ct::ThreddsServer>(sim, net, server_node, opts);
+    server->add_dataset(ct::make_merra2_m2i3npasm());
+  }
+};
+
+}  // namespace
+
+TEST(ThreddsServer, FetchSubsetDeliversVariableBytes) {
+  ThreddsBed bed;
+  static bool ok;
+  static cu::Bytes bytes;
+  ok = false;
+  bytes = 0;
+  auto prog = [](ThreddsBed* b) -> cs::Task {
+    co_await b->server->fetch(b->client_node, "M2I3NPASM", 0, "IVT", &ok, &bytes);
+  };
+  bed.sim.spawn(prog(&bed));
+  bed.sim.run();
+  EXPECT_TRUE(ok);
+  auto expected = bed.server->dataset("M2I3NPASM")->subset_bytes("IVT");
+  EXPECT_EQ(bytes, *expected);
+  EXPECT_EQ(bed.server->requests_served(), 1u);
+  EXPECT_DOUBLE_EQ(bed.server->bytes_served(), static_cast<double>(*expected));
+}
+
+TEST(ThreddsServer, WholeFileFetchWhenNoVariable) {
+  ThreddsBed bed;
+  static cu::Bytes bytes;
+  bytes = 0;
+  auto prog = [](ThreddsBed* b) -> cs::Task {
+    bool ok = false;
+    co_await b->server->fetch(b->client_node, "M2I3NPASM", 0, "", &ok, &bytes);
+    EXPECT_TRUE(ok);
+  };
+  bed.sim.spawn(prog(&bed));
+  bed.sim.run();
+  EXPECT_EQ(bytes, bed.server->dataset("M2I3NPASM")->file_bytes());
+}
+
+TEST(ThreddsServer, UnknownDatasetOrIndexFails) {
+  ThreddsBed bed;
+  static int failures;
+  failures = 0;
+  auto prog = [](ThreddsBed* b) -> cs::Task {
+    bool ok = true;
+    co_await b->server->fetch(b->client_node, "NOPE", 0, "IVT", &ok);
+    failures += !ok;
+    ok = true;
+    co_await b->server->fetch(b->client_node, "M2I3NPASM", 999999999, "IVT", &ok);
+    failures += !ok;
+    ok = true;
+    co_await b->server->fetch(b->client_node, "M2I3NPASM", 0, "BOGUS", &ok);
+    failures += !ok;
+  };
+  bed.sim.spawn(prog(&bed));
+  bed.sim.run();
+  EXPECT_EQ(failures, 3);
+}
+
+TEST(ThreddsServer, ExtractionSlotsBoundServiceRate) {
+  // With 2 extraction slots at 1s each, 10 requests take >= 5s even though
+  // the network is fast.
+  ct::ThreddsServer::Options opts;
+  opts.extraction_slots = 2;
+  opts.extraction_seconds = 1.0;
+  opts.request_overhead = 0.0;
+  ThreddsBed bed(opts);
+  static int completed;
+  completed = 0;
+  auto prog = [](ThreddsBed* b, std::size_t index) -> cs::Task {
+    bool ok = false;
+    co_await b->server->fetch(b->client_node, "M2I3NPASM", index, "IVT", &ok);
+    if (ok) ++completed;
+  };
+  for (std::size_t i = 0; i < 10; ++i) bed.sim.spawn(prog(&bed, i));
+  bed.sim.run();
+  EXPECT_EQ(completed, 10);
+  EXPECT_GE(bed.sim.now(), 5.0);
+  EXPECT_LT(bed.sim.now(), 7.0);
+}
+
+TEST(Aria2, DownloadsAllFilesAcrossConnections) {
+  ct::ThreddsServer::Options opts;
+  opts.extraction_seconds = 0.05;
+  opts.request_overhead = 0.0;
+  ThreddsBed bed(opts);
+  ct::Aria2Client aria(bed.sim, *bed.server, bed.client_node, 20);
+  std::vector<std::size_t> files;
+  for (std::size_t i = 0; i < 100; ++i) files.push_back(i);
+  static ct::DownloadStats stats;
+  stats = {};
+  auto prog = [](ThreddsBed* b, ct::Aria2Client* a, std::vector<std::size_t> f) -> cs::Task {
+    co_await a->download("M2I3NPASM", std::move(f), "IVT", &stats);
+  };
+  bed.sim.spawn(prog(&bed, &aria, files));
+  bed.sim.run();
+  EXPECT_TRUE(stats.ok);
+  EXPECT_EQ(stats.files, 100u);
+  auto per_file = *bed.server->dataset("M2I3NPASM")->subset_bytes("IVT");
+  EXPECT_EQ(stats.bytes, per_file * 100);
+}
+
+TEST(Aria2, MoreConnectionsFasterUntilServerBound) {
+  double elapsed[3];
+  const int connection_counts[3] = {1, 4, 64};
+  for (int run = 0; run < 3; ++run) {
+    ct::ThreddsServer::Options opts;
+    opts.extraction_slots = 8;
+    opts.extraction_seconds = 0.1;
+    opts.request_overhead = 0.0;
+    ThreddsBed bed(opts);
+    ct::Aria2Client aria(bed.sim, *bed.server, bed.client_node, connection_counts[run]);
+    std::vector<std::size_t> files;
+    for (std::size_t i = 0; i < 200; ++i) files.push_back(i);
+    static ct::DownloadStats stats;
+    stats = {};
+    auto prog = [](ct::Aria2Client* a, std::vector<std::size_t> f) -> cs::Task {
+      co_await a->download("M2I3NPASM", std::move(f), "IVT", &stats);
+    };
+    bed.sim.spawn(prog(&aria, files));
+    bed.sim.run();
+    EXPECT_TRUE(stats.ok);
+    elapsed[run] = bed.sim.now();
+  }
+  EXPECT_LT(elapsed[1], elapsed[0] * 0.5);   // 4 connections much faster than 1
+  EXPECT_GT(elapsed[2], elapsed[1] * 0.25);  // but 64 is server-bound, not 16x
+}
+
+TEST(Aria2, EmptyFileListCompletesImmediately) {
+  ThreddsBed bed;
+  ct::Aria2Client aria(bed.sim, *bed.server, bed.client_node, 4);
+  static ct::DownloadStats stats;
+  stats = {};
+  auto prog = [](ct::Aria2Client* a) -> cs::Task {
+    co_await a->download("M2I3NPASM", {}, "IVT", &stats);
+  };
+  bed.sim.spawn(prog(&aria));
+  bed.sim.run();
+  EXPECT_TRUE(stats.ok);
+  EXPECT_EQ(stats.files, 0u);
+}

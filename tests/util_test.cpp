@@ -1,0 +1,212 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <numeric>
+#include <set>
+#include <vector>
+
+#include "util/chart.hpp"
+#include "util/histogram.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+#include "util/thread_pool.hpp"
+#include "util/units.hpp"
+
+namespace cu = chase::util;
+
+TEST(Units, ByteFormatting) {
+  EXPECT_EQ(cu::format_bytes(0), "0B");
+  EXPECT_EQ(cu::format_bytes(17), "17B");
+  EXPECT_EQ(cu::format_bytes(cu::kGB * 246), "246GB");
+  EXPECT_EQ(cu::format_bytes(381e6), "381MB");
+  EXPECT_EQ(cu::format_bytes(5.8e9), "5.80GB");
+  EXPECT_EQ(cu::format_bytes(1.2e15), "1.20PB");
+}
+
+TEST(Units, RateFormatting) {
+  EXPECT_EQ(cu::format_rate(593e6), "593MB/s");
+  EXPECT_EQ(cu::format_rate(2.64e9), "2.64GB/s");
+}
+
+TEST(Units, DurationFormatting) {
+  EXPECT_EQ(cu::format_duration(37 * 60), "37m");
+  EXPECT_EQ(cu::format_duration(1133 * 60), "18h53m");
+  EXPECT_EQ(cu::format_duration(306 * 60), "5h06m");
+  EXPECT_EQ(cu::format_duration(4.2), "4.2s");
+  EXPECT_EQ(cu::format_duration(0.05), "50ms");
+}
+
+TEST(Units, LinkSpeeds) {
+  EXPECT_DOUBLE_EQ(cu::gbit_per_s(10), 1.25e9);
+  EXPECT_DOUBLE_EQ(cu::gbit_per_s(100), 12.5e9);
+}
+
+TEST(Units, ByteLiterals) {
+  EXPECT_EQ(cu::gb(1), 1'000'000'000u);
+  EXPECT_EQ(cu::mb(381), 381'000'000u);
+}
+
+TEST(Rng, Deterministic) {
+  cu::Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  cu::Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.next_u64() == b.next_u64());
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformInRange) {
+  cu::Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformU64Unbiased) {
+  cu::Rng rng(9);
+  std::vector<int> counts(7, 0);
+  const int n = 70000;
+  for (int i = 0; i < n; ++i) ++counts[rng.uniform_u64(7)];
+  for (int c : counts) {
+    EXPECT_NEAR(c, n / 7.0, 5 * std::sqrt(n / 7.0));
+  }
+}
+
+TEST(Rng, NormalMoments) {
+  cu::Rng rng(11);
+  const int n = 50000;
+  double sum = 0, sum2 = 0;
+  for (int i = 0; i < n; ++i) {
+    double x = rng.normal(3.0, 2.0);
+    sum += x;
+    sum2 += x * x;
+  }
+  double mean = sum / n;
+  double var = sum2 / n - mean * mean;
+  EXPECT_NEAR(mean, 3.0, 0.05);
+  EXPECT_NEAR(var, 4.0, 0.15);
+}
+
+TEST(Rng, ExponentialMean) {
+  cu::Rng rng(13);
+  const int n = 50000;
+  double sum = 0;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(5.0);
+  EXPECT_NEAR(sum / n, 5.0, 0.15);
+}
+
+TEST(Rng, HashMixAvalanche) {
+  // Flipping one input bit should flip roughly half the output bits.
+  int total = 0;
+  for (int bit = 0; bit < 64; ++bit) {
+    std::uint64_t a = cu::hash_mix(0x1234567890abcdefULL);
+    std::uint64_t b = cu::hash_mix(0x1234567890abcdefULL ^ (1ULL << bit));
+    total += __builtin_popcountll(a ^ b);
+  }
+  EXPECT_NEAR(total / 64.0, 32.0, 6.0);
+}
+
+TEST(Rng, ForkIndependence) {
+  cu::Rng parent(5);
+  cu::Rng child = parent.fork();
+  EXPECT_NE(parent.next_u64(), child.next_u64());
+}
+
+TEST(ThreadPool, ParallelForCoversRange) {
+  cu::ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallel_for(0, 1000, [&](std::size_t i) { hits[i]++; });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, EmptyRange) {
+  cu::ThreadPool pool(2);
+  bool called = false;
+  pool.parallel_for(5, 5, [&](std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPool, SubmitAndWait) {
+  cu::ThreadPool pool(2);
+  std::atomic<int> n{0};
+  for (int i = 0; i < 50; ++i) pool.submit([&] { n++; });
+  pool.wait_idle();
+  EXPECT_EQ(n.load(), 50);
+}
+
+TEST(ThreadPool, ParallelSumMatchesSerial) {
+  cu::ThreadPool pool(4);
+  std::vector<double> xs(10000);
+  std::iota(xs.begin(), xs.end(), 0.0);
+  std::vector<double> partial(10000, 0.0);
+  pool.parallel_for(0, xs.size(), [&](std::size_t i) { partial[i] = xs[i] * 2; });
+  double total = std::accumulate(partial.begin(), partial.end(), 0.0);
+  EXPECT_DOUBLE_EQ(total, 9999.0 * 10000.0);
+}
+
+TEST(Histogram, MeanMinMax) {
+  cu::Histogram h(0, 100, 10);
+  for (double v : {10.0, 20.0, 30.0}) h.add(v);
+  EXPECT_DOUBLE_EQ(h.mean(), 20.0);
+  EXPECT_DOUBLE_EQ(h.min(), 10.0);
+  EXPECT_DOUBLE_EQ(h.max(), 30.0);
+  EXPECT_EQ(h.count(), 3u);
+}
+
+TEST(Histogram, QuantileRoughlyCorrect) {
+  cu::Histogram h(0, 1000, 100);
+  for (int i = 0; i < 1000; ++i) h.add(static_cast<double>(i));
+  EXPECT_NEAR(h.quantile(0.5), 500, 15);
+  EXPECT_NEAR(h.quantile(0.9), 900, 15);
+  EXPECT_NEAR(h.quantile(0.99), 990, 15);
+}
+
+TEST(Histogram, ClampsOutOfRange) {
+  cu::Histogram h(0, 10, 5);
+  h.add(-5);
+  h.add(100);
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_EQ(h.buckets().front(), 1u);
+  EXPECT_EQ(h.buckets().back(), 1u);
+}
+
+TEST(Table, RendersAllCells) {
+  cu::Table t({"Step", "Time"});
+  t.add_row({"Step 1", "37m"});
+  t.add_row({"Step 3", "1133m"});
+  std::string s = t.render("TABLE I");
+  EXPECT_NE(s.find("TABLE I"), std::string::npos);
+  EXPECT_NE(s.find("Step 1"), std::string::npos);
+  EXPECT_NE(s.find("1133m"), std::string::npos);
+  EXPECT_NE(s.find("Time"), std::string::npos);
+}
+
+TEST(Table, PadsShortRows) {
+  cu::Table t({"a", "b", "c"});
+  t.add_row({"1"});
+  EXPECT_NO_THROW(t.render());
+}
+
+TEST(Chart, RendersSeriesAndLegend) {
+  cu::AsciiChart chart(40, 8);
+  cu::Series s;
+  s.name = "cpu";
+  for (int i = 0; i < 20; ++i) s.points.emplace_back(i * 10.0, std::sin(i * 0.3) + 1.0);
+  chart.add_series(std::move(s));
+  std::string out = chart.render("usage", "cores");
+  EXPECT_NE(out.find("cpu"), std::string::npos);
+  EXPECT_NE(out.find("usage"), std::string::npos);
+  EXPECT_NE(out.find('*'), std::string::npos);
+}
+
+TEST(Chart, EmptyChartDoesNotCrash) {
+  cu::AsciiChart chart;
+  std::string out = chart.render("empty", "x");
+  EXPECT_NE(out.find("no data"), std::string::npos);
+}

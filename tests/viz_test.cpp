@@ -1,0 +1,127 @@
+#include <gtest/gtest.h>
+
+#include "net/network.hpp"
+#include "sim/simulation.hpp"
+#include "viz/ascii_render.hpp"
+#include "viz/renderwall.hpp"
+
+namespace cv = chase::viz;
+namespace cn = chase::net;
+namespace cs = chase::sim;
+namespace cu = chase::util;
+namespace ml = chase::ml;
+
+namespace {
+
+struct WallBed {
+  cs::Simulation sim;
+  cn::Network net{sim};
+  std::vector<cn::NodeId> gpu_nodes;
+  cn::NodeId display, input;
+
+  explicit WallBed(int tiles = 11, double wan_gbps = 100.0, double wan_latency = 3e-3) {
+    auto sd_switch = net.add_node("ucsd-switch");
+    auto merced_switch = net.add_node("ucm-switch");
+    net.add_link(sd_switch, merced_switch, cu::gbit_per_s(wan_gbps), wan_latency);
+    for (int i = 0; i < tiles; ++i) {
+      auto n = net.add_node("gpu-" + std::to_string(i));
+      net.add_link(n, sd_switch, cu::gbit_per_s(20), 1e-4);
+      gpu_nodes.push_back(n);
+    }
+    display = net.add_node("suncave-display");
+    net.add_link(display, merced_switch, cu::gbit_per_s(40), 1e-4);
+    input = net.add_node("wand");
+    net.add_link(input, merced_switch, cu::gbit_per_s(1), 1e-4);
+  }
+};
+
+}  // namespace
+
+TEST(RenderWall, AllFramesRenderedWithLowLatency) {
+  WallBed bed;
+  cv::RenderWallOptions opts;
+  opts.tiles = 11;
+  auto wall = cv::RenderWall(bed.sim, bed.net, opts);
+  auto done = cs::make_event();
+  wall.run(bed.gpu_nodes, bed.display, bed.input, 120, done);
+  ASSERT_TRUE(cs::run_until(bed.sim, done));
+  auto report = wall.report();
+  EXPECT_EQ(report.frames, 120u);
+  // "unnoticeable latency": well under 100 ms end to end.
+  EXPECT_LT(report.p99_latency, 0.1);
+  EXPECT_GT(report.mean_latency, 2 * 3e-3);  // at least two WAN crossings
+  EXPECT_LE(report.p50_latency, report.p99_latency);
+  EXPECT_LE(report.p99_latency, report.max_latency);
+}
+
+TEST(RenderWall, SlowWanDegradesLatency) {
+  cv::RenderWallOptions opts;
+  double fast, slow;
+  {
+    WallBed bed(11, 100.0);
+    cv::RenderWall wall(bed.sim, bed.net, opts);
+    auto done = cs::make_event();
+    wall.run(bed.gpu_nodes, bed.display, bed.input, 40, done);
+    cs::run_until(bed.sim, done);
+    fast = wall.report().mean_latency;
+  }
+  {
+    WallBed bed(11, 1.0);  // 1 Gbps shared by 11 tile streams
+    cv::RenderWall wall(bed.sim, bed.net, opts);
+    auto done = cs::make_event();
+    wall.run(bed.gpu_nodes, bed.display, bed.input, 40, done);
+    cs::run_until(bed.sim, done);
+    slow = wall.report().mean_latency;
+  }
+  EXPECT_GT(slow, fast * 2);
+}
+
+TEST(RenderWall, FrameRatePacing) {
+  WallBed bed;
+  cv::RenderWallOptions opts;
+  opts.frame_rate_hz = 30.0;
+  cv::RenderWall wall(bed.sim, bed.net, opts);
+  auto done = cs::make_event();
+  wall.run(bed.gpu_nodes, bed.display, bed.input, 90, done);
+  cs::run_until(bed.sim, done);
+  // 90 frames at 30 Hz -> about 3 simulated seconds (tolerate fp rounding).
+  EXPECT_GE(bed.sim.now(), 3.0 - 1e-6);
+  EXPECT_GT(wall.report().on_time_fraction, 0.5);
+}
+
+TEST(RenderWall, EmptyReportSafe) {
+  WallBed bed;
+  cv::RenderWall wall(bed.sim, bed.net, {});
+  auto report = wall.report();
+  EXPECT_EQ(report.frames, 0u);
+  EXPECT_DOUBLE_EQ(report.mean_latency, 0.0);
+}
+
+TEST(AsciiRender, FieldSliceShowsStructure) {
+  ml::Volume<float> field(40, 10, 2, 0.f);
+  for (int y = 3; y < 7; ++y) {
+    for (int x = 10; x < 30; ++x) field.at(x, y, 1) = 500.f;
+  }
+  const std::string frame = cv::render_field_slice(field, 1);
+  EXPECT_NE(frame.find('@'), std::string::npos);  // hot region
+  EXPECT_NE(frame.find(' '), std::string::npos);  // background
+  const std::string empty_slice = cv::render_field_slice(field, 0);
+  EXPECT_EQ(empty_slice.find('@'), std::string::npos);
+}
+
+TEST(AsciiRender, LabelSliceLettersObjects) {
+  ml::Volume<std::int32_t> labels(20, 5, 1, 0);
+  labels.at(2, 2, 0) = 1;
+  labels.at(10, 2, 0) = 2;
+  const std::string frame = cv::render_label_slice(labels, 0);
+  EXPECT_NE(frame.find('A'), std::string::npos);
+  EXPECT_NE(frame.find('B'), std::string::npos);
+  EXPECT_NE(frame.find('.'), std::string::npos);
+}
+
+TEST(AsciiRender, OutOfRangeSliceSafe) {
+  ml::Volume<float> field(4, 4, 2, 0.f);
+  EXPECT_EQ(cv::render_field_slice(field, 9), "(empty)\n");
+  ml::Volume<std::int32_t> labels(4, 4, 2, 0);
+  EXPECT_EQ(cv::render_label_slice(labels, -1), "(empty)\n");
+}
