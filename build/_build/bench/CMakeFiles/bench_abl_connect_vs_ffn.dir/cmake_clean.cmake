@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../../bench/bench_abl_connect_vs_ffn"
+  "../../bench/bench_abl_connect_vs_ffn.pdb"
+  "CMakeFiles/bench_abl_connect_vs_ffn.dir/bench_abl_connect_vs_ffn.cpp.o"
+  "CMakeFiles/bench_abl_connect_vs_ffn.dir/bench_abl_connect_vs_ffn.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_connect_vs_ffn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

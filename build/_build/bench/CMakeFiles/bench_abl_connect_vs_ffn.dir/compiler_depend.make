@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_abl_connect_vs_ffn.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../../bench/bench_abl_disttrain"
+  "../../bench/bench_abl_disttrain.pdb"
+  "CMakeFiles/bench_abl_disttrain.dir/bench_abl_disttrain.cpp.o"
+  "CMakeFiles/bench_abl_disttrain.dir/bench_abl_disttrain.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_disttrain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

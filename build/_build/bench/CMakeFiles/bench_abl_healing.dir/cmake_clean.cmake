@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../../bench/bench_abl_healing"
+  "../../bench/bench_abl_healing.pdb"
+  "CMakeFiles/bench_abl_healing.dir/bench_abl_healing.cpp.o"
+  "CMakeFiles/bench_abl_healing.dir/bench_abl_healing.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_healing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../../bench/bench_abl_hyperparam"
+  "../../bench/bench_abl_hyperparam.pdb"
+  "CMakeFiles/bench_abl_hyperparam.dir/bench_abl_hyperparam.cpp.o"
+  "CMakeFiles/bench_abl_hyperparam.dir/bench_abl_hyperparam.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_hyperparam.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_abl_hyperparam.
+# This may be replaced when dependencies are built.

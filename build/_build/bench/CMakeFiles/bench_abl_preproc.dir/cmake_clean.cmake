@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../../bench/bench_abl_preproc"
+  "../../bench/bench_abl_preproc.pdb"
+  "CMakeFiles/bench_abl_preproc.dir/bench_abl_preproc.cpp.o"
+  "CMakeFiles/bench_abl_preproc.dir/bench_abl_preproc.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_preproc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../../bench/bench_abl_subset"
+  "../../bench/bench_abl_subset.pdb"
+  "CMakeFiles/bench_abl_subset.dir/bench_abl_subset.cpp.o"
+  "CMakeFiles/bench_abl_subset.dir/bench_abl_subset.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_subset.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../../bench/bench_abl_vizwall"
+  "../../bench/bench_abl_vizwall.pdb"
+  "CMakeFiles/bench_abl_vizwall.dir/bench_abl_vizwall.cpp.o"
+  "CMakeFiles/bench_abl_vizwall.dir/bench_abl_vizwall.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_vizwall.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../../bench/bench_abl_workers"
+  "../../bench/bench_abl_workers.pdb"
+  "CMakeFiles/bench_abl_workers.dir/bench_abl_workers.cpp.o"
+  "CMakeFiles/bench_abl_workers.dir/bench_abl_workers.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_workers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../../bench/bench_fig2_workflow"
+  "../../bench/bench_fig2_workflow.pdb"
+  "CMakeFiles/bench_fig2_workflow.dir/bench_fig2_workflow.cpp.o"
+  "CMakeFiles/bench_fig2_workflow.dir/bench_fig2_workflow.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_workflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

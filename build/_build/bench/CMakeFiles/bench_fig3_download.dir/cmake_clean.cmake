@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../../bench/bench_fig3_download"
+  "../../bench/bench_fig3_download.pdb"
+  "CMakeFiles/bench_fig3_download.dir/bench_fig3_download.cpp.o"
+  "CMakeFiles/bench_fig3_download.dir/bench_fig3_download.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_download.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

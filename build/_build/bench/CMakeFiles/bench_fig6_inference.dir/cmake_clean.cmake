@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../../bench/bench_fig6_inference"
+  "../../bench/bench_fig6_inference.pdb"
+  "CMakeFiles/bench_fig6_inference.dir/bench_fig6_inference.cpp.o"
+  "CMakeFiles/bench_fig6_inference.dir/bench_fig6_inference.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_inference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

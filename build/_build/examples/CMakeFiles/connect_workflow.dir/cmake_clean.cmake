@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../../examples/connect_workflow"
+  "../../examples/connect_workflow.pdb"
+  "CMakeFiles/connect_workflow.dir/connect_workflow.cpp.o"
+  "CMakeFiles/connect_workflow.dir/connect_workflow.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/connect_workflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

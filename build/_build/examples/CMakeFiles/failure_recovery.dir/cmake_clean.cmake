@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../../examples/failure_recovery"
+  "../../examples/failure_recovery.pdb"
+  "CMakeFiles/failure_recovery.dir/failure_recovery.cpp.o"
+  "CMakeFiles/failure_recovery.dir/failure_recovery.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/failure_recovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

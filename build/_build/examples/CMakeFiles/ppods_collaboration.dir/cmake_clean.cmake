@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../../examples/ppods_collaboration"
+  "../../examples/ppods_collaboration.pdb"
+  "CMakeFiles/ppods_collaboration.dir/ppods_collaboration.cpp.o"
+  "CMakeFiles/ppods_collaboration.dir/ppods_collaboration.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppods_collaboration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

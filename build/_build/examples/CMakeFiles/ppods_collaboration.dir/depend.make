@@ -1,0 +1,2 @@
+# Empty dependencies file for ppods_collaboration.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../../examples/streaming_ingest"
+  "../../examples/streaming_ingest.pdb"
+  "CMakeFiles/streaming_ingest.dir/streaming_ingest.cpp.o"
+  "CMakeFiles/streaming_ingest.dir/streaming_ingest.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/streaming_ingest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

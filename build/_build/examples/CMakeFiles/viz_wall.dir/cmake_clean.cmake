@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../../examples/viz_wall"
+  "../../examples/viz_wall.pdb"
+  "CMakeFiles/viz_wall.dir/viz_wall.cpp.o"
+  "CMakeFiles/viz_wall.dir/viz_wall.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/viz_wall.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chase_auth.dir/cilogon.cpp.o"
+  "CMakeFiles/chase_auth.dir/cilogon.cpp.o.d"
+  "libchase_auth.a"
+  "libchase_auth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chase_auth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

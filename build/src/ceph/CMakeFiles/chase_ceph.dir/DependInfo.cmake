@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ceph/ceph.cpp" "src/ceph/CMakeFiles/chase_ceph.dir/ceph.cpp.o" "gcc" "src/ceph/CMakeFiles/chase_ceph.dir/ceph.cpp.o.d"
+  "/root/repo/src/ceph/cephfs.cpp" "src/ceph/CMakeFiles/chase_ceph.dir/cephfs.cpp.o" "gcc" "src/ceph/CMakeFiles/chase_ceph.dir/cephfs.cpp.o.d"
+  "/root/repo/src/ceph/s3.cpp" "src/ceph/CMakeFiles/chase_ceph.dir/s3.cpp.o" "gcc" "src/ceph/CMakeFiles/chase_ceph.dir/s3.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cluster/CMakeFiles/chase_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/mon/CMakeFiles/chase_mon.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/chase_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/chase_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/chase_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chase_ceph.dir/ceph.cpp.o"
+  "CMakeFiles/chase_ceph.dir/ceph.cpp.o.d"
+  "CMakeFiles/chase_ceph.dir/cephfs.cpp.o"
+  "CMakeFiles/chase_ceph.dir/cephfs.cpp.o.d"
+  "CMakeFiles/chase_ceph.dir/s3.cpp.o"
+  "CMakeFiles/chase_ceph.dir/s3.cpp.o.d"
+  "libchase_ceph.a"
+  "libchase_ceph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chase_ceph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chase_cluster.dir/machine.cpp.o"
+  "CMakeFiles/chase_cluster.dir/machine.cpp.o.d"
+  "libchase_cluster.a"
+  "libchase_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chase_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

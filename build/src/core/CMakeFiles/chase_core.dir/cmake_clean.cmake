@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chase_core.dir/connect_workflow.cpp.o"
+  "CMakeFiles/chase_core.dir/connect_workflow.cpp.o.d"
+  "CMakeFiles/chase_core.dir/hyperparam.cpp.o"
+  "CMakeFiles/chase_core.dir/hyperparam.cpp.o.d"
+  "CMakeFiles/chase_core.dir/jupyterhub.cpp.o"
+  "CMakeFiles/chase_core.dir/jupyterhub.cpp.o.d"
+  "CMakeFiles/chase_core.dir/nautilus.cpp.o"
+  "CMakeFiles/chase_core.dir/nautilus.cpp.o.d"
+  "CMakeFiles/chase_core.dir/ppods.cpp.o"
+  "CMakeFiles/chase_core.dir/ppods.cpp.o.d"
+  "CMakeFiles/chase_core.dir/workflow.cpp.o"
+  "CMakeFiles/chase_core.dir/workflow.cpp.o.d"
+  "libchase_core.a"
+  "libchase_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chase_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

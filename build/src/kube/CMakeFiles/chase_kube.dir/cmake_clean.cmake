@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chase_kube.dir/cluster.cpp.o"
+  "CMakeFiles/chase_kube.dir/cluster.cpp.o.d"
+  "CMakeFiles/chase_kube.dir/types.cpp.o"
+  "CMakeFiles/chase_kube.dir/types.cpp.o.d"
+  "libchase_kube.a"
+  "libchase_kube.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chase_kube.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ml/connect.cpp" "src/ml/CMakeFiles/chase_ml.dir/connect.cpp.o" "gcc" "src/ml/CMakeFiles/chase_ml.dir/connect.cpp.o.d"
+  "/root/repo/src/ml/cost.cpp" "src/ml/CMakeFiles/chase_ml.dir/cost.cpp.o" "gcc" "src/ml/CMakeFiles/chase_ml.dir/cost.cpp.o.d"
+  "/root/repo/src/ml/eval.cpp" "src/ml/CMakeFiles/chase_ml.dir/eval.cpp.o" "gcc" "src/ml/CMakeFiles/chase_ml.dir/eval.cpp.o.d"
+  "/root/repo/src/ml/ffn.cpp" "src/ml/CMakeFiles/chase_ml.dir/ffn.cpp.o" "gcc" "src/ml/CMakeFiles/chase_ml.dir/ffn.cpp.o.d"
+  "/root/repo/src/ml/ffn_infer.cpp" "src/ml/CMakeFiles/chase_ml.dir/ffn_infer.cpp.o" "gcc" "src/ml/CMakeFiles/chase_ml.dir/ffn_infer.cpp.o.d"
+  "/root/repo/src/ml/meteo.cpp" "src/ml/CMakeFiles/chase_ml.dir/meteo.cpp.o" "gcc" "src/ml/CMakeFiles/chase_ml.dir/meteo.cpp.o.d"
+  "/root/repo/src/ml/synth.cpp" "src/ml/CMakeFiles/chase_ml.dir/synth.cpp.o" "gcc" "src/ml/CMakeFiles/chase_ml.dir/synth.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/chase_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/chase_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/chase_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/chase_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chase_ml.dir/connect.cpp.o"
+  "CMakeFiles/chase_ml.dir/connect.cpp.o.d"
+  "CMakeFiles/chase_ml.dir/cost.cpp.o"
+  "CMakeFiles/chase_ml.dir/cost.cpp.o.d"
+  "CMakeFiles/chase_ml.dir/eval.cpp.o"
+  "CMakeFiles/chase_ml.dir/eval.cpp.o.d"
+  "CMakeFiles/chase_ml.dir/ffn.cpp.o"
+  "CMakeFiles/chase_ml.dir/ffn.cpp.o.d"
+  "CMakeFiles/chase_ml.dir/ffn_infer.cpp.o"
+  "CMakeFiles/chase_ml.dir/ffn_infer.cpp.o.d"
+  "CMakeFiles/chase_ml.dir/meteo.cpp.o"
+  "CMakeFiles/chase_ml.dir/meteo.cpp.o.d"
+  "CMakeFiles/chase_ml.dir/synth.cpp.o"
+  "CMakeFiles/chase_ml.dir/synth.cpp.o.d"
+  "libchase_ml.a"
+  "libchase_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chase_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

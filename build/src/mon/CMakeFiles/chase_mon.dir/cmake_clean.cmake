@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chase_mon.dir/metrics.cpp.o"
+  "CMakeFiles/chase_mon.dir/metrics.cpp.o.d"
+  "libchase_mon.a"
+  "libchase_mon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chase_mon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

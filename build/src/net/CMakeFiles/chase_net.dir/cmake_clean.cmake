@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chase_net.dir/network.cpp.o"
+  "CMakeFiles/chase_net.dir/network.cpp.o.d"
+  "libchase_net.a"
+  "libchase_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chase_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

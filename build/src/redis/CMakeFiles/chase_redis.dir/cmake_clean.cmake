@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chase_redis.dir/redis.cpp.o"
+  "CMakeFiles/chase_redis.dir/redis.cpp.o.d"
+  "libchase_redis.a"
+  "libchase_redis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chase_redis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chase_sim.dir/event.cpp.o"
+  "CMakeFiles/chase_sim.dir/event.cpp.o.d"
+  "CMakeFiles/chase_sim.dir/simulation.cpp.o"
+  "CMakeFiles/chase_sim.dir/simulation.cpp.o.d"
+  "libchase_sim.a"
+  "libchase_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chase_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chase_thredds.dir/catalog.cpp.o"
+  "CMakeFiles/chase_thredds.dir/catalog.cpp.o.d"
+  "CMakeFiles/chase_thredds.dir/server.cpp.o"
+  "CMakeFiles/chase_thredds.dir/server.cpp.o.d"
+  "libchase_thredds.a"
+  "libchase_thredds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chase_thredds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

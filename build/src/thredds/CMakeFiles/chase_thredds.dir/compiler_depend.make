@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for chase_thredds.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chase_util.dir/chart.cpp.o"
+  "CMakeFiles/chase_util.dir/chart.cpp.o.d"
+  "CMakeFiles/chase_util.dir/csv.cpp.o"
+  "CMakeFiles/chase_util.dir/csv.cpp.o.d"
+  "CMakeFiles/chase_util.dir/histogram.cpp.o"
+  "CMakeFiles/chase_util.dir/histogram.cpp.o.d"
+  "CMakeFiles/chase_util.dir/rng.cpp.o"
+  "CMakeFiles/chase_util.dir/rng.cpp.o.d"
+  "CMakeFiles/chase_util.dir/table.cpp.o"
+  "CMakeFiles/chase_util.dir/table.cpp.o.d"
+  "CMakeFiles/chase_util.dir/thread_pool.cpp.o"
+  "CMakeFiles/chase_util.dir/thread_pool.cpp.o.d"
+  "CMakeFiles/chase_util.dir/units.cpp.o"
+  "CMakeFiles/chase_util.dir/units.cpp.o.d"
+  "libchase_util.a"
+  "libchase_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chase_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chase_viz.dir/ascii_render.cpp.o"
+  "CMakeFiles/chase_viz.dir/ascii_render.cpp.o.d"
+  "CMakeFiles/chase_viz.dir/renderwall.cpp.o"
+  "CMakeFiles/chase_viz.dir/renderwall.cpp.o.d"
+  "libchase_viz.a"
+  "libchase_viz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chase_viz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hyperparam_test.dir/hyperparam_test.cpp.o"
+  "CMakeFiles/hyperparam_test.dir/hyperparam_test.cpp.o.d"
+  "hyperparam_test"
+  "hyperparam_test.pdb"
+  "hyperparam_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hyperparam_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

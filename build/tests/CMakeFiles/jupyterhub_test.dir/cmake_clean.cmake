@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jupyterhub_test.dir/jupyterhub_test.cpp.o"
+  "CMakeFiles/jupyterhub_test.dir/jupyterhub_test.cpp.o.d"
+  "jupyterhub_test"
+  "jupyterhub_test.pdb"
+  "jupyterhub_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jupyterhub_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kube_advanced_test.dir/kube_advanced_test.cpp.o"
+  "CMakeFiles/kube_advanced_test.dir/kube_advanced_test.cpp.o.d"
+  "kube_advanced_test"
+  "kube_advanced_test.pdb"
+  "kube_advanced_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kube_advanced_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

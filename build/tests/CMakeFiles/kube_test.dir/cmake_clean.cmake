@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kube_test.dir/kube_test.cpp.o"
+  "CMakeFiles/kube_test.dir/kube_test.cpp.o.d"
+  "kube_test"
+  "kube_test.pdb"
+  "kube_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kube_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

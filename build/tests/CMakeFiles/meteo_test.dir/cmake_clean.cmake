@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/meteo_test.dir/meteo_test.cpp.o"
+  "CMakeFiles/meteo_test.dir/meteo_test.cpp.o.d"
+  "meteo_test"
+  "meteo_test.pdb"
+  "meteo_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/meteo_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

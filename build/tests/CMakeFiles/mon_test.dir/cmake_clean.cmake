@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mon_test.dir/mon_test.cpp.o"
+  "CMakeFiles/mon_test.dir/mon_test.cpp.o.d"
+  "mon_test"
+  "mon_test.pdb"
+  "mon_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mon_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppods_test.dir/ppods_test.cpp.o"
+  "CMakeFiles/ppods_test.dir/ppods_test.cpp.o.d"
+  "ppods_test"
+  "ppods_test.pdb"
+  "ppods_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppods_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

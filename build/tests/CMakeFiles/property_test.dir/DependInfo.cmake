@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/property_test.cpp" "tests/CMakeFiles/property_test.dir/property_test.cpp.o" "gcc" "tests/CMakeFiles/property_test.dir/property_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/kube/CMakeFiles/chase_kube.dir/DependInfo.cmake"
+  "/root/repo/build/src/ceph/CMakeFiles/chase_ceph.dir/DependInfo.cmake"
+  "/root/repo/build/src/redis/CMakeFiles/chase_redis.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/chase_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/chase_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/auth/CMakeFiles/chase_auth.dir/DependInfo.cmake"
+  "/root/repo/build/src/mon/CMakeFiles/chase_mon.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/chase_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/chase_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/chase_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/redis_test.dir/redis_test.cpp.o"
+  "CMakeFiles/redis_test.dir/redis_test.cpp.o.d"
+  "redis_test"
+  "redis_test.pdb"
+  "redis_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/redis_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/s3_test.dir/s3_test.cpp.o"
+  "CMakeFiles/s3_test.dir/s3_test.cpp.o.d"
+  "s3_test"
+  "s3_test.pdb"
+  "s3_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/s3_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

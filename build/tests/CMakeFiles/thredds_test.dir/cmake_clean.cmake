@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/thredds_test.dir/thredds_test.cpp.o"
+  "CMakeFiles/thredds_test.dir/thredds_test.cpp.o.d"
+  "thredds_test"
+  "thredds_test.pdb"
+  "thredds_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/thredds_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/viz_test.cpp" "tests/CMakeFiles/viz_test.dir/viz_test.cpp.o" "gcc" "tests/CMakeFiles/viz_test.dir/viz_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/viz/CMakeFiles/chase_viz.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/chase_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/chase_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/chase_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/chase_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/chase_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
