@@ -4,6 +4,7 @@
 #include <cassert>
 #include <cmath>
 
+#include "util/check.hpp"
 #include "util/rng.hpp"
 
 namespace chase::ceph {
@@ -37,11 +38,14 @@ CephCluster::CephCluster(sim::Simulation& sim, net::Network& net,
                              [this] { return bytes_written_; });
     metrics_->register_probe("ceph_bytes_read_total", {}, [this] { return bytes_read_; });
   }
+  audit_hook_ = sim_.add_audit_hook([this] { check_invariants(); });
 }
 
 CephCluster::CephCluster(sim::Simulation& sim, net::Network& net,
                          cluster::Inventory& inventory, mon::Registry* metrics)
     : CephCluster(sim, net, inventory, metrics, Options{}) {}
+
+CephCluster::~CephCluster() { sim_.remove_audit_hook(audit_hook_); }
 
 // --- OSDs -------------------------------------------------------------------------
 
@@ -117,7 +121,7 @@ std::vector<int> CephCluster::crush(const std::string& pool, int pg, int count) 
   return chosen;
 }
 
-int CephCluster::pg_of(const std::string& pool, const std::string& object) const {
+int CephCluster::pg_of(const std::string& /*pool*/, const std::string& object) const {
   return static_cast<int>(str_hash(object) % static_cast<std::uint64_t>(options_.pg_count));
 }
 
@@ -175,8 +179,12 @@ sim::Task CephCluster::recover_pg(CephCluster* self, std::string pool_name, int 
       if (self->epoch_ != epoch) co_return;  // superseded by a newer map
       net::TransferOptions opts;
       opts.rate_cap = self->options_.recovery_rate;
-      co_await self->net_.send(self->osd_net_node(source), self->osd_net_node(osd),
-                               pg_bytes, opts);
+      auto xfer = self->net_.transfer(self->osd_net_node(source),
+                                      self->osd_net_node(osd), pg_bytes, opts);
+      co_await xfer->done->wait(self->sim_);
+      // The map may have changed mid-transfer (e.g. the newcomer itself went
+      // down, zeroing its accounting); a fresh recovery owns cleanup then.
+      if (self->epoch_ != epoch || xfer->failed) co_return;
       self->osds_[static_cast<std::size_t>(osd)].used += pg_bytes;
     }
     // Free space held on previous replicas that left the set.
@@ -281,6 +289,7 @@ sim::Task CephCluster::do_put(CephCluster* self, net::NodeId client, std::string
   group.objects[object] = size;
   for (int osd : acting) {
     auto& o = self->osds_.at(static_cast<std::size_t>(osd));
+    if (!o.up) continue;  // replica died mid-put; its copy is gone
     o.used += size;
     o.used = o.used >= old_size ? o.used - old_size : 0;
   }
@@ -398,6 +407,7 @@ sim::Task CephCluster::compose(const std::string& pool_name, const std::string& 
   dst_group.objects[dst] = total;
   for (int osd : dst_acting) {
     auto& o = osds_.at(static_cast<std::size_t>(osd));
+    if (!o.up) continue;  // replica died mid-compose; its copy is gone
     o.used += total;
     o.used = o.used >= old_size ? o.used - old_size : 0;
   }
@@ -465,6 +475,54 @@ Health CephCluster::health() const {
     }
   }
   return h;
+}
+
+void CephCluster::check_invariants() const {
+  for (const auto& osd : osds_) {
+    CHASE_INVARIANT(osd.used <= osd.capacity, "OSD filled beyond its disk capacity");
+    CHASE_INVARIANT(osd.up || osd.used == 0, "down OSD still accounts stored bytes");
+  }
+  for (const auto& [pool_name, pool] : pools_) {
+    CHASE_INVARIANT(pool.pgs.size() == static_cast<std::size_t>(options_.pg_count),
+                    "pool '" + pool_name + "' has the wrong PG count");
+    CHASE_INVARIANT(pool.replication >= 1, "pool replication below 1");
+    for (std::size_t pg = 0; pg < pool.pgs.size(); ++pg) {
+      const PlacementGroup& group = pool.pgs[pg];
+      CHASE_INVARIANT(group.acting.size() <=
+                          static_cast<std::size_t>(pool.replication),
+                      "acting set larger than the pool's replication factor");
+      // CRUSH places replicas on distinct machines (failure domain = host)
+      // and only on live OSDs; machine events remap synchronously, so this
+      // holds at every event boundary.
+      std::set<cluster::MachineId> machines;
+      for (int osd : group.acting) {
+        CHASE_INVARIANT(osd >= 0 && osd < static_cast<int>(osds_.size()),
+                        "acting set references an unknown OSD");
+        const Osd& o = osds_[static_cast<std::size_t>(osd)];
+        CHASE_INVARIANT(o.up, "acting set includes a down OSD");
+        CHASE_INVARIANT(machines.insert(o.machine).second,
+                        "two replicas of a PG placed on the same machine");
+      }
+      // A clean PG holding data has its full replica complement; short sets
+      // are Degraded (or Recovering while data moves).
+      CHASE_INVARIANT(group.state != PgState::ActiveClean || group.objects.empty() ||
+                          group.acting.size() >=
+                              static_cast<std::size_t>(pool.replication),
+                      "active+clean PG with fewer replicas than the pool requires");
+      // Expensive: placement consistency — every object lives in the PG its
+      // name hashes to; anything else is unreachable through get/remove
+      // (an orphan).
+      if (util::audit_level() >= 2) {
+        for (const auto& [object, size] : group.objects) {
+          (void)size;
+          CHASE_AUDIT(pg_of(pool_name, object) == static_cast<int>(pg),
+                      "orphaned object '" + object + "' stored in a PG it does not hash to");
+        }
+      }
+    }
+  }
+  CHASE_INVARIANT(bytes_written_ >= 0.0 && bytes_read_ >= 0.0,
+                  "I/O byte counters went negative");
 }
 
 void CephCluster::on_machine_state(cluster::MachineId machine, bool up) {

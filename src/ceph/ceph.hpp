@@ -66,6 +66,9 @@ class CephCluster {
               mon::Registry* metrics, Options options);
   CephCluster(sim::Simulation& sim, net::Network& net, cluster::Inventory& inventory,
               mon::Registry* metrics = nullptr);
+  ~CephCluster();
+  CephCluster(const CephCluster&) = delete;
+  CephCluster& operator=(const CephCluster&) = delete;
 
   // --- OSDs ------------------------------------------------------------------
 
@@ -124,6 +127,12 @@ class CephCluster {
   double total_bytes_written() const { return bytes_written_; }
   double total_bytes_read() const { return bytes_read_; }
 
+  /// Invariant audit (see util/check.hpp): replica placement lands on
+  /// distinct machines and only live OSDs, capacity accounting stays within
+  /// bounds, and no object is orphaned in a PG it does not hash to. Called
+  /// automatically at simulation checkpoints in audit builds.
+  void check_invariants() const;
+
   sim::Simulation& sim() { return sim_; }
 
  private:
@@ -177,6 +186,7 @@ class CephCluster {
   double bytes_written_ = 0.0;
   double bytes_read_ = 0.0;
   std::uint64_t epoch_ = 0;  // bumped on OSD map changes
+  std::uint64_t audit_hook_ = 0;
 };
 
 }  // namespace chase::ceph

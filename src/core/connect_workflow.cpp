@@ -42,7 +42,7 @@ struct ConnectWorkflow::State {
 
   // Step-3 shard dispenser.
   int next_shard = 0;
-  util::Rng straggler_rng{2027};
+  util::Rng straggler_rng{2027};  // re-seeded from params in the constructor
 
   double time_scale() const { return params.data_fraction; }
 };
@@ -51,6 +51,7 @@ ConnectWorkflow::ConnectWorkflow(Nautilus& bed, ConnectWorkflowParams params)
     : bed_(bed), params_(std::move(params)), state_(std::make_shared<State>()) {
   state_->bed = &bed_;
   state_->params = params_;
+  state_->straggler_rng = util::Rng(params_.straggler_seed);
   const auto* ds = bed_.thredds->dataset(params_.dataset);
   const std::uint64_t all_files = ds != nullptr ? ds->file_count : 0;
   state_->files = std::max<std::uint64_t>(

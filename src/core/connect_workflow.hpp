@@ -20,6 +20,7 @@
 /// (byte counts) at this scale; the small-scale *real* ML path lives in
 /// examples/connect_workflow.cpp.
 
+#include <cstdint>
 #include <memory>
 #include <string>
 
@@ -57,6 +58,9 @@ struct ConnectWorkflowParams {
   int inference_gpus = 50;
   /// Per-pod runtime jitter (stragglers), fraction of mean.
   double straggler_jitter = 0.04;
+  /// Seed of the straggler-jitter stream; the run is a pure function of the
+  /// seed (tools/determinism_check replays a seed twice and diffs traces).
+  std::uint64_t straggler_seed = 2027;
 
   // --- step 4: visualization ------------------------------------------------------
   double viz_render_seconds = 120.0;

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cmath>
+
+#include "util/check.hpp"
 
 namespace chase::kube {
 
@@ -56,11 +59,14 @@ KubeCluster::KubeCluster(sim::Simulation& sim, net::Network& net,
       options_(options) {
   create_namespace("default");
   inventory_.subscribe([this](cluster::MachineId m, bool up) { on_machine_state(m, up); });
+  audit_hook_ = sim_.add_audit_hook([this] { check_invariants(); });
 }
 
 KubeCluster::KubeCluster(sim::Simulation& sim, net::Network& net,
                          cluster::Inventory& inventory, mon::Registry* metrics)
     : KubeCluster(sim, net, inventory, metrics, Options{}) {}
+
+KubeCluster::~KubeCluster() { sim_.remove_audit_hook(audit_hook_); }
 
 // --- nodes ----------------------------------------------------------------------
 
@@ -605,6 +611,102 @@ void KubeCluster::watch_pods(std::function<void(const PodPtr&)> fn) {
 
 void KubeCluster::notify_watchers(const PodPtr& pod) {
   for (auto& fn : watchers_) fn(pod);
+}
+
+// --- invariant audit ----------------------------------------------------------------
+
+void KubeCluster::check_invariants() const {
+  constexpr double kCpuEps = 1e-6;
+  for (const auto& [machine, info] : nodes_) {
+    CHASE_INVARIANT(info.allocated.cpu >= -kCpuEps && info.allocated.gpus >= 0,
+                    "negative node allocation");
+    CHASE_INVARIANT(info.allocated.cpu <= info.allocatable.cpu + kCpuEps &&
+                        info.allocated.memory <= info.allocatable.memory &&
+                        info.allocated.gpus <= info.allocatable.gpus,
+                    "node over-allocated beyond its capacity");
+    CHASE_INVARIANT(info.gpu_in_use.size() ==
+                        static_cast<std::size_t>(info.allocatable.gpus),
+                    "device-plugin GPU table does not match the node's GPU count");
+    ResourceList bound;
+    std::size_t granted = 0;
+    std::vector<bool> holder(info.gpu_in_use.size(), false);
+    for (const auto& pod : info.pods) {
+      CHASE_INVARIANT(pod != nullptr && !pod->terminal(),
+                      "terminal pod still bound to a node");
+      CHASE_INVARIANT(pod->node == machine, "pod listed on a node it is not bound to");
+      bound += pod->requests();
+      granted += pod->gpu_ids.size();
+      for (int gpu : pod->gpu_ids) {
+        CHASE_INVARIANT(gpu >= 0 && gpu < static_cast<int>(info.gpu_in_use.size()),
+                        "granted GPU id out of range");
+        CHASE_INVARIANT(info.gpu_in_use[static_cast<std::size_t>(gpu)],
+                        "pod holds a GPU the device plugin marks free");
+        CHASE_INVARIANT(!holder[static_cast<std::size_t>(gpu)],
+                        "one GPU granted to two pods");
+        holder[static_cast<std::size_t>(gpu)] = true;
+      }
+    }
+    // Expensive: re-derive the node's accounting from its bound pod set.
+    CHASE_AUDIT(std::fabs(bound.cpu - info.allocated.cpu) <= kCpuEps &&
+                    bound.memory == info.allocated.memory &&
+                    bound.gpus == info.allocated.gpus,
+                "node allocated != sum of bound pod requests");
+    CHASE_AUDIT(granted == static_cast<std::size_t>(std::count(info.gpu_in_use.begin(),
+                                                               info.gpu_in_use.end(), true)),
+                "GPUs marked in use != GPUs granted to bound pods");
+  }
+  for (const auto& pod : pending_) {
+    CHASE_INVARIANT(pod != nullptr && !pod->terminal() && pod->node < 0,
+                    "scheduler queue holds a terminal or already-bound pod");
+  }
+  for (const auto& [name, ns] : namespaces_) {
+    CHASE_INVARIANT(ns.pods_used >= 0, "namespace pod count went negative");
+    if (ns.has_quota) {
+      CHASE_INVARIANT(ns.used.cpu <= ns.quota.hard.cpu + kCpuEps &&
+                          ns.used.memory <= ns.quota.hard.memory &&
+                          ns.used.gpus <= ns.quota.hard.gpus &&
+                          ns.pods_used <= ns.quota.max_pods,
+                      "namespace '" + name + "' exceeds its resource quota");
+    }
+  }
+  for (const auto& [key, job] : jobs_) {
+    CHASE_INVARIANT(job->active >= 0 && job->succeeded >= 0 && job->failed >= 0,
+                    "Job counters went negative");
+  }
+  for (const auto& [key, rs] : replica_sets_) {
+    CHASE_INVARIANT(rs->active >= 0, "ReplicaSet active count went negative");
+  }
+  // Expensive: controller replica counts and namespace usage re-derived from
+  // the full pod set (pods_ retains terminal pods; only live ones count).
+  if (util::audit_level() >= 2) {
+    std::map<std::string, ResourceList> ns_used;
+    std::map<std::string, int> ns_pods;
+    std::map<std::string, int> owner_active;
+    for (const auto& [key, pod] : pods_) {
+      if (pod->terminal()) continue;
+      ns_used[pod->meta.ns] += pod->requests();
+      ns_pods[pod->meta.ns] += 1;
+      if (pod->owner.valid()) {
+        owner_active[pod->owner.kind + ":" + key_of(pod->meta.ns, pod->owner.name)] += 1;
+      }
+    }
+    for (const auto& [name, ns] : namespaces_) {
+      const ResourceList& expect = ns_used[name];
+      CHASE_AUDIT(std::fabs(expect.cpu - ns.used.cpu) <= kCpuEps &&
+                      expect.memory == ns.used.memory && expect.gpus == ns.used.gpus,
+                  "namespace '" + name + "' usage != sum of its live pods' requests");
+      CHASE_AUDIT(ns.pods_used == ns_pods[name],
+                  "namespace '" + name + "' pod count != its live pods");
+    }
+    for (const auto& [key, job] : jobs_) {
+      CHASE_AUDIT(job->active == owner_active["Job:" + key],
+                  "Job '" + key + "' active count != its live pods");
+    }
+    for (const auto& [key, rs] : replica_sets_) {
+      CHASE_AUDIT(rs->active == owner_active["ReplicaSet:" + key],
+                  "ReplicaSet '" + key + "' active count != its live pods");
+    }
+  }
 }
 
 // --- scheduler ----------------------------------------------------------------------

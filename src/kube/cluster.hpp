@@ -107,6 +107,9 @@ class KubeCluster {
               mon::Registry* metrics, Options options);
   KubeCluster(sim::Simulation& sim, net::Network& net, cluster::Inventory& inventory,
               mon::Registry* metrics = nullptr);
+  ~KubeCluster();
+  KubeCluster(const KubeCluster&) = delete;
+  KubeCluster& operator=(const KubeCluster&) = delete;
 
   // --- nodes ---------------------------------------------------------------
 
@@ -194,6 +197,13 @@ class KubeCluster {
   /// Subscribe to pod phase transitions (integration tests, workflow layer).
   void watch_pods(std::function<void(const PodPtr&)> fn);
 
+  /// Invariant audit (see util/check.hpp): pods are bound to live registered
+  /// nodes, node/namespace resource accounting matches the bound pod set,
+  /// GPU grants are exclusive, and controller replica counts agree with the
+  /// pods they own. Called automatically at simulation checkpoints in audit
+  /// builds.
+  void check_invariants() const;
+
   sim::Simulation& sim() { return sim_; }
   net::Network& network() { return net_; }
   cluster::Inventory& inventory() { return inventory_; }
@@ -270,6 +280,7 @@ class KubeCluster {
 
   auth::CILogon* sso_ = nullptr;
   auth::Rbac* rbac_ = nullptr;
+  std::uint64_t audit_hook_ = 0;
 };
 
 }  // namespace chase::kube

@@ -6,6 +6,8 @@
 #include <deque>
 #include <stdexcept>
 
+#include "util/check.hpp"
+
 namespace chase::net {
 
 namespace {
@@ -310,6 +312,58 @@ double Network::total_flow_rate() const {
   double r = 0.0;
   for (const auto& [fid, flow] : flows_) r += flow.rate;
   return r;
+}
+
+void Network::check_invariants() const {
+  const double now = sim_.now();
+  for (const auto& [id, flow] : flows_) {
+    const double total = static_cast<double>(flow.handle->bytes);
+    CHASE_INVARIANT(flow.remaining >= -kByteEpsilon && flow.remaining <= total + kByteEpsilon,
+                    "flow remaining outside [0, bytes]: " + node_name(flow.handle->src) +
+                        " -> " + node_name(flow.handle->dst));
+    CHASE_INVARIANT(flow.rate >= 0.0 && flow.rate <= flow.rate_cap * (1.0 + 1e-9),
+                    "flow rate negative or above its cap");
+    CHASE_INVARIANT(!flow.path.empty(), "active flow with empty path");
+    CHASE_INVARIANT(flow.last_update <= now + 1e-12, "flow settled in the future");
+    // Conservation: a flow never runs past its byte count before its
+    // completion event fires — remaining covers rate * elapsed.
+    CHASE_INVARIANT(
+        flow.remaining - flow.rate * (now - flow.last_update) >=
+            -kByteEpsilon - 1e-9 * total,
+        "in-flight bytes not conserved (flow overran its remaining byte count)");
+    // Path structure: contiguous src -> dst chain over live nodes, and the
+    // flow is registered on each link it occupies.
+    NodeId at = flow.handle->src;
+    for (LinkId l : flow.path) {
+      CHASE_INVARIANT(l >= 0 && l < static_cast<LinkId>(links_.size()),
+                      "flow path references an unknown link");
+      const DirectedLink& link = links_[static_cast<std::size_t>(l)];
+      CHASE_INVARIANT(link.from == at, "flow path is not a contiguous route");
+      CHASE_INVARIANT(nodes_[static_cast<std::size_t>(link.from)].up &&
+                          nodes_[static_cast<std::size_t>(link.to)].up,
+                      "flow routed through a down node (should have failed)");
+      CHASE_AUDIT(std::find(link.flow_ids.begin(), link.flow_ids.end(), id) !=
+                      link.flow_ids.end(),
+                  "flow missing from its link's flow registry");
+      at = link.to;
+    }
+    CHASE_INVARIANT(at == flow.handle->dst, "flow path does not end at its destination");
+  }
+  // Link registries only reference live flows, and max-min fair rates never
+  // oversubscribe a link's capacity.
+  for (std::size_t i = 0; i < links_.size(); ++i) {
+    const DirectedLink& link = links_[i];
+    double used = 0.0;
+    for (std::uint64_t fid : link.flow_ids) {
+      auto it = flows_.find(fid);
+      CHASE_INVARIANT(it != flows_.end(), "link registry references a finished flow");
+      if (it != flows_.end()) used += it->second.rate;
+    }
+    CHASE_INVARIANT(used <= link.capacity * (1.0 + 1e-6),
+                    "link oversubscribed: " + node_name(link.from) + " -> " +
+                        node_name(link.to));
+  }
+  CHASE_INVARIANT(bytes_delivered_ >= 0.0, "delivered byte counter went negative");
 }
 
 double Network::link_utilization(LinkId id) const {

@@ -50,7 +50,12 @@ using TransferPtr = std::shared_ptr<Transfer>;
 
 class Network {
  public:
-  explicit Network(sim::Simulation& sim) : sim_(sim) {}
+  explicit Network(sim::Simulation& sim) : sim_(sim) {
+    audit_hook_ = sim_.add_audit_hook([this] { check_invariants(); });
+  }
+  ~Network() { sim_.remove_audit_hook(audit_hook_); }
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
 
   // --- topology -----------------------------------------------------------
 
@@ -90,6 +95,11 @@ class Network {
 
   /// True if a route currently exists.
   bool reachable(NodeId src, NodeId dst);
+
+  /// Invariant audit (see util/check.hpp): flow/link bookkeeping is
+  /// consistent and in-flight bytes are conserved. Called automatically at
+  /// simulation checkpoints in audit builds.
+  void check_invariants() const;
 
  private:
   struct Node {
@@ -131,6 +141,7 @@ class Network {
   std::uint64_t completion_gen_ = 0;  // invalidates stale completion events
   double bytes_delivered_ = 0.0;
   std::map<std::pair<NodeId, NodeId>, std::vector<LinkId>> route_cache_;
+  std::uint64_t audit_hook_ = 0;
 };
 
 }  // namespace chase::net

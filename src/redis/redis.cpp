@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "util/check.hpp"
+
 namespace chase::redis {
 
 namespace {
@@ -168,6 +170,44 @@ std::size_t RedisServer::subscriber_count(const std::string& channel) const {
 
 std::size_t RedisServer::total_keys() const {
   return lists_.size() + sets_.size() + hashes_.size() + strings_.size();
+}
+
+void RedisServer::check_invariants() const {
+  // Queue length vs. in-flight accounting: every push hands off to a parked
+  // BLPOP waiter before touching the list, so a key never simultaneously
+  // holds queued values and blocked consumers.
+  for (const auto& [key, waiters] : blocked_) {
+    if (!waiters.empty()) {
+      CHASE_INVARIANT(llen(key) == 0,
+                      "key '" + key + "' has queued values while BLPOP waiters are parked");
+    }
+    for (const Waiter& w : waiters) {
+      CHASE_INVARIANT(w.ready != nullptr && w.slot != nullptr && w.ok != nullptr,
+                      "malformed BLPOP waiter for key '" + key + "'");
+      CHASE_INVARIANT(w.ready == nullptr || !w.ready->fired(),
+                      "parked BLPOP waiter whose wakeup already fired");
+    }
+  }
+  // Expiries fire exactly at their deadline, so no key outlives it.
+  for (const auto& [key, expiry] : expiries_) {
+    CHASE_INVARIANT(expiry.deadline >= sim_.now() - 1e-9,
+                    "key '" + key + "' outlived its expiry deadline");
+    CHASE_INVARIANT(expiry.generation <= expiry_generation_,
+                    "expiry generation from the future");
+  }
+  for (const auto& [channel, subs] : channels_) {
+    for (const auto& sub : subs) {
+      CHASE_INVARIANT(sub != nullptr, "null subscription on channel '" + channel + "'");
+    }
+    // Expensive: a subscription registered twice would double-deliver every
+    // publish.
+    for (std::size_t i = 0; i < subs.size(); ++i) {
+      for (std::size_t j = i + 1; j < subs.size(); ++j) {
+        CHASE_AUDIT(subs[i] != subs[j],
+                    "duplicate subscription on channel '" + channel + "'");
+      }
+    }
+  }
 }
 
 // --- client ----------------------------------------------------------------------

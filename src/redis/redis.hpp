@@ -28,7 +28,12 @@ namespace chase::redis {
 /// RedisClient for access from workload programs.
 class RedisServer {
  public:
-  explicit RedisServer(sim::Simulation& sim) : sim_(sim) {}
+  explicit RedisServer(sim::Simulation& sim) : sim_(sim) {
+    audit_hook_ = sim_.add_audit_hook([this] { check_invariants(); });
+  }
+  ~RedisServer() { sim_.remove_audit_hook(audit_hook_); }
+  RedisServer(const RedisServer&) = delete;
+  RedisServer& operator=(const RedisServer&) = delete;
 
   /// Where the server currently runs; -1 means not hosted (clients fail).
   void host_on(net::NodeId node) { node_ = node; }
@@ -81,6 +86,12 @@ class RedisServer {
 
   std::size_t total_keys() const;
 
+  /// Invariant audit (see util/check.hpp): queue length vs. blocked-client
+  /// accounting (a value never sits in a list while a BLPOP waiter is
+  /// parked), expiry deadlines, and waiter/subscription well-formedness.
+  /// Called automatically at simulation checkpoints in audit builds.
+  void check_invariants() const;
+
  private:
   friend class RedisClient;
   struct Waiter {
@@ -105,6 +116,7 @@ class RedisServer {
   std::map<std::string, Expiry> expiries_;
   std::uint64_t expiry_generation_ = 0;
   std::map<std::string, std::vector<SubscriptionPtr>> channels_;
+  std::uint64_t audit_hook_ = 0;
 };
 
 /// Client used from pod programs; every call is a network round-trip.

@@ -4,6 +4,8 @@
 #include <cstdio>
 #include <exception>
 
+#include "util/check.hpp"
+
 namespace chase::sim {
 
 void SleepAwaiter::await_suspend(std::coroutine_handle<> h) const {
@@ -70,10 +72,23 @@ void Simulation::spawn(Task task) {
 }
 
 std::uint64_t Simulation::run(double until) {
+  // Checkpoint cadence: level 1 audits every `audit_interval_` events,
+  // level 2 (expensive audits enabled) 8x as often.
+  const int level = util::audit_level();
+  const std::uint64_t interval =
+      level >= 2 ? std::max<std::uint64_t>(1, audit_interval_ / 8) : audit_interval_;
   std::uint64_t n = 0;
   while (!queue_.empty() && queue_.top().time <= until) {
     step();
     ++n;
+    if (level >= 1 && !audit_hooks_.empty() && ++events_since_audit_ >= interval) {
+      events_since_audit_ = 0;
+      audit_now();
+    }
+  }
+  if (level >= 1 && !audit_hooks_.empty() && n > 0) {
+    events_since_audit_ = 0;
+    audit_now();  // final checkpoint: quiescent state is always audited
   }
   if (now_ < until && until < std::numeric_limits<double>::infinity()) {
     now_ = until;
@@ -86,11 +101,32 @@ bool Simulation::step() {
   // Move the entry out before popping so the callback survives the pop.
   Entry e = std::move(const_cast<Entry&>(queue_.top()));
   queue_.pop();
-  assert(e.time + 1e-12 >= now_ && "time went backwards");
+  CHASE_ASSERT(e.time + 1e-12 >= now_, "event time went backwards");
   now_ = e.time;
   ++events_processed_;
+  if (trace_hook_) trace_hook_(e.time, e.seq);
   e.fn();
   return true;
+}
+
+std::uint64_t Simulation::add_audit_hook(std::function<void()> hook) {
+  const std::uint64_t id = next_audit_hook_id_++;
+  audit_hooks_.emplace(id, std::move(hook));
+  return id;
+}
+
+void Simulation::remove_audit_hook(std::uint64_t id) { audit_hooks_.erase(id); }
+
+void Simulation::audit_now() const {
+  check_invariants();
+  for (const auto& [id, hook] : audit_hooks_) hook();
+}
+
+void Simulation::check_invariants() const {
+  CHASE_INVARIANT(now_ >= 0.0, "virtual clock is negative");
+  // The heap top is the minimum, so one comparison covers every queued entry.
+  CHASE_INVARIANT(queue_.empty() || queue_.top().time >= now_ - 1e-12,
+                  "event heap holds work scheduled before now()");
 }
 
 }  // namespace chase::sim

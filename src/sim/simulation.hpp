@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <functional>
 #include <limits>
+#include <map>
 #include <queue>
 #include <unordered_set>
 #include <vector>
@@ -114,6 +115,35 @@ class Simulation {
   std::uint64_t events_processed() const { return events_processed_; }
   bool empty() const { return queue_.empty(); }
 
+  // --- invariant-audit checkpoints ------------------------------------------
+  //
+  // Stateful subsystems (kube, ceph, redis, net, ...) register their
+  // check_invariants() here at construction; run() calls every hook after
+  // each `audit_interval()` processed events while the audit level is >= 1
+  // (see util/check.hpp). Hooks must be read-only over simulation state.
+
+  /// Register an audit hook; returns an id for remove_audit_hook().
+  std::uint64_t add_audit_hook(std::function<void()> hook);
+  void remove_audit_hook(std::uint64_t id);
+  std::size_t audit_hook_count() const { return audit_hooks_.size(); }
+
+  /// Events between checkpoints (default 1024). Level 2 runs hooks every
+  /// `interval / 8` events so expensive audits see more boundaries.
+  void set_audit_interval(std::uint64_t interval) { audit_interval_ = interval; }
+  std::uint64_t audit_interval() const { return audit_interval_; }
+  /// Run every registered audit hook immediately (also called by run()).
+  void audit_now() const;
+
+  /// Kernel self-check: virtual time is non-negative and the event heap
+  /// never holds work scheduled before `now()`.
+  void check_invariants() const;
+
+  /// Observe every processed event as (virtual time, sequence number) —
+  /// the event trace hashed by tools/determinism_check. Empty clears.
+  void set_trace_hook(std::function<void(double time, std::uint64_t seq)> hook) {
+    trace_hook_ = std::move(hook);
+  }
+
  private:
   friend struct Task::promise_type;
   void unregister_detached(void* frame) { detached_.erase(frame); }
@@ -133,6 +163,12 @@ class Simulation {
   std::uint64_t events_processed_ = 0;
   std::priority_queue<Entry, std::vector<Entry>, std::greater<>> queue_;
   std::unordered_set<void*> detached_;
+
+  std::map<std::uint64_t, std::function<void()>> audit_hooks_;  // ordered: determinism
+  std::uint64_t next_audit_hook_id_ = 0;
+  std::uint64_t audit_interval_ = 1024;
+  std::uint64_t events_since_audit_ = 0;
+  std::function<void(double, std::uint64_t)> trace_hook_;
 };
 
 }  // namespace chase::sim

@@ -1,0 +1,55 @@
+#include "util/check.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <utility>
+
+namespace chase::util {
+
+namespace {
+
+int initial_audit_level() {
+#ifndef CHASE_AUDIT_LEVEL_DEFAULT
+#define CHASE_AUDIT_LEVEL_DEFAULT 1
+#endif
+  if (const char* env = std::getenv("CHASE_AUDIT_LEVEL"); env != nullptr && *env != '\0') {
+    return std::atoi(env);
+  }
+  return CHASE_AUDIT_LEVEL_DEFAULT;
+}
+
+int g_audit_level = initial_audit_level();
+CheckFailureHandler g_handler;  // empty = default abort handler
+std::atomic<std::uint64_t> g_failures{0};
+
+void default_handler(const CheckContext& ctx) {
+  std::fprintf(stderr, "%s(%s) failed at %s:%d%s%s\n", ctx.kind, ctx.expr, ctx.file,
+               ctx.line, ctx.message.empty() ? "" : ": ", ctx.message.c_str());
+  std::abort();
+}
+
+}  // namespace
+
+int audit_level() { return g_audit_level; }
+
+int set_audit_level(int level) { return std::exchange(g_audit_level, level); }
+
+CheckFailureHandler set_check_failure_handler(CheckFailureHandler handler) {
+  return std::exchange(g_handler, std::move(handler));
+}
+
+std::uint64_t check_failure_count() { return g_failures.load(); }
+
+void check_failed(const char* kind, const char* expr, const char* file, int line,
+                  std::string message) {
+  g_failures.fetch_add(1);
+  const CheckContext ctx{kind, expr, file, line, std::move(message)};
+  if (g_handler) {
+    g_handler(ctx);
+  } else {
+    default_handler(ctx);
+  }
+}
+
+}  // namespace chase::util

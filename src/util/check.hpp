@@ -1,0 +1,90 @@
+#pragma once
+/// \file check.hpp
+/// The invariant-audit substrate: machine-checked correctness assertions with
+/// cheap/expensive tiers, used by every stateful subsystem's
+/// `check_invariants()` and by the simulation kernel's audit checkpoints.
+///
+/// Three macros, by cost and intent:
+///
+///   * CHASE_ASSERT(cond, ...)    — preconditions / local sanity. Always
+///                                  compiled in, always checked.
+///   * CHASE_INVARIANT(cond, ...) — cheap cross-field invariants (O(1) or
+///                                  O(small)). Checked when the audit level
+///                                  is >= 1 (the default).
+///   * CHASE_AUDIT(cond, ...)     — expensive full-state audits (re-derive
+///                                  accounting from first principles).
+///                                  Checked when the audit level is >= 2.
+///
+/// The level is runtime-selected: the `CHASE_AUDIT_LEVEL` environment
+/// variable wins, then the compile definition `CHASE_AUDIT_LEVEL_DEFAULT`
+/// (set by the sanitizer CMake presets), then 1. Level 0 disables everything
+/// except CHASE_ASSERT — use it to take audits out of hot-path benchmarks.
+///
+/// A failed check formats "kind(expr) at file:line: message" and calls the
+/// process-wide failure handler, which aborts by default. Tests may install
+/// a recording handler (see set_check_failure_handler) to assert that a
+/// corrupted state is detected without dying.
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace chase::util {
+
+struct CheckContext {
+  const char* kind;  // "CHASE_ASSERT" | "CHASE_INVARIANT" | "CHASE_AUDIT"
+  const char* expr;
+  const char* file;
+  int line;
+  std::string message;
+};
+
+/// Current audit level (0 = asserts only, 1 = +invariants, 2 = +audits).
+int audit_level();
+/// Override the audit level for this process (tests, tools). Returns the
+/// previous level.
+int set_audit_level(int level);
+
+using CheckFailureHandler = std::function<void(const CheckContext&)>;
+/// Replace the failure handler (empty restores the default abort handler).
+/// Returns the previous handler. The default prints the context to stderr
+/// and calls std::abort().
+CheckFailureHandler set_check_failure_handler(CheckFailureHandler handler);
+
+/// Count of check failures seen by the *default* handler never grows (it
+/// aborts); custom handlers can use this process-wide counter to assert
+/// "a violation was detected" without inspecting messages.
+std::uint64_t check_failure_count();
+
+/// Dispatch a failed check to the installed handler. Not [[noreturn]]:
+/// custom handlers may continue (the violated state is read-only audited).
+void check_failed(const char* kind, const char* expr, const char* file, int line,
+                  std::string message);
+
+namespace detail {
+inline std::string format_check_message() { return {}; }
+inline std::string format_check_message(std::string message) { return message; }
+inline std::string format_check_message(const char* message) { return message; }
+}  // namespace detail
+
+#define CHASE_CHECK_IMPL_(kind, enabled, cond, ...)                               \
+  do {                                                                            \
+    if ((enabled) && !(cond)) {                                                   \
+      ::chase::util::check_failed(                                                \
+          kind, #cond, __FILE__, __LINE__,                                        \
+          ::chase::util::detail::format_check_message(__VA_ARGS__));              \
+    }                                                                             \
+  } while (false)
+
+/// Always-on precondition check.
+#define CHASE_ASSERT(cond, ...) CHASE_CHECK_IMPL_("CHASE_ASSERT", true, cond, __VA_ARGS__)
+
+/// Cheap invariant, checked at audit level >= 1.
+#define CHASE_INVARIANT(cond, ...) \
+  CHASE_CHECK_IMPL_("CHASE_INVARIANT", ::chase::util::audit_level() >= 1, cond, __VA_ARGS__)
+
+/// Expensive audit, checked at audit level >= 2.
+#define CHASE_AUDIT(cond, ...) \
+  CHASE_CHECK_IMPL_("CHASE_AUDIT", ::chase::util::audit_level() >= 2, cond, __VA_ARGS__)
+
+}  // namespace chase::util

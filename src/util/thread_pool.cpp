@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <exception>
 
 namespace chase::util {
 
@@ -48,13 +49,23 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
   std::atomic<std::size_t> pending{0};
   std::mutex done_mu;
   std::condition_variable done_cv;
+  std::exception_ptr error;  // first exception wins; guarded by done_mu
 
   auto run_chunks = [&] {
-    for (;;) {
-      const std::size_t lo = next.fetch_add(chunk);
-      if (lo >= end) break;
-      const std::size_t hi = std::min(end, lo + chunk);
-      for (std::size_t i = lo; i < hi; ++i) fn(i);
+    try {
+      for (;;) {
+        const std::size_t lo = next.fetch_add(chunk);
+        if (lo >= end) break;
+        const std::size_t hi = std::min(end, lo + chunk);
+        for (std::size_t i = lo; i < hi; ++i) fn(i);
+      }
+    } catch (...) {
+      {
+        std::lock_guard lk(done_mu);
+        if (!error) error = std::current_exception();
+      }
+      // Starve remaining chunks so every participant drains quickly.
+      next.store(end);
     }
   };
 
@@ -72,6 +83,7 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
   run_chunks();
   std::unique_lock lk(done_mu);
   done_cv.wait(lk, [&] { return pending.load() == 0; });
+  if (error) std::rethrow_exception(error);
 }
 
 ThreadPool& ThreadPool::shared() {

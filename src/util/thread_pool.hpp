@@ -35,6 +35,8 @@ class ThreadPool {
 
   /// Run fn(i) for i in [begin, end), splitting the range into chunks across
   /// the pool, and block until done. Calls fn on the calling thread too.
+  /// If fn throws, remaining chunks are abandoned and the first exception is
+  /// rethrown on the calling thread after all participants drain.
   void parallel_for(std::size_t begin, std::size_t end,
                     const std::function<void(std::size_t)>& fn);
 

@@ -1,0 +1,138 @@
+/// \file thread_pool_test.cpp
+/// util::ThreadPool coverage: construction edge cases, concurrent use of one
+/// pool from many threads, parallel_for correctness under contention, and
+/// exception propagation. CI runs this binary under the `tsan` preset; the
+/// stress tests exist as much to give TSan material as to check results.
+
+#include "util/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace {
+
+using chase::util::ThreadPool;
+
+TEST(ThreadPool, ZeroThreadsSelectsHardwareConcurrency) {
+  ThreadPool pool(0);
+  EXPECT_GE(pool.size(), 1u);
+}
+
+TEST(ThreadPool, SingleThreadPoolCompletesWork) {
+  ThreadPool pool(1);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&count] { count.fetch_add(1, std::memory_order_relaxed); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, ParallelForEmptyRangeIsNoop) {
+  ThreadPool pool(2);
+  std::atomic<int> calls{0};
+  pool.parallel_for(5, 5, [&](std::size_t) { calls.fetch_add(1); });
+  pool.parallel_for(7, 3, [&](std::size_t) { calls.fetch_add(1); });
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ThreadPool, ParallelForCoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr std::size_t kN = 10000;
+  std::vector<std::atomic<int>> hits(kN);
+  pool.parallel_for(0, kN, [&](std::size_t i) {
+    hits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (std::size_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPool, ParallelForSmallRangeOnBigPool) {
+  ThreadPool pool(8);
+  std::atomic<std::size_t> sum{0};
+  pool.parallel_for(0, 3, [&](std::size_t i) { sum.fetch_add(i + 1); });
+  EXPECT_EQ(sum.load(), 6u);
+}
+
+TEST(ThreadPool, ConcurrentSubmitStress) {
+  ThreadPool pool(4);
+  constexpr int kSubmitters = 8;
+  constexpr int kTasksEach = 500;
+  std::atomic<int> count{0};
+  std::vector<std::thread> submitters;
+  submitters.reserve(kSubmitters);
+  for (int t = 0; t < kSubmitters; ++t) {
+    submitters.emplace_back([&pool, &count] {
+      for (int i = 0; i < kTasksEach; ++i) {
+        pool.submit([&count] { count.fetch_add(1, std::memory_order_relaxed); });
+      }
+    });
+  }
+  for (auto& th : submitters) th.join();
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), kSubmitters * kTasksEach);
+}
+
+TEST(ThreadPool, ConcurrentParallelForsOnSharedPool) {
+  // Several threads each run their own parallel_for against one pool; the
+  // per-call done bookkeeping must not bleed across calls.
+  ThreadPool pool(4);
+  constexpr int kCallers = 6;
+  constexpr std::size_t kN = 2000;
+  std::vector<std::uint64_t> sums(kCallers, 0);
+  std::vector<std::thread> callers;
+  callers.reserve(kCallers);
+  for (int c = 0; c < kCallers; ++c) {
+    callers.emplace_back([&pool, &sums, c] {
+      std::atomic<std::uint64_t> sum{0};
+      pool.parallel_for(0, kN, [&sum](std::size_t i) {
+        sum.fetch_add(i, std::memory_order_relaxed);
+      });
+      sums[static_cast<std::size_t>(c)] = sum.load();
+    });
+  }
+  for (auto& th : callers) th.join();
+  const std::uint64_t expected = kN * (kN - 1) / 2;
+  for (int c = 0; c < kCallers; ++c) EXPECT_EQ(sums[static_cast<std::size_t>(c)], expected);
+}
+
+TEST(ThreadPool, ParallelForPropagatesException) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.parallel_for(0, 1000,
+                        [](std::size_t i) {
+                          if (i == 137) throw std::runtime_error("boom");
+                        }),
+      std::runtime_error);
+  // The pool must remain usable after an exceptional parallel_for.
+  std::atomic<int> count{0};
+  pool.parallel_for(0, 100, [&](std::size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, ParallelForExceptionFromCallerThreadChunk) {
+  // Index 0 lands in the calling thread's first chunk grab or a worker's;
+  // either way the exception must surface on the caller.
+  ThreadPool pool(2);
+  bool caught = false;
+  try {
+    pool.parallel_for(0, 8, [](std::size_t) { throw std::logic_error("always"); });
+  } catch (const std::logic_error&) {
+    caught = true;
+  }
+  EXPECT_TRUE(caught);
+}
+
+TEST(ThreadPool, SharedPoolIsUsable) {
+  std::atomic<int> count{0};
+  ThreadPool::shared().parallel_for(0, 64, [&](std::size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 64);
+}
+
+}  // namespace

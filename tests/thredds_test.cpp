@@ -156,7 +156,7 @@ TEST(Aria2, DownloadsAllFilesAcrossConnections) {
   for (std::size_t i = 0; i < 100; ++i) files.push_back(i);
   static ct::DownloadStats stats;
   stats = {};
-  auto prog = [](ThreddsBed* b, ct::Aria2Client* a, std::vector<std::size_t> f) -> cs::Task {
+  auto prog = [](ThreddsBed* /*b*/, ct::Aria2Client* a, std::vector<std::size_t> f) -> cs::Task {
     co_await a->download("M2I3NPASM", std::move(f), "IVT", &stats);
   };
   bed.sim.spawn(prog(&bed, &aria, files));
