@@ -525,6 +525,15 @@ void CephCluster::check_invariants() const {
                   "I/O byte counters went negative");
 }
 
+void CephCluster::set_osd_up(int osd, bool up) {
+  Osd& o = osds_.at(static_cast<std::size_t>(osd));
+  if (o.up == up) return;
+  o.up = up;
+  if (!up) o.used = 0;  // data on the failed disk is gone
+  ++epoch_;
+  remap_all_pools(up ? "osd up" : "osd down");
+}
+
 void CephCluster::on_machine_state(cluster::MachineId machine, bool up) {
   bool changed = false;
   for (auto& osd : osds_) {

@@ -79,6 +79,10 @@ class CephCluster {
   Bytes osd_used(int osd) const { return osds_.at(osd).used; }
   Bytes total_capacity() const;
   bool osd_up(int osd) const { return osds_.at(osd).up; }
+  /// Fail or recover a single OSD without touching its machine (a dead
+  /// disk / OSD daemon crash). Failure drops the disk's replicas and
+  /// triggers remapping + recovery, like a machine loss but disk-scoped.
+  void set_osd_up(int osd, bool up);
 
   // --- pools -----------------------------------------------------------------
 

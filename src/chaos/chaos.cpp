@@ -1,0 +1,274 @@
+#include "chaos/chaos.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "util/check.hpp"
+
+namespace chase::chaos {
+
+const char* fault_kind_name(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::NodeCrash: return "node_crash";
+    case FaultKind::NodeRecover: return "node_recover";
+    case FaultKind::LinkPartition: return "link_partition";
+    case FaultKind::LinkHeal: return "link_heal";
+    case FaultKind::LinkDegrade: return "link_degrade";
+    case FaultKind::LinkRestore: return "link_restore";
+    case FaultKind::OsdFail: return "osd_fail";
+    case FaultKind::OsdRecover: return "osd_recover";
+    case FaultKind::PodKill: return "pod_kill";
+  }
+  return "unknown";
+}
+
+namespace {
+
+FaultKind inverse_of(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::NodeCrash: return FaultKind::NodeRecover;
+    case FaultKind::LinkPartition: return FaultKind::LinkHeal;
+    case FaultKind::LinkDegrade: return FaultKind::LinkRestore;
+    case FaultKind::OsdFail: return FaultKind::OsdRecover;
+    default: break;
+  }
+  CHASE_ASSERT(false, "fault kind has no inverse");
+  return kind;
+}
+
+bool has_inverse(FaultKind kind) {
+  return kind == FaultKind::NodeCrash || kind == FaultKind::LinkPartition ||
+         kind == FaultKind::LinkDegrade || kind == FaultKind::OsdFail;
+}
+
+/// Draw k distinct indices out of [0, n) with a partial Fisher-Yates shuffle.
+std::vector<std::size_t> draw_distinct(util::Rng& rng, std::size_t n, std::size_t k) {
+  std::vector<std::size_t> idx(n);
+  for (std::size_t i = 0; i < n; ++i) idx[i] = i;
+  k = std::min(k, n);
+  for (std::size_t i = 0; i < k; ++i) {
+    const std::size_t j = i + static_cast<std::size_t>(rng.uniform_u64(n - i));
+    std::swap(idx[i], idx[j]);
+  }
+  idx.resize(k);
+  return idx;
+}
+
+std::size_t victim_count(double fraction, std::size_t n) {
+  if (n == 0 || fraction <= 0.0) return 0;
+  const auto k = static_cast<std::size_t>(
+      std::ceil(fraction * static_cast<double>(n) - 1e-9));
+  return std::clamp<std::size_t>(k, 1, n);
+}
+
+}  // namespace
+
+ChaosPlan& ChaosPlan::crash_node(double at, cluster::MachineId machine, double down_for) {
+  FaultEvent ev;
+  ev.at = at;
+  ev.kind = FaultKind::NodeCrash;
+  ev.machine = machine;
+  ev.duration = down_for;
+  events_.push_back(std::move(ev));
+  return *this;
+}
+
+ChaosPlan& ChaosPlan::crash_fraction(double at, std::vector<cluster::MachineId> pool,
+                                     double fraction, double down_for) {
+  CHASE_ASSERT(fraction > 0.0 && fraction <= 1.0, "crash fraction out of (0, 1]");
+  FaultEvent ev;
+  ev.at = at;
+  ev.kind = FaultKind::NodeCrash;
+  ev.pool = std::move(pool);
+  ev.fraction = fraction;
+  ev.duration = down_for;
+  events_.push_back(std::move(ev));
+  return *this;
+}
+
+ChaosPlan& ChaosPlan::partition_link(double at, net::LinkId link, double down_for) {
+  FaultEvent ev;
+  ev.at = at;
+  ev.kind = FaultKind::LinkPartition;
+  ev.link = link;
+  ev.duration = down_for;
+  events_.push_back(std::move(ev));
+  return *this;
+}
+
+ChaosPlan& ChaosPlan::degrade_link(double at, net::LinkId link, double factor,
+                                   double degraded_for) {
+  CHASE_ASSERT(factor > 0.0, "degrade factor must be positive (use partition_link)");
+  FaultEvent ev;
+  ev.at = at;
+  ev.kind = FaultKind::LinkDegrade;
+  ev.link = link;
+  ev.factor = factor;
+  ev.duration = degraded_for;
+  events_.push_back(std::move(ev));
+  return *this;
+}
+
+ChaosPlan& ChaosPlan::fail_osd(double at, int osd, double down_for) {
+  FaultEvent ev;
+  ev.at = at;
+  ev.kind = FaultKind::OsdFail;
+  ev.osd = osd;
+  ev.duration = down_for;
+  events_.push_back(std::move(ev));
+  return *this;
+}
+
+ChaosPlan& ChaosPlan::kill_pods(double at, std::string ns, kube::Labels selector,
+                                double fraction) {
+  CHASE_ASSERT(fraction > 0.0 && fraction <= 1.0, "kill fraction out of (0, 1]");
+  FaultEvent ev;
+  ev.at = at;
+  ev.kind = FaultKind::PodKill;
+  ev.ns = std::move(ns);
+  ev.selector = std::move(selector);
+  ev.fraction = fraction;
+  events_.push_back(std::move(ev));
+  return *this;
+}
+
+ChaosInjector::ChaosInjector(sim::Simulation& sim, net::Network& net,
+                             cluster::Inventory& inventory, ChaosPlan plan,
+                             kube::KubeCluster* kube, ceph::CephCluster* ceph,
+                             mon::Registry* metrics)
+    : sim_(sim), net_(net), inventory_(inventory), kube_(kube), ceph_(ceph),
+      metrics_(metrics), plan_(std::move(plan)), rng_(plan_.seed()) {}
+
+void ChaosInjector::arm() {
+  CHASE_ASSERT(!armed_, "ChaosInjector::arm called twice");
+  armed_ = true;
+  // Copy events out so the injector's plan stays inspectable; delays are
+  // relative to now. Random draws happen at fire time, in event order, so the
+  // victim sequence is a pure function of (plan, seed).
+  for (const FaultEvent& ev : plan_.events()) {
+    CHASE_ASSERT(ev.at >= 0.0, "fault delay must be non-negative");
+    sim_.schedule(ev.at, [this, ev] { execute(ev); });
+  }
+}
+
+void ChaosInjector::count(FaultKind kind, int victims) {
+  report_.events_executed += 1;
+  switch (kind) {
+    case FaultKind::NodeCrash: report_.node_crashes += victims; break;
+    case FaultKind::NodeRecover: report_.node_recoveries += victims; break;
+    case FaultKind::LinkPartition: report_.link_partitions += victims; break;
+    case FaultKind::LinkHeal: report_.link_heals += victims; break;
+    case FaultKind::LinkDegrade: report_.link_degradations += victims; break;
+    case FaultKind::LinkRestore: report_.link_restores += victims; break;
+    case FaultKind::OsdFail: report_.osd_failures += victims; break;
+    case FaultKind::OsdRecover: report_.osd_recoveries += victims; break;
+    case FaultKind::PodKill: report_.pods_killed += victims; break;
+  }
+  if (metrics_ != nullptr) {
+    metrics_->record("chaos_fault", {{"kind", fault_kind_name(kind)}}, sim_.now(),
+                     static_cast<double>(victims));
+  }
+}
+
+void ChaosInjector::schedule_inverse(const FaultEvent& ev) {
+  if (ev.duration < 0.0 || !has_inverse(ev.kind)) return;
+  FaultEvent inv = ev;
+  inv.kind = inverse_of(ev.kind);
+  inv.duration = -1.0;
+  inv.pool.clear();
+  sim_.schedule(ev.duration, [this, inv] { execute(inv); });
+}
+
+void ChaosInjector::execute(const FaultEvent& ev) {
+  switch (ev.kind) {
+    case FaultKind::NodeCrash: {
+      // Resolve victims now: explicit machine, or a random still-up subset of
+      // the pool. Already-down machines are skipped rather than double-failed.
+      std::vector<cluster::MachineId> victims;
+      if (ev.machine >= 0) {
+        if (inventory_.up(ev.machine)) victims.push_back(ev.machine);
+      } else {
+        std::vector<cluster::MachineId> alive;
+        for (cluster::MachineId m : ev.pool) {
+          if (inventory_.up(m)) alive.push_back(m);
+        }
+        for (std::size_t i : draw_distinct(rng_, alive.size(),
+                                           victim_count(ev.fraction, alive.size()))) {
+          victims.push_back(alive[i]);
+        }
+      }
+      for (cluster::MachineId m : victims) {
+        inventory_.set_up(m, false);
+        if (ev.duration >= 0.0) {
+          FaultEvent inv;
+          inv.kind = FaultKind::NodeRecover;
+          inv.machine = m;
+          sim_.schedule(ev.duration, [this, inv] { execute(inv); });
+        }
+      }
+      count(ev.kind, static_cast<int>(victims.size()));
+      break;
+    }
+    case FaultKind::NodeRecover: {
+      const bool was_down = !inventory_.up(ev.machine);
+      if (was_down) inventory_.set_up(ev.machine, true);
+      count(ev.kind, was_down ? 1 : 0);
+      break;
+    }
+    case FaultKind::LinkPartition: {
+      const bool was_up = net_.link_up(ev.link);
+      if (was_up) net_.set_link_up(ev.link, false);
+      count(ev.kind, was_up ? 1 : 0);
+      if (was_up) schedule_inverse(ev);
+      break;
+    }
+    case FaultKind::LinkHeal: {
+      const bool was_down = !net_.link_up(ev.link);
+      if (was_down) net_.set_link_up(ev.link, true);
+      count(ev.kind, was_down ? 1 : 0);
+      break;
+    }
+    case FaultKind::LinkDegrade: {
+      net_.set_link_bandwidth_factor(ev.link, ev.factor);
+      count(ev.kind, 1);
+      schedule_inverse(ev);
+      break;
+    }
+    case FaultKind::LinkRestore: {
+      net_.set_link_bandwidth_factor(ev.link, 1.0);
+      count(ev.kind, 1);
+      break;
+    }
+    case FaultKind::OsdFail: {
+      CHASE_ASSERT(ceph_ != nullptr, "OSD fault in a plan without a Ceph cluster");
+      ceph_->set_osd_up(ev.osd, false);
+      count(ev.kind, 1);
+      schedule_inverse(ev);
+      break;
+    }
+    case FaultKind::OsdRecover: {
+      CHASE_ASSERT(ceph_ != nullptr, "OSD fault in a plan without a Ceph cluster");
+      ceph_->set_osd_up(ev.osd, true);
+      count(ev.kind, 1);
+      break;
+    }
+    case FaultKind::PodKill: {
+      CHASE_ASSERT(kube_ != nullptr, "pod-kill fault in a plan without Kubernetes");
+      std::vector<kube::PodPtr> alive;
+      for (const auto& pod : kube_->list_pods(ev.ns, ev.selector)) {
+        if (!pod->terminal()) alive.push_back(pod);
+      }
+      int killed = 0;
+      for (std::size_t i : draw_distinct(rng_, alive.size(),
+                                         victim_count(ev.fraction, alive.size()))) {
+        kube_->disrupt_pod(alive[i]->meta.ns, alive[i]->meta.name);
+        ++killed;
+      }
+      count(ev.kind, killed);
+      break;
+    }
+  }
+}
+
+}  // namespace chase::chaos

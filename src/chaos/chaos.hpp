@@ -1,0 +1,142 @@
+#pragma once
+/// \file chaos.hpp
+/// Seeded fault injection for the simulated testbed (paper §V: "If a node is
+/// taken offline the pods on that node will be rescheduled on another
+/// node."). A ChaosPlan declares faults — node crashes/recoveries, link
+/// degradation and partitions, OSD failures, pod preemptions — and a
+/// ChaosInjector schedules them into a running simulation.
+///
+/// Everything is deterministic: random victim selection draws from a
+/// util::Rng seeded by the plan, and fault times are plain virtual-time
+/// delays, so a chaos run composes with tools/determinism_check (same plan +
+/// same seed => identical event trace).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ceph/ceph.hpp"
+#include "cluster/machine.hpp"
+#include "kube/cluster.hpp"
+#include "mon/metrics.hpp"
+#include "net/network.hpp"
+#include "sim/simulation.hpp"
+#include "util/rng.hpp"
+
+namespace chase::chaos {
+
+enum class FaultKind {
+  NodeCrash,      // machine down (network node, kubelet, OSDs on it)
+  NodeRecover,    // machine back up
+  LinkPartition,  // full-duplex link down
+  LinkHeal,       // link back up
+  LinkDegrade,    // link bandwidth scaled to `factor` of built capacity
+  LinkRestore,    // link bandwidth back to built capacity
+  OsdFail,        // single OSD down, machine stays up
+  OsdRecover,     // single OSD back up
+  PodKill,        // disruption-evict pods matching ns + selector
+};
+
+const char* fault_kind_name(FaultKind kind);
+
+/// One scheduled fault. Which fields matter depends on `kind`; the ChaosPlan
+/// builder methods fill them consistently.
+struct FaultEvent {
+  double at = 0.0;  // delay from ChaosInjector::arm(), simulated seconds
+  FaultKind kind = FaultKind::NodeCrash;
+  /// < 0: permanent. Otherwise the inverse fault (recover / heal / restore)
+  /// is scheduled this many seconds after the fault fires.
+  double duration = -1.0;
+
+  cluster::MachineId machine = -1;             // NodeCrash/NodeRecover (explicit victim)
+  std::vector<cluster::MachineId> pool;        // NodeCrash: random victims from here
+  double fraction = 0.0;                       // of pool / of matching pods, in (0, 1]
+  net::LinkId link = -1;                       // link faults
+  double factor = 1.0;                         // LinkDegrade bandwidth multiplier
+  int osd = -1;                                // OSD faults
+  std::string ns;                              // PodKill namespace
+  kube::Labels selector;                       // PodKill label selector
+};
+
+/// Declarative fault schedule with a fluent builder API. Times are delays
+/// relative to ChaosInjector::arm().
+class ChaosPlan {
+ public:
+  explicit ChaosPlan(std::uint64_t seed = 2029) : seed_(seed) {}
+
+  /// Crash one machine; recovers after `down_for` seconds (< 0: stays down).
+  ChaosPlan& crash_node(double at, cluster::MachineId machine, double down_for = -1.0);
+  /// Crash ceil(fraction * pool.size()) distinct machines drawn from `pool`
+  /// by the plan's Rng (still-up machines preferred at execution time).
+  ChaosPlan& crash_fraction(double at, std::vector<cluster::MachineId> pool,
+                            double fraction, double down_for = -1.0);
+  /// Take a full-duplex link down; heals after `down_for` (< 0: stays down).
+  ChaosPlan& partition_link(double at, net::LinkId link, double down_for = -1.0);
+  /// Scale a link to `factor` of its built bandwidth; restores after
+  /// `degraded_for` (< 0: stays degraded).
+  ChaosPlan& degrade_link(double at, net::LinkId link, double factor,
+                          double degraded_for = -1.0);
+  /// Fail one OSD; recovers after `down_for` (< 0: stays down).
+  ChaosPlan& fail_osd(double at, int osd, double down_for = -1.0);
+  /// Disruption-evict ceil(fraction * matching) pods in `ns` matching
+  /// `selector`, drawn by the plan's Rng at execution time.
+  ChaosPlan& kill_pods(double at, std::string ns, kube::Labels selector,
+                       double fraction = 1.0);
+
+  std::uint64_t seed() const { return seed_; }
+  const std::vector<FaultEvent>& events() const { return events_; }
+  bool empty() const { return events_.empty(); }
+
+ private:
+  std::uint64_t seed_;
+  std::vector<FaultEvent> events_;
+};
+
+/// Counters of what actually fired (mirrored to mon::Registry when given).
+struct ChaosReport {
+  int node_crashes = 0;
+  int node_recoveries = 0;
+  int link_partitions = 0;
+  int link_heals = 0;
+  int link_degradations = 0;
+  int link_restores = 0;
+  int osd_failures = 0;
+  int osd_recoveries = 0;
+  int pods_killed = 0;
+  int events_executed = 0;
+};
+
+/// Schedules a ChaosPlan's faults into the simulation. kube / ceph /
+/// metrics are optional: plans that only shake nodes and links work against
+/// a bare network + inventory.
+class ChaosInjector {
+ public:
+  ChaosInjector(sim::Simulation& sim, net::Network& net, cluster::Inventory& inventory,
+                ChaosPlan plan, kube::KubeCluster* kube = nullptr,
+                ceph::CephCluster* ceph = nullptr, mon::Registry* metrics = nullptr);
+
+  /// Schedule every fault in the plan (delays relative to now). Call once,
+  /// before or while the workload runs.
+  void arm();
+
+  const ChaosReport& report() const { return report_; }
+  const ChaosPlan& plan() const { return plan_; }
+
+ private:
+  void execute(const FaultEvent& ev);
+  void schedule_inverse(const FaultEvent& ev);
+  void count(FaultKind kind, int victims);
+
+  sim::Simulation& sim_;
+  net::Network& net_;
+  cluster::Inventory& inventory_;
+  kube::KubeCluster* kube_;
+  ceph::CephCluster* ceph_;
+  mon::Registry* metrics_;
+  ChaosPlan plan_;
+  util::Rng rng_;
+  ChaosReport report_;
+  bool armed_ = false;
+};
+
+}  // namespace chase::chaos

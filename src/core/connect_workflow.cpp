@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <deque>
 #include <string>
 #include <vector>
 
@@ -22,6 +23,27 @@ std::pair<std::uint64_t, std::uint64_t> parse_pair(const std::string& msg) {
   return {std::stoull(msg.substr(0, colon)), std::stoull(msg.substr(colon + 1))};
 }
 
+/// Slab handoff message "bytes:node:first:count"; the trailing "first:count"
+/// is the originating URL-list message, kept verbatim for dedup keys.
+struct SlabMsg {
+  std::uint64_t bytes = 0;
+  std::uint64_t node = 0;
+  std::string urlmsg;
+};
+
+SlabMsg parse_slab(const std::string& msg) {
+  const auto c1 = msg.find(':');
+  const auto c2 = msg.find(':', c1 + 1);
+  return {std::stoull(msg.substr(0, c1)),
+          std::stoull(msg.substr(c1 + 1, c2 - c1 - 1)), msg.substr(c2 + 1)};
+}
+
+/// Exponential fault-retry backoff, capped.
+double backoff_delay(const ConnectWorkflowParams& p, int failures) {
+  return std::min(p.retry_backoff_max,
+                  p.retry_backoff_base * std::pow(2.0, static_cast<double>(failures)));
+}
+
 }  // namespace
 
 struct ConnectWorkflow::State {
@@ -39,9 +61,19 @@ struct ConnectWorkflow::State {
   sim::EventPtr download_complete = sim::make_event();
   std::vector<std::string> bundle_paths;
   int next_bundle = 0;
+  std::uint64_t files_fetched = 0;  // summed from "urls:done" at step end
+  int download_retries = 0;         // step-1 fault-path retries (all pods)
+  std::uint64_t redis_incarnation = 0;
 
-  // Step-3 shard dispenser.
-  int next_shard = 0;
+  // Step-2 checkpoint guard: exactly one trainer persists the model, even
+  // when the original writer pod was evicted and replaced.
+  bool ckpt_written = false;
+
+  // Step-3 shard dispenser: evicted pods push their shard back so the
+  // replacement redoes exactly the lost work.
+  std::deque<int> shard_queue;
+  int shards_done = 0;
+  int shard_retries = 0;
   util::Rng straggler_rng{2027};  // re-seeded from params in the constructor
 
   double time_scale() const { return params.data_fraction; }
@@ -80,6 +112,9 @@ double ConnectWorkflow::scaled_archive_bytes() const {
                              static_cast<double>(state_->files);
 }
 double ConnectWorkflow::scaled_inference_voxels() const { return state_->inference_voxels; }
+
+std::uint64_t ConnectWorkflow::files_fetched() const { return state_->files_fetched; }
+int ConnectWorkflow::download_retries() const { return state_->download_retries; }
 
 // ---------------------------------------------------------------------------------
 // Pod programs (all capture the shared workflow state; closures live in the
@@ -189,8 +224,17 @@ void ConnectWorkflow::build() {
         state->download_complete->trigger(ctx.sim());
         co_await merge_job->done->wait(ctx.sim());
         co_await coord_job->done->wait(ctx.sim());
+
+        // Byte conservation: sum the durably-downloaded URL lists ("urls:done"
+        // is marked exactly once per list, faults or not).
+        std::uint64_t fetched = 0;
+        for (const auto& member : bed->redis->smembers("urls:done")) {
+          fetched += parse_pair(member).second;
+        }
+        state->files_fetched = fetched;
         kube.delete_replica_set(ctx.ns(), "redis");
 
+        ctx.add_retries(state->download_retries);
         ctx.add_data(state->total_bytes);
       }});
 
@@ -274,7 +318,10 @@ void ConnectWorkflow::build() {
               (1.0 + (pp.train_gpus - 1) * (1.0 - pp.dist_train_efficiency));
           co_await pctx.gpu_compute(single_gpu_s / speedup);
           // Persist the trained model + parameters to the Ceph Object Store.
-          if (!pctx.cancelled() && pctx.pod().meta.name == "train-0") {
+          // First finisher writes; a name-based gate would lose the
+          // checkpoint whenever the designated pod is evicted and replaced.
+          if (!pctx.cancelled() && !st->ckpt_written) {
+            st->ckpt_written = true;
             co_await st->bed->fs->write_file(pctx.net_node(), "/models/ffn-ckpt",
                                              util::mb(100));
           }
@@ -291,7 +338,12 @@ void ConnectWorkflow::build() {
       [state, bed](wf::StepContext& ctx) -> sim::Task {
         auto& kube = ctx.kube();
         const auto& p = state->params;
-        state->next_shard = 0;
+        state->shard_queue.clear();
+        for (int s = 0; s < std::max(1, p.inference_gpus); ++s) {
+          state->shard_queue.push_back(s);
+        }
+        state->shards_done = 0;
+        state->shard_retries = 0;
 
         kube::JobSpec infer;
         infer.ns = ctx.ns();
@@ -308,34 +360,59 @@ void ConnectWorkflow::build() {
         c.program = [st](PodContext& pctx) -> sim::Task {
           const auto& pp = st->params;
           pctx.set_memory_usage(util::gb(12));
-          const int shard = st->next_shard++;
-          // Load the trained model from the Ceph Object Store.
-          if (st->bed->fs->exists("/models/ffn-ckpt")) {
-            co_await st->bed->fs->read_file(pctx.net_node(), "/models/ffn-ckpt");
-          }
-          // Read this shard's slice of the archive (the 246 GB is evenly
-          // distributed across the GPUs).
           const int total = std::max(1, pp.inference_gpus);
-          for (std::size_t b = static_cast<std::size_t>(shard);
-               b < st->bundle_paths.size(); b += static_cast<std::size_t>(total)) {
-            co_await st->bed->fs->read_file(pctx.net_node(), st->bundle_paths[b]);
+          while (!pctx.cancelled()) {
+            if (st->shard_queue.empty()) {
+              // Every shard is claimed. Either all are done (this replacement
+              // pod has nothing to redo) or a claimant may still be evicted
+              // and return its shard; park and re-check.
+              if (st->shards_done >= total) co_return;
+              co_await pctx.sim().sleep(5.0);
+              continue;
+            }
+            const int shard = st->shard_queue.front();
+            st->shard_queue.pop_front();
+            // An eviction mid-shard returns the shard so the replacement pod
+            // redoes exactly the lost work; the result write is idempotent
+            // (fixed path per shard), so a partial redo never double-counts.
+            auto requeue = [st, shard] {
+              st->shard_queue.push_front(shard);
+              st->shard_retries += 1;
+            };
+            // Load the trained model from the Ceph Object Store.
+            if (st->bed->fs->exists("/models/ffn-ckpt")) {
+              co_await st->bed->fs->read_file(pctx.net_node(), "/models/ffn-ckpt");
+              if (pctx.cancelled()) { requeue(); co_return; }
+            }
+            // Read this shard's slice of the archive (the 246 GB is evenly
+            // distributed across the GPUs).
+            for (std::size_t b = static_cast<std::size_t>(shard);
+                 b < st->bundle_paths.size(); b += static_cast<std::size_t>(total)) {
+              co_await st->bed->fs->read_file(pctx.net_node(), st->bundle_paths[b]);
+              if (pctx.cancelled()) { requeue(); co_return; }
+            }
+            // FFN flood-fill inference over the shard's voxels.
+            const double voxels = st->inference_voxels / total;
+            const double jitter =
+                1.0 + st->straggler_rng.uniform(0.0, pp.straggler_jitter);
+            co_await pctx.gpu_compute(
+                pp.cost.inference_seconds(voxels, cluster::GpuModel::GTX1080Ti, 1) *
+                jitter);
+            if (pctx.cancelled()) { requeue(); co_return; }
+            // Store segmentation results.
+            const double result_bytes = pp.paper.viz_bytes / total;
+            co_await st->bed->fs->write_file(pctx.net_node(),
+                                             "/results/shard-" + std::to_string(shard),
+                                             static_cast<Bytes>(result_bytes));
+            if (pctx.cancelled()) { requeue(); co_return; }
+            st->shards_done += 1;
+            co_return;  // one shard per pod: completions == inference_gpus
           }
-          // FFN flood-fill inference over the shard's voxels.
-          const double voxels = st->inference_voxels / total;
-          const double jitter = 1.0 + st->straggler_rng.uniform(0.0, pp.straggler_jitter);
-          co_await pctx.gpu_compute(
-              pp.cost.inference_seconds(voxels, cluster::GpuModel::GTX1080Ti, 1) *
-              jitter);
-          if (pctx.cancelled()) co_return;  // evicted: no side effects
-          // Store segmentation results.
-          const double result_bytes = pp.paper.viz_bytes / total;
-          co_await st->bed->fs->write_file(pctx.net_node(),
-                                           "/results/shard-" + std::to_string(shard),
-                                           static_cast<Bytes>(result_bytes));
         };
         infer.pod_template.containers.push_back(std::move(c));
         auto infer_job = kube.create_job(infer).value;
         co_await infer_job->done->wait(ctx.sim());
+        ctx.add_retries(state->shard_retries);
         ctx.add_data(state->total_bytes);
       }});
 
@@ -379,12 +456,16 @@ namespace {
 
 kube::Program redis_program(std::shared_ptr<ConnectWorkflow::State> state) {
   return [state](PodContext& ctx) -> sim::Task {
+    // Each incarnation tags its hosting: an evicted replica notices its
+    // cancellation up to one poll period after a replacement already
+    // re-hosted the server, and must not clobber the new hosting then.
+    const std::uint64_t token = ++state->redis_incarnation;
     state->bed->redis->host_on(ctx.net_node());
     ctx.set_memory_usage(util::gb(8));
     while (!ctx.cancelled()) {
       co_await ctx.sim().sleep(10.0);
     }
-    state->bed->redis->host_on(-1);
+    if (state->redis_incarnation == token) state->bed->redis->host_on(-1);
   };
 }
 
@@ -394,25 +475,148 @@ kube::Program coordinator_program(std::shared_ptr<ConnectWorkflow::State> state)
     ctx.set_memory_usage(util::gb(9));
     redis::RedisClient client(ctx.sim(), ctx.network(), *state->bed->redis,
                               ctx.net_node());
-    // Split the archive into URL lists (the queue "holds a list of files
-    // that contain urls to download").
-    const std::uint64_t lists = static_cast<std::uint64_t>(state->url_lists);
-    const std::uint64_t per = state->files / lists;
-    std::uint64_t assigned = 0;
-    for (std::uint64_t i = 0; i < lists; ++i) {
-      const std::uint64_t count = i + 1 == lists ? state->files - assigned : per;
-      co_await client.rpush("urls", std::to_string(assigned) + ":" + std::to_string(count));
-      assigned += count;
+    // Every phase is guarded by a flag key set after it completes, so a
+    // restarted coordinator (node lost mid-seed) skips finished phases.
+    // Re-seeding a *partially* completed phase can duplicate messages; the
+    // workers' "urls:done" set and the mergers' "merge:done" set make those
+    // duplicates no-ops.
+    int failures = 0;
+    std::optional<std::string> flag;
+    bool ok = false;
+
+    // Phase 1: split the archive into URL lists (the queue "holds a list of
+    // files that contain urls to download").
+    while (!ctx.cancelled()) {
+      co_await client.get("urls:seeded", &flag, &ok);
+      if (!ok) {
+        state->download_retries += 1;
+        co_await ctx.sim().sleep(backoff_delay(p, failures++));
+        continue;
+      }
+      failures = 0;
+      if (flag.has_value()) break;
+      const std::uint64_t lists = static_cast<std::uint64_t>(state->url_lists);
+      const std::uint64_t per = state->files / lists;
+      std::uint64_t assigned = 0;
+      for (std::uint64_t i = 0; i < lists && !ctx.cancelled(); ++i) {
+        const std::uint64_t count = i + 1 == lists ? state->files - assigned : per;
+        const std::string msg =
+            std::to_string(assigned) + ":" + std::to_string(count);
+        ok = false;
+        while (!ok && !ctx.cancelled()) {
+          co_await client.rpush("urls", msg, &ok);
+          if (!ok) {
+            state->download_retries += 1;
+            co_await ctx.sim().sleep(backoff_delay(p, failures++));
+          }
+        }
+        failures = 0;
+        assigned += count;
+      }
+      ok = false;
+      while (!ok && !ctx.cancelled()) {
+        co_await client.set("urls:seeded", "1", &ok);
+        if (!ok) co_await ctx.sim().sleep(backoff_delay(p, failures++));
+      }
+      break;
     }
-    // Worker sentinels queue behind the lists (FIFO).
-    for (int w = 0; w < p.download_workers; ++w) {
-      co_await client.rpush("urls", "STOP");
+    if (ctx.cancelled()) co_return;
+
+    // Phase 2: worker sentinels. They must not become consumable until every
+    // list is durably in "urls:done": a worker that dies holding a lease gets
+    // its list redelivered only after the ttl, and if the survivors have
+    // drained the queue — sentinels included — and exited by then, the
+    // redelivery lands where no worker will ever look and the files are
+    // silently lost. Workers keep popping until they see a sentinel, so
+    // holding the sentinels back costs nothing but the wait.
+    failures = 0;
+    const std::uint64_t expected_lists = static_cast<std::uint64_t>(state->url_lists);
+    const double done_poll = std::clamp(p.queue_lease_ttl / 8.0, 1.0, 30.0);
+    while (!ctx.cancelled()) {
+      std::size_t done_lists = 0;
+      co_await client.scard("urls:done", &done_lists, &ok);
+      if (!ok) {
+        state->download_retries += 1;
+        co_await ctx.sim().sleep(backoff_delay(p, failures++));
+        continue;
+      }
+      failures = 0;
+      if (done_lists >= expected_lists) break;
+      co_await ctx.sim().sleep(done_poll);
     }
-    // Once every download worker is done, stop the mergers (their sentinels
-    // queue behind any remaining merge backlog).
+    while (!ctx.cancelled()) {
+      co_await client.get("urls:stopped", &flag, &ok);
+      if (!ok) {
+        state->download_retries += 1;
+        co_await ctx.sim().sleep(backoff_delay(p, failures++));
+        continue;
+      }
+      failures = 0;
+      if (flag.has_value()) break;
+      for (int w = 0; w < p.download_workers && !ctx.cancelled(); ++w) {
+        ok = false;
+        while (!ok && !ctx.cancelled()) {
+          co_await client.rpush("urls", "STOP", &ok);
+          if (!ok) {
+            state->download_retries += 1;
+            co_await ctx.sim().sleep(backoff_delay(p, failures++));
+          }
+        }
+        failures = 0;
+      }
+      ok = false;
+      while (!ok && !ctx.cancelled()) {
+        co_await client.set("urls:stopped", "1", &ok);
+        if (!ok) co_await ctx.sim().sleep(backoff_delay(p, failures++));
+      }
+      break;
+    }
+    if (ctx.cancelled()) co_return;
+
+    // Phase 3: once every download worker is done AND every slab is claimed
+    // in "merge:done", stop the mergers. The same lost-redelivery hazard as
+    // phase 2 applies: a merger dying with a leased slab must find a live
+    // consumer when the ttl re-queues it.
     co_await state->download_complete->wait(ctx.sim());
-    for (int m = 0; m < p.merge_pods; ++m) {
-      co_await client.rpush("merge", "STOP");
+    failures = 0;
+    while (!ctx.cancelled()) {
+      std::size_t merged = 0;
+      co_await client.scard("merge:done", &merged, &ok);
+      if (!ok) {
+        state->download_retries += 1;
+        co_await ctx.sim().sleep(backoff_delay(p, failures++));
+        continue;
+      }
+      failures = 0;
+      if (merged >= expected_lists) break;
+      co_await ctx.sim().sleep(done_poll);
+    }
+    while (!ctx.cancelled()) {
+      co_await client.get("merge:stopped", &flag, &ok);
+      if (!ok) {
+        state->download_retries += 1;
+        co_await ctx.sim().sleep(backoff_delay(p, failures++));
+        continue;
+      }
+      failures = 0;
+      if (flag.has_value()) break;
+      for (int m = 0; m < p.merge_pods && !ctx.cancelled(); ++m) {
+        ok = false;
+        while (!ok && !ctx.cancelled()) {
+          co_await client.rpush("merge", "STOP", &ok);
+          if (!ok) {
+            state->download_retries += 1;
+            co_await ctx.sim().sleep(backoff_delay(p, failures++));
+          }
+        }
+        failures = 0;
+      }
+      ok = false;
+      while (!ok && !ctx.cancelled()) {
+        co_await client.set("merge:stopped", "1", &ok);
+        if (!ok) co_await ctx.sim().sleep(backoff_delay(p, failures++));
+      }
+      break;
     }
   };
 }
@@ -426,11 +630,30 @@ kube::Program download_worker_program(std::shared_ptr<ConnectWorkflow::State> st
                               ctx.net_node());
     thredds::Aria2Client aria(ctx.sim(), *state->bed->thredds, ctx.net_node(),
                               p.aria2_connections);
+    int failures = 0;
     while (!ctx.cancelled()) {
+      // Pop under a redelivery lease: if this pod dies anywhere before the
+      // final ack, the list returns to the queue after queue_lease_ttl and
+      // another worker redoes it (at-least-once; "urls:done" dedups).
       std::string msg;
+      std::uint64_t lease = 0;
       bool got = false;
-      co_await client.blpop("urls", &msg, &got);
-      if (!got || msg == "STOP") co_return;
+      co_await client.blpop_lease("urls", p.queue_lease_ttl, &msg, &lease, &got);
+      if (ctx.cancelled()) co_return;
+      if (!got) {  // server unreachable (Redis pod rescheduling): back off
+        state->download_retries += 1;
+        co_await ctx.sim().sleep(backoff_delay(p, failures++));
+        continue;
+      }
+      failures = 0;
+      if (msg == "STOP") {
+        bool ok = false;
+        while (!ok && !ctx.cancelled()) {
+          co_await client.ack(lease, nullptr, &ok);
+          if (!ok) co_await ctx.sim().sleep(backoff_delay(p, failures++));
+        }
+        co_return;
+      }
       const auto [first, count] = parse_pair(msg);
       std::vector<std::size_t> files(count);
       for (std::uint64_t i = 0; i < count; ++i) {
@@ -439,10 +662,58 @@ kube::Program download_worker_program(std::shared_ptr<ConnectWorkflow::State> st
       ctx.set_cpu_usage(2.5);  // decode + checksum while streaming
       thredds::DownloadStats stats;
       co_await aria.download(p.dataset, std::move(files), p.variable, &stats);
+      std::uint64_t slab_bytes = stats.bytes;
+      // Refetch only the files that failed (THREDDS link partition, server
+      // site down), with exponential backoff between rounds.
+      int attempts = 1;
+      while (!stats.failed.empty() && attempts < p.download_max_attempts &&
+             !ctx.cancelled()) {
+        state->download_retries += 1;
+        co_await ctx.sim().sleep(backoff_delay(p, attempts - 1));
+        std::vector<std::size_t> again = std::move(stats.failed);
+        stats = thredds::DownloadStats{};
+        co_await aria.download(p.dataset, std::move(again), p.variable, &stats);
+        slab_bytes += stats.bytes;
+        ++attempts;
+      }
       ctx.set_cpu_usage(0.4);
-      // Hand the downloaded slab to a merge pod.
-      co_await client.rpush("merge", std::to_string(stats.bytes) + ":" +
-                                         std::to_string(ctx.net_node()));
+      if (ctx.cancelled()) co_return;
+      if (!stats.failed.empty()) {
+        // Out of attempts: leave the lease unacked so the ttl redelivers the
+        // list later (possibly to a worker with a healthier path).
+        state->download_retries += 1;
+        continue;
+      }
+      // Durably mark the list fetched, hand the slab to a merge pod, then
+      // ack. Dying between these steps replays the list; "urls:done" and the
+      // mergers' "merge:done" dedup make the replay harmless.
+      bool ok = false;
+      while (!ok && !ctx.cancelled()) {
+        co_await client.sadd("urls:done", msg, nullptr, &ok);
+        if (!ok) {
+          state->download_retries += 1;
+          co_await ctx.sim().sleep(backoff_delay(p, failures++));
+        }
+      }
+      const std::string slab = std::to_string(slab_bytes) + ":" +
+                               std::to_string(ctx.net_node()) + ":" + msg;
+      ok = false;
+      while (!ok && !ctx.cancelled()) {
+        co_await client.rpush("merge", slab, &ok);
+        if (!ok) {
+          state->download_retries += 1;
+          co_await ctx.sim().sleep(backoff_delay(p, failures++));
+        }
+      }
+      ok = false;
+      while (!ok && !ctx.cancelled()) {
+        co_await client.ack(lease, nullptr, &ok);
+        if (!ok) {
+          state->download_retries += 1;
+          co_await ctx.sim().sleep(backoff_delay(p, failures++));
+        }
+      }
+      failures = 0;
     }
   };
 }
@@ -454,23 +725,103 @@ kube::Program merger_program(std::shared_ptr<ConnectWorkflow::State> state) {
     ctx.set_cpu_usage(0.3);
     redis::RedisClient client(ctx.sim(), ctx.network(), *state->bed->redis,
                               ctx.net_node());
+    int failures = 0;
     while (!ctx.cancelled()) {
       std::string msg;
+      std::uint64_t lease = 0;
       bool got = false;
-      co_await client.blpop("merge", &msg, &got);
-      if (!got || msg == "STOP") co_return;
+      co_await client.blpop_lease("merge", p.queue_lease_ttl, &msg, &lease, &got);
       if (ctx.cancelled()) co_return;
-      const auto [bytes, source_node] = parse_pair(msg);
-      // Pull the slab from the worker that downloaded it.
-      co_await ctx.network().send(static_cast<net::NodeId>(source_node), ctx.net_node(),
-                                  bytes);
+      if (!got) {
+        state->download_retries += 1;
+        co_await ctx.sim().sleep(backoff_delay(p, failures++));
+        continue;
+      }
+      failures = 0;
+      if (msg == "STOP") {
+        bool ok = false;
+        while (!ok && !ctx.cancelled()) {
+          co_await client.ack(lease, nullptr, &ok);
+          if (!ok) co_await ctx.sim().sleep(backoff_delay(p, failures++));
+        }
+        co_return;
+      }
+      const SlabMsg slab = parse_slab(msg);
+      // Pull the slab from the worker that downloaded it. The worker's
+      // machine may be gone (it died after handing off the slab message);
+      // after bounded pull retries, refetch the list from THREDDS directly —
+      // the data must come from somewhere, and the download workers may have
+      // already exited.
+      bool have_slab = false;
+      for (int attempt = 0; attempt < p.download_max_attempts && !ctx.cancelled();
+           ++attempt) {
+        auto handle = ctx.network().transfer(static_cast<net::NodeId>(slab.node),
+                                             ctx.net_node(), slab.bytes);
+        co_await handle->done->wait(ctx.sim());
+        if (!handle->failed) {
+          have_slab = true;
+          break;
+        }
+        state->download_retries += 1;
+        co_await ctx.sim().sleep(backoff_delay(p, attempt));
+      }
+      if (!have_slab && !ctx.cancelled()) {
+        const auto [first, count] = parse_pair(slab.urlmsg);
+        thredds::Aria2Client aria(ctx.sim(), *state->bed->thredds, ctx.net_node(),
+                                  p.aria2_connections);
+        std::vector<std::size_t> want(count);
+        for (std::uint64_t i = 0; i < count; ++i) {
+          want[i] = static_cast<std::size_t>(first + i);
+        }
+        int rounds = 0;
+        while (!want.empty() && !ctx.cancelled()) {
+          thredds::DownloadStats stats;
+          co_await aria.download(p.dataset, std::move(want), p.variable, &stats);
+          want = std::move(stats.failed);
+          if (!want.empty()) {
+            state->download_retries += 1;
+            co_await ctx.sim().sleep(backoff_delay(p, rounds++));
+          }
+        }
+        have_slab = !ctx.cancelled();
+      }
+      if (ctx.cancelled()) co_return;  // lease ttl redelivers the slab
+      // Claim the slab (atomic test-and-set): a slab can be queued twice
+      // when its worker died between marking "urls:done" and acking.
+      bool added = false;
+      bool ok = false;
+      while (!ok && !ctx.cancelled()) {
+        co_await client.sadd("merge:done", slab.urlmsg, &added, &ok);
+        if (!ok) {
+          state->download_retries += 1;
+          co_await ctx.sim().sleep(backoff_delay(p, failures++));
+        }
+      }
+      if (ctx.cancelled()) co_return;
+      if (!added) {  // duplicate: already merged (or being merged) elsewhere
+        ok = false;
+        while (!ok && !ctx.cancelled()) {
+          co_await client.ack(lease, nullptr, &ok);
+          if (!ok) co_await ctx.sim().sleep(backoff_delay(p, failures++));
+        }
+        continue;
+      }
       // Merge the small NetCDF files into one HDF bundle (CPU bound).
-      co_await ctx.compute(static_cast<double>(bytes) / p.merge_bytes_per_cpu_second,
-                           5.0);
+      co_await ctx.compute(
+          static_cast<double>(slab.bytes) / p.merge_bytes_per_cpu_second, 5.0);
+      if (ctx.cancelled()) co_return;
       // Transfer the bundle to the Ceph Object Store.
       const std::string path = "/merra2/bundle-" + std::to_string(state->next_bundle++);
-      co_await state->bed->fs->write_file(ctx.net_node(), path, bytes);
+      co_await state->bed->fs->write_file(ctx.net_node(), path, slab.bytes);
       state->bundle_paths.push_back(path);
+      ok = false;
+      while (!ok && !ctx.cancelled()) {
+        co_await client.ack(lease, nullptr, &ok);
+        if (!ok) {
+          state->download_retries += 1;
+          co_await ctx.sim().sleep(backoff_delay(p, failures++));
+        }
+      }
     }
   };
 }

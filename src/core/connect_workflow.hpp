@@ -65,6 +65,16 @@ struct ConnectWorkflowParams {
   // --- step 4: visualization ------------------------------------------------------
   double viz_render_seconds = 120.0;
 
+  // --- fault tolerance ---------------------------------------------------------
+  /// Redelivery lease on queue messages: a popped URL list a worker never
+  /// acks (pod died mid-download) returns to the queue after this long.
+  double queue_lease_ttl = 600.0;
+  /// Per-URL-list download attempts (only failed files are refetched).
+  int download_max_attempts = 5;
+  /// Exponential backoff between fault-path retries, seconds.
+  double retry_backoff_base = 1.0;
+  double retry_backoff_max = 60.0;
+
   // --- shared ------------------------------------------------------------------------
   /// Scale the archive (files and voxels) for fast tests: 1.0 = paper scale.
   double data_fraction = 1.0;
@@ -90,6 +100,12 @@ class ConnectWorkflow {
   double scaled_subset_bytes() const;
   double scaled_archive_bytes() const;
   double scaled_inference_voxels() const;
+
+  /// Files durably downloaded exactly once (byte-conservation check: equals
+  /// scaled_file_count() after a completed step 1, faults or not).
+  std::uint64_t files_fetched() const;
+  /// Fault-path retries across download workers and mergers.
+  int download_retries() const;
 
   /// Shared mutable state between the step bodies and pod programs
   /// (public so the program factories can reference it; treat as internal).

@@ -11,6 +11,8 @@ const std::string& StepContext::ns() const { return workflow_.ns_; }
 
 void StepContext::add_data(double bytes) { data_bytes_ += bytes; }
 
+void StepContext::add_retries(int n) { retries_ += n; }
+
 Workflow::Workflow(kube::KubeCluster& kube, mon::Registry& metrics, std::string ns,
                    std::string name)
     : kube_(kube), metrics_(metrics), ns_(std::move(ns)), name_(std::move(name)) {}
@@ -24,6 +26,9 @@ sim::Task Workflow::execute() {
     co_await spec.run(ctx);
     const double end = kube_.sim().now();
     reports_.push_back(measure_step(spec, ctx, start, end));
+    metrics_.record("workflow_step_retries",
+                    {{"workflow", name_}, {"step", spec.label}}, end,
+                    static_cast<double>(ctx.retries_));
   }
   finished_ = true;
 }
@@ -45,6 +50,7 @@ StepReport Workflow::measure_step(const StepSpec& spec, const StepContext& ctx,
   report.start_time = start;
   report.end_time = end;
   report.data_bytes = ctx.data_bytes_;
+  report.retries = ctx.retries_;
 
   // Resource attribution: every pod the step created carries step=<label>.
   for (const auto& pod : kube_.list_pods(ns_, {{"step", spec.label}})) {

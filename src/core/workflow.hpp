@@ -32,6 +32,7 @@ struct StepReport {
   int gpus = 0;           // sum of scheduled pods' GPU requests
   double data_bytes = 0;  // "Data Processed"
   double peak_memory_bytes = 0;
+  int retries = 0;        // fault-path retries surfaced by the step body
   double start_time = 0;
   double end_time = 0;
   double duration() const { return end_time - start_time; }
@@ -56,12 +57,17 @@ class StepContext {
 
   /// Record logical bytes processed by this step (Table I "Data Processed").
   void add_data(double bytes);
+  /// Record fault-path retries (re-queued downloads, redelivered queue
+  /// leases, re-run shards). Surfaced per step as StepReport.retries and the
+  /// "workflow_step_retries" metric.
+  void add_retries(int n);
 
  private:
   friend class Workflow;
   Workflow& workflow_;
   std::string label_;
   double data_bytes_ = 0;
+  int retries_ = 0;
 };
 
 struct StepSpec {

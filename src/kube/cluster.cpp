@@ -28,11 +28,25 @@ double PodContext::gpu_tflops() const {
   return cluster::gpu_fp32_tflops(spec.gpu_model) * gpus();
 }
 
+sim::Task PodContext::cancellable_sleep(double duration) {
+  // Slice long computations so an evicted pod notices within a bounded
+  // amount of simulated time instead of sleeping to its original finish.
+  // The slice adapts to the job size so scaled-down runs still detect
+  // eviction within a small fraction of the compute.
+  const double kSlice = std::clamp(duration / 20.0, 1.0, 60.0);
+  double left = duration;
+  while (left > 0.0 && !cancelled()) {
+    const double step = std::min(left, kSlice);
+    co_await sim().sleep(step);
+    left -= step;
+  }
+}
+
 sim::Task PodContext::compute(double cpu_seconds, double cores) {
   assert(cores > 0.0);
   const double prev = pod_->usage.cpu;
   set_cpu_usage(cores);
-  co_await sim().sleep(cpu_seconds / cores);
+  co_await cancellable_sleep(cpu_seconds / cores);
   set_cpu_usage(prev);
 }
 
@@ -41,7 +55,7 @@ sim::Task PodContext::gpu_compute(double gpu_seconds) {
   assert(n > 0 && "gpu_compute on a pod without GPUs");
   const int prev = pod_->usage.gpus;
   set_gpu_usage(n);
-  co_await sim().sleep(gpu_seconds / n);
+  co_await cancellable_sleep(gpu_seconds / n);
   set_gpu_usage(prev);
 }
 
@@ -254,6 +268,12 @@ Result<PodPtr> KubeCluster::create_pod_impl(const std::string& ns,
   kick_scheduler();
   notify_watchers(pod);
   return {pod, ""};
+}
+
+void KubeCluster::disrupt_pod(const std::string& ns, const std::string& name) {
+  auto it = pods_.find(key_of(ns, name));
+  if (it == pods_.end() || it->second->terminal()) return;
+  evict_pod(it->second, "Disrupted");
 }
 
 void KubeCluster::delete_pod(const std::string& ns, const std::string& name) {
@@ -996,7 +1016,8 @@ void KubeCluster::on_pod_terminated(const PodPtr& pod) {
     if (pod->phase == PodPhase::Succeeded) {
       job->succeeded += 1;
     } else if (pod->reason != "NodeLost" && pod->reason != "Drained" &&
-               pod->reason != "Preempted" && pod->reason != "TaintNoExecute") {
+               pod->reason != "Preempted" && pod->reason != "TaintNoExecute" &&
+               pod->reason != "Disrupted") {
       // Evictions (node loss, drains, preemption, taints) are rescheduled
       // without counting against the backoff limit, matching Kubernetes'
       // distinction between pod failures and disruptions.

@@ -52,8 +52,11 @@ class PodContext {
 
   /// Consume `cpu_seconds` of single-core work spread across `cores`
   /// (wall-clock = cpu_seconds / cores). Reports usage while running.
+  /// Returns early once the pod is cancelled — callers must re-check
+  /// cancelled() before acting on the "finished" computation.
   sim::Task compute(double cpu_seconds, double cores);
   /// Consume `gpu_seconds` of single-GPU work across all granted GPUs.
+  /// Cancellation-aware like compute().
   sim::Task gpu_compute(double gpu_seconds);
 
   /// Live usage reporting (sampled by the monitoring layer).
@@ -67,6 +70,10 @@ class PodContext {
  private:
   friend class KubeCluster;
   PodContext(KubeCluster* cluster, Pod* pod) : cluster_(cluster), pod_(pod) {}
+  /// Sleep in bounded slices, returning early once the pod is cancelled so
+  /// an evicted pod stops occupying simulated time and its replacement can
+  /// take over promptly (chaos / self-healing paths).
+  sim::Task cancellable_sleep(double duration);
   KubeCluster* cluster_;
   Pod* pod_;
 };
@@ -152,6 +159,10 @@ class KubeCluster {
   /// Delete a pod: cancels it if running; controllers will not replace pods
   /// deleted through their owner's deletion path.
   void delete_pod(const std::string& ns, const std::string& name);
+  /// Disruption-style eviction (chaos testing, involuntary preemption): the
+  /// pod is killed and its owner recreates it elsewhere without the failure
+  /// counting against a Job's backoff limit, like drains and node losses.
+  void disrupt_pod(const std::string& ns, const std::string& name);
 
   Result<JobPtr> create_job(JobSpec spec, const auth::Token* token = nullptr);
   Result<ReplicaSetPtr> create_replica_set(ReplicaSetSpec spec,

@@ -25,8 +25,8 @@ LinkId Network::add_link(NodeId a, NodeId b, double bandwidth_bps, double latenc
   assert(b >= 0 && b < static_cast<NodeId>(nodes_.size()));
   assert(bandwidth_bps > 0.0);
   const LinkId forward = static_cast<LinkId>(links_.size());
-  links_.push_back(DirectedLink{a, b, bandwidth_bps, latency_s, {}});
-  links_.push_back(DirectedLink{b, a, bandwidth_bps, latency_s, {}});
+  links_.push_back(DirectedLink{a, b, bandwidth_bps, latency_s, bandwidth_bps, true, {}});
+  links_.push_back(DirectedLink{b, a, bandwidth_bps, latency_s, bandwidth_bps, true, {}});
   nodes_[a].out.push_back(forward);
   nodes_[b].out.push_back(forward + 1);
   invalidate_routes();
@@ -56,6 +56,49 @@ void Network::set_node_up(NodeId id, bool up) {
   }
 }
 
+void Network::set_link_up(LinkId id, bool up) {
+  const LinkId partner = partner_of(id);
+  if (links_.at(id).up == up) return;
+  links_[id].up = up;
+  links_[partner].up = up;
+  invalidate_routes();
+  if (!up) {
+    // Fail every flow routed over either direction of the pair.
+    std::vector<std::uint64_t> doomed;
+    for (const auto& [fid, flow] : flows_) {
+      for (LinkId l : flow.path) {
+        if (l == id || l == partner) {
+          doomed.push_back(fid);
+          break;
+        }
+      }
+    }
+    for (auto fid : doomed) fail_flow(fid);
+  }
+}
+
+void Network::set_link_bandwidth_factor(LinkId id, double factor) {
+  assert(factor > 0.0);
+  const LinkId partner = partner_of(id);
+  settle_progress();
+  links_.at(id).capacity = links_[id].base_capacity * factor;
+  links_[partner].capacity = links_[partner].base_capacity * factor;
+  recompute_rates();
+  schedule_next_completion();
+}
+
+double Network::link_bandwidth_factor(LinkId id) const {
+  const auto& link = links_.at(id);
+  return link.capacity / link.base_capacity;
+}
+
+LinkId Network::find_link(NodeId a, NodeId b) const {
+  for (LinkId l : nodes_.at(a).out) {
+    if (links_[l].to == b) return l;
+  }
+  return -1;
+}
+
 std::vector<LinkId> Network::route(NodeId src, NodeId dst) {
   const auto key = std::make_pair(src, dst);
   if (auto it = route_cache_.find(key); it != route_cache_.end()) return it->second;
@@ -70,6 +113,7 @@ std::vector<LinkId> Network::route(NodeId src, NodeId dst) {
     NodeId n = q.front();
     q.pop_front();
     for (LinkId l : nodes_[n].out) {
+      if (!links_[l].up) continue;
       NodeId next = links_[l].to;
       if (seen[next] || !nodes_[next].up) continue;
       seen[next] = true;
@@ -133,7 +177,7 @@ TransferPtr Network::transfer(NodeId src, NodeId dst, Bytes bytes, TransferOptio
     if (handle->failed) return;
     // Re-check liveness at flow start.
     for (LinkId l : path) {
-      if (!nodes_[links_[l].from].up || !nodes_[links_[l].to].up) {
+      if (!links_[l].up || !nodes_[links_[l].from].up || !nodes_[links_[l].to].up) {
         handle->failed = true;
         handle->finish_time = sim_.now();
         handle->done->trigger(sim_);
@@ -342,6 +386,7 @@ void Network::check_invariants() const {
       CHASE_INVARIANT(nodes_[static_cast<std::size_t>(link.from)].up &&
                           nodes_[static_cast<std::size_t>(link.to)].up,
                       "flow routed through a down node (should have failed)");
+      CHASE_INVARIANT(link.up, "flow routed over a partitioned link (should have failed)");
       CHASE_AUDIT(std::find(link.flow_ids.begin(), link.flow_ids.end(), id) !=
                       link.flow_ids.end(),
                   "flow missing from its link's flow registry");
@@ -362,6 +407,10 @@ void Network::check_invariants() const {
     CHASE_INVARIANT(used <= link.capacity * (1.0 + 1e-6),
                     "link oversubscribed: " + node_name(link.from) + " -> " +
                         node_name(link.to));
+    CHASE_INVARIANT(link.base_capacity > 0.0 && link.capacity > 0.0,
+                    "link with non-positive capacity");
+    CHASE_INVARIANT(links_[partner_of(static_cast<LinkId>(i))].up == link.up,
+                    "full-duplex pair with divergent up/down state");
   }
   CHASE_INVARIANT(bytes_delivered_ >= 0.0, "delivered byte counter went negative");
 }

@@ -70,6 +70,20 @@ class Network {
   void set_node_up(NodeId id, bool up);
   bool node_up(NodeId id) const { return nodes_.at(id).up; }
 
+  /// Partition / heal a full-duplex link (both directions). Taking a link
+  /// down fails every flow routed over either direction and removes it from
+  /// routing until it is healed.
+  void set_link_up(LinkId id, bool up);
+  bool link_up(LinkId id) const { return links_.at(id).up; }
+  /// Degrade (or restore) a full-duplex link to `factor` times its built
+  /// bandwidth, both directions; in-flight flows are re-rated. factor > 0.
+  void set_link_bandwidth_factor(LinkId id, double factor);
+  double link_bandwidth_factor(LinkId id) const;
+  /// First directed link from `a` to `b`, or -1 if the nodes are not
+  /// adjacent. Chaos plans use this to target specific WAN uplinks.
+  LinkId find_link(NodeId a, NodeId b) const;
+  std::size_t link_count() const { return links_.size(); }
+
   // --- transfers ----------------------------------------------------------
 
   /// Start a transfer; the returned handle's `done` event fires at
@@ -109,10 +123,15 @@ class Network {
   };
   struct DirectedLink {
     NodeId from, to;
-    double capacity;  // bytes/s
-    double latency;   // s
+    double capacity;       // current effective bytes/s (base * factor)
+    double latency;        // s
+    double base_capacity;  // as built
+    bool up = true;
     std::vector<std::uint64_t> flow_ids;
   };
+  /// The opposite direction of a full-duplex pair (links are always added
+  /// in forward/reverse pairs, so the partner of 2k is 2k+1).
+  static LinkId partner_of(LinkId id) { return id % 2 == 0 ? id + 1 : id - 1; }
   struct Flow {
     TransferPtr handle;
     std::vector<LinkId> path;

@@ -9,19 +9,88 @@ namespace chase::redis {
 namespace {
 constexpr chase::util::Bytes kRequestBytes = 128;
 constexpr double kServiceTime = 50e-6;
+
+/// Lives in a parked BLPOP coroutine's frame; flips the waiter's shared
+/// liveness flag when that frame is destroyed, unregistering it from the
+/// server's handoff path (see RedisServer::Waiter::live).
+struct LiveGuard {
+  std::shared_ptr<bool> flag;
+  LiveGuard(const LiveGuard&) = delete;
+  LiveGuard& operator=(const LiveGuard&) = delete;
+  explicit LiveGuard(std::shared_ptr<bool> f) : flag(std::move(f)) {}
+  ~LiveGuard() {
+    if (flag) *flag = false;
+  }
+};
 }  // namespace
 
 // --- server ----------------------------------------------------------------------
 
 bool RedisServer::handoff(const std::string& key, const std::string& value) {
   auto it = blocked_.find(key);
-  if (it == blocked_.end() || it->second.empty()) return false;
-  Waiter w = it->second.front();
-  it->second.pop_front();
-  *w.slot = value;
-  *w.ok = true;
-  w.ready->trigger(sim_);
+  if (it == blocked_.end()) return false;
+  while (!it->second.empty()) {
+    Waiter w = it->second.front();
+    it->second.pop_front();
+    // A waiter whose coroutine frame was destroyed (pod evicted, node lost)
+    // must never be written through; skip to the next parked consumer.
+    if (w.live != nullptr && !*w.live) continue;
+    CHASE_INVARIANT(w.live == nullptr || *w.live,
+                    "BLPOP handoff to a dead waiter on key '" + key + "'");
+    if (w.lease_ttl > 0.0) {
+      const std::uint64_t id = grant_lease(key, value, w.lease_ttl);
+      if (w.lease_slot != nullptr) *w.lease_slot = id;
+    }
+    *w.slot = value;
+    *w.ok = true;
+    w.ready->trigger(sim_);
+    return true;
+  }
+  return false;
+}
+
+std::uint64_t RedisServer::grant_lease(const std::string& key, const std::string& value,
+                                       double ttl) {
+  const std::uint64_t id = next_lease_id_++;
+  leases_.emplace(id, Lease{key, value, sim_.now() + ttl});
+  sim_.schedule(ttl, [this, id] { expire_lease(id); });
+  return id;
+}
+
+void RedisServer::expire_lease(std::uint64_t id) {
+  auto it = leases_.find(id);
+  if (it == leases_.end()) return;  // acked (or released) in time
+  ++redeliveries_;
+  const std::string key = it->second.key;
+  std::string value = std::move(it->second.value);
+  leases_.erase(it);
+  // Back to the front: redelivered work should not queue behind fresh work.
+  lpush(key, std::move(value));
+}
+
+bool RedisServer::ack(std::uint64_t lease_id) { return leases_.erase(lease_id) > 0; }
+
+bool RedisServer::release_lease(std::uint64_t lease_id) {
+  auto it = leases_.find(lease_id);
+  if (it == leases_.end()) return false;
+  // Count as a client re-queue, not a ttl redelivery.
+  ++requeues_;
+  const std::string key = it->second.key;
+  std::string value = std::move(it->second.value);
+  leases_.erase(it);
+  lpush(key, std::move(value));
   return true;
+}
+
+std::size_t RedisServer::pending_leases(const std::string& key) const {
+  std::size_t n = 0;
+  for (const auto& [id, lease] : leases_) n += lease.key == key;
+  return n;
+}
+
+void RedisServer::requeue(const std::string& key, std::string value) {
+  ++requeues_;
+  lpush(key, std::move(value));
 }
 
 void RedisServer::lpush(const std::string& key, std::string value) {
@@ -39,6 +108,15 @@ std::optional<std::string> RedisServer::lpop(const std::string& key) {
   if (it == lists_.end() || it->second.empty()) return std::nullopt;
   std::string v = std::move(it->second.front());
   it->second.pop_front();
+  return v;
+}
+
+std::optional<std::string> RedisServer::lpop_lease(const std::string& key, double ttl,
+                                                   std::uint64_t* lease_id) {
+  auto v = lpop(key);
+  if (!v) return std::nullopt;
+  const std::uint64_t id = grant_lease(key, *v, ttl);
+  if (lease_id != nullptr) *lease_id = id;
   return v;
 }
 
@@ -72,6 +150,12 @@ bool RedisServer::sismember(const std::string& key, const std::string& member) c
 std::size_t RedisServer::scard(const std::string& key) const {
   auto it = sets_.find(key);
   return it == sets_.end() ? 0 : it->second.size();
+}
+
+std::vector<std::string> RedisServer::smembers(const std::string& key) const {
+  auto it = sets_.find(key);
+  if (it == sets_.end()) return {};
+  return {it->second.begin(), it->second.end()};
 }
 
 void RedisServer::hset(const std::string& key, const std::string& field,
@@ -175,9 +259,12 @@ std::size_t RedisServer::total_keys() const {
 void RedisServer::check_invariants() const {
   // Queue length vs. in-flight accounting: every push hands off to a parked
   // BLPOP waiter before touching the list, so a key never simultaneously
-  // holds queued values and blocked consumers.
+  // holds queued values and live blocked consumers (dead waiters are merely
+  // awaiting garbage collection by the next push).
   for (const auto& [key, waiters] : blocked_) {
-    if (!waiters.empty()) {
+    bool any_live = false;
+    for (const Waiter& w : waiters) any_live = any_live || w.live == nullptr || *w.live;
+    if (any_live) {
       CHASE_INVARIANT(llen(key) == 0,
                       "key '" + key + "' has queued values while BLPOP waiters are parked");
     }
@@ -186,7 +273,14 @@ void RedisServer::check_invariants() const {
                       "malformed BLPOP waiter for key '" + key + "'");
       CHASE_INVARIANT(w.ready == nullptr || !w.ready->fired(),
                       "parked BLPOP waiter whose wakeup already fired");
+      CHASE_INVARIANT(w.lease_ttl >= 0.0, "BLPOP waiter with a negative lease ttl");
     }
+  }
+  // Pending leases expire exactly at their deadline and never outlive it.
+  for (const auto& [id, lease] : leases_) {
+    CHASE_INVARIANT(lease.deadline >= sim_.now() - 1e-9,
+                    "lease on key '" + lease.key + "' outlived its deadline");
+    CHASE_INVARIANT(id < next_lease_id_, "lease id from the future");
   }
   // Expiries fire exactly at their deadline, so no key outlives it.
   for (const auto& [key, expiry] : expiries_) {
@@ -249,8 +343,21 @@ sim::Task RedisClient::lpop(const std::string& key, std::optional<std::string>* 
 }
 
 sim::Task RedisClient::blpop(const std::string& key, std::string* out, bool* got) {
+  return blpop_impl(key, 0.0, out, nullptr, got);
+}
+
+sim::Task RedisClient::blpop_lease(const std::string& key, double lease_ttl,
+                                   std::string* out, std::uint64_t* lease_id,
+                                   bool* got) {
+  return blpop_impl(key, lease_ttl, out, lease_id, got);
+}
+
+sim::Task RedisClient::blpop_impl(std::string key, double lease_ttl,
+                                  std::string* out, std::uint64_t* lease_id,
+                                  bool* got) {
   *got = false;
   bool fine = false;
+  std::uint64_t lease = 0;
   // Request leg.
   const net::NodeId server = server_.node();
   if (server < 0) co_return;
@@ -260,23 +367,65 @@ sim::Task RedisClient::blpop(const std::string& key, std::string* out, bool* got
   co_await sim_.sleep(kServiceTime);
 
   // Immediate element, or block until one is pushed.
-  if (auto v = server_.lpop(key)) {
+  if (lease_ttl > 0.0) {
+    if (auto v = server_.lpop_lease(key, lease_ttl, &lease)) {
+      *out = std::move(*v);
+      fine = true;
+    }
+  } else if (auto v = server_.lpop(key)) {
     *out = std::move(*v);
     fine = true;
-  } else {
+  }
+  if (!fine) {
+    // Park a waiter. The guard flips the shared liveness flag when this
+    // frame is destroyed (pod evicted, simulation torn down) so the server
+    // never writes through the then-dangling out/delivered pointers.
+    auto live = std::make_shared<bool>(true);
+    LiveGuard guard(live);
     auto ready = sim::make_event();
     bool delivered = false;
-    server_.blocked_[key].push_back(RedisServer::Waiter{ready, out, &delivered});
+    server_.blocked_[key].push_back(
+        RedisServer::Waiter{ready, out, &delivered, live, lease_ttl, &lease});
     co_await ready->wait(sim_);
     fine = delivered;
+    if (!fine) co_return;
   }
-  if (!fine) co_return;
 
-  // Response leg.
-  auto response = net_.transfer(server_.node(), client_, kRequestBytes);
+  // Response leg: the popped element must actually reach the consumer. If
+  // the server is gone or the transfer fails, put the element back instead
+  // of dropping it (under a lease, expire the lease now — the value lives
+  // in the pending table, not in *out's final state).
+  const net::NodeId at_response = server_.node();
+  if (at_response < 0) {
+    if (lease_ttl > 0.0) {
+      server_.release_lease(lease);
+    } else {
+      server_.requeue(key, *out);
+    }
+    co_return;
+  }
+  auto response = net_.transfer(at_response, client_, kRequestBytes);
   co_await response->done->wait(sim_);
-  if (response->failed) co_return;
+  if (response->failed) {
+    if (lease_ttl > 0.0) {
+      server_.release_lease(lease);
+    } else {
+      server_.requeue(key, *out);
+    }
+    co_return;
+  }
+  if (lease_id != nullptr) *lease_id = lease;
   *got = true;
+}
+
+sim::Task RedisClient::ack(std::uint64_t lease_id, bool* acked, bool* ok) {
+  bool fine = false;
+  co_await round_trip(&fine);
+  if (fine) {
+    const bool was_pending = server_.ack(lease_id);
+    if (acked != nullptr) *acked = was_pending;
+  }
+  if (ok != nullptr) *ok = fine;
 }
 
 sim::Task RedisClient::llen(const std::string& key, std::size_t* out, bool* ok) {
@@ -293,6 +442,24 @@ sim::Task RedisClient::sadd(const std::string& key, const std::string& member,
   if (fine) {
     const bool was_added = server_.sadd(key, member);
     if (added != nullptr) *added = was_added;
+  }
+  if (ok != nullptr) *ok = fine;
+}
+
+sim::Task RedisClient::scard(const std::string& key, std::size_t* out, bool* ok) {
+  bool fine = false;
+  co_await round_trip(&fine);
+  if (fine) *out = server_.scard(key);
+  if (ok != nullptr) *ok = fine;
+}
+
+sim::Task RedisClient::srem(const std::string& key, const std::string& member,
+                            bool* removed, bool* ok) {
+  bool fine = false;
+  co_await round_trip(&fine);
+  if (fine) {
+    const bool was_removed = server_.srem(key, member);
+    if (removed != nullptr) *removed = was_removed;
   }
   if (ok != nullptr) *ok = fine;
 }

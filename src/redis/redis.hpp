@@ -10,9 +10,11 @@
 /// every command in request/response network round-trips against the node
 /// hosting the server, including FIFO blocking pops (BLPOP) with handoff.
 
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <map>
+#include <memory>
 #include <optional>
 #include <set>
 #include <string>
@@ -46,11 +48,36 @@ class RedisServer {
   std::optional<std::string> rpop(const std::string& key);
   std::size_t llen(const std::string& key) const;
 
+  // leases (at-least-once work-queue delivery)
+  /// Pop with a redelivery lease: the element is handed out but kept in a
+  /// pending table for `ttl` simulated seconds. If the consumer does not
+  /// ack() within the ttl (its pod died mid-work), the element is pushed
+  /// back to the FRONT of the list and counts as a redelivery. *lease_id
+  /// receives the lease handle on success.
+  std::optional<std::string> lpop_lease(const std::string& key, double ttl,
+                                        std::uint64_t* lease_id);
+  /// Acknowledge a leased element (work durably finished); idempotent.
+  /// Returns false if the lease already expired or was acked.
+  bool ack(std::uint64_t lease_id);
+  /// Expire a lease immediately: the element returns to the front of its
+  /// list now instead of at the ttl (used when the consumer knows the
+  /// response leg failed). Returns false if already acked/expired.
+  bool release_lease(std::uint64_t lease_id);
+  std::size_t pending_leases(const std::string& key) const;
+  /// Lease expiries that re-queued an element (consumer died mid-lease).
+  std::uint64_t redeliveries() const { return redeliveries_; }
+  /// Elements pushed back by clients after a failed response leg.
+  std::uint64_t requeues() const { return requeues_; }
+  /// Client-side response-leg failure path: put the element back at the
+  /// front of the list (it was popped but never reached the consumer).
+  void requeue(const std::string& key, std::string value);
+
   // sets
   bool sadd(const std::string& key, const std::string& member);
   bool srem(const std::string& key, const std::string& member);
   bool sismember(const std::string& key, const std::string& member) const;
   std::size_t scard(const std::string& key) const;
+  std::vector<std::string> smembers(const std::string& key) const;
 
   // hashes
   void hset(const std::string& key, const std::string& field, std::string value);
@@ -98,9 +125,24 @@ class RedisServer {
     sim::EventPtr ready;
     std::string* slot;
     bool* ok;
+    /// Liveness flag shared with the blocked coroutine's frame: flipped to
+    /// false when that frame is destroyed (pod evicted / node lost), so a
+    /// later push never writes through the dangling slot/ok pointers.
+    std::shared_ptr<bool> live;
+    /// > 0: delivery grants a redelivery lease of this many seconds.
+    double lease_ttl = 0.0;
+    std::uint64_t* lease_slot = nullptr;
+  };
+  struct Lease {
+    std::string key;
+    std::string value;
+    double deadline;
   };
   /// Deliver to a blocked BLPOP waiter if any; returns true if handed off.
+  /// Waiters whose coroutine frame has been destroyed are discarded.
   bool handoff(const std::string& key, const std::string& value);
+  std::uint64_t grant_lease(const std::string& key, const std::string& value, double ttl);
+  void expire_lease(std::uint64_t id);
 
   sim::Simulation& sim_;
   net::NodeId node_ = -1;
@@ -116,6 +158,10 @@ class RedisServer {
   std::map<std::string, Expiry> expiries_;
   std::uint64_t expiry_generation_ = 0;
   std::map<std::string, std::vector<SubscriptionPtr>> channels_;
+  std::map<std::uint64_t, Lease> leases_;
+  std::uint64_t next_lease_id_ = 1;
+  std::uint64_t redeliveries_ = 0;
+  std::uint64_t requeues_ = 0;
   std::uint64_t audit_hook_ = 0;
 };
 
@@ -134,11 +180,23 @@ class RedisClient {
   sim::Task lpop(const std::string& key, std::optional<std::string>* out,
                  bool* ok = nullptr);
   /// Blocking left pop: waits until an element is available (FIFO among
-  /// waiters). Sets *got=false only on network failure.
+  /// waiters). Sets *got=false only on network failure; a popped element
+  /// that cannot reach the client is pushed back, never dropped.
   sim::Task blpop(const std::string& key, std::string* out, bool* got);
+  /// Blocking left pop with an at-least-once redelivery lease: on success
+  /// *lease_id names a pending lease the consumer must ack() once its work
+  /// is durable, or the element is re-queued after `lease_ttl` seconds.
+  sim::Task blpop_lease(const std::string& key, double lease_ttl, std::string* out,
+                        std::uint64_t* lease_id, bool* got);
+  /// Acknowledge a lease (see blpop_lease). *acked reports whether the
+  /// lease was still pending server-side; *ok the round-trip outcome.
+  sim::Task ack(std::uint64_t lease_id, bool* acked = nullptr, bool* ok = nullptr);
   sim::Task llen(const std::string& key, std::size_t* out, bool* ok = nullptr);
   sim::Task sadd(const std::string& key, const std::string& member, bool* added = nullptr,
                  bool* ok = nullptr);
+  sim::Task scard(const std::string& key, std::size_t* out, bool* ok = nullptr);
+  sim::Task srem(const std::string& key, const std::string& member,
+                 bool* removed = nullptr, bool* ok = nullptr);
   sim::Task incrby(const std::string& key, std::int64_t delta, std::int64_t* out = nullptr,
                    bool* ok = nullptr);
   sim::Task get(const std::string& key, std::optional<std::string>* out,
@@ -153,6 +211,12 @@ class RedisClient {
  private:
   /// One request/response round-trip; returns success via *ok.
   sim::Task round_trip(bool* ok);
+  /// Shared body of blpop / blpop_lease (lease_ttl <= 0 = plain pop). Takes
+  /// `key` by value: the frame is lazy and may outlive the caller's full
+  /// expression, so a reference parameter would dangle (coroutines copy the
+  /// reference into the frame, not the referent).
+  sim::Task blpop_impl(std::string key, double lease_ttl, std::string* out,
+                       std::uint64_t* lease_id, bool* got);
 
   sim::Simulation& sim_;
   net::Network& net_;

@@ -66,6 +66,7 @@ sim::Task Aria2Client::download(const std::string& dataset, std::vector<std::siz
   stats->files = 0;
   stats->bytes = 0;
   stats->ok = true;
+  stats->failed.clear();
   if (files.empty()) co_return;
   auto shared_files = std::make_shared<std::vector<std::size_t>>(std::move(files));
   auto next = std::make_shared<std::size_t>(0);
@@ -95,6 +96,7 @@ sim::Task Aria2Client::connection_loop(Aria2Client* self, std::string dataset,
       stats->bytes += bytes;
     } else {
       stats->ok = false;
+      stats->failed.push_back(index);
     }
   }
   latch->count_down(self->sim_);

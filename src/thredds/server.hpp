@@ -77,6 +77,9 @@ struct DownloadStats {
   std::uint64_t files = 0;
   Bytes bytes = 0;
   bool ok = true;
+  /// Indices whose fetch failed (server/link down mid-transfer); callers
+  /// retry exactly these instead of the whole list.
+  std::vector<std::size_t> failed;
 };
 
 /// Multi-connection downloader: `connections` concurrent streams share the

@@ -26,6 +26,9 @@ void Histogram::add(double v) {
 double Histogram::quantile(double q) const {
   if (count_ == 0) return 0.0;
   q = std::clamp(q, 0.0, 1.0);
+  // The extremes are tracked exactly; only interior quantiles interpolate.
+  if (q <= 0.0) return min_;
+  if (q >= 1.0) return max_;
   const double target = q * static_cast<double>(count_);
   double cum = 0.0;
   const double bw = (hi_ - lo_) / static_cast<double>(counts_.size());
@@ -33,7 +36,10 @@ double Histogram::quantile(double q) const {
     const double next = cum + static_cast<double>(counts_[i]);
     if (next >= target && counts_[i] > 0) {
       const double frac = (target - cum) / static_cast<double>(counts_[i]);
-      return lo_ + (static_cast<double>(i) + frac) * bw;
+      // Bucket-edge interpolation can step outside the observed range (the
+      // edge buckets also absorb out-of-range samples); the true extremes
+      // bound every quantile.
+      return std::clamp(lo_ + (static_cast<double>(i) + frac) * bw, min_, max_);
     }
     cum = next;
   }

@@ -1,0 +1,127 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "chaos/chaos.hpp"
+#include "core/connect_workflow.hpp"
+#include "core/nautilus.hpp"
+#include "sim/event.hpp"
+
+namespace cc = chase::cluster;
+namespace ch = chase::chaos;
+namespace cn = chase::net;
+namespace co = chase::core;
+namespace cs = chase::sim;
+
+TEST(ChaosInjector, PartitionAndHealLink) {
+  co::Nautilus bed;
+  const cn::LinkId uplink = bed.net.find_link(bed.thredds->node(), bed.site_switch(0));
+  ASSERT_GE(uplink, 0);
+
+  ch::ChaosPlan plan;
+  plan.partition_link(/*at=*/10.0, uplink, /*down_for=*/20.0);
+  ch::ChaosInjector injector(bed.sim, bed.net, bed.inventory, plan);
+  injector.arm();
+
+  bed.sim.run(15.0);
+  EXPECT_FALSE(bed.net.link_up(uplink));
+  bed.sim.run(40.0);
+  EXPECT_TRUE(bed.net.link_up(uplink));
+  EXPECT_EQ(injector.report().link_partitions, 1);
+  EXPECT_EQ(injector.report().link_heals, 1);
+}
+
+TEST(ChaosInjector, DegradeScalesBandwidthAndRestores) {
+  co::Nautilus bed;
+  const cn::LinkId uplink = bed.net.find_link(bed.thredds->node(), bed.site_switch(0));
+  ch::ChaosPlan plan;
+  plan.degrade_link(5.0, uplink, /*factor=*/0.25, /*degraded_for=*/10.0);
+  ch::ChaosInjector injector(bed.sim, bed.net, bed.inventory, plan);
+  injector.arm();
+
+  bed.sim.run(7.0);
+  EXPECT_DOUBLE_EQ(bed.net.link_bandwidth_factor(uplink), 0.25);
+  bed.sim.run(20.0);
+  EXPECT_DOUBLE_EQ(bed.net.link_bandwidth_factor(uplink), 1.0);
+  EXPECT_EQ(injector.report().link_degradations, 1);
+  EXPECT_EQ(injector.report().link_restores, 1);
+}
+
+TEST(ChaosInjector, NodeCrashFractionIsDeterministicPerSeed) {
+  // Same plan + seed => same victims, different seed => (almost surely)
+  // different ones. Victims must be distinct and come from the pool.
+  auto victims_for = [](std::uint64_t seed) {
+    co::Nautilus bed;
+    ch::ChaosPlan plan(seed);
+    plan.crash_fraction(1.0, bed.gpu_machines(), 0.25);
+    ch::ChaosInjector injector(bed.sim, bed.net, bed.inventory, plan);
+    injector.arm();
+    bed.sim.run(2.0);
+    std::vector<cc::MachineId> down;
+    for (cc::MachineId m : bed.gpu_machines()) {
+      if (!bed.inventory.up(m)) down.push_back(m);
+    }
+    return down;
+  };
+  const auto a = victims_for(7);
+  const auto b = victims_for(7);
+  const auto c = victims_for(8);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_EQ(a.size(), 4u);  // ceil(0.25 * 16 machines)
+}
+
+TEST(ChaosInjector, NodeCrashRecoversAfterDuration) {
+  co::Nautilus bed;
+  const cc::MachineId victim = bed.gpu_machines().front();
+  ch::ChaosPlan plan;
+  plan.crash_node(5.0, victim, /*down_for=*/10.0);
+  ch::ChaosInjector injector(bed.sim, bed.net, bed.inventory, plan, bed.kube.get(),
+                             bed.ceph.get(), &bed.metrics);
+  injector.arm();
+  bed.sim.run(7.0);
+  EXPECT_FALSE(bed.inventory.up(victim));
+  bed.sim.run(20.0);
+  EXPECT_TRUE(bed.inventory.up(victim));
+  EXPECT_EQ(injector.report().node_crashes, 1);
+  EXPECT_EQ(injector.report().node_recoveries, 1);
+}
+
+TEST(ChaosInjector, OsdFailureRemapsAndRecovers) {
+  co::Nautilus bed;
+  ch::ChaosPlan plan;
+  plan.fail_osd(2.0, /*osd=*/0, /*down_for=*/30.0);
+  ch::ChaosInjector injector(bed.sim, bed.net, bed.inventory, plan, bed.kube.get(),
+                             bed.ceph.get(), &bed.metrics);
+  injector.arm();
+  bed.sim.run(100.0);  // fail, remap, recover, re-remap
+  EXPECT_EQ(injector.report().osd_failures, 1);
+  EXPECT_EQ(injector.report().osd_recoveries, 1);
+  bed.ceph->check_invariants();  // replica placement clean after the churn
+}
+
+TEST(ChaosInjector, ConnectStep1SurvivesWorkerNodeCrashes) {
+  // End-to-end: the download step completes with every file accounted for
+  // even when machines crash mid-download (pods rescheduled, queue leases
+  // redelivered, slabs refetched).
+  co::Nautilus bed;
+  co::ConnectWorkflowParams params;
+  params.data_fraction = 0.01;
+  params.steps = {1};
+  params.queue_lease_ttl = 60.0;
+  co::ConnectWorkflow cwf(bed, params);
+
+  ch::ChaosPlan plan(/*seed=*/11);
+  plan.crash_fraction(/*at=*/20.0, bed.gpu_machines(), 0.25, /*down_for=*/120.0);
+  ch::ChaosInjector injector(bed.sim, bed.net, bed.inventory, plan, bed.kube.get(),
+                             bed.ceph.get(), &bed.metrics);
+  injector.arm();
+
+  auto done = cwf.workflow().start(bed.sim);
+  ASSERT_TRUE(cs::run_until(bed.sim, done));
+  EXPECT_TRUE(cwf.workflow().finished());
+  EXPECT_EQ(cwf.files_fetched(), cwf.scaled_file_count());
+  EXPECT_GT(injector.report().node_crashes, 0);
+}

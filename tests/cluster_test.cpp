@@ -80,3 +80,112 @@ TEST(Inventory, StorageFionaCapacity) {
   EXPECT_EQ(s.disk_capacity, cu::tb(100));
   EXPECT_GT(s.disk_write_bw, 1e9);
 }
+
+// --- node lifecycle under a running Job (drain / NoExecute taint) --------------
+
+#include <memory>
+
+#include "kube/cluster.hpp"
+
+namespace ck = chase::kube;
+
+namespace {
+
+/// A small kube testbed: N FIONA nodes on one switch.
+struct LifecycleBed {
+  cs::Simulation sim;
+  cn::Network net{sim};
+  cc::Inventory inventory{net};
+  chase::mon::Registry metrics;
+  std::unique_ptr<ck::KubeCluster> kube;
+  std::vector<cc::MachineId> machines;
+
+  explicit LifecycleBed(int nodes = 3) {
+    auto sw = net.add_node("switch");
+    kube = std::make_unique<ck::KubeCluster>(sim, net, inventory, &metrics);
+    for (int i = 0; i < nodes; ++i) {
+      auto name = "fiona-" + std::to_string(i);
+      auto nn = net.add_node(name);
+      net.add_link(nn, sw, cu::gbit_per_s(20), 1e-4);
+      machines.push_back(inventory.add(cc::fiona(name, "UCSD"), nn));
+      kube->register_node(machines.back());
+    }
+  }
+
+  ck::JobPtr long_job(int completions, double seconds) {
+    ck::JobSpec job;
+    job.ns = "default";
+    job.name = "work";
+    job.completions = completions;
+    job.parallelism = completions;
+    job.backoff_limit = 0;  // any *counted* failure kills the job
+    ck::ContainerSpec c;
+    c.requests = {1, cu::gb(1), 0};
+    c.program = [seconds](ck::PodContext& ctx) -> cs::Task {
+      co_await ctx.compute(seconds, 1.0);
+    };
+    job.pod_template.containers.push_back(std::move(c));
+    return kube->create_job(job).value;
+  }
+};
+
+}  // namespace
+
+TEST(NodeLifecycle, DrainMidJobReschedulesWithoutBackoffCost) {
+  LifecycleBed bed;
+  auto job = bed.long_job(/*completions=*/2, /*seconds=*/100.0);
+  // Let the pods bind, then drain whichever node hosts the first pod.
+  bed.sim.run(10.0);
+  auto pods = bed.kube->list_pods("default");
+  ASSERT_FALSE(pods.empty());
+  const auto victim = static_cast<cc::MachineId>(pods.front()->node);
+  ASSERT_GE(victim, 0);
+  bed.kube->drain(victim);
+  bed.sim.run();
+
+  EXPECT_TRUE(job->complete) << "drain killed the job";
+  EXPECT_FALSE(job->failed_state);
+  EXPECT_EQ(job->failed, 0) << "drain evictions must not count against backoff";
+  EXPECT_EQ(job->succeeded, 2);
+  // Replacement pods all landed off the cordoned node.
+  for (const auto& pod : bed.kube->list_pods("default")) {
+    if (pod->phase == ck::PodPhase::Succeeded) {
+      EXPECT_NE(pod->node, victim) << pod->meta.name << " ran on the drained node";
+    }
+  }
+}
+
+TEST(NodeLifecycle, NoExecuteTaintEvictsAndReschedulesWithoutBackoffCost) {
+  LifecycleBed bed;
+  auto job = bed.long_job(/*completions=*/2, /*seconds=*/100.0);
+  bed.sim.run(10.0);
+  auto pods = bed.kube->list_pods("default");
+  ASSERT_FALSE(pods.empty());
+  const auto victim = static_cast<cc::MachineId>(pods.front()->node);
+  ASSERT_GE(victim, 0);
+  bed.kube->add_taint(victim, {"maintenance", "true", ck::TaintEffect::NoExecute});
+  bed.sim.run();
+
+  EXPECT_TRUE(job->complete) << "NoExecute taint killed the job";
+  EXPECT_FALSE(job->failed_state);
+  EXPECT_EQ(job->failed, 0) << "taint evictions must not count against backoff";
+  EXPECT_EQ(job->succeeded, 2);
+  for (const auto& pod : bed.kube->list_pods("default")) {
+    if (pod->phase == ck::PodPhase::Succeeded) {
+      EXPECT_NE(pod->node, victim) << pod->meta.name << " ran on the tainted node";
+    }
+  }
+}
+
+TEST(NodeLifecycle, DisruptPodReplacedWithoutBackoffCost) {
+  LifecycleBed bed;
+  auto job = bed.long_job(/*completions=*/1, /*seconds=*/50.0);
+  bed.sim.run(5.0);
+  auto pods = bed.kube->list_pods("default");
+  ASSERT_EQ(pods.size(), 1u);
+  bed.kube->disrupt_pod("default", pods.front()->meta.name);
+  bed.sim.run();
+  EXPECT_TRUE(job->complete);
+  EXPECT_EQ(job->failed, 0) << "disruptions must not count against backoff";
+  EXPECT_EQ(job->succeeded, 1);
+}

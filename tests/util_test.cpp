@@ -210,3 +210,25 @@ TEST(Chart, EmptyChartDoesNotCrash) {
   std::string out = chart.render("empty", "x");
   EXPECT_NE(out.find("no data"), std::string::npos);
 }
+
+TEST(Histogram, QuantileStaysWithinObservedRange) {
+  // Regression: interpolation inside the edge buckets (which absorb clamped
+  // out-of-range samples) used to extrapolate past the observed min/max.
+  cu::Histogram h(0, 10, 5);
+  h.add(-50);   // clamped into the first bucket
+  h.add(3.0);
+  h.add(100);   // clamped into the last bucket
+  for (double q : {0.0, 0.01, 0.25, 0.5, 0.75, 0.99, 1.0}) {
+    EXPECT_GE(h.quantile(q), h.min()) << "q=" << q;
+    EXPECT_LE(h.quantile(q), h.max()) << "q=" << q;
+  }
+}
+
+TEST(Histogram, QuantileExactAtExtremes) {
+  cu::Histogram h(0, 100, 10);
+  for (double v : {12.0, 55.0, 87.0}) h.add(v);
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 12.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 87.0);
+  EXPECT_DOUBLE_EQ(h.quantile(-0.5), 12.0);  // q clamped
+  EXPECT_DOUBLE_EQ(h.quantile(1.5), 87.0);
+}
