@@ -36,8 +36,8 @@ int main() {
   job.parallelism = 12;
   kube::ContainerSpec c;
   c.requests = {4, util::gb(24), 4};
-  c.program = [&bed](kube::PodContext& ctx) -> sim::Task {
-    co_await bed.fs->read_file(ctx.net_node(), "/data/chunk-0");
+  c.program = [bed = &bed](kube::PodContext& ctx) -> sim::Task {
+    co_await bed->fs->read_file(ctx.net_node(), "/data/chunk-0");
     co_await ctx.gpu_compute(4 * 3600.0 * 4);  // 4 hours on 4 GPUs
   };
   job.pod_template.containers.push_back(std::move(c));

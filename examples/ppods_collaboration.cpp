@@ -26,11 +26,11 @@ wf::StepSpec download_step(core::Nautilus* bed, int trial_id, int workers,
   const std::string job_name = "download-t" + std::to_string(trial_id);
   return wf::StepSpec{
       "download", "download",
-      [bed, job_name, workers, connections](wf::StepContext& ctx) -> sim::Task {
+      [bed, job_name, workers, connections](wf::StepContext* ctx) -> sim::Task {
         kube::JobSpec job;
-        job.ns = ctx.ns();
+        job.ns = ctx->ns();
         job.name = job_name;
-        job.labels = ctx.step_labels();
+        job.labels = ctx->step_labels();
         job.completions = workers;
         job.parallelism = workers;
         kube::ContainerSpec c;
@@ -48,9 +48,9 @@ wf::StepSpec download_step(core::Nautilus* bed, int trial_id, int workers,
           co_await aria.download("M2I3NPASM", std::move(files), "IVT", &stats);
         };
         job.pod_template.containers.push_back(std::move(c));
-        auto handle = ctx.kube().create_job(job).value;
-        co_await handle->done->wait(ctx.sim());
-        ctx.add_data(400.0 * 2.19e6);
+        auto handle = ctx->kube().create_job(job).value;
+        co_await handle->done->wait(ctx->sim());
+        ctx->add_data(400.0 * 2.19e6);
       }};
 }
 

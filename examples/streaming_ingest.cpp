@@ -53,28 +53,31 @@ int main() {
   c.name = "ingest";
   c.image = "chase/stream-ingest";
   c.requests = {2, util::gb(8), 1};
-  c.program = [&state, slab](kube::PodContext& ctx) -> sim::Task {
+  // Capture a pointer, not a reference: the program coroutine's frame
+  // would otherwise hold a dangling reference if it outlived main's scope
+  // (chase_lint coro-lambda-capture).
+  c.program = [st = &state, slab](kube::PodContext& ctx) -> sim::Task {
     const double available_at = ctx.sim().now();
     // Fetch the newest file's IVT subset from THREDDS.
-    thredds::Aria2Client aria(ctx.sim(), *state.bed->thredds, ctx.net_node(), 4);
+    thredds::Aria2Client aria(ctx.sim(), *st->bed->thredds, ctx.net_node(), 4);
     thredds::DownloadStats stats;
-    std::vector<std::size_t> newest{state.next_file++};
+    std::vector<std::size_t> newest{st->next_file++};
     co_await aria.download("M2I3NPASM", std::move(newest), "IVT", &stats);
     if (!stats.ok) co_return;
     // Append to the rolling archive in Ceph.
-    co_await state.bed->fs->write_file(
-        ctx.net_node(), "/stream/ivt-" + std::to_string(state.ingested), stats.bytes);
-    state.ingested += 1;
+    co_await st->bed->fs->write_file(
+        ctx.net_node(), "/stream/ivt-" + std::to_string(st->ingested), stats.bytes);
+    st->ingested += 1;
     // Segment the new slab with the trained FFN (one 576x361 frame).
-    co_await state.bed->fs->read_file(ctx.net_node(), "/models/ffn-ckpt");
+    co_await st->bed->fs->read_file(ctx.net_node(), "/models/ffn-ckpt");
     ml::FfnCostModel cost;
     co_await ctx.gpu_compute(
         cost.inference_seconds(576.0 * 361.0, cluster::GpuModel::GTX1080Ti, 1));
-    co_await state.bed->fs->write_file(
-        ctx.net_node(), "/stream/segments-" + std::to_string(state.segmented),
+    co_await st->bed->fs->write_file(
+        ctx.net_node(), "/stream/segments-" + std::to_string(st->segmented),
         util::mb(1));
-    state.segmented += 1;
-    state.ingest_latency_sum += ctx.sim().now() - available_at;
+    st->segmented += 1;
+    st->ingest_latency_sum += ctx.sim().now() - available_at;
   };
   cron.job_template.pod_template.containers.push_back(std::move(c));
   auto handle = bed.kube->create_cron_job(cron);

@@ -198,9 +198,14 @@ sim::Task CephCluster::recover_pg(CephCluster* self, std::string pool_name, int 
     }
   }
   if (self->epoch_ != epoch) co_return;
-  group.state = static_cast<int>(group.acting.size()) >= pool.replication
-                    ? PgState::ActiveClean
-                    : PgState::Degraded;
+  // Re-acquire before the final write: `pool` and `group` were bound before
+  // the recovery transfers, and pools_/pgs may have moved while this frame
+  // was suspended.
+  auto& pool_now = self->pools_.at(pool_name);
+  auto& group_now = pool_now.pgs.at(static_cast<std::size_t>(pg_index));
+  group_now.state = static_cast<int>(group_now.acting.size()) >= pool_now.replication
+                        ? PgState::ActiveClean
+                        : PgState::Degraded;
 }
 
 // --- object I/O -----------------------------------------------------------------------
@@ -216,11 +221,16 @@ net::NodeId CephCluster::osd_net_node(int osd) const {
 }
 
 sim::Task CephCluster::disk_io(int osd, Bytes size, bool write) {
-  Osd& o = osds_.at(static_cast<std::size_t>(osd));
-  co_await o.disk->acquire();
+  // The semaphore lives on the heap, so this pointer stays valid even if
+  // osds_ reallocates while the frame is parked in the acquire queue; the
+  // Osd reference itself is re-acquired after every suspension.
+  sim::Semaphore* disk = osds_.at(static_cast<std::size_t>(osd)).disk.get();
+  co_await disk->acquire();
+  const Osd& o = osds_.at(static_cast<std::size_t>(osd));
   const double bw = write ? o.write_bw : o.read_bw;
   co_await sim_.sleep(static_cast<double>(size) / bw);
-  o.disk->release(sim_);
+  // chase-lint: allow(coro-stale-ref) Semaphore is heap-owned by its Osd (unique_ptr); the pointer survives osds_ growth across the sleeps
+  disk->release(sim_);
 }
 
 IoPtr CephCluster::put_async(net::NodeId client, const std::string& pool,
@@ -284,9 +294,18 @@ sim::Task CephCluster::do_put(CephCluster* self, net::NodeId client, std::string
   }
 
   // Commit: update capacity accounting (overwrite frees the old size).
-  auto existing = group.objects.find(object);
-  const Bytes old_size = existing == group.objects.end() ? 0 : existing->second;
-  group.objects[object] = size;
+  // Re-acquire the PG first: `group` was bound before the replication
+  // awaits, and the pool may have been dropped while this frame slept.
+  auto commit_pit = self->pools_.find(pool_name);
+  if (commit_pit == self->pools_.end()) {
+    finish(false);
+    co_return;
+  }
+  PlacementGroup& commit_group =
+      commit_pit->second.pgs.at(static_cast<std::size_t>(pg));
+  auto existing = commit_group.objects.find(object);
+  const Bytes old_size = existing == commit_group.objects.end() ? 0 : existing->second;
+  commit_group.objects[object] = size;
   for (int osd : acting) {
     auto& o = self->osds_.at(static_cast<std::size_t>(osd));
     if (!o.up) continue;  // replica died mid-put; its copy is gone
@@ -356,7 +375,7 @@ void CephCluster::remove(const std::string& pool_name, const std::string& object
   group.objects.erase(oit);
 }
 
-sim::Task CephCluster::compose(const std::string& pool_name, const std::string& dst,
+sim::Task CephCluster::compose(std::string pool_name, std::string dst,
                                std::vector<std::string> sources, bool* ok) {
   *ok = false;
   auto pit = pools_.find(pool_name);
@@ -401,10 +420,16 @@ sim::Task CephCluster::compose(const std::string& pool_name, const std::string& 
     if (xfer->failed) co_return;
     co_await disk_io(dst_acting[r], total, /*write=*/true);
   }
-  // Commit: account the destination, free the sources.
-  auto existing = dst_group.objects.find(dst);
-  const Bytes old_size = existing == dst_group.objects.end() ? 0 : existing->second;
-  dst_group.objects[dst] = total;
+  // Commit: account the destination, free the sources. Re-acquire the PG:
+  // `dst_group` was bound before the gather/replicate awaits, and the pool
+  // may have been dropped while this frame was suspended.
+  auto commit_pit = pools_.find(pool_name);
+  if (commit_pit == pools_.end()) co_return;
+  PlacementGroup& commit_group =
+      commit_pit->second.pgs.at(static_cast<std::size_t>(dst_pg));
+  auto existing = commit_group.objects.find(dst);
+  const Bytes old_size = existing == commit_group.objects.end() ? 0 : existing->second;
+  commit_group.objects[dst] = total;
   for (int osd : dst_acting) {
     auto& o = osds_.at(static_cast<std::size_t>(osd));
     if (!o.up) continue;  // replica died mid-compose; its copy is gone
@@ -418,14 +443,13 @@ sim::Task CephCluster::compose(const std::string& pool_name, const std::string& 
   *ok = true;
 }
 
-sim::Task CephCluster::put(net::NodeId client, const std::string& pool,
-                           const std::string& object, Bytes size) {
+sim::Task CephCluster::put(net::NodeId client, std::string pool, std::string object,
+                           Bytes size) {
   auto io = put_async(client, pool, object, size);
   co_await io->done->wait(sim_);
 }
 
-sim::Task CephCluster::get(net::NodeId client, const std::string& pool,
-                           const std::string& object) {
+sim::Task CephCluster::get(net::NodeId client, std::string pool, std::string object) {
   auto io = get_async(client, pool, object);
   co_await io->done->wait(sim_);
 }

@@ -15,7 +15,7 @@ IoPtr CephFs::write_file_async(net::NodeId client, const std::string& path, Byte
   return cluster_.put_async(client, pool_, object_name(path), size);
 }
 
-sim::Task CephFs::write_file(net::NodeId client, const std::string& path, Bytes size) {
+sim::Task CephFs::write_file(net::NodeId client, std::string path, Bytes size) {
   auto io = write_file_async(client, path, size);
   co_await io->done->wait(cluster_.sim());
 }
@@ -24,7 +24,7 @@ IoPtr CephFs::read_file_async(net::NodeId client, const std::string& path) {
   return cluster_.get_async(client, pool_, object_name(path));
 }
 
-sim::Task CephFs::read_file(net::NodeId client, const std::string& path) {
+sim::Task CephFs::read_file(net::NodeId client, std::string path) {
   auto io = read_file_async(client, path);
   co_await io->done->wait(cluster_.sim());
 }

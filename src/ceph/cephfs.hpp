@@ -19,10 +19,11 @@ class CephFs {
          int replication = 0);
 
   /// Write a whole file from `client`; awaits durability of all replicas.
-  sim::Task write_file(net::NodeId client, const std::string& path, Bytes size);
+  /// (Coroutine: `path` by value so it lives in the frame across awaits.)
+  sim::Task write_file(net::NodeId client, std::string path, Bytes size);
   IoPtr write_file_async(net::NodeId client, const std::string& path, Bytes size);
   /// Read a whole file to `client`.
-  sim::Task read_file(net::NodeId client, const std::string& path);
+  sim::Task read_file(net::NodeId client, std::string path);
   IoPtr read_file_async(net::NodeId client, const std::string& path);
 
   void remove_file(const std::string& path);

@@ -169,6 +169,7 @@ void ChaosInjector::count(FaultKind kind, int victims) {
     metrics_->record("chaos_fault", {{"kind", fault_kind_name(kind)}}, sim_.now(),
                      static_cast<double>(victims));
   }
+  if (fault_hook_) fault_hook_(kind, sim_.now(), victims);
 }
 
 void ChaosInjector::schedule_inverse(const FaultEvent& ev) {

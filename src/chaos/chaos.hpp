@@ -12,6 +12,7 @@
 /// same seed => identical event trace).
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -122,6 +123,13 @@ class ChaosInjector {
   const ChaosReport& report() const { return report_; }
   const ChaosPlan& plan() const { return plan_; }
 
+  /// Observe every executed fault: (kind, virtual time, victim count).
+  /// Used by tools/determinism_check --chaos to fingerprint the fault trace;
+  /// also handy for scenario debugging. One hook; set empty to clear.
+  void set_fault_hook(std::function<void(FaultKind, double, int)> hook) {
+    fault_hook_ = std::move(hook);
+  }
+
  private:
   void execute(const FaultEvent& ev);
   void schedule_inverse(const FaultEvent& ev);
@@ -136,6 +144,7 @@ class ChaosInjector {
   ChaosPlan plan_;
   util::Rng rng_;
   ChaosReport report_;
+  std::function<void(FaultKind, double, int)> fault_hook_;
   bool armed_ = false;
 };
 

@@ -144,16 +144,16 @@ void ConnectWorkflow::build() {
   // ------------------------------------------------------------------ step 1
   if (step_enabled(1)) workflow_->add_step(wf::StepSpec{
       "Step 1: THREDDS download", "1",
-      [state, bed](wf::StepContext& ctx) -> sim::Task {
-        auto& kube = ctx.kube();
+      [state, bed](wf::StepContext* ctx) -> sim::Task {
+        auto& kube = ctx->kube();
         const auto& p = state->params;
 
         // Redis service pod (ReplicaSet so it self-heals).
         kube::ReplicaSetSpec redis_rs;
-        redis_rs.ns = ctx.ns();
+        redis_rs.ns = ctx->ns();
         redis_rs.name = "redis";
         redis_rs.replicas = 1;
-        redis_rs.labels = ctx.step_labels();
+        redis_rs.labels = ctx->step_labels();
         redis_rs.labels["app"] = "redis";
         {
           kube::ContainerSpec c;
@@ -164,18 +164,18 @@ void ConnectWorkflow::build() {
           redis_rs.pod_template.containers.push_back(std::move(c));
         }
         kube.create_replica_set(redis_rs);
-        kube.create_service({ctx.ns(), "redis", {{"app", "redis"}}});
+        kube.create_service({ctx->ns(), "redis", {{"app", "redis"}}});
 
         // Wait for Redis to come up.
-        while (!kube.resolve_service(ctx.ns(), "redis").has_value()) {
-          co_await ctx.sim().sleep(1.0);
+        while (!kube.resolve_service(ctx->ns(), "redis").has_value()) {
+          co_await ctx->sim().sleep(1.0);
         }
 
         // Coordinator: fills the URL-list queue, later pushes sentinels.
         kube::JobSpec coord;
-        coord.ns = ctx.ns();
+        coord.ns = ctx->ns();
         coord.name = "coordinator";
-        coord.labels = ctx.step_labels();
+        coord.labels = ctx->step_labels();
         {
           kube::ContainerSpec c;
           c.name = "coordinator";
@@ -188,9 +188,9 @@ void ConnectWorkflow::build() {
 
         // Merge pods: combine small NetCDF files into HDF bundles in Ceph.
         kube::JobSpec merge;
-        merge.ns = ctx.ns();
+        merge.ns = ctx->ns();
         merge.name = "merge";
-        merge.labels = ctx.step_labels();
+        merge.labels = ctx->step_labels();
         merge.completions = p.merge_pods;
         merge.parallelism = p.merge_pods;
         {
@@ -205,9 +205,9 @@ void ConnectWorkflow::build() {
 
         // Download workers.
         kube::JobSpec download;
-        download.ns = ctx.ns();
+        download.ns = ctx->ns();
         download.name = "download";
-        download.labels = ctx.step_labels();
+        download.labels = ctx->step_labels();
         download.completions = p.download_workers;
         download.parallelism = p.download_workers;
         {
@@ -220,10 +220,10 @@ void ConnectWorkflow::build() {
         }
         auto download_job = kube.create_job(download).value;
 
-        co_await download_job->done->wait(ctx.sim());
-        state->download_complete->trigger(ctx.sim());
-        co_await merge_job->done->wait(ctx.sim());
-        co_await coord_job->done->wait(ctx.sim());
+        co_await download_job->done->wait(ctx->sim());
+        state->download_complete->trigger(ctx->sim());
+        co_await merge_job->done->wait(ctx->sim());
+        co_await coord_job->done->wait(ctx->sim());
 
         // Byte conservation: sum the durably-downloaded URL lists ("urls:done"
         // is marked exactly once per list, faults or not).
@@ -232,26 +232,26 @@ void ConnectWorkflow::build() {
           fetched += parse_pair(member).second;
         }
         state->files_fetched = fetched;
-        kube.delete_replica_set(ctx.ns(), "redis");
+        kube.delete_replica_set(ctx->ns(), "redis");
 
-        ctx.add_retries(state->download_retries);
-        ctx.add_data(state->total_bytes);
+        ctx->add_retries(state->download_retries);
+        ctx->add_data(state->total_bytes);
       }});
 
   // ------------------------------------------------------------------ step 2
   if (step_enabled(2)) workflow_->add_step(wf::StepSpec{
       "Step 2: model training", "2",
-      [state, bed](wf::StepContext& ctx) -> sim::Task {
-        auto& kube = ctx.kube();
+      [state, bed](wf::StepContext* ctx) -> sim::Task {
+        auto& kube = ctx->kube();
         const auto& p = state->params;
 
         // Optional distributed pre-processing (paper §III-E1): K workers
         // convert NetCDF to protobuf in parallel before training starts.
         if (p.prep_workers > 1) {
           kube::JobSpec prep;
-          prep.ns = ctx.ns();
+          prep.ns = ctx->ns();
           prep.name = "prep";
-          prep.labels = ctx.step_labels();
+          prep.labels = ctx->step_labels();
           prep.completions = p.prep_workers;
           prep.parallelism = p.prep_workers;
           kube::ContainerSpec c;
@@ -276,15 +276,15 @@ void ConnectWorkflow::build() {
           };
           prep.pod_template.containers.push_back(std::move(c));
           auto prep_job = kube.create_job(prep).value;
-          co_await prep_job->done->wait(ctx.sim());
+          co_await prep_job->done->wait(ctx->sim());
         }
 
         // Trainer pod(s).
         const int gpus_per_pod = 1;
         kube::JobSpec train;
-        train.ns = ctx.ns();
+        train.ns = ctx->ns();
         train.name = "train";
-        train.labels = ctx.step_labels();
+        train.labels = ctx->step_labels();
         train.completions = p.train_gpus;
         train.parallelism = p.train_gpus;
         kube::ContainerSpec c;
@@ -328,15 +328,15 @@ void ConnectWorkflow::build() {
         };
         train.pod_template.containers.push_back(std::move(c));
         auto train_job = kube.create_job(train).value;
-        co_await train_job->done->wait(ctx.sim());
-        ctx.add_data(state->params.paper.training_volume_bytes);
+        co_await train_job->done->wait(ctx->sim());
+        ctx->add_data(state->params.paper.training_volume_bytes);
       }});
 
   // ------------------------------------------------------------------ step 3
   if (step_enabled(3)) workflow_->add_step(wf::StepSpec{
       "Step 3: model inference", "3",
-      [state, bed](wf::StepContext& ctx) -> sim::Task {
-        auto& kube = ctx.kube();
+      [state, bed](wf::StepContext* ctx) -> sim::Task {
+        auto& kube = ctx->kube();
         const auto& p = state->params;
         state->shard_queue.clear();
         for (int s = 0; s < std::max(1, p.inference_gpus); ++s) {
@@ -346,9 +346,9 @@ void ConnectWorkflow::build() {
         state->shard_retries = 0;
 
         kube::JobSpec infer;
-        infer.ns = ctx.ns();
+        infer.ns = ctx->ns();
         infer.name = "inference";
-        infer.labels = ctx.step_labels();
+        infer.labels = ctx->step_labels();
         infer.completions = p.inference_gpus;
         infer.parallelism = p.inference_gpus;
         kube::ContainerSpec c;
@@ -411,20 +411,20 @@ void ConnectWorkflow::build() {
         };
         infer.pod_template.containers.push_back(std::move(c));
         auto infer_job = kube.create_job(infer).value;
-        co_await infer_job->done->wait(ctx.sim());
-        ctx.add_retries(state->shard_retries);
-        ctx.add_data(state->total_bytes);
+        co_await infer_job->done->wait(ctx->sim());
+        ctx->add_retries(state->shard_retries);
+        ctx->add_data(state->total_bytes);
       }});
 
   // ------------------------------------------------------------------ step 4
   if (step_enabled(4)) workflow_->add_step(wf::StepSpec{
       "Step 4: JupyterLab visualization", "4",
-      [state, bed](wf::StepContext& ctx) -> sim::Task {
-        auto& kube = ctx.kube();
+      [state, bed](wf::StepContext* ctx) -> sim::Task {
+        auto& kube = ctx->kube();
         kube::JobSpec viz;
-        viz.ns = ctx.ns();
+        viz.ns = ctx->ns();
         viz.name = "jupyterlab";
-        viz.labels = ctx.step_labels();
+        viz.labels = ctx->step_labels();
         kube::ContainerSpec c;
         c.name = "jupyterlab";
         c.image = "jupyter/datascience";
@@ -445,8 +445,8 @@ void ConnectWorkflow::build() {
         };
         viz.pod_template.containers.push_back(std::move(c));
         auto viz_job = kube.create_job(viz).value;
-        co_await viz_job->done->wait(ctx.sim());
-        ctx.add_data(state->params.paper.viz_bytes);
+        co_await viz_job->done->wait(ctx->sim());
+        ctx->add_data(state->params.paper.viz_bytes);
       }});
 }
 

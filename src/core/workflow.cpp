@@ -23,7 +23,7 @@ sim::Task Workflow::execute() {
   for (const auto& spec : steps_) {
     StepContext ctx(*this, spec.label);
     const double start = kube_.sim().now();
-    co_await spec.run(ctx);
+    co_await spec.run(&ctx);
     const double end = kube_.sim().now();
     reports_.push_back(measure_step(spec, ctx, start, end));
     metrics_.record("workflow_step_retries",

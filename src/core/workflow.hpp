@@ -74,7 +74,10 @@ struct StepSpec {
   std::string name;   // "Step 1: THREDDS download"
   std::string label;  // short label used on pods, e.g. "1"
   /// The step body: declare Jobs/ReplicaSets, await their completion.
-  std::function<sim::Task(StepContext&)> run;
+  /// Takes the context by pointer (the `Foo* self` coroutine idiom): a
+  /// reference parameter would be copied into the lazy frame as a reference
+  /// and is exactly the bug class chase_lint's coro-ref-param check flags.
+  std::function<sim::Task(StepContext*)> run;
 };
 
 /// Sequential workflow driver with per-step measurement.

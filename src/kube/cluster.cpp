@@ -875,14 +875,16 @@ sim::Task KubeCluster::run_pod(KubeCluster* self, PodPtr pod) {
   // Image pull: first use of an image on a node fetches it from the
   // registry; later pods hit the node-local cache.
   if (self->options_.registry_node >= 0 && pod->node >= 0) {
-    NodeInfo& info = self->nodes_.at(pod->node);
     const net::NodeId here = self->inventory_.machine(pod->node).net_node;
     for (const auto& c : pod->spec.containers) {
-      const bool cached = std::find(info.image_cache.begin(), info.image_cache.end(),
-                                    c.image) != info.image_cache.end();
+      // Look nodes_ up fresh each iteration: the pull below suspends, and
+      // holding a NodeInfo reference across it would dangle if the node
+      // entry is ever erased meanwhile.
+      const auto& cache = self->nodes_.at(pod->node).image_cache;
+      const bool cached = std::find(cache.begin(), cache.end(), c.image) != cache.end();
       if (!cached) {
         co_await self->net_.send(self->options_.registry_node, here, c.image_size);
-        info.image_cache.push_back(c.image);
+        self->nodes_.at(pod->node).image_cache.push_back(c.image);
       }
     }
   }

@@ -320,21 +320,21 @@ sim::Task RedisClient::round_trip(bool* ok) {
   *ok = true;
 }
 
-sim::Task RedisClient::rpush(const std::string& key, std::string value, bool* ok) {
+sim::Task RedisClient::rpush(std::string key, std::string value, bool* ok) {
   bool fine = false;
   co_await round_trip(&fine);
   if (fine) server_.rpush(key, std::move(value));
   if (ok != nullptr) *ok = fine;
 }
 
-sim::Task RedisClient::lpush(const std::string& key, std::string value, bool* ok) {
+sim::Task RedisClient::lpush(std::string key, std::string value, bool* ok) {
   bool fine = false;
   co_await round_trip(&fine);
   if (fine) server_.lpush(key, std::move(value));
   if (ok != nullptr) *ok = fine;
 }
 
-sim::Task RedisClient::lpop(const std::string& key, std::optional<std::string>* out,
+sim::Task RedisClient::lpop(std::string key, std::optional<std::string>* out,
                             bool* ok) {
   bool fine = false;
   co_await round_trip(&fine);
@@ -342,14 +342,14 @@ sim::Task RedisClient::lpop(const std::string& key, std::optional<std::string>* 
   if (ok != nullptr) *ok = fine;
 }
 
-sim::Task RedisClient::blpop(const std::string& key, std::string* out, bool* got) {
-  return blpop_impl(key, 0.0, out, nullptr, got);
+sim::Task RedisClient::blpop(std::string key, std::string* out, bool* got) {
+  return blpop_impl(std::move(key), 0.0, out, nullptr, got);
 }
 
-sim::Task RedisClient::blpop_lease(const std::string& key, double lease_ttl,
+sim::Task RedisClient::blpop_lease(std::string key, double lease_ttl,
                                    std::string* out, std::uint64_t* lease_id,
                                    bool* got) {
-  return blpop_impl(key, lease_ttl, out, lease_id, got);
+  return blpop_impl(std::move(key), lease_ttl, out, lease_id, got);
 }
 
 sim::Task RedisClient::blpop_impl(std::string key, double lease_ttl,
@@ -428,14 +428,14 @@ sim::Task RedisClient::ack(std::uint64_t lease_id, bool* acked, bool* ok) {
   if (ok != nullptr) *ok = fine;
 }
 
-sim::Task RedisClient::llen(const std::string& key, std::size_t* out, bool* ok) {
+sim::Task RedisClient::llen(std::string key, std::size_t* out, bool* ok) {
   bool fine = false;
   co_await round_trip(&fine);
   if (fine) *out = server_.llen(key);
   if (ok != nullptr) *ok = fine;
 }
 
-sim::Task RedisClient::sadd(const std::string& key, const std::string& member,
+sim::Task RedisClient::sadd(std::string key, std::string member,
                             bool* added, bool* ok) {
   bool fine = false;
   co_await round_trip(&fine);
@@ -446,14 +446,14 @@ sim::Task RedisClient::sadd(const std::string& key, const std::string& member,
   if (ok != nullptr) *ok = fine;
 }
 
-sim::Task RedisClient::scard(const std::string& key, std::size_t* out, bool* ok) {
+sim::Task RedisClient::scard(std::string key, std::size_t* out, bool* ok) {
   bool fine = false;
   co_await round_trip(&fine);
   if (fine) *out = server_.scard(key);
   if (ok != nullptr) *ok = fine;
 }
 
-sim::Task RedisClient::srem(const std::string& key, const std::string& member,
+sim::Task RedisClient::srem(std::string key, std::string member,
                             bool* removed, bool* ok) {
   bool fine = false;
   co_await round_trip(&fine);
@@ -464,7 +464,7 @@ sim::Task RedisClient::srem(const std::string& key, const std::string& member,
   if (ok != nullptr) *ok = fine;
 }
 
-sim::Task RedisClient::incrby(const std::string& key, std::int64_t delta,
+sim::Task RedisClient::incrby(std::string key, std::int64_t delta,
                               std::int64_t* out, bool* ok) {
   bool fine = false;
   co_await round_trip(&fine);
@@ -475,7 +475,7 @@ sim::Task RedisClient::incrby(const std::string& key, std::int64_t delta,
   if (ok != nullptr) *ok = fine;
 }
 
-sim::Task RedisClient::get(const std::string& key, std::optional<std::string>* out,
+sim::Task RedisClient::get(std::string key, std::optional<std::string>* out,
                            bool* ok) {
   bool fine = false;
   co_await round_trip(&fine);
@@ -483,14 +483,14 @@ sim::Task RedisClient::get(const std::string& key, std::optional<std::string>* o
   if (ok != nullptr) *ok = fine;
 }
 
-sim::Task RedisClient::set(const std::string& key, std::string value, bool* ok) {
+sim::Task RedisClient::set(std::string key, std::string value, bool* ok) {
   bool fine = false;
   co_await round_trip(&fine);
   if (fine) server_.set(key, std::move(value));
   if (ok != nullptr) *ok = fine;
 }
 
-sim::Task RedisClient::publish(const std::string& channel, std::string message,
+sim::Task RedisClient::publish(std::string channel, std::string message,
                                std::size_t* receivers, bool* ok) {
   bool fine = false;
   co_await round_trip(&fine);

@@ -174,35 +174,37 @@ class RedisClient {
 
   /// All commands set *ok=false (if provided) when the server is
   /// unreachable; value out-params are only written on success.
+  /// Commands are coroutines: string parameters are taken by value so the
+  /// frame owns them across suspension points (see blpop_impl below).
 
-  sim::Task rpush(const std::string& key, std::string value, bool* ok = nullptr);
-  sim::Task lpush(const std::string& key, std::string value, bool* ok = nullptr);
-  sim::Task lpop(const std::string& key, std::optional<std::string>* out,
+  sim::Task rpush(std::string key, std::string value, bool* ok = nullptr);
+  sim::Task lpush(std::string key, std::string value, bool* ok = nullptr);
+  sim::Task lpop(std::string key, std::optional<std::string>* out,
                  bool* ok = nullptr);
   /// Blocking left pop: waits until an element is available (FIFO among
   /// waiters). Sets *got=false only on network failure; a popped element
   /// that cannot reach the client is pushed back, never dropped.
-  sim::Task blpop(const std::string& key, std::string* out, bool* got);
+  sim::Task blpop(std::string key, std::string* out, bool* got);
   /// Blocking left pop with an at-least-once redelivery lease: on success
   /// *lease_id names a pending lease the consumer must ack() once its work
   /// is durable, or the element is re-queued after `lease_ttl` seconds.
-  sim::Task blpop_lease(const std::string& key, double lease_ttl, std::string* out,
+  sim::Task blpop_lease(std::string key, double lease_ttl, std::string* out,
                         std::uint64_t* lease_id, bool* got);
   /// Acknowledge a lease (see blpop_lease). *acked reports whether the
   /// lease was still pending server-side; *ok the round-trip outcome.
   sim::Task ack(std::uint64_t lease_id, bool* acked = nullptr, bool* ok = nullptr);
-  sim::Task llen(const std::string& key, std::size_t* out, bool* ok = nullptr);
-  sim::Task sadd(const std::string& key, const std::string& member, bool* added = nullptr,
+  sim::Task llen(std::string key, std::size_t* out, bool* ok = nullptr);
+  sim::Task sadd(std::string key, std::string member, bool* added = nullptr,
                  bool* ok = nullptr);
-  sim::Task scard(const std::string& key, std::size_t* out, bool* ok = nullptr);
-  sim::Task srem(const std::string& key, const std::string& member,
+  sim::Task scard(std::string key, std::size_t* out, bool* ok = nullptr);
+  sim::Task srem(std::string key, std::string member,
                  bool* removed = nullptr, bool* ok = nullptr);
-  sim::Task incrby(const std::string& key, std::int64_t delta, std::int64_t* out = nullptr,
+  sim::Task incrby(std::string key, std::int64_t delta, std::int64_t* out = nullptr,
                    bool* ok = nullptr);
-  sim::Task get(const std::string& key, std::optional<std::string>* out,
+  sim::Task get(std::string key, std::optional<std::string>* out,
                 bool* ok = nullptr);
-  sim::Task set(const std::string& key, std::string value, bool* ok = nullptr);
-  sim::Task publish(const std::string& channel, std::string message,
+  sim::Task set(std::string key, std::string value, bool* ok = nullptr);
+  sim::Task publish(std::string channel, std::string message,
                     std::size_t* receivers = nullptr, bool* ok = nullptr);
   /// Await the next message on a subscription (round-trip paid once per
   /// delivered message).

@@ -21,8 +21,8 @@ const Dataset* ThreddsServer::dataset(const std::string& name) const {
   return nullptr;
 }
 
-sim::Task ThreddsServer::fetch(net::NodeId client, const std::string& dataset_name,
-                               std::size_t file_index, const std::string& variable,
+sim::Task ThreddsServer::fetch(net::NodeId client, std::string dataset_name,
+                               std::size_t file_index, std::string variable,
                                bool* ok, Bytes* bytes) {
   if (ok != nullptr) *ok = false;
   const Dataset* ds = dataset(dataset_name);
@@ -61,8 +61,8 @@ sim::Task ThreddsServer::fetch(net::NodeId client, const std::string& dataset_na
   if (ok != nullptr) *ok = true;
 }
 
-sim::Task Aria2Client::download(const std::string& dataset, std::vector<std::size_t> files,
-                                const std::string& variable, DownloadStats* stats) {
+sim::Task Aria2Client::download(std::string dataset, std::vector<std::size_t> files,
+                                std::string variable, DownloadStats* stats) {
   stats->files = 0;
   stats->bytes = 0;
   stats->ok = true;

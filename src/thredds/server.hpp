@@ -53,8 +53,10 @@ class ThreddsServer {
 
   /// Fetch one file (subset to `variable`, or the whole file if empty) to
   /// `client`. Sets *ok (if given); *bytes receives the payload size.
-  sim::Task fetch(net::NodeId client, const std::string& dataset, std::size_t file_index,
-                  const std::string& variable, bool* ok = nullptr, Bytes* bytes = nullptr);
+  /// (Coroutine: string parameters by value — the frame must own them
+  /// across awaits; see chase_lint coro-ref-param.)
+  sim::Task fetch(net::NodeId client, std::string dataset, std::size_t file_index,
+                  std::string variable, bool* ok = nullptr, Bytes* bytes = nullptr);
 
   // Service-side statistics.
   double bytes_served() const { return bytes_served_; }
@@ -91,8 +93,8 @@ class Aria2Client {
       : sim_(sim), server_(server), client_(client_node), connections_(connections) {}
 
   /// Download all `files` of `dataset` (variable subset); fills `stats`.
-  sim::Task download(const std::string& dataset, std::vector<std::size_t> files,
-                     const std::string& variable, DownloadStats* stats);
+  sim::Task download(std::string dataset, std::vector<std::size_t> files,
+                     std::string variable, DownloadStats* stats);
 
  private:
   static sim::Task connection_loop(Aria2Client* self, std::string dataset,

@@ -1,0 +1,195 @@
+/// \file chase_lint_test.cpp
+/// Golden-file tests for the coroutine-lifetime linter (tools/chase_lint).
+/// Each fixture under tests/lint_fixtures/ is a small corpus annotated with
+///   // LINT[check-name]      -- a finding of that check is expected HERE
+///   // LINT+1[check-name]    -- ... on the NEXT line
+/// The test lexes + analyzes every fixture and requires the (line, check)
+/// multiset to match the annotations exactly: bad_* corpora prove each
+/// check fires, good_* corpora prove the safe idioms stay silent, and
+/// suppressions.cpp pins the allow() semantics.
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <regex>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "lint.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+using chase::lint::Config;
+using chase::lint::Finding;
+
+std::string read_file(const fs::path& p) {
+  std::ifstream in(p, std::ios::binary);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+/// The tree's analysis policy, mirrored from /.chase-lint so fixtures are
+/// judged by the same rules as real sources.
+Config tree_config() {
+  Config cfg = chase::lint::default_config();
+  cfg.allow_ref_types = {"Simulation", "PodContext"};
+  return cfg;
+}
+
+using LineCheck = std::multiset<std::pair<int, std::string>>;
+
+LineCheck expectations(const std::string& source) {
+  LineCheck want;
+  static const std::regex kMarker(R"(LINT(\+1)?\[([a-z-]+)\])");
+  std::istringstream lines(source);
+  std::string line;
+  int n = 0;
+  while (std::getline(lines, line)) {
+    ++n;
+    for (std::sregex_iterator it(line.begin(), line.end(), kMarker), end;
+         it != end; ++it) {
+      want.emplace(n + ((*it)[1].matched ? 1 : 0), (*it)[2].str());
+    }
+  }
+  return want;
+}
+
+LineCheck actual(const std::vector<Finding>& findings) {
+  LineCheck got;
+  for (const Finding& f : findings) got.emplace(f.line, f.check);
+  return got;
+}
+
+std::string render(const LineCheck& set) {
+  std::string out;
+  for (const auto& [line, check] : set) {
+    out += "  line " + std::to_string(line) + ": " + check + "\n";
+  }
+  return out.empty() ? "  (none)\n" : out;
+}
+
+fs::path fixture_dir() { return fs::path(CHASE_LINT_FIXTURE_DIR); }
+
+void check_fixture(const std::string& name) {
+  const fs::path p = fixture_dir() / name;
+  ASSERT_TRUE(fs::exists(p)) << p;
+  const std::string src = read_file(p);
+  const auto findings = chase::lint::analyze_source(name, src, tree_config());
+  EXPECT_EQ(expectations(src), actual(findings))
+      << "fixture " << name << "\nexpected:\n" << render(expectations(src))
+      << "got:\n" << render(actual(findings));
+}
+
+TEST(LintFixtures, BadRefParamFires) { check_fixture("bad_coro_ref_param.cpp"); }
+TEST(LintFixtures, GoodRefParamSilent) { check_fixture("good_coro_ref_param.cpp"); }
+TEST(LintFixtures, BadLambdaCaptureFires) {
+  check_fixture("bad_coro_lambda_capture.cpp");
+}
+TEST(LintFixtures, GoodLambdaCaptureSilent) {
+  check_fixture("good_coro_lambda_capture.cpp");
+}
+TEST(LintFixtures, BadStaleRefFires) { check_fixture("bad_coro_stale_ref.cpp"); }
+TEST(LintFixtures, GoodStaleRefSilent) { check_fixture("good_coro_stale_ref.cpp"); }
+TEST(LintFixtures, BadFrameEscapeFires) { check_fixture("bad_coro_frame_escape.cpp"); }
+TEST(LintFixtures, GoodFrameEscapeSilent) {
+  check_fixture("good_coro_frame_escape.cpp");
+}
+TEST(LintFixtures, SuppressionSemantics) { check_fixture("suppressions.cpp"); }
+
+TEST(LintFixtures, EveryFixtureIsCovered) {
+  // A fixture dropped into the directory but not wired up above would be
+  // dead weight; require the corpus and the test list to agree.
+  std::vector<std::string> known = {
+      "bad_coro_ref_param.cpp",      "good_coro_ref_param.cpp",
+      "bad_coro_lambda_capture.cpp", "good_coro_lambda_capture.cpp",
+      "bad_coro_stale_ref.cpp",      "good_coro_stale_ref.cpp",
+      "bad_coro_frame_escape.cpp",   "good_coro_frame_escape.cpp",
+      "suppressions.cpp"};
+  std::sort(known.begin(), known.end());
+  std::vector<std::string> present;
+  for (const auto& e : fs::directory_iterator(fixture_dir())) {
+    present.push_back(e.path().filename().string());
+  }
+  std::sort(present.begin(), present.end());
+  EXPECT_EQ(known, present);
+}
+
+// --- unit tests for the supporting pieces -------------------------------------
+
+TEST(LintLexer, RawStringsAndCommentsDoNotConfuseTheStream) {
+  const auto lexed = chase::lint::lex(
+      "auto s = R\"x(not a // comment \")x\"; // real comment\n"
+      "int a = b && c; /* block\n comment */ int d;\n");
+  ASSERT_EQ(lexed.comments.size(), 2u);
+  EXPECT_EQ(lexed.comments[0].text, "real comment");
+  EXPECT_EQ(lexed.comments[0].line, 1);
+  // `&&` must stay one token: `&` starts a by-ref capture, `&&` does not.
+  int amp_amp = 0, amp = 0;
+  for (const auto& t : lexed.tokens) {
+    amp_amp += t.text == "&&";
+    amp += t.text == "&";
+  }
+  EXPECT_EQ(amp_amp, 1);
+  EXPECT_EQ(amp, 0);
+}
+
+TEST(LintBaseline, FingerprintIgnoresLineNumbersAndDigits) {
+  Finding a{"coro-stale-ref", "src/x.cpp", 10, "f",
+            "'g' bound at line 12 used after the co_await at line 14"};
+  Finding b = a;
+  b.line = 99;  // the finding moved...
+  b.message = "'g' bound at line 120 used after the co_await at line 140";
+  EXPECT_EQ(chase::lint::fingerprint(a), chase::lint::fingerprint(b));
+  Finding c = a;
+  c.check = "coro-ref-param";
+  EXPECT_NE(chase::lint::fingerprint(a), chase::lint::fingerprint(c));
+  Finding d = a;
+  d.function = "h";
+  EXPECT_NE(chase::lint::fingerprint(a), chase::lint::fingerprint(d));
+}
+
+TEST(LintConfig, ParsesDirectivesAndRejectsGarbage) {
+  const fs::path p = fs::temp_directory_path() / "chase_lint_test.cfg";
+  {
+    std::ofstream out(p);
+    out << "# comment\n"
+        << "allow-ref-type Simulation\n"
+        << "guard-type LiveGuard\n"
+        << "sink park\n"
+        << "exclude tests/lint_fixtures/\n";
+  }
+  Config cfg;
+  std::string error;
+  ASSERT_TRUE(chase::lint::load_config(p.string(), &cfg, &error)) << error;
+  EXPECT_EQ(cfg.allow_ref_types, std::vector<std::string>{"Simulation"});
+  EXPECT_EQ(cfg.guard_types, std::vector<std::string>{"LiveGuard"});
+  EXPECT_EQ(cfg.sink_names, std::vector<std::string>{"park"});
+  EXPECT_EQ(cfg.exclude_paths, std::vector<std::string>{"tests/lint_fixtures/"});
+  {
+    std::ofstream out(p);
+    out << "frobnicate everything\n";
+  }
+  EXPECT_FALSE(chase::lint::load_config(p.string(), &cfg, &error));
+  EXPECT_NE(error.find("frobnicate"), std::string::npos);
+  fs::remove(p);
+}
+
+TEST(LintChecks, CatalogIsStable) {
+  const auto& names = chase::lint::check_names();
+  EXPECT_EQ(names.size(), 5u);
+  for (const char* expected : {"coro-ref-param", "coro-lambda-capture",
+                               "coro-stale-ref", "coro-frame-escape",
+                               "lint-suppression"}) {
+    EXPECT_NE(std::find(names.begin(), names.end(), expected), names.end())
+        << expected;
+  }
+}
+
+}  // namespace

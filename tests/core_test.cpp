@@ -36,11 +36,11 @@ TEST(Workflow, MeasuresStepsSequentially) {
                        double run_seconds, int pods) {
     return cw::StepSpec{
         name, label,
-        [&bed, label, run_seconds, pods](cw::StepContext& ctx) -> chase::sim::Task {
+        [label, run_seconds, pods](cw::StepContext* ctx) -> chase::sim::Task {
           ck::JobSpec job;
           job.ns = "default";
           job.name = "job-" + label;
-          job.labels = ctx.step_labels();
+          job.labels = ctx->step_labels();
           job.completions = pods;
           job.parallelism = pods;
           ck::ContainerSpec c;
@@ -49,9 +49,9 @@ TEST(Workflow, MeasuresStepsSequentially) {
             co_await pctx.compute(run_seconds * 2.0, 2.0);
           };
           job.pod_template.containers.push_back(std::move(c));
-          auto j = ctx.kube().create_job(job).value;
-          co_await j->done->wait(ctx.sim());
-          ctx.add_data(1e9);
+          auto j = ctx->kube().create_job(job).value;
+          co_await j->done->wait(ctx->sim());
+          ctx->add_data(1e9);
         }};
   };
   wf.add_step(make_step("alpha", "a", 10.0, 2));

@@ -1,0 +1,30 @@
+// chase_lint fixture corpus -- parsed by chase_lint_test, never compiled.
+// The parked-waiter bug class (PR 2): a coroutine publishes the address of
+// one of its frame locals into a queue or callback registry, then suspends.
+// If the frame is destroyed first (pod evicted, simulation torn down), the
+// consumer writes through a dangling pointer.
+#include <string>
+
+namespace fix {
+
+sim::Task park_waiter(Server* self, std::string key, std::string* out) {
+  bool delivered = false;
+  self->blocked_[key].push_back(Waiter{ready, out, &delivered});  // LINT[coro-frame-escape]
+  co_await ready->wait(self->sim_);
+  (void)delivered;
+}
+
+sim::Task subscribe_local(Bus* self) {
+  int hits = 0;
+  self->subscribe("topic", &hits);  // LINT[coro-frame-escape]
+  co_await self->drain();
+}
+
+sim::Task queue_callback(Runtime* rt) {
+  double latest = 0.0;
+  rt->schedule(1.0, [&] { latest = rt->now(); });  // LINT[coro-frame-escape]
+  co_await rt->tick();
+  (void)latest;
+}
+
+}  // namespace fix

@@ -1,0 +1,35 @@
+// chase_lint fixture corpus -- parsed by chase_lint_test, never compiled.
+// A coroutine lambda's closure lives only as long as the std::function (or
+// temporary) holding it; by-reference captures and `this` dangle as soon as
+// the frame outlives the enclosing scope.
+#include <string>
+
+namespace fix {
+
+void schedule_work(Runtime* rt) {
+  int total = 0;
+  auto a = [&](sim::Simulation& s) -> sim::Task {  // LINT[coro-lambda-capture]
+    co_await s.sleep(1.0);
+    total++;
+  };
+  auto b = [&total](sim::Simulation& s) -> sim::Task {  // LINT[coro-lambda-capture]
+    co_await s.sleep(1.0);
+    total++;
+  };
+  rt->spawn(a(rt->sim));
+  rt->spawn(b(rt->sim));
+}
+
+struct Controller {
+  Runtime* rt;
+  int reconciles = 0;
+  void start() {
+    auto loop = [this]() -> sim::Task {  // LINT[coro-lambda-capture]
+      co_await rt->sim.sleep(5.0);
+      reconciles++;
+    };
+    rt->spawn(loop());
+  }
+};
+
+}  // namespace fix

@@ -1,0 +1,60 @@
+// chase_lint fixture corpus -- parsed by chase_lint_test, never compiled.
+// Every `LINT` bracket marker names a finding expected on that line; the
+// `+1` form expects it on the following line. A marker-free line must stay
+// silent.
+//
+// The blpop_impl regression (PR 2): a lazy coroutine frame stores the
+// *reference* parameter, not the referent; the caller's temporary is gone by
+// the first suspension point and `key` dangles for the rest of the frame.
+#include <string>
+
+namespace fix {
+
+sim::Task blpop_impl(const std::string& key, std::string* out, bool* got) {  // LINT[coro-ref-param]
+  *got = false;
+  co_await round_trip();
+  *out = server.lpop(key);  // reads through the dangling reference
+  *got = true;
+}
+
+sim::Task view_param(std::string_view dataset) {  // LINT[coro-ref-param]
+  co_await fetch(dataset);
+}
+
+sim::Task span_param(std::span<const int> shards) {  // LINT[coro-ref-param]
+  co_await scatter(shards);
+}
+
+sim::Task mutable_ref(std::vector<int>& acc, int x) {  // LINT[coro-ref-param]
+  co_await tick();
+  acc.push_back(x);
+}
+
+struct Client {
+  // Member coroutines are just as lazy as free ones.
+  sim::Task publish(const std::string& channel, int payload);  // declaration: no body, silent
+};
+
+sim::Task Client::publish(const std::string& channel, int payload) {  // LINT[coro-ref-param]
+  co_await round_trip();
+  server.publish(channel, payload);
+}
+
+// Rvalue-reference parameters dangle the same way: the frame stores the
+// reference, and the moved-from temporary dies at the call's end.
+sim::Task sink(std::vector<int>&& xs) {  // LINT[coro-ref-param]
+  auto mine = std::move(xs);
+  co_await tick();
+  (void)mine;
+}
+
+void spawn_all(Runtime* rt) {
+  // Coroutine lambdas with reference parameters are the same bug.
+  auto worker = [](Queue& q, int id) -> sim::Task {  // LINT[coro-ref-param]
+    co_await q.pop();
+    (void)id;
+  };
+  rt->spawn(worker(rt->queue, 1));
+}
+
+}  // namespace fix

@@ -1,0 +1,35 @@
+// chase_lint fixture corpus -- parsed by chase_lint_test, never compiled.
+// References, pointers and iterators into containers bound before a
+// co_await and used after it: the container may have rehashed, reallocated
+// or erased the element while the frame was suspended.
+#include <map>
+
+namespace fix {
+
+sim::Task stale_reference(Cluster* self, std::string pool) {
+  auto& group = self->pools_.at(pool);
+  co_await self->replicate(pool);
+  group.state = State::Clean;  // LINT[coro-stale-ref]
+}
+
+sim::Task stale_pointer(Buffer* self) {
+  char* p = self->bytes_.data();
+  co_await self->flush();
+  *p = 0;  // LINT[coro-stale-ref]
+}
+
+sim::Task stale_iterator(Registry* self, std::string key) {
+  auto it = self->entries_.find(key);
+  co_await self->sync();
+  self->touch(it);  // LINT[coro-stale-ref]
+}
+
+sim::Task stale_after_loop_await(Cluster* self, std::string pool) {
+  auto& group = self->pools_.at(pool);
+  for (int replica : group.acting) {
+    co_await self->push_to(replica);
+  }
+  group.state = State::Clean;  // LINT[coro-stale-ref]
+}
+
+}  // namespace fix

@@ -1,0 +1,35 @@
+// chase_lint fixture corpus -- parsed by chase_lint_test, never compiled.
+// No markers: every construct here must stay silent.
+#include <string>
+
+namespace fix {
+
+// The sanctioned pattern (redis blpop_impl): a LiveGuard flips a shared
+// liveness flag when the frame dies, and the consumer checks it before
+// writing through the escaped pointers.
+sim::Task park_waiter_guarded(Server* self, std::string key, std::string* out) {
+  auto live = std::make_shared<bool>(true);
+  LiveGuard guard(live);
+  bool delivered = false;
+  self->blocked_[key].push_back(Waiter{ready, out, &delivered, live});
+  co_await ready->wait(self->sim_);
+  (void)delivered;
+}
+
+// Escaping heap-owned state by value is fine; nothing points into the frame.
+sim::Task publish_shared(Bus* self) {
+  auto box = std::make_shared<int>(0);
+  self->subscribe("topic", box);
+  co_await self->drain();
+}
+
+// Passing a local's address to an ordinary call that is not a sink (it
+// cannot outlive the statement) is fine.
+sim::Task out_param(Server* self) {
+  bool ok = false;
+  self->ping(&ok);
+  co_await self->drain();
+  (void)ok;
+}
+
+}  // namespace fix

@@ -1,0 +1,43 @@
+// chase_lint fixture corpus -- parsed by chase_lint_test, never compiled.
+// No markers: every construct here must stay silent.
+#include <string>
+
+namespace fix {
+
+void schedule_work(Runtime* rt, State& state) {
+  // By-value captures are copied into the closure (and from there into the
+  // frame at the first call).
+  auto a = [rt](sim::Simulation& s) -> sim::Task {
+    co_await s.sleep(1.0);
+    rt->ticks++;
+  };
+  // Init-captures make the copy explicit; capturing a *pointer* by value is
+  // the sanctioned way to reach enclosing locals.
+  auto b = [st = &state](sim::Simulation& s) -> sim::Task {
+    co_await s.sleep(1.0);
+    st->ticks++;
+  };
+  rt->spawn(a(rt->sim));
+  rt->spawn(b(rt->sim));
+}
+
+struct Controller {
+  Runtime* rt;
+  int reconciles = 0;
+  void start() {
+    // `*this` copies the object into the closure.
+    auto loop = [*this]() mutable -> sim::Task {
+      co_await rt->sim.sleep(5.0);
+      reconciles++;
+    };
+    rt->spawn(loop());
+  }
+  void tally(std::vector<int>& xs) {
+    int sum = 0;
+    // By-reference captures in a NON-coroutine lambda are ordinary C++.
+    std::for_each(xs.begin(), xs.end(), [&](int x) { sum += x; });
+    reconciles = sum;
+  }
+};
+
+}  // namespace fix

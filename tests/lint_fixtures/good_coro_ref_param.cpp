@@ -1,0 +1,37 @@
+// chase_lint fixture corpus -- parsed by chase_lint_test, never compiled.
+// No markers: every construct here must stay silent.
+#include <string>
+
+namespace fix {
+
+// The repo's safe idiom: by-value parameters live in the frame.
+sim::Task blpop_impl(std::string key, std::string* out, bool* got) {
+  *got = false;
+  co_await round_trip();
+  *out = server.lpop(key);
+  *got = true;
+}
+
+// Allow-listed environment types (see .chase-lint): a Simulation& cannot
+// outlive its frames, a PodContext& is heap-owned by the pod.
+sim::Task waiter(sim::Simulation& sim, sim::EventPtr ev) {
+  co_await ev->wait(sim);
+}
+
+sim::Task program(kube::PodContext& ctx) {
+  co_await ctx.compute(1.0, 2.0);
+}
+
+// Not a coroutine: references are fine in ordinary functions.
+int count(const std::string& key, const std::vector<int>& xs) {
+  return static_cast<int>(xs.size()) + static_cast<int>(key.size());
+}
+
+// A reference parameter on a *nested, non-coroutine* lambda inside a
+// coroutine body is fine -- the nested frame is not lazy.
+sim::Task outer(std::string key) {
+  auto fmt = [](const std::string& s) { return s + "!"; };
+  co_await send(fmt(key));
+}
+
+}  // namespace fix

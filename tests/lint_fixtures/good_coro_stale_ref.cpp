@@ -1,0 +1,54 @@
+// chase_lint fixture corpus -- parsed by chase_lint_test, never compiled.
+// No markers: every construct here must stay silent.
+#include <map>
+
+namespace fix {
+
+// Use strictly before the suspension: safe.
+sim::Task use_before_await(Cluster* self, std::string pool) {
+  auto& group = self->pools_.at(pool);
+  group.state = State::Recovering;
+  co_await self->replicate(pool);
+}
+
+// A co_await's operand is evaluated before the frame parks, so a use inside
+// the awaiting statement itself is safe.
+sim::Task use_in_await_operand(Cluster* self, std::string pool) {
+  auto& group = self->pools_.at(pool);
+  co_await group.drained->wait(self->sim_);
+}
+
+// The sanctioned fix: re-acquire after every resumption.
+sim::Task reacquire(Cluster* self, std::string pool) {
+  auto& group = self->pools_.at(pool);
+  group.state = State::Recovering;
+  co_await self->replicate(pool);
+  auto& group_now = self->pools_.at(pool);
+  group_now.state = State::Clean;
+}
+
+// Rebinding the name after the await refreshes it.
+sim::Task rebind(Registry* self, std::string key) {
+  auto it = self->entries_.find(key);
+  co_await self->sync();
+  it = self->entries_.find(key);
+  self->touch(it);
+}
+
+// Bindings that do not reach into a container are not tracked.
+sim::Task env_binding(StepContext* ctx) {
+  auto& kube = ctx->kube();
+  co_await ctx->sim().sleep(1.0);
+  kube.create_job({});
+}
+
+// A binding scoped entirely before the await dies with its block.
+sim::Task scoped_binding(Cluster* self, std::string pool) {
+  {
+    auto& group = self->pools_.at(pool);
+    group.state = State::Recovering;
+  }
+  co_await self->replicate(pool);
+}
+
+}  // namespace fix

@@ -1,0 +1,43 @@
+// chase_lint fixture corpus -- parsed by chase_lint_test, never compiled.
+// Suppression semantics: a justified allow() silences its finding; a
+// missing justification, an unknown check name, and an allow() that matches
+// nothing are each findings in their own right (lint-suppression), so dead
+// or lazy suppressions cannot accumulate.
+#include <string>
+
+namespace fix {
+
+// Justified suppression on the finding's own line: silent.
+sim::Task justified(const std::string& key) {  // chase-lint: allow(coro-ref-param) fixture: referent is a global interned string, outlives every frame
+  co_await use(key);
+}
+
+// Justified suppression on the line above the finding: silent.
+// chase-lint: allow(coro-ref-param) fixture: referent is a global interned string, outlives every frame
+sim::Task justified_above(const std::string& key) {
+  co_await use(key);
+}
+
+// No justification: the allow() is rejected AND the underlying finding
+// still surfaces.
+// LINT+1[coro-ref-param] LINT+1[lint-suppression]
+sim::Task unjustified(const std::string& key) {  // chase-lint: allow(coro-ref-param)
+  co_await use(key);
+}
+
+// Unknown check name: rejected (and there is no finding here to hide).
+// LINT+1[lint-suppression]
+// chase-lint: allow(not-a-real-check) because reasons
+sim::Task fine(std::string key) {
+  co_await use(key);
+}
+
+// Unused suppression: nothing on this line fires, so the allow() itself is
+// reported -- dead allows must be deleted, not hoarded.
+// LINT+1[lint-suppression]
+// chase-lint: allow(coro-stale-ref) fixture: nothing here needs suppressing
+sim::Task clean(std::string key) {
+  co_await use(key);
+}
+
+}  // namespace fix

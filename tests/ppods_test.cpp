@@ -13,9 +13,9 @@ namespace cu = chase::util;
 
 namespace {
 
-std::string name_of(cw::StepContext& ctx) {
+std::string name_of(cw::StepContext* ctx) {
   static int counter = 0;
-  return "trial-" + ctx.step_label() + "-" + std::to_string(counter++);
+  return "trial-" + ctx->step_label() + "-" + std::to_string(counter++);
 }
 
 /// A step implementation parameterized by worker count — the knob a
@@ -23,11 +23,11 @@ std::string name_of(cw::StepContext& ctx) {
 cw::StepSpec make_step(const std::string& name, int workers, double work_seconds) {
   return cw::StepSpec{
       name, name,
-      [workers, work_seconds](cw::StepContext& ctx) -> cs::Task {
+      [workers, work_seconds](cw::StepContext* ctx) -> cs::Task {
         ck::JobSpec job;
-        job.ns = ctx.ns();
+        job.ns = ctx->ns();
         job.name = name_of(ctx);
-        job.labels = ctx.step_labels();
+        job.labels = ctx->step_labels();
         job.completions = workers;
         job.parallelism = workers;
         ck::ContainerSpec c;
@@ -37,9 +37,9 @@ cw::StepSpec make_step(const std::string& name, int workers, double work_seconds
           co_await pctx.compute(per_worker * 2.0, 2.0);
         };
         job.pod_template.containers.push_back(std::move(c));
-        auto handle = ctx.kube().create_job(job).value;
-        co_await handle->done->wait(ctx.sim());
-        ctx.add_data(1e9);
+        auto handle = ctx->kube().create_job(job).value;
+        co_await handle->done->wait(ctx->sim());
+        ctx->add_data(1e9);
       }};
 }
 

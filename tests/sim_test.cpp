@@ -143,8 +143,9 @@ TEST(Event, AwaitAlreadyFiredEventReturnsImmediately) {
   cs::Simulation sim;
   auto ev = cs::make_event();
   ev->trigger(sim);
-  double at = -1;
-  auto waiter = [&](cs::Simulation& s, cs::EventPtr e) -> cs::Task {
+  static double at;
+  at = -1;
+  auto waiter = [](cs::Simulation& s, cs::EventPtr e) -> cs::Task {
     co_await s.sleep(3.0);
     co_await e->wait(s);
     at = s.now();
@@ -166,13 +167,13 @@ TEST(Event, WaitAll) {
   auto e1 = cs::make_event();
   auto e2 = cs::make_event();
   auto e3 = cs::make_event();
-  double done_at = -1;
-  auto waiter = [&](cs::Simulation& s) -> cs::Task {
-    std::vector<cs::EventPtr> group{e1, e2, e3};
+  static double done_at;
+  done_at = -1;
+  auto waiter = [](cs::Simulation& s, std::vector<cs::EventPtr> group) -> cs::Task {
     co_await cs::wait_all(s, std::move(group));
     done_at = s.now();
   };
-  sim.spawn(waiter(sim));
+  sim.spawn(waiter(sim, {e1, e2, e3}));
   sim.schedule(1.0, [&] { e2->trigger(sim); });
   sim.schedule(5.0, [&] { e1->trigger(sim); });
   sim.schedule(3.0, [&] { e3->trigger(sim); });
@@ -186,15 +187,15 @@ TEST(Semaphore, LimitsConcurrency) {
   static int active;
   static int peak;
   active = peak = 0;
-  auto worker = [](cs::Simulation& s, cs::Semaphore& sm) -> cs::Task {
-    co_await sm.acquire();
+  auto worker = [](cs::Simulation& s, cs::Semaphore* sm) -> cs::Task {
+    co_await sm->acquire();
     active++;
     peak = std::max(peak, active);
     co_await s.sleep(1.0);
     active--;
-    sm.release(s);
+    sm->release(s);
   };
-  for (int i = 0; i < 10; ++i) sim.spawn(worker(sim, sem));
+  for (int i = 0; i < 10; ++i) sim.spawn(worker(sim, &sem));
   sim.run();
   EXPECT_EQ(peak, 2);
   EXPECT_EQ(active, 0);
@@ -207,13 +208,13 @@ TEST(Semaphore, FifoHandoff) {
   cs::Semaphore sem(1);
   static std::vector<int> order;
   order.clear();
-  auto worker = [](cs::Simulation& s, cs::Semaphore& sm, int id) -> cs::Task {
-    co_await sm.acquire();
+  auto worker = [](cs::Simulation& s, cs::Semaphore* sm, int id) -> cs::Task {
+    co_await sm->acquire();
     order.push_back(id);
     co_await s.sleep(1.0);
-    sm.release(s);
+    sm->release(s);
   };
-  for (int i = 0; i < 4; ++i) sim.spawn(worker(sim, sem, i));
+  for (int i = 0; i < 4; ++i) sim.spawn(worker(sim, &sem, i));
   sim.run();
   EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
 }

@@ -1,0 +1,808 @@
+/// \file analyze.cpp
+/// chase_lint's function extractor and the four coroutine-lifetime checks.
+///
+/// This is a *shape* analyzer, not a compiler: it finds function and lambda
+/// bodies by bracket matching over the token stream, decides coroutine-ness
+/// by the presence of co_await/co_return/co_yield in a body (excluding
+/// nested lambdas/local functions), and applies narrow syntactic patterns
+/// tuned to this codebase's sim::Task idiom. Heuristic checks (stale-ref,
+/// frame-escape) deliberately trade recall for a near-zero false-positive
+/// rate: every pattern here is one that has already produced a real bug in
+/// this repo or is one mutation away from it.
+
+#include <algorithm>
+#include <array>
+#include <fstream>
+#include <sstream>
+#include <unordered_set>
+
+#include "lint.hpp"
+
+namespace chase::lint {
+
+namespace {
+
+// Keywords that can directly precede a '(' without introducing a function
+// definition (control flow, operators, specifiers).
+const std::unordered_set<std::string> kNonFunctionNames = {
+    "if",      "for",       "while",    "switch",        "catch",   "return",
+    "co_return", "co_await", "co_yield", "sizeof",       "alignof", "alignas",
+    "decltype", "noexcept",  "new",      "delete",        "throw",   "case",
+    "else",    "do",        "operator", "static_assert", "requires", "defined",
+    "constexpr", "consteval", "assert"};
+
+const std::unordered_set<std::string> kTypeishExcluded = {
+    "const", "volatile", "struct", "class", "typename", "auto"};
+
+bool is_suspension(const Token& t) {
+  return t.kind == TokKind::Ident &&
+         (t.text == "co_await" || t.text == "co_yield");
+}
+bool is_coro_keyword(const Token& t) {
+  return t.kind == TokKind::Ident &&
+         (t.text == "co_await" || t.text == "co_yield" || t.text == "co_return");
+}
+
+struct Fn {
+  std::string name;
+  bool is_lambda = false;
+  int line = 0;
+  std::size_t intro = 0;                         // first token (name or '[')
+  std::size_t params_begin = 0, params_end = 0;  // inside the parens
+  std::size_t caps_begin = 0, caps_end = 0;      // lambda capture list
+  std::size_t body_begin = 0, body_end = 0;      // inside the braces
+  int parent = -1;
+  bool is_coroutine = false;
+  std::vector<int> children;
+};
+
+struct Analyzer {
+  const std::string& path;
+  const Config& cfg;
+  std::vector<Token> toks;
+  std::vector<Comment> comments;
+  std::vector<std::ptrdiff_t> match;  // matching (){}[] index, or -1
+  std::vector<Fn> fns;
+  std::vector<Finding> findings;
+
+  explicit Analyzer(const std::string& p, const LexResult& lexed, const Config& c)
+      : path(p), cfg(c), toks(lexed.tokens), comments(lexed.comments) {}
+
+  const Token& tok(std::size_t i) const { return toks[i]; }
+  bool is(std::size_t i, const char* s) const {
+    return i < toks.size() && toks[i].text == s;
+  }
+
+  void emit(const char* check, int line, const Fn& fn, std::string message) {
+    findings.push_back(Finding{check, path, line, fn.name, std::move(message)});
+  }
+
+  // --- bracket matching ------------------------------------------------------
+  void build_match() {
+    match.assign(toks.size(), -1);
+    std::vector<std::size_t> parens;
+    std::vector<std::size_t> braces;
+    std::vector<std::size_t> squares;
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+      const std::string& s = toks[i].text;
+      if (toks[i].kind != TokKind::Punct) continue;
+      if (s == "(") parens.push_back(i);
+      if (s == "{") braces.push_back(i);
+      if (s == "[") squares.push_back(i);
+      auto close = [&](std::vector<std::size_t>& stack) {
+        if (stack.empty()) return;
+        match[stack.back()] = static_cast<std::ptrdiff_t>(i);
+        match[i] = static_cast<std::ptrdiff_t>(stack.back());
+        stack.pop_back();
+      };
+      if (s == ")") close(parens);
+      if (s == "}") close(braces);
+      if (s == "]") close(squares);
+    }
+  }
+
+  /// Step over a balanced group if `i` sits on an opener; otherwise ++i.
+  std::size_t skip_group(std::size_t i) const {
+    if (i < toks.size() && match[i] > static_cast<std::ptrdiff_t>(i)) {
+      return static_cast<std::size_t>(match[i]) + 1;
+    }
+    return i + 1;
+  }
+
+  // --- function / lambda extraction -----------------------------------------
+
+  /// After a parameter list's ')': skip qualifiers (const, noexcept(...),
+  /// ->Type, attributes, ctor init lists, requires clauses) and return the
+  /// index of the body '{', or npos if this is not a definition.
+  std::size_t find_body_brace(std::size_t k) const {
+    static const std::unordered_set<std::string> kQualifiers = {
+        "const", "noexcept", "override", "final", "mutable", "&", "&&",
+        "constexpr", "try", "volatile"};
+    while (k < toks.size()) {
+      const std::string& s = toks[k].text;
+      if (s == "{") return k;
+      if (s == ";" || s == "=" || s == "," || s == ")") return std::string::npos;
+      if (kQualifiers.count(s) != 0u) {
+        ++k;
+        if (k < toks.size() && toks[k].text == "(") k = skip_group(k);
+        continue;
+      }
+      if (s == "[" && k + 1 < toks.size() && toks[k + 1].text == "[") {
+        k = skip_group(k);  // [[attribute]]
+        continue;
+      }
+      if (s == "->" || s == "requires") {
+        // Trailing return type / requires clause: scan to the body brace.
+        ++k;
+        while (k < toks.size()) {
+          const std::string& q = toks[k].text;
+          if (q == "{" || q == ";" || q == "=") break;
+          k = (q == "(" || q == "[") ? skip_group(k) : k + 1;
+        }
+        continue;
+      }
+      if (s == ":") {
+        // Ctor init list: `name(...)` / `name{...}` items, then the body
+        // brace (which follows ')', '}' or '...', never an identifier).
+        ++k;
+        while (k < toks.size()) {
+          if (toks[k].text == "{" && k > 0 &&
+              (toks[k - 1].text == ")" || toks[k - 1].text == "}" ||
+               toks[k - 1].text == "...")) {
+            return k;
+          }
+          if (toks[k].text == ";") return std::string::npos;
+          k = (toks[k].text == "(" || toks[k].text == "{") ? skip_group(k) : k + 1;
+        }
+        return std::string::npos;
+      }
+      return std::string::npos;
+    }
+    return std::string::npos;
+  }
+
+  void find_named_functions() {
+    for (std::size_t i = 1; i < toks.size(); ++i) {
+      if (!is(i, "(")) continue;
+      const Token& prev = toks[i - 1];
+      if (prev.kind != TokKind::Ident) continue;
+      if (kNonFunctionNames.count(prev.text) != 0u) continue;
+      if (match[i] < 0) continue;
+      const std::size_t close = static_cast<std::size_t>(match[i]);
+      const std::size_t body = find_body_brace(close + 1);
+      if (body == std::string::npos || match[body] < 0) continue;
+      Fn fn;
+      fn.name = prev.text;
+      fn.line = prev.line;
+      fn.intro = i - 1;
+      fn.params_begin = i + 1;
+      fn.params_end = close;
+      fn.body_begin = body + 1;
+      fn.body_end = static_cast<std::size_t>(match[body]);
+      fns.push_back(std::move(fn));
+    }
+  }
+
+  void find_lambdas() {
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+      if (!is(i, "[") || match[i] < 0) continue;
+      if (i + 1 < toks.size() && toks[i + 1].text == "[") continue;  // attribute
+      if (i > 0) {
+        const Token& prev = toks[i - 1];
+        // Subscript or array declarator, not a lambda introducer.
+        if (prev.kind == TokKind::Ident && kNonFunctionNames.count(prev.text) == 0u)
+          continue;
+        if (prev.text == ")" || prev.text == "]") continue;
+      }
+      Fn fn;
+      fn.name = "<lambda>";
+      fn.is_lambda = true;
+      fn.line = toks[i].line;
+      fn.intro = i;
+      fn.caps_begin = i + 1;
+      fn.caps_end = static_cast<std::size_t>(match[i]);
+      std::size_t j = fn.caps_end + 1;
+      if (j < toks.size() && toks[j].text == "<") {  // []<typename T>(...)
+        int depth = 1;
+        ++j;
+        while (j < toks.size() && depth > 0) {
+          if (toks[j].text == "<") ++depth;
+          if (toks[j].text == ">") --depth;
+          j = (toks[j].text == "(") ? skip_group(j) : j + 1;
+        }
+      }
+      if (j < toks.size() && toks[j].text == "(" && match[j] > 0) {
+        fn.params_begin = j + 1;
+        fn.params_end = static_cast<std::size_t>(match[j]);
+        j = fn.params_end + 1;
+      }
+      const std::size_t body = find_body_brace(j);
+      if (body == std::string::npos || match[body] < 0) continue;
+      fn.body_begin = body + 1;
+      fn.body_end = static_cast<std::size_t>(match[body]);
+      fns.push_back(std::move(fn));
+    }
+  }
+
+  void link_and_classify() {
+    // Innermost enclosing body wins as parent.
+    for (std::size_t a = 0; a < fns.size(); ++a) {
+      std::size_t best_size = std::string::npos;
+      for (std::size_t b = 0; b < fns.size(); ++b) {
+        if (a == b) continue;
+        if (fns[b].body_begin <= fns[a].intro && fns[a].body_end <= fns[b].body_end) {
+          const std::size_t size = fns[b].body_end - fns[b].body_begin;
+          if (size < best_size) {
+            best_size = size;
+            fns[a].parent = static_cast<int>(b);
+          }
+        }
+      }
+    }
+    for (std::size_t a = 0; a < fns.size(); ++a) {
+      if (fns[a].parent >= 0) fns[fns[a].parent].children.push_back(static_cast<int>(a));
+    }
+    for (Fn& fn : fns) {
+      for_own_tokens(fn, [&](std::size_t i) {
+        if (is_coro_keyword(toks[i])) fn.is_coroutine = true;
+      });
+    }
+  }
+
+  /// Visit the token indices of `fn`'s body that belong to `fn` itself,
+  /// skipping every nested lambda / local function definition.
+  template <typename Visit>
+  void for_own_tokens(const Fn& fn, Visit&& visit) const {
+    // Children sorted by position; ranges are disjoint.
+    std::vector<std::pair<std::size_t, std::size_t>> skips;
+    for (int c : fn.children) {
+      skips.emplace_back(fns[c].intro, fns[c].body_end + 1);  // incl. '}'
+    }
+    std::sort(skips.begin(), skips.end());
+    std::size_t s = 0;
+    for (std::size_t i = fn.body_begin; i < fn.body_end; ++i) {
+      while (s < skips.size() && skips[s].second <= i) ++s;
+      if (s < skips.size() && skips[s].first <= i && i < skips[s].second) {
+        i = skips[s].second - 1;  // land on the last skipped token
+        continue;
+      }
+      visit(i);
+    }
+  }
+
+  // --- parameter splitting ---------------------------------------------------
+
+  /// Split [begin, end) on top-level commas (angle depth tracked
+  /// heuristically: '<' after an identifier or '>' opens a template list).
+  std::vector<std::pair<std::size_t, std::size_t>> split_params(std::size_t begin,
+                                                                std::size_t end) const {
+    std::vector<std::pair<std::size_t, std::size_t>> out;
+    int depth = 0;
+    int angle = 0;
+    std::size_t start = begin;
+    for (std::size_t i = begin; i < end; ++i) {
+      const std::string& s = toks[i].text;
+      if (s == "(" || s == "[" || s == "{") ++depth;
+      if (s == ")" || s == "]" || s == "}") --depth;
+      if (s == "<" && i > begin &&
+          (toks[i - 1].kind == TokKind::Ident || toks[i - 1].text == ">")) {
+        ++angle;
+      }
+      if (s == ">" && angle > 0) --angle;
+      if (s == ">>" && angle > 0) angle = std::max(0, angle - 2);
+      if (s == "," && depth == 0 && angle == 0) {
+        out.emplace_back(start, i);
+        start = i + 1;
+      }
+    }
+    if (start < end) out.emplace_back(start, end);
+    return out;
+  }
+
+  bool is_allowed_ref_type(const std::string& type) const {
+    return std::find(cfg.allow_ref_types.begin(), cfg.allow_ref_types.end(), type) !=
+           cfg.allow_ref_types.end();
+  }
+
+  // --- check: coro-ref-param -------------------------------------------------
+
+  void check_ref_params(const Fn& fn) {
+    static const std::unordered_set<std::string> kViewTypes = {
+        "string_view", "wstring_view", "u8string_view", "u16string_view",
+        "u32string_view", "span"};
+    for (auto [pb, pe] : split_params(fn.params_begin, fn.params_end)) {
+      if (pb >= pe) continue;
+      if (pe - pb == 1 && (toks[pb].text == "void" || toks[pb].text == "...")) continue;
+      int depth = 0;
+      int angle = 0;
+      std::size_t ref_at = std::string::npos;
+      bool rvalue = false;
+      std::string view_type;
+      std::string last_ident;
+      std::string name;
+      std::string type_before_ref;
+      for (std::size_t i = pb; i < pe; ++i) {
+        const std::string& s = toks[i].text;
+        if (s == "(" || s == "[" || s == "{") ++depth;
+        if (s == ")" || s == "]" || s == "}") --depth;
+        if (s == "<" && i > pb &&
+            (toks[i - 1].kind == TokKind::Ident || toks[i - 1].text == ">")) {
+          ++angle;
+        } else if (s == ">" && angle > 0) {
+          --angle;
+        } else if (s == ">>" && angle > 0) {
+          angle = std::max(0, angle - 2);
+        }
+        if (depth != 0 || angle != 0) continue;
+        if (s == "=") break;  // default argument: the name came just before
+        if (toks[i].kind == TokKind::Ident) {
+          if (kViewTypes.count(s) != 0u) view_type = s;
+          if (kTypeishExcluded.count(s) == 0u) {
+            last_ident = s;
+            name = s;
+          }
+          continue;
+        }
+        if ((s == "&" || s == "&&") && ref_at == std::string::npos) {
+          ref_at = i;
+          rvalue = (s == "&&");
+          type_before_ref = last_ident;
+        }
+      }
+      if (ref_at != std::string::npos) {
+        if (!rvalue && is_allowed_ref_type(type_before_ref)) continue;
+        emit("coro-ref-param", toks[ref_at].line, fn,
+             "parameter '" + (name.empty() ? type_before_ref : name) +
+                 "' of coroutine '" + fn.name + "' is passed by " +
+                 (rvalue ? std::string("rvalue reference")
+                         : std::string("reference")) +
+                 "; the referent can be destroyed while the frame is suspended "
+                 "(the blpop_impl bug class) -- take it by value, or by pointer "
+                 "to an object that provably outlives the frame");
+      } else if (!view_type.empty()) {
+        emit("coro-ref-param", toks[pb].line, fn,
+             "parameter '" + name + "' of coroutine '" + fn.name +
+                 "' is a view type (std::" + view_type +
+                 "); the viewed buffer can be destroyed while the frame is "
+                 "suspended -- take an owning value instead");
+      }
+    }
+  }
+
+  // --- check: coro-lambda-capture --------------------------------------------
+
+  void check_lambda_captures(const Fn& fn) {
+    for (auto [cb, ce] : split_params(fn.caps_begin, fn.caps_end)) {
+      if (cb >= ce) continue;
+      if (toks[cb].text == "&") {
+        const std::string what =
+            (ce - cb == 1) ? "by-reference capture default '[&]'"
+                           : "by-reference capture '&" + toks[cb + 1].text + "'";
+        emit("coro-lambda-capture", toks[cb].line, fn,
+             "coroutine lambda has " + what +
+                 "; captures live in the lambda object, not the coroutine "
+                 "frame, and the referent can die before the frame resumes -- "
+                 "capture by value or pass state as a parameter");
+      } else if (ce - cb == 1 && toks[cb].text == "this") {
+        emit("coro-lambda-capture", toks[cb].line, fn,
+             "coroutine lambda captures 'this'; if the object is destroyed "
+             "while the frame is suspended every member access dangles -- "
+             "capture '*this' by value or pass the object as a parameter");
+      }
+    }
+  }
+
+  // --- check: coro-stale-ref -------------------------------------------------
+
+  std::size_t find_stmt_end(std::size_t i, std::size_t limit) const {
+    while (i < limit) {
+      const std::string& s = toks[i].text;
+      if (s == ";") return i;
+      i = (s == "(" || s == "[" || s == "{") ? skip_group(i) : i + 1;
+    }
+    return limit;
+  }
+
+  bool range_has_container_access(std::size_t b, std::size_t e) const {
+    static const std::unordered_set<std::string> kAccessors = {
+        "at",   "front", "back",        "top",         "data",
+        "find", "begin", "end",         "rbegin",      "rend",
+        "cbegin", "cend", "lower_bound", "upper_bound", "equal_range"};
+    for (std::size_t i = b; i < e; ++i) {
+      if (toks[i].text == "[") return true;
+      if (toks[i].kind == TokKind::Ident && kAccessors.count(toks[i].text) != 0u &&
+          i + 1 < e && toks[i + 1].text == "(") {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  bool range_yields_iterator(std::size_t b, std::size_t e) const {
+    static const std::unordered_set<std::string> kIterCalls = {
+        "begin", "end",         "rbegin",      "rend",       "cbegin",
+        "cend",  "lower_bound", "upper_bound", "equal_range", "find"};
+    for (std::size_t i = b; i < e; ++i) {
+      if (toks[i].kind == TokKind::Ident && kIterCalls.count(toks[i].text) != 0u &&
+          i + 1 < e && toks[i + 1].text == "(") {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  void check_stale_refs(const Fn& fn) {
+    struct Binding {
+      std::string name;
+      int decl_line;
+      int depth;
+      const char* what;
+      bool stale = false;
+      int stale_line = 0;
+      bool reported = false;
+    };
+    std::vector<Binding> bindings;
+    int depth = 0;
+    // A co_await's operand is evaluated before the frame suspends, so uses
+    // inside the awaiting statement are safe; bindings turn stale at the
+    // *end* of that statement.
+    int pending_stale_line = 0;
+
+    // Flatten own-token indices once so we can look ahead safely.
+    std::vector<std::size_t> own;
+    for_own_tokens(fn, [&](std::size_t i) { own.push_back(i); });
+
+    for (std::size_t k = 0; k < own.size(); ++k) {
+      const std::size_t i = own[k];
+      const std::string& s = toks[i].text;
+      if (s == ";" || s == "{" || s == "}") {
+        if (pending_stale_line != 0) {
+          for (Binding& b : bindings) {
+            if (!b.stale) {
+              b.stale = true;
+              b.stale_line = pending_stale_line;
+            }
+          }
+          pending_stale_line = 0;
+        }
+      }
+      if (s == "{") {
+        ++depth;
+        continue;
+      }
+      if (s == "}") {
+        --depth;
+        bindings.erase(std::remove_if(bindings.begin(), bindings.end(),
+                                      [&](const Binding& b) { return b.depth > depth; }),
+                       bindings.end());
+        continue;
+      }
+      if (is_suspension(toks[i])) {
+        pending_stale_line = toks[i].line;
+        continue;
+      }
+      // Declarations: `T& name = init`, `T* name = init`, `auto name = init`.
+      const bool next_is_name = k + 2 < own.size() &&
+                                toks[own[k + 1]].kind == TokKind::Ident &&
+                                toks[own[k + 2]].text == "=";
+      if (next_is_name && (s == "&" || s == "*" || s == "auto")) {
+        const bool typeish_before =
+            s == "auto" ||
+            (k > 0 && (toks[own[k - 1]].kind == TokKind::Ident ||
+                       toks[own[k - 1]].text == ">"));
+        if (typeish_before) {
+          const std::size_t init_b = own[k + 2] + 1;
+          const std::size_t init_e = find_stmt_end(init_b, fn.body_end);
+          const bool risky = (s == "auto")
+                                 ? range_yields_iterator(init_b, init_e)
+                                 : range_has_container_access(init_b, init_e);
+          if (risky) {
+            bindings.push_back(Binding{toks[own[k + 1]].text, toks[own[k + 1]].line,
+                                       depth,
+                                       s == "auto" ? "iterator"
+                                       : s == "&"  ? "reference"
+                                                   : "pointer"});
+          }
+          k += 2;  // past `name =`; the initializer is scanned by the walk
+          continue;
+        }
+      }
+      if (toks[i].kind != TokKind::Ident) continue;
+      for (Binding& b : bindings) {
+        if (b.name != s) continue;
+        const bool writes_through = k > 0 && toks[own[k - 1]].text == "*";
+        const bool rebinds = !writes_through && k + 1 < own.size() &&
+                             toks[own[k + 1]].text == "=";
+        if (rebinds) {
+          b.stale = false;
+          b.reported = false;
+        } else if (b.stale && !b.reported) {
+          b.reported = true;
+          emit("coro-stale-ref", toks[i].line, fn,
+               std::string("'") + b.name + "' (" + b.what +
+                   " into a container, bound at line " +
+                   std::to_string(b.decl_line) + ") is used after the co_await "
+                   "at line " + std::to_string(b.stale_line) +
+                   "; the container may have been mutated while this frame was "
+                   "suspended -- re-acquire it after resumption");
+        }
+      }
+    }
+  }
+
+  // --- check: coro-frame-escape ----------------------------------------------
+
+  void check_frame_escape(const Fn& fn) {
+    std::unordered_set<std::string> locals;
+    for (auto [pb, pe] : split_params(fn.params_begin, fn.params_end)) {
+      // Last identifier of the declarator is the parameter name.
+      for (std::size_t i = pe; i > pb;) {
+        --i;
+        if (toks[i].text == "=") pe = i;  // default arg: name precedes it
+      }
+      for (std::size_t i = pe; i > pb;) {
+        --i;
+        if (toks[i].kind == TokKind::Ident) {
+          locals.insert(toks[i].text);
+          break;
+        }
+      }
+    }
+
+    std::vector<std::size_t> own;
+    for_own_tokens(fn, [&](std::size_t i) { own.push_back(i); });
+
+    std::size_t first_guard = std::string::npos;
+    for (std::size_t k = 0; k < own.size(); ++k) {
+      const Token& t = toks[own[k]];
+      if (t.kind != TokKind::Ident) continue;
+      if (std::find(cfg.guard_types.begin(), cfg.guard_types.end(), t.text) !=
+          cfg.guard_types.end()) {
+        first_guard = std::min(first_guard, own[k]);
+      }
+      // Local declarations: `Type name =|;|{|(`, with a type-ish token
+      // before the name.
+      if (k > 0 && k + 1 < own.size()) {
+        const Token& prev = toks[own[k - 1]];
+        const std::string& next = toks[own[k + 1]].text;
+        const bool declish =
+            (prev.kind == TokKind::Ident && kNonFunctionNames.count(prev.text) == 0u &&
+             prev.text != "return") ||
+            prev.text == ">" || prev.text == "*" || prev.text == "&";
+        if (declish && (next == "=" || next == ";" || next == "{" || next == "(")) {
+          locals.insert(t.text);
+        }
+      }
+    }
+
+    for (std::size_t k = 0; k + 1 < own.size(); ++k) {
+      const Token& t = toks[own[k]];
+      if (t.kind != TokKind::Ident || toks[own[k + 1]].text != "(") continue;
+      if (std::find(cfg.sink_names.begin(), cfg.sink_names.end(), t.text) ==
+          cfg.sink_names.end()) {
+        continue;
+      }
+      const std::size_t open = own[k + 1];
+      if (match[open] < 0) continue;
+      const std::size_t close = static_cast<std::size_t>(match[open]);
+      const bool guarded = first_guard < open;
+      for (std::size_t i = open + 1; i < close; ++i) {
+        // Bare `&local` in argument position.
+        if (toks[i].text == "&" && i > open &&
+            (toks[i - 1].text == "(" || toks[i - 1].text == "," ||
+             toks[i - 1].text == "{" || toks[i - 1].text == "=") &&
+            i + 2 <= close && toks[i + 1].kind == TokKind::Ident &&
+            (toks[i + 2].text == "," || toks[i + 2].text == ")" ||
+             toks[i + 2].text == "}")) {
+          if (locals.count(toks[i + 1].text) != 0u && !guarded) {
+            emit("coro-frame-escape", toks[i].line, fn,
+                 "address of frame local '" + toks[i + 1].text +
+                     "' escapes into '" + t.text +
+                     "(...)'; if this coroutine frame is destroyed first, the "
+                     "consumer writes through a dangling pointer (the parked-"
+                     "BLPOP bug class) -- copy the value or guard the frame "
+                     "with a shared liveness flag (LiveGuard)");
+          }
+        }
+        // A by-reference-capturing lambda queued into a sink.
+        if (toks[i].text == "[" && (toks[i - 1].text == "(" || toks[i - 1].text == ",") &&
+            match[i] > 0) {
+          const auto caps_end = static_cast<std::size_t>(match[i]);
+          for (std::size_t c = i + 1; c < caps_end; ++c) {
+            if (toks[c].text == "&" && !guarded) {
+              emit("coro-frame-escape", toks[i].line, fn,
+                   "callback handed to '" + t.text +
+                       "(...)' captures coroutine-frame state by reference; "
+                       "the callback can outlive this frame -- capture by "
+                       "value or guard with a shared liveness flag");
+              break;
+            }
+          }
+          i = caps_end;
+        }
+      }
+    }
+  }
+
+  // --- suppressions ----------------------------------------------------------
+
+  struct Suppression {
+    int line = 0;
+    std::vector<std::string> checks;
+    bool used = false;
+  };
+
+  void apply_suppressions() {
+    std::vector<Suppression> sups;
+    for (const Comment& c : comments) {
+      // Only comments *starting* with the marker are suppressions, so prose
+      // that merely mentions the syntax (docs, this file) stays inert.
+      if (c.text.rfind("chase-lint:", 0) != 0) continue;
+      std::string rest = c.text.substr(11);
+      const std::size_t a = rest.find("allow(");
+      const std::size_t z = rest.find(')');
+      if (a == std::string::npos || z == std::string::npos || z < a) {
+        findings.push_back(Finding{"lint-suppression", path, c.line, "",
+                                   "malformed suppression; expected "
+                                   "'chase-lint: allow(<check>) <justification>'"});
+        continue;
+      }
+      Suppression sup;
+      sup.line = c.line;
+      std::stringstream names(rest.substr(a + 6, z - a - 6));
+      std::string name;
+      bool ok = true;
+      while (std::getline(names, name, ',')) {
+        name.erase(std::remove(name.begin(), name.end(), ' '), name.end());
+        if (std::find(check_names().begin(), check_names().end(), name) ==
+            check_names().end()) {
+          findings.push_back(Finding{"lint-suppression", path, c.line, "",
+                                     "suppression names unknown check '" + name +
+                                         "' (see --list-checks)"});
+          ok = false;
+          continue;
+        }
+        sup.checks.push_back(name);
+      }
+      std::string just = rest.substr(z + 1);
+      const std::size_t first = just.find_first_not_of(" \t:-");
+      if (first == std::string::npos) {
+        findings.push_back(
+            Finding{"lint-suppression", path, c.line, "",
+                    "suppression has no written justification; say *why* the "
+                    "lifetime is safe, e.g. '// chase-lint: allow(coro-stale-"
+                    "ref) map is not mutated while this step runs'"});
+        ok = false;
+      }
+      if (ok && !sup.checks.empty()) sups.push_back(std::move(sup));
+    }
+
+    std::vector<Finding> kept;
+    for (Finding& f : findings) {
+      bool suppressed = false;
+      for (Suppression& s : sups) {
+        if ((s.line == f.line || s.line + 1 == f.line) &&
+            std::find(s.checks.begin(), s.checks.end(), f.check) != s.checks.end()) {
+          s.used = true;
+          suppressed = true;
+          break;
+        }
+      }
+      if (!suppressed) kept.push_back(std::move(f));
+    }
+    findings = std::move(kept);
+    for (const Suppression& s : sups) {
+      if (!s.used) {
+        findings.push_back(Finding{"lint-suppression", path, s.line, "",
+                                   "suppression no longer matches any finding; "
+                                   "delete it so dead allows cannot mask future "
+                                   "regressions"});
+      }
+    }
+  }
+
+  std::vector<Finding> run() {
+    build_match();
+    find_named_functions();
+    find_lambdas();
+    link_and_classify();
+    for (const Fn& fn : fns) {
+      if (!fn.is_coroutine) continue;
+      check_ref_params(fn);
+      if (fn.is_lambda) check_lambda_captures(fn);
+      check_stale_refs(fn);
+      check_frame_escape(fn);
+    }
+    apply_suppressions();
+    std::sort(findings.begin(), findings.end(),
+              [](const Finding& a, const Finding& b) {
+                if (a.line != b.line) return a.line < b.line;
+                return a.check < b.check;
+              });
+    return std::move(findings);
+  }
+};
+
+}  // namespace
+
+const std::vector<std::string>& check_names() {
+  static const std::vector<std::string> kNames = {
+      "coro-ref-param", "coro-lambda-capture", "coro-stale-ref",
+      "coro-frame-escape", "lint-suppression"};
+  return kNames;
+}
+
+Config default_config() {
+  Config cfg;
+  cfg.guard_types = {"LiveGuard"};
+  cfg.sink_names = {"push_back",  "emplace_back", "push_front", "emplace_front",
+                    "push",       "emplace",      "insert",     "enqueue",
+                    "schedule",   "subscribe",    "set_trace_hook",
+                    "add_audit_hook", "set_callback", "register_callback"};
+  return cfg;
+}
+
+bool load_config(const std::string& path, Config* cfg, std::string* error) {
+  std::ifstream in(path);
+  if (!in) {
+    *error = "cannot open config file: " + path;
+    return false;
+  }
+  std::string line;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::stringstream ss(line);
+    std::string key;
+    std::string value;
+    if (!(ss >> key)) continue;
+    if (!(ss >> value)) {
+      *error = path + ":" + std::to_string(line_no) + ": '" + key + "' needs a value";
+      return false;
+    }
+    if (key == "allow-ref-type") {
+      cfg->allow_ref_types.push_back(value);
+    } else if (key == "guard-type") {
+      cfg->guard_types.push_back(value);
+    } else if (key == "sink") {
+      cfg->sink_names.push_back(value);
+    } else if (key == "exclude") {
+      cfg->exclude_paths.push_back(value);
+    } else {
+      *error = path + ":" + std::to_string(line_no) + ": unknown directive '" + key +
+               "' (allow-ref-type | guard-type | sink | exclude)";
+      return false;
+    }
+  }
+  return true;
+}
+
+std::vector<Finding> analyze_source(const std::string& path, std::string_view source,
+                                    const Config& cfg) {
+  Analyzer analyzer(path, lex(source), cfg);
+  return analyzer.run();
+}
+
+std::uint64_t fingerprint(const Finding& f) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  auto mix = [&h](std::string_view s) {
+    for (char c : s) {
+      // Digits are skipped so line references inside messages do not churn
+      // the baseline when unrelated code moves.
+      if (c >= '0' && c <= '9') continue;
+      h ^= static_cast<unsigned char>(c);
+      h *= 0x100000001b3ULL;
+    }
+    h ^= 0xff;
+    h *= 0x100000001b3ULL;
+  };
+  mix(f.check);
+  mix(f.file);
+  mix(f.function);
+  mix(f.message);
+  return h;
+}
+
+}  // namespace chase::lint

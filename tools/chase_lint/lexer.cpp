@@ -1,0 +1,159 @@
+/// \file lexer.cpp
+/// Minimal C++ tokenizer for chase_lint. It only needs to be faithful about
+/// the things the checks look at: identifiers, punctuation, suspension
+/// keywords, comments (for suppressions), and it must never be confused by
+/// string/char literals, raw strings, or preprocessor lines.
+
+#include <cctype>
+
+#include "lint.hpp"
+
+namespace chase::lint {
+
+namespace {
+
+bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+std::string trim(std::string_view s) {
+  std::size_t b = 0;
+  std::size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b])) != 0) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1])) != 0) --e;
+  return std::string(s.substr(b, e - b));
+}
+
+/// Multi-char punctuators we must keep whole so the checks can tell `&`
+/// from `&&` and `->` from `-`. Longest match first.
+const char* kPuncts[] = {"<<=", ">>=", "...", "->*", "::",  "->", "<<", ">>",
+                         "<=",  ">=",  "==",  "!=",  "&&",  "||", "+=", "-=",
+                         "*=",  "/=",  "%=",  "&=",  "|=",  "^=", "++", "--"};
+
+}  // namespace
+
+LexResult lex(std::string_view src) {
+  LexResult out;
+  int line = 1;
+  std::size_t i = 0;
+  const std::size_t n = src.size();
+
+  auto push = [&](TokKind kind, std::string text) {
+    out.tokens.push_back(Token{kind, std::move(text), line});
+  };
+
+  while (i < n) {
+    const char c = src[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+      ++i;
+      continue;
+    }
+    // Preprocessor directive: swallow the (possibly continued) line.
+    if (c == '#') {
+      while (i < n && src[i] != '\n') {
+        if (src[i] == '\\' && i + 1 < n && src[i + 1] == '\n') {
+          ++line;
+          i += 2;
+          continue;
+        }
+        ++i;
+      }
+      continue;
+    }
+    // Line comment.
+    if (c == '/' && i + 1 < n && src[i + 1] == '/') {
+      std::size_t start = i + 2;
+      while (i < n && src[i] != '\n') ++i;
+      out.comments.push_back(Comment{line, trim(src.substr(start, i - start))});
+      continue;
+    }
+    // Block comment (attributed to its first line).
+    if (c == '/' && i + 1 < n && src[i + 1] == '*') {
+      const int first_line = line;
+      std::size_t start = i + 2;
+      i += 2;
+      while (i + 1 < n && !(src[i] == '*' && src[i + 1] == '/')) {
+        if (src[i] == '\n') ++line;
+        ++i;
+      }
+      std::size_t end = (i + 1 < n) ? i : n;
+      out.comments.push_back(
+          Comment{first_line, trim(src.substr(start, end - start))});
+      i = (i + 1 < n) ? i + 2 : n;
+      continue;
+    }
+    // Raw string literal: R"delim( ... )delim".
+    if (c == 'R' && i + 1 < n && src[i + 1] == '"') {
+      std::size_t d = i + 2;
+      while (d < n && src[d] != '(') ++d;
+      const std::string delim = ")" + std::string(src.substr(i + 2, d - (i + 2))) + "\"";
+      std::size_t close = src.find(delim, d);
+      if (close == std::string_view::npos) close = n;
+      for (std::size_t k = i; k < close && k < n; ++k) {
+        if (src[k] == '\n') ++line;
+      }
+      push(TokKind::Str, "R\"...\"");
+      i = (close == n) ? n : close + delim.size();
+      continue;
+    }
+    // String / char literal (with escapes). Prefix letters (u8, L, ...)
+    // lex as part of a preceding identifier, which is fine for us.
+    if (c == '"' || c == '\'') {
+      const char quote = c;
+      std::size_t j = i + 1;
+      while (j < n && src[j] != quote) {
+        if (src[j] == '\\' && j + 1 < n) ++j;
+        if (src[j] == '\n') ++line;  // unterminated; keep line count sane
+        ++j;
+      }
+      push(quote == '"' ? TokKind::Str : TokKind::Chr, std::string(1, quote));
+      i = (j < n) ? j + 1 : n;
+      continue;
+    }
+    if (ident_start(c)) {
+      std::size_t j = i;
+      while (j < n && ident_char(src[j])) ++j;
+      push(TokKind::Ident, std::string(src.substr(i, j - i)));
+      i = j;
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) != 0) {
+      std::size_t j = i;
+      while (j < n && (ident_char(src[j]) || src[j] == '.' ||
+                       ((src[j] == '+' || src[j] == '-') && j > i &&
+                        (src[j - 1] == 'e' || src[j - 1] == 'E' ||
+                         src[j - 1] == 'p' || src[j - 1] == 'P')))) {
+        ++j;
+      }
+      push(TokKind::Number, std::string(src.substr(i, j - i)));
+      i = j;
+      continue;
+    }
+    // Punctuation, longest match first.
+    bool matched = false;
+    for (const char* p : kPuncts) {
+      const std::size_t len = std::char_traits<char>::length(p);
+      if (src.compare(i, len, p) == 0) {
+        push(TokKind::Punct, p);
+        i += len;
+        matched = true;
+        break;
+      }
+    }
+    if (!matched) {
+      push(TokKind::Punct, std::string(1, c));
+      ++i;
+    }
+  }
+  return out;
+}
+
+}  // namespace chase::lint

@@ -1,0 +1,109 @@
+#pragma once
+/// \file lint.hpp
+/// chase_lint: a project-specific coroutine-lifetime static analyzer.
+///
+/// PR 2's worst bugs were one family: coroutine frames and the references
+/// they hold outliving (or failing to outlive) a suspension point —
+/// `blpop_impl` keeping a dangling `const std::string&` parameter across
+/// `co_await`, and parked BLPOP waiters writing through pointers into
+/// destroyed frames. clang-tidy 17+ has two checks in this space, but the
+/// tidy gate needs clang installed and only covers src/; this analyzer is
+/// dependency-free (own lexer, no LLVM) so it runs in every CI job and on
+/// any dev box, and it knows this codebase's `sim::Task` idiom well enough
+/// to also catch the two heuristic classes tidy has no check for.
+///
+/// Checks (see analyze.cpp for the exact heuristics):
+///   coro-ref-param     coroutine (function or lambda) parameter passed by
+///                      reference, std::string_view, or std::span
+///   coro-lambda-capture  coroutine lambda capturing by reference or `this`
+///   coro-stale-ref     reference/pointer/iterator into a container bound
+///                      before a co_await and used after resumption
+///   coro-frame-escape  address of a frame local handed to a queue/callback
+///                      sink with no liveness guard in scope
+///   lint-suppression   malformed or unused inline suppression
+///
+/// Inline suppression (same line as the finding, or the line above):
+///   // chase-lint: allow(check-name) <written justification, required>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace chase::lint {
+
+// --- lexer -------------------------------------------------------------------
+
+enum class TokKind : std::uint8_t { Ident, Number, Str, Chr, Punct };
+
+struct Token {
+  TokKind kind;
+  std::string text;
+  int line;
+};
+
+struct Comment {
+  int line;
+  std::string text;  // without the // or /* */ markers, trimmed
+};
+
+struct LexResult {
+  std::vector<Token> tokens;
+  std::vector<Comment> comments;
+};
+
+/// Tokenize one translation unit. Comments and preprocessor directives are
+/// stripped from the token stream; comments are kept (with line numbers)
+/// for suppression parsing.
+LexResult lex(std::string_view source);
+
+// --- configuration -----------------------------------------------------------
+
+struct Config {
+  /// Lvalue-reference coroutine parameters of these (unqualified) types are
+  /// accepted: the type must, by construction, outlive every coroutine
+  /// frame (e.g. the Simulation that owns the frames). Keep this list short
+  /// and justified in .chase-lint.
+  std::vector<std::string> allow_ref_types;
+  /// RAII types whose presence in a coroutine body marks frame-pointer
+  /// escapes as guarded (the shared liveness-flag idiom from blpop_impl).
+  std::vector<std::string> guard_types;
+  /// Member/function names treated as escape sinks for coro-frame-escape.
+  std::vector<std::string> sink_names;
+  /// Path substrings excluded from tree walks (e.g. lint fixture corpora).
+  std::vector<std::string> exclude_paths;
+};
+
+/// Built-in defaults: no allowed ref types, LiveGuard as guard, the usual
+/// container/callback sinks, no excludes.
+Config default_config();
+
+/// Parse a `.chase-lint` config file into/over `cfg`. Lines:
+///   allow-ref-type <Type>   guard-type <Type>   sink <name>   exclude <path>
+/// '#' starts a comment. Returns false and sets *error on malformed input.
+bool load_config(const std::string& path, Config* cfg, std::string* error);
+
+// --- analysis ----------------------------------------------------------------
+
+struct Finding {
+  std::string check;
+  std::string file;
+  int line = 0;
+  std::string function;  // enclosing function name, or "<lambda>"
+  std::string message;
+};
+
+/// Analyze one file's source text. Returned findings already have inline
+/// suppressions applied; malformed or unused suppressions surface as
+/// `lint-suppression` findings so every allow() stays justified and live.
+std::vector<Finding> analyze_source(const std::string& path, std::string_view source,
+                                    const Config& cfg);
+
+/// All check names, for --list-checks and suppression validation.
+const std::vector<std::string>& check_names();
+
+/// Stable fingerprint of a finding for the baseline file: FNV-1a over
+/// check, file, function and message shape (line numbers excluded so the
+/// baseline survives unrelated edits above the finding).
+std::uint64_t fingerprint(const Finding& f);
+
+}  // namespace chase::lint

@@ -18,6 +18,13 @@
 ///
 ///   $ build/tools/determinism_check --seed 1 --seed 2
 ///   $ build/tools/determinism_check --runs 3 --data-fraction 0.01 --audit
+///   $ build/tools/determinism_check --chaos --seed 1
+///
+/// `--chaos` additionally arms a fixed, seeded ChaosPlan (GPU-node crashes,
+/// a THREDDS-uplink partition, an OSD failure, a Redis pod kill) against the
+/// running workflow and fingerprints the executed fault trace alongside the
+/// event trace: the fault *paths* — eviction, requeue, lease redelivery,
+/// PG recovery — must replay bit-identically too.
 ///
 /// Exit code 0 iff every seed replays identically.
 
@@ -26,11 +33,14 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "chaos/chaos.hpp"
 #include "core/connect_workflow.hpp"
 #include "core/nautilus.hpp"
+#include "net/network.hpp"
 #include "sim/event.hpp"
 #include "util/check.hpp"
 
@@ -64,6 +74,9 @@ struct Trace {
   double end_time = 0.0;
   double net_bytes = 0.0;
   double ceph_bytes = 0.0;
+  // --chaos only: rolling hash and count of executed faults.
+  std::uint64_t fault_hash = kFnvOffset;
+  std::uint64_t faults = 0;
 
   std::uint64_t final_hash() const {
     std::uint64_t h = hash;
@@ -71,11 +84,37 @@ struct Trace {
     h = fnv1a(h, bits_of(end_time));
     h = fnv1a(h, bits_of(net_bytes));
     h = fnv1a(h, bits_of(ceph_bytes));
+    h = fnv1a(h, fault_hash);
+    h = fnv1a(h, faults);
     return h;
   }
 };
 
-Trace run_workflow(std::uint64_t seed, double data_fraction) {
+/// The --chaos fault schedule. Deliberately fixed (same plan every run, every
+/// seed): the point is not fault variety but that the *recovery* event trace
+/// is a pure function of (plan, seed). Times sit inside the smoke-scale
+/// CONNECT run so every fault actually fires while its step is in flight.
+chase::chaos::ChaosPlan chaos_plan(chase::core::Nautilus& bed,
+                                   const chase::core::ConnectWorkflow& cwf) {
+  chase::chaos::ChaosPlan plan(/*seed=*/2029);
+  // Step 1 (download): partition the THREDDS uplink, heal after 3 minutes;
+  // kill the Redis pod so the ReplicaSet has to self-heal and the queue
+  // leases have to redeliver.
+  const chase::net::LinkId uplink =
+      bed.net.find_link(bed.thredds->node(), bed.site_switch(0));
+  plan.partition_link(/*at=*/120.0, uplink, /*down_for=*/180.0);
+  plan.kill_pods(/*at=*/400.0, cwf.params().ns, {{"app", "redis"}});
+  // Storage: one OSD drops out and comes back; PG recovery traffic races
+  // the workload's own writes.
+  plan.fail_osd(/*at=*/300.0, /*osd=*/3, /*down_for=*/300.0);
+  // Compute: a fifth of the GPU fleet crashes mid-run and recovers later;
+  // evicted pods must requeue their shards.
+  plan.crash_fraction(/*at=*/900.0, bed.gpu_machines(), /*fraction=*/0.20,
+                      /*down_for=*/600.0);
+  return plan;
+}
+
+Trace run_workflow(std::uint64_t seed, double data_fraction, bool with_chaos) {
   chase::core::Nautilus bed;
   Trace trace;
   bed.sim.set_trace_hook([&trace](double time, std::uint64_t seq) {
@@ -91,6 +130,24 @@ Trace run_workflow(std::uint64_t seed, double data_fraction) {
   params.inference_gpus = 16;
   params.straggler_seed = seed;
   chase::core::ConnectWorkflow cwf(bed, params);
+
+  std::unique_ptr<chase::chaos::ChaosInjector> injector;
+  if (with_chaos) {
+    injector = std::make_unique<chase::chaos::ChaosInjector>(
+        bed.sim, bed.net, bed.inventory, chaos_plan(bed, cwf), bed.kube.get(),
+        bed.ceph.get(), &bed.metrics);
+    injector->set_fault_hook(
+        [&trace](chase::chaos::FaultKind kind, double when, int victims) {
+          trace.fault_hash = fnv1a(trace.fault_hash,
+                                   static_cast<std::uint64_t>(kind));
+          trace.fault_hash = fnv1a(trace.fault_hash, bits_of(when));
+          trace.fault_hash = fnv1a(trace.fault_hash,
+                                   static_cast<std::uint64_t>(victims));
+          ++trace.faults;
+        });
+    injector->arm();
+  }
+
   auto done = cwf.workflow().start(bed.sim);
   const bool finished = chase::sim::run_until(bed.sim, done);
   if (!finished) {
@@ -109,10 +166,13 @@ bool compare(std::uint64_t seed, const Trace& a, const Trace& b, int run_index) 
   if (a.final_hash() == b.final_hash()) return true;
   std::fprintf(stderr,
                "determinism_check: DIVERGENCE for seed %" PRIu64 " (run 1 vs run %d)\n"
-               "  run 1: %" PRIu64 " events, end t=%.9g, hash %016" PRIx64 "\n"
-               "  run %d: %" PRIu64 " events, end t=%.9g, hash %016" PRIx64 "\n",
-               seed, run_index, a.events, a.end_time, a.final_hash(), run_index,
-               b.events, b.end_time, b.final_hash());
+               "  run 1: %" PRIu64 " events, %" PRIu64 " faults, end t=%.9g, hash %016" PRIx64 "\n"
+               "  run %d: %" PRIu64 " events, %" PRIu64 " faults, end t=%.9g, hash %016" PRIx64 "\n",
+               seed, run_index, a.events, a.faults, a.end_time, a.final_hash(),
+               run_index, b.events, b.faults, b.end_time, b.final_hash());
+  if (a.fault_hash != b.fault_hash) {
+    std::fprintf(stderr, "  fault traces differ (kind/time/victims fingerprint)\n");
+  }
   const std::size_t blocks = std::min(a.block_hashes.size(), b.block_hashes.size());
   for (std::size_t i = 0; i < blocks; ++i) {
     if (a.block_hashes[i] != b.block_hashes[i]) {
@@ -133,6 +193,7 @@ int main(int argc, char** argv) {
   std::vector<std::uint64_t> seeds;
   int runs = 2;
   double data_fraction = 0.005;
+  bool with_chaos = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -151,10 +212,13 @@ int main(int argc, char** argv) {
       data_fraction = std::atof(next());
     } else if (arg == "--audit") {
       chase::util::set_audit_level(2);
+    } else if (arg == "--chaos") {
+      with_chaos = true;
     } else if (arg == "--help" || arg == "-h") {
       std::printf(
-          "usage: determinism_check [--seed N]... [--runs N] [--data-fraction F] [--audit]\n"
-          "Replays the seeded CONNECT workflow and fails if the event traces diverge.\n");
+          "usage: determinism_check [--seed N]... [--runs N] [--data-fraction F] [--audit] [--chaos]\n"
+          "Replays the seeded CONNECT workflow and fails if the event traces diverge.\n"
+          "--chaos arms a fixed fault plan and fingerprints the fault trace too.\n");
       return 0;
     } else {
       std::fprintf(stderr, "determinism_check: unknown argument '%s'\n", arg.c_str());
@@ -166,11 +230,19 @@ int main(int argc, char** argv) {
 
   bool ok = true;
   for (std::uint64_t seed : seeds) {
-    const Trace first = run_workflow(seed, data_fraction);
-    std::printf("seed %" PRIu64 ": %" PRIu64 " events, end t=%.6g, hash %016" PRIx64 "\n",
-                seed, first.events, first.end_time, first.final_hash());
+    const Trace first = run_workflow(seed, data_fraction, with_chaos);
+    std::printf("seed %" PRIu64 ": %" PRIu64 " events, %" PRIu64
+                " faults, end t=%.6g, hash %016" PRIx64 "\n",
+                seed, first.events, first.faults, first.end_time,
+                first.final_hash());
+    if (with_chaos && first.faults == 0) {
+      std::fprintf(stderr,
+                   "determinism_check: --chaos executed no faults; the plan "
+                   "no longer overlaps the run\n");
+      ok = false;
+    }
     for (int r = 2; r <= runs; ++r) {
-      const Trace replay = run_workflow(seed, data_fraction);
+      const Trace replay = run_workflow(seed, data_fraction, with_chaos);
       ok = compare(seed, first, replay, r) && ok;
     }
   }
