@@ -1,0 +1,217 @@
+/// \file bench_core_throughput.cpp
+/// Core event-loop + network-fabric throughput at three cluster sizes.
+///
+/// This is the simulator's own speedometer (ROADMAP item 1), not a paper
+/// figure: it drives the two hot paths that every CHASE-CI workload sits on
+/// — the scheduler (timer ping-pong coroutines) and the flow-level network
+/// (concurrent max-min-fair transfers) — and reports events/sec and
+/// sim-seconds per wall-second per size. Results are committed as
+/// BENCH_core_throughput.json so every later PR shows its perf delta;
+/// tools/bench_compare diffs a fresh run against the committed baseline.
+///
+///   $ bench_core_throughput                  # human table, all sizes
+///   $ bench_core_throughput --json --out f   # machine-readable baseline
+///   $ bench_core_throughput --smoke          # 10x fewer iterations (CI)
+///
+/// Audits run at level 0 here on purpose: this bench measures the hot path
+/// itself; audit-sweep cost is a separate, deliberate knob (README
+/// "Performance lint & baselines"). The workload is fully seeded — the
+/// event count per size is deterministic, only wall time varies.
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "net/network.hpp"
+#include "sim/event.hpp"
+#include "sim/simulation.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+namespace {
+
+using chase::net::Network;
+using chase::net::NodeId;
+using chase::sim::Simulation;
+using chase::sim::Task;
+using chase::util::Rng;
+
+struct SizeSpec {
+  const char* name;
+  int nodes;          // leaf nodes, one 10GbE uplink each to a core switch
+  int ticks;          // timer ping-pong iterations per node
+  int streams;        // concurrent transfer loops per node
+  int transfers;      // sequential transfers per stream
+};
+
+// Three rungs: scheduler-dominated (small), mixed, and flow-dominated
+// (large — ~nodes*streams concurrent flows keep the max-min recompute hot).
+constexpr SizeSpec kSizes[] = {
+    {"small", 8, 20000, 2, 400},
+    {"medium", 32, 8000, 2, 200},
+    {"large", 128, 2000, 4, 60},
+};
+
+struct Result {
+  std::string name;
+  int nodes = 0;
+  std::uint64_t events = 0;
+  double sim_s = 0.0;
+  double wall_s = 0.0;
+  double events_per_sec = 0.0;
+  double sim_per_wall = 0.0;
+};
+
+/// Pure scheduler traffic: a coroutine that sleeps `ticks` times with a
+/// seeded jitter. Each iteration is one pop + one push on the event heap.
+Task ticker(Simulation* sim, Rng rng, int ticks) {
+  for (int i = 0; i < ticks; ++i) {
+    co_await sim->sleep(rng.uniform(0.5e-3, 1.5e-3));
+  }
+}
+
+/// Flow churn: sequential seeded transfers to random peers with a short
+/// think time, so ~streams*nodes flows are concurrently active and every
+/// arrival/completion re-runs the max-min fair-share recompute.
+Task traffic(Simulation* sim, Network* net, NodeId self, int nodes, Rng rng,
+             int transfers) {
+  for (int i = 0; i < transfers; ++i) {
+    NodeId dst = static_cast<NodeId>(rng.uniform_u64(static_cast<std::uint64_t>(nodes)));
+    if (dst == self) dst = (dst + 1) % nodes;
+    const auto bytes = static_cast<chase::util::Bytes>(rng.uniform(4e6, 32e6));
+    co_await net->send(self, dst, bytes);
+    co_await sim->sleep(rng.exponential(5e-3));
+  }
+}
+
+Result run_size(const SizeSpec& spec, int scale_div) {
+  Simulation sim;
+  Network net(sim);
+
+  const NodeId core = net.add_node("core");
+  std::vector<NodeId> leaves;
+  leaves.reserve(static_cast<std::size_t>(spec.nodes));
+  for (int i = 0; i < spec.nodes; ++i) {
+    std::string leaf_name = "n";
+    leaf_name += std::to_string(i);
+    const NodeId n = net.add_node(std::move(leaf_name));
+    net.add_link(n, core, chase::util::gbit_per_s(10.0), 0.5e-3);
+    leaves.push_back(n);
+  }
+
+  const int ticks = std::max(1, spec.ticks / scale_div);
+  const int transfers = std::max(1, spec.transfers / scale_div);
+  Rng root(0xC0DEC0DEULL + static_cast<std::uint64_t>(spec.nodes));
+  for (int i = 0; i < spec.nodes; ++i) {
+    sim.spawn(ticker(&sim, root.fork(), ticks));
+    for (int s = 0; s < spec.streams; ++s) {
+      sim.spawn(traffic(&sim, &net, leaves[static_cast<std::size_t>(i)],
+                        spec.nodes, root.fork(), transfers));
+    }
+  }
+
+  const auto wall_start = std::chrono::steady_clock::now();
+  sim.run();
+  const auto wall_end = std::chrono::steady_clock::now();
+
+  Result r;
+  r.name = spec.name;
+  r.nodes = spec.nodes;
+  r.events = sim.events_processed();
+  r.sim_s = sim.now();
+  r.wall_s = std::chrono::duration<double>(wall_end - wall_start).count();
+  r.events_per_sec = static_cast<double>(r.events) / std::max(r.wall_s, 1e-9);
+  r.sim_per_wall = r.sim_s / std::max(r.wall_s, 1e-9);
+  return r;
+}
+
+void print_json(std::FILE* out, const std::vector<Result>& results, int scale_div) {
+  std::fprintf(out, "{\n  \"bench\": \"core_throughput\",\n  \"schema\": 1,\n");
+  std::fprintf(out, "  \"smoke\": %s,\n  \"audit_level\": 0,\n  \"sizes\": [\n",
+               scale_div > 1 ? "true" : "false");
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const Result& r = results[i];
+    std::fprintf(out,
+                 "    {\"name\": \"%s\", \"nodes\": %d, \"events\": %llu, "
+                 "\"sim_s\": %.6f, \"wall_s\": %.6f, \"events_per_sec\": %.1f, "
+                 "\"sim_per_wall\": %.3f}%s\n",
+                 r.name.c_str(), r.nodes,
+                 static_cast<unsigned long long>(r.events), r.sim_s, r.wall_s,
+                 r.events_per_sec, r.sim_per_wall,
+                 i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n}\n");
+}
+
+std::string fmt(double v, int prec) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", prec, v);
+  return buf;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool json = false;
+  int scale_div = 1;
+  std::string out_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json") {
+      json = true;
+    } else if (arg == "--smoke") {
+      scale_div = 10;
+    } else if (arg == "--out") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "bench_core_throughput: --out needs a value\n");
+        return 2;
+      }
+      out_path = argv[++i];
+      json = true;
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf("usage: bench_core_throughput [--json] [--out FILE] [--smoke]\n");
+      return 0;
+    } else {
+      std::fprintf(stderr, "bench_core_throughput: unknown argument '%s'\n",
+                   arg.c_str());
+      return 2;
+    }
+  }
+
+  // Hot-path speedometer: invariant sweeps are measured elsewhere.
+  chase::util::set_audit_level(0);
+
+  std::vector<Result> results;
+  results.reserve(std::size(kSizes));
+  for (const SizeSpec& spec : kSizes) {
+    results.push_back(run_size(spec, scale_div));
+  }
+
+  if (json) {
+    std::FILE* out = stdout;
+    if (!out_path.empty()) {
+      out = std::fopen(out_path.c_str(), "w");
+      if (out == nullptr) {
+        std::fprintf(stderr, "bench_core_throughput: cannot write %s\n",
+                     out_path.c_str());
+        return 2;
+      }
+    }
+    print_json(out, results, scale_div);
+    if (out != stdout) std::fclose(out);
+  } else {
+    chase::util::Table table(
+        {"Size", "Nodes", "Events", "Sim s", "Wall s", "Events/s", "Sim-s/wall-s"});
+    for (const Result& r : results) {
+      table.add_row({r.name, std::to_string(r.nodes), std::to_string(r.events),
+                     fmt(r.sim_s, 1), fmt(r.wall_s, 3), fmt(r.events_per_sec, 0),
+                     fmt(r.sim_per_wall, 1)});
+    }
+    std::fputs(table.render("Core event-loop & network throughput").c_str(), stdout);
+  }
+  return 0;
+}

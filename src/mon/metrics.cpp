@@ -93,6 +93,7 @@ const TimeSeries* Registry::find(const std::string& name, const Labels& labels) 
 std::vector<std::pair<SeriesKey, const TimeSeries*>> Registry::select(
     const std::string& name, const Labels& selector) const {
   std::vector<std::pair<SeriesKey, const TimeSeries*>> out;
+  out.reserve(series_.size());
   for (const auto& [key, ts] : series_) {
     if (key.name != name) continue;
     bool match = true;

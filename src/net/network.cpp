@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
-#include <deque>
 #include <stdexcept>
 
 #include "util/check.hpp"
@@ -27,6 +26,10 @@ LinkId Network::add_link(NodeId a, NodeId b, double bandwidth_bps, double latenc
   const LinkId forward = static_cast<LinkId>(links_.size());
   links_.push_back(DirectedLink{a, b, bandwidth_bps, latency_s, bandwidth_bps, true, {}});
   links_.push_back(DirectedLink{b, a, bandwidth_bps, latency_s, bandwidth_bps, true, {}});
+  // Pre-size the per-link flow registries at build time so steady-state
+  // flow churn stays within the high-water capacity.
+  links_[forward].flow_ids.reserve(8);
+  links_[forward + 1].flow_ids.reserve(8);
   nodes_[a].out.push_back(forward);
   nodes_[b].out.push_back(forward + 1);
   invalidate_routes();
@@ -99,34 +102,50 @@ LinkId Network::find_link(NodeId a, NodeId b) const {
   return -1;
 }
 
-std::vector<LinkId> Network::route(NodeId src, NodeId dst) {
+const std::vector<LinkId>& Network::route(NodeId src, NodeId dst) {
   const auto key = std::make_pair(src, dst);
-  if (auto it = route_cache_.find(key); it != route_cache_.end()) return it->second;
+  const auto [cache_it, inserted] = route_cache_.try_emplace(key);
+  if (!inserted) return cache_it->second;
 
-  // BFS by hop count; deterministic tie-break by link id order.
-  std::vector<LinkId> via(nodes_.size(), -1);
-  std::vector<bool> seen(nodes_.size(), false);
-  std::deque<NodeId> q;
-  seen[src] = true;
-  q.push_back(src);
-  while (!q.empty() && !seen[dst]) {
-    NodeId n = q.front();
-    q.pop_front();
+  // BFS by hop count; deterministic tie-break by link id order. The
+  // frontier/visited buffers are members reused across cache misses.
+  route_via_.assign(nodes_.size(), -1);
+  route_seen_.assign(nodes_.size(), 0);
+  route_q_.clear();
+  route_q_.reserve(nodes_.size());
+  route_seen_[src] = 1;
+  route_q_.push_back(src);
+  bool found = (src == dst);
+  for (std::size_t head = 0; head < route_q_.size() && !found; ++head) {
+    const NodeId n = route_q_[head];
     for (LinkId l : nodes_[n].out) {
-      if (!links_[l].up) continue;
-      NodeId next = links_[l].to;
-      if (seen[next] || !nodes_[next].up) continue;
-      seen[next] = true;
-      via[next] = l;
-      q.push_back(next);
+      const DirectedLink& link = links_[l];
+      if (!link.up) continue;
+      const NodeId next = link.to;
+      char& seen_next = route_seen_[next];
+      if (seen_next || !nodes_[next].up) continue;
+      seen_next = 1;
+      route_via_[next] = l;
+      if (next == dst) found = true;
+      route_q_.push_back(next);
     }
   }
-  std::vector<LinkId> path;
-  if (seen[dst]) {
-    for (NodeId n = dst; n != src; n = links_[via[n]].from) path.push_back(via[n]);
+  std::vector<LinkId>& path = cache_it->second;
+  if (found && src != dst) {
+    std::size_t hops = 0;
+    for (NodeId n = dst; n != src;) {
+      const LinkId l = route_via_[n];
+      ++hops;
+      n = links_[l].from;
+    }
+    path.reserve(hops);
+    for (NodeId n = dst; n != src;) {
+      const LinkId l = route_via_[n];
+      path.push_back(l);
+      n = links_[l].from;
+    }
     std::reverse(path.begin(), path.end());
   }
-  route_cache_[key] = path;
   return path;
 }
 
@@ -136,7 +155,9 @@ bool Network::reachable(NodeId src, NodeId dst) {
 }
 
 TransferPtr Network::transfer(NodeId src, NodeId dst, Bytes bytes, TransferOptions opts) {
-  auto handle = std::make_shared<Transfer>();
+  // Handles churn once per transfer: object + control block come from the
+  // BlockPool in one combined allocation and are recycled on release.
+  auto handle = std::allocate_shared<Transfer>(util::PoolAllocator<Transfer>{});
   handle->src = src;
   handle->dst = dst;
   handle->bytes = bytes;
@@ -173,11 +194,12 @@ TransferPtr Network::transfer(NodeId src, NodeId dst, Bytes bytes, TransferOptio
   }
 
   // The flow starts after the path latency (slow-start abstracted away).
-  sim_.schedule(latency, [this, handle, path = std::move(path), opts] {
+  sim_.schedule(latency, [this, handle, path = std::move(path), opts]() mutable {
     if (handle->failed) return;
     // Re-check liveness at flow start.
     for (LinkId l : path) {
-      if (!links_[l].up || !nodes_[links_[l].from].up || !nodes_[links_[l].to].up) {
+      const DirectedLink& link = links_[l];
+      if (!link.up || !nodes_[link.from].up || !nodes_[link.to].up) {
         handle->failed = true;
         handle->finish_time = sim_.now();
         handle->done->trigger(sim_);
@@ -188,11 +210,11 @@ TransferPtr Network::transfer(NodeId src, NodeId dst, Bytes bytes, TransferOptio
     const std::uint64_t id = next_flow_id_++;
     Flow flow;
     flow.handle = handle;
-    flow.path = path;
     flow.remaining = static_cast<double>(handle->bytes);
     flow.rate_cap = opts.rate_cap;
     flow.last_update = sim_.now();
     for (LinkId l : path) links_[l].flow_ids.push_back(id);
+    flow.path = std::move(path);
     flows_.emplace(id, std::move(flow));
     recompute_rates();
     schedule_next_completion();
@@ -220,70 +242,104 @@ void Network::settle_progress() {
 
 void Network::recompute_rates() {
   // Progressive filling (max-min fairness) with per-flow rate caps.
-  struct LinkState {
-    double residual;
-    int count;
-  };
-  std::vector<LinkState> ls(links_.size());
+  // Scratch lives in members (rate_*_) so the steady state re-rates the
+  // whole network allocation-free; the arithmetic and freeze order are
+  // bit-identical to the original map-based formulation (determinism).
+  rate_ls_.resize(links_.size());
   for (std::size_t i = 0; i < links_.size(); ++i) {
-    ls[i] = {links_[i].capacity, 0};
+    rate_ls_[i] = LinkState{links_[i].capacity, 0};
   }
-  std::map<std::uint64_t, double> pending;  // unassigned flows -> cap
-  for (auto& [id, flow] : flows_) {
-    pending[id] = flow.rate_cap;
-    for (LinkId l : flow.path) ++ls[l].count;
+  rate_pending_.clear();
+  rate_pending_.reserve(flows_.size());
+  for (auto& [id, flow] : flows_) {  // ascending id: deterministic freeze order
+    rate_pending_.push_back(PendingFlow{id, flow.rate_cap, &flow, false});
+    for (LinkId l : flow.path) ++rate_ls_[l].count;
+  }
+  // Links still carrying unassigned flows, ascending. Counts only decrease
+  // within one recompute, so exhausted links are dropped for good; dropping
+  // them skips exactly the iterations the full scan would have skipped via
+  // `count > 0`, leaving the division/min sequence — and thus the computed
+  // rates — bit-identical to the naive formulation.
+  rate_active_links_.clear();
+  rate_active_links_.reserve(links_.size());
+  for (std::size_t i = 0; i < rate_ls_.size(); ++i) {
+    if (rate_ls_[i].count > 0) rate_active_links_.push_back(i);
   }
 
-  auto freeze_flow = [&](std::uint64_t id, double rate) {
-    flows_[id].rate = rate;
-    for (LinkId l : flows_[id].path) {
-      ls[l].residual = std::max(0.0, ls[l].residual - rate);
-      --ls[l].count;
+  auto freeze_flow = [&](PendingFlow& p, double rate) {
+    p.flow->rate = rate;
+    for (LinkId l : p.flow->path) {
+      LinkState& s = rate_ls_[l];
+      s.residual = std::max(0.0, s.residual - rate);
+      --s.count;
     }
-    pending.erase(id);
+    p.frozen = true;
+  };
+  // Flows frozen this round are compacted out (order-preserving), keeping
+  // later rounds' scans proportional to what is still unassigned.
+  auto compact_pending = [&] {
+    rate_pending_.erase(
+        std::remove_if(rate_pending_.begin(), rate_pending_.end(),
+                       [](const PendingFlow& p) { return p.frozen; }),
+        rate_pending_.end());
+  };
+  // rate_pending_ is sorted by flow id (flows_ iteration order; compaction
+  // preserves it).
+  auto find_pending = [&](std::uint64_t fid) -> PendingFlow* {
+    auto it = std::lower_bound(
+        rate_pending_.begin(), rate_pending_.end(), fid,
+        [](const PendingFlow& p, std::uint64_t v) { return p.id < v; });
+    return (it != rate_pending_.end() && it->id == fid) ? &*it : nullptr;
   };
 
-  while (!pending.empty()) {
-    // Bottleneck share among links that still carry unassigned flows.
+  while (!rate_pending_.empty()) {
+    // Bottleneck share among links that still carry unassigned flows,
+    // compacting exhausted links out of the active list as we go.
     double share = std::numeric_limits<double>::infinity();
-    for (std::size_t i = 0; i < links_.size(); ++i) {
-      if (ls[i].count > 0) share = std::min(share, ls[i].residual / ls[i].count);
+    std::size_t kept = 0;
+    for (std::size_t idx : rate_active_links_) {
+      const LinkState& s = rate_ls_[idx];
+      if (s.count <= 0) continue;  // exhausted this recompute: drop
+      rate_active_links_[kept++] = idx;
+      share = std::min(share, s.residual / s.count);
     }
+    rate_active_links_.resize(kept);
     // Any flow whose cap is below the bottleneck share freezes at its cap.
     bool froze_capped = false;
-    for (auto it = pending.begin(); it != pending.end();) {
-      const auto id = it->first;
-      const double cap = it->second;
-      ++it;
-      if (cap < share) {
-        freeze_flow(id, cap);
+    for (PendingFlow& p : rate_pending_) {
+      if (p.cap < share) {
+        freeze_flow(p, p.cap);
         froze_capped = true;
       }
     }
-    if (froze_capped) continue;  // shares changed; recompute
+    if (froze_capped) {
+      compact_pending();
+      continue;  // shares changed; recompute
+    }
     if (!std::isfinite(share)) {
       // No constraining link (e.g. all flows capped and handled above).
-      for (auto it = pending.begin(); it != pending.end();) {
-        const auto id = it->first;
-        ++it;
-        freeze_flow(id, flows_[id].rate_cap);
-      }
+      for (PendingFlow& p : rate_pending_) freeze_flow(p, p.cap);
+      rate_pending_.clear();
       break;
     }
     // Freeze all unassigned flows crossing the bottleneck link at `share`.
     LinkId bottleneck = -1;
-    for (std::size_t i = 0; i < links_.size(); ++i) {
-      if (ls[i].count > 0 && ls[i].residual / ls[i].count <= share * (1.0 + 1e-9) + 1e-9) {
-        bottleneck = static_cast<LinkId>(i);
+    for (std::size_t idx : rate_active_links_) {
+      const LinkState& s = rate_ls_[idx];
+      if (s.count > 0 && s.residual / s.count <= share * (1.0 + 1e-9) + 1e-9) {
+        bottleneck = static_cast<LinkId>(idx);
         break;
       }
     }
     assert(bottleneck >= 0);
-    std::vector<std::uint64_t> on_link;
+    rate_on_link_.clear();
+    rate_on_link_.reserve(rate_pending_.size());
     for (std::uint64_t fid : links_[bottleneck].flow_ids) {
-      if (pending.count(fid)) on_link.push_back(fid);
+      const PendingFlow* p = find_pending(fid);
+      if (p != nullptr && !p->frozen) rate_on_link_.push_back(fid);
     }
-    for (std::uint64_t fid : on_link) freeze_flow(fid, share);
+    for (std::uint64_t fid : rate_on_link_) freeze_flow(*find_pending(fid), share);
+    compact_pending();
   }
 }
 
@@ -301,11 +357,14 @@ void Network::schedule_next_completion() {
   sim_.schedule(eta, [this, gen] {
     if (gen != completion_gen_) return;  // superseded by a newer rate change
     settle_progress();
-    std::vector<std::uint64_t> finished;
+    // finish_flow fires handles via deferred events, so no callback can
+    // re-enter and clobber the scratch buffer while we iterate it.
+    finished_scratch_.clear();
+    finished_scratch_.reserve(flows_.size());
     for (const auto& [id, flow] : flows_) {
-      if (flow.remaining <= kByteEpsilon) finished.push_back(id);
+      if (flow.remaining <= kByteEpsilon) finished_scratch_.push_back(id);
     }
-    for (auto id : finished) finish_flow(id, /*failed=*/false);
+    for (auto id : finished_scratch_) finish_flow(id, /*failed=*/false);
     recompute_rates();
     schedule_next_completion();
   });

@@ -20,6 +20,7 @@
 
 #include "sim/event.hpp"
 #include "sim/simulation.hpp"
+#include "util/block_pool.hpp"
 #include "util/units.hpp"
 
 namespace chase::net {
@@ -149,18 +150,48 @@ class Network {
   /// Remove a flow and fire its handle.
   void finish_flow(std::uint64_t id, bool failed);
   void fail_flow(std::uint64_t id);
-  std::vector<LinkId> route(NodeId src, NodeId dst);
+  /// Cached shortest path; the reference is valid until the next topology
+  /// change (invalidate_routes). Callers that outlive that must copy.
+  const std::vector<LinkId>& route(NodeId src, NodeId dst);
   void invalidate_routes() { route_cache_.clear(); }
 
   sim::Simulation& sim_;
   std::vector<Node> nodes_;
   std::vector<DirectedLink> links_;
-  std::map<std::uint64_t, Flow> flows_;  // ordered for determinism
+  /// Ordered for determinism; map nodes churn once per flow, so they are
+  /// recycled through the BlockPool rather than the global heap.
+  std::map<std::uint64_t, Flow, std::less<>,
+           util::PoolAllocator<std::pair<const std::uint64_t, Flow>>>
+      flows_;
   std::uint64_t next_flow_id_ = 0;
   std::uint64_t completion_gen_ = 0;  // invalidates stale completion events
   double bytes_delivered_ = 0.0;
   std::map<std::pair<NodeId, NodeId>, std::vector<LinkId>> route_cache_;
   std::uint64_t audit_hook_ = 0;
+
+  // --- hot-path scratch ----------------------------------------------------
+  // recompute_rates() and its completion/startup callbacks run once per
+  // flow-set change; these buffers are reused across calls so the steady
+  // state re-rates the whole network without a single allocation.
+  struct LinkState {
+    double residual;
+    int count;
+  };
+  struct PendingFlow {
+    std::uint64_t id;
+    double cap;
+    Flow* flow;
+    bool frozen;
+  };
+  std::vector<LinkState> rate_ls_;
+  std::vector<PendingFlow> rate_pending_;
+  std::vector<std::size_t> rate_active_links_;
+  std::vector<std::uint64_t> rate_on_link_;
+  std::vector<std::uint64_t> finished_scratch_;
+  // BFS scratch for route() cache misses.
+  std::vector<LinkId> route_via_;
+  std::vector<char> route_seen_;
+  std::vector<NodeId> route_q_;
 };
 
 }  // namespace chase::net

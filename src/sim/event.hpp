@@ -5,11 +5,12 @@
 
 #include <coroutine>
 #include <cstdint>
-#include <deque>
 #include <memory>
 #include <vector>
 
 #include "sim/simulation.hpp"
+#include "util/block_pool.hpp"
+#include "util/inline_vec.hpp"
 
 namespace chase::sim {
 
@@ -26,19 +27,27 @@ class Event {
     Event* ev;
     Simulation* sim;
     bool await_ready() const noexcept { return ev->fired_; }
-    void await_suspend(std::coroutine_handle<> h) { ev->waiters_.push_back(h); }
+    void await_suspend(std::coroutine_handle<> h) {
+      // chase-lint: allow(hot-alloc) InlineVec: 4 inline slots, BlockPool spill; no global heap in steady state
+      ev->waiters_.push_back(h);
+    }
     void await_resume() const noexcept {}
   };
   Awaiter wait(Simulation& sim) { return Awaiter{this, &sim}; }
 
  private:
   bool fired_ = false;
-  std::vector<std::coroutine_handle<>> waiters_;
+  util::InlineVec<std::coroutine_handle<>, 4> waiters_;
 };
 
 using EventPtr = std::shared_ptr<Event>;
 
-inline EventPtr make_event() { return std::make_shared<Event>(); }
+/// Events churn once per transfer/lease/barrier, so the object and its
+/// shared_ptr control block come from the BlockPool (one combined
+/// allocation, recycled on release) instead of the global heap.
+inline EventPtr make_event() {
+  return std::allocate_shared<Event>(util::PoolAllocator<Event>{});
+}
 
 /// Wait until all events in the group have fired.
 Task wait_all(Simulation& sim, std::vector<EventPtr> events);
@@ -66,7 +75,10 @@ class Semaphore {
       }
       return false;
     }
-    void await_suspend(std::coroutine_handle<> h) { sem->waiters_.push_back(h); }
+    void await_suspend(std::coroutine_handle<> h) {
+      // chase-lint: allow(hot-alloc) InlineVec: 4 inline slots, BlockPool spill; no global heap in steady state
+      sem->waiters_.push_back(h);
+    }
     void await_resume() const noexcept {}
   };
   /// Acquire one permit (may suspend).
@@ -77,7 +89,7 @@ class Semaphore {
 
  private:
   std::int64_t permits_;
-  std::deque<std::coroutine_handle<>> waiters_;
+  util::InlineVec<std::coroutine_handle<>, 4> waiters_;
 };
 
 /// RAII-style completion latch: counts down, fires an event at zero.

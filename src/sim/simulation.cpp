@@ -1,12 +1,21 @@
 #include "sim/simulation.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <cstdio>
 #include <exception>
 
+#include "util/alloc_stats.hpp"
 #include "util/check.hpp"
 
 namespace chase::sim {
+
+namespace {
+/// Initial event-heap capacity. The vector grows amortized past this; the
+/// point is that steady-state churn never reallocates (the capacity sticks
+/// at the high-water mark), which the zero-alloc audit in step() relies on.
+constexpr std::size_t kInitialQueueCapacity = 1024;
+}  // namespace
 
 void SleepAwaiter::await_suspend(std::coroutine_handle<> h) const {
   sim->schedule(delay, [h] { h.resume(); });
@@ -46,19 +55,22 @@ Task::~Task() {
   if (handle_) handle_.destroy();
 }
 
+Simulation::Simulation() { queue_.reserve(kInitialQueueCapacity); }
+
 Simulation::~Simulation() {
   // Drop pending callbacks first (they may reference coroutine frames), then
   // destroy frames that never completed.
-  while (!queue_.empty()) queue_.pop();
+  queue_.clear();
   for (void* frame : detached_) {
     std::coroutine_handle<>::from_address(frame).destroy();
   }
 }
 
-void Simulation::schedule(double delay, std::function<void()> fn) {
+void Simulation::schedule(double delay, util::SmallFn<void()> fn) {
   assert(delay >= 0.0 && "cannot schedule into the past");
   if (delay < 0.0) delay = 0.0;
-  queue_.push(Entry{now_ + delay, seq_++, std::move(fn)});
+  queue_.push_back(Entry{now_ + delay, seq_++, std::move(fn)});
+  std::push_heap(queue_.begin(), queue_.end(), std::greater<>{});
 }
 
 void Simulation::spawn(Task task) {
@@ -78,7 +90,7 @@ std::uint64_t Simulation::run(double until) {
   const std::uint64_t interval =
       level >= 2 ? std::max<std::uint64_t>(1, audit_interval_ / 8) : audit_interval_;
   std::uint64_t n = 0;
-  while (!queue_.empty() && queue_.top().time <= until) {
+  while (!queue_.empty() && queue_.front().time <= until) {
     step();
     ++n;
     if (level >= 1 && !audit_hooks_.empty() && ++events_since_audit_ >= interval) {
@@ -98,9 +110,21 @@ std::uint64_t Simulation::run(double until) {
 
 bool Simulation::step() {
   if (queue_.empty()) return false;
-  // Move the entry out before popping so the callback survives the pop.
-  Entry e = std::move(const_cast<Entry&>(queue_.top()));
-  queue_.pop();
+  // Zero-alloc witness: with the counting hook linked (tests) and expensive
+  // audits on, the dequeue machinery below — heap sift, SmallFn relocation,
+  // pop_back — must not reach the global heap. The callback body itself is
+  // covered by the steady-state loop test in tests/alloc_stats_test.cpp.
+  std::uint64_t news_before = 0;
+  const bool audit_allocs =
+      util::audit_level() >= 2 && util::alloc_stats::hooked();
+  if (audit_allocs) news_before = util::alloc_stats::news();
+  std::pop_heap(queue_.begin(), queue_.end(), std::greater<>{});
+  Entry e = std::move(queue_.back());
+  queue_.pop_back();
+  if (audit_allocs) {
+    CHASE_AUDIT(util::alloc_stats::news() == news_before,
+                "event dispatch machinery allocated on the global heap");
+  }
   CHASE_ASSERT(e.time + 1e-12 >= now_, "event time went backwards");
   now_ = e.time;
   ++events_processed_;
@@ -109,7 +133,7 @@ bool Simulation::step() {
   return true;
 }
 
-std::uint64_t Simulation::add_audit_hook(std::function<void()> hook) {
+std::uint64_t Simulation::add_audit_hook(util::SmallFn<void()> hook) {
   const std::uint64_t id = next_audit_hook_id_++;
   audit_hooks_.emplace(id, std::move(hook));
   return id;
@@ -124,8 +148,8 @@ void Simulation::audit_now() const {
 
 void Simulation::check_invariants() const {
   CHASE_INVARIANT(now_ >= 0.0, "virtual clock is negative");
-  // The heap top is the minimum, so one comparison covers every queued entry.
-  CHASE_INVARIANT(queue_.empty() || queue_.top().time >= now_ - 1e-12,
+  // The heap root is the minimum, so one comparison covers every queued entry.
+  CHASE_INVARIANT(queue_.empty() || queue_.front().time >= now_ - 1e-12,
                   "event heap holds work scheduled before now()");
 }
 

@@ -7,15 +7,22 @@
 /// coroutine "processes" that `co_await` virtual delays and events — the
 /// style in which all CHASE-CI workloads (download workers, trainers,
 /// controllers, OSD recovery, ...) are written.
+///
+/// The event loop is allocation-free in the steady state: callbacks are
+/// util::SmallFn (48-byte inline buffer, BlockPool overflow — see
+/// util/small_fn.hpp) and the priority queue is an explicit binary heap
+/// over a reserved vector, so after warmup neither scheduling nor
+/// dispatching an event touches the global heap. At audit level >= 2 with
+/// the alloc_stats hook linked, step() asserts this per event.
 
 #include <coroutine>
 #include <cstdint>
-#include <functional>
 #include <limits>
 #include <map>
-#include <queue>
 #include <unordered_set>
 #include <vector>
+
+#include "util/small_fn.hpp"
 
 namespace chase::sim {
 
@@ -86,7 +93,7 @@ class [[nodiscard]] Task {
 /// The event queue + virtual clock.
 class Simulation {
  public:
-  Simulation() = default;
+  Simulation();
   ~Simulation();
 
   Simulation(const Simulation&) = delete;
@@ -95,7 +102,9 @@ class Simulation {
   double now() const { return now_; }
 
   /// Schedule `fn` to run `delay` seconds from now (delay >= 0).
-  void schedule(double delay, std::function<void()> fn);
+  /// SmallFn converts from any callable; captures beyond 48 bytes land in
+  /// the BlockPool rather than the global heap.
+  void schedule(double delay, util::SmallFn<void()> fn);
 
   /// Awaitable delay for coroutine processes.
   SleepAwaiter sleep(double delay) { return SleepAwaiter{this, delay}; }
@@ -123,7 +132,7 @@ class Simulation {
   // (see util/check.hpp). Hooks must be read-only over simulation state.
 
   /// Register an audit hook; returns an id for remove_audit_hook().
-  std::uint64_t add_audit_hook(std::function<void()> hook);
+  std::uint64_t add_audit_hook(util::SmallFn<void()> hook);
   void remove_audit_hook(std::uint64_t id);
   std::size_t audit_hook_count() const { return audit_hooks_.size(); }
 
@@ -139,8 +148,8 @@ class Simulation {
   void check_invariants() const;
 
   /// Observe every processed event as (virtual time, sequence number) —
-  /// the event trace hashed by tools/determinism_check. Empty clears.
-  void set_trace_hook(std::function<void(double time, std::uint64_t seq)> hook) {
+  /// the event trace hashed by tools/determinism_check. Pass {} to clear.
+  void set_trace_hook(util::SmallFn<void(double time, std::uint64_t seq)> hook) {
     trace_hook_ = std::move(hook);
   }
 
@@ -151,7 +160,7 @@ class Simulation {
   struct Entry {
     double time;
     std::uint64_t seq;
-    std::function<void()> fn;
+    util::SmallFn<void()> fn;
     bool operator>(const Entry& o) const {
       if (time != o.time) return time > o.time;
       return seq > o.seq;
@@ -161,14 +170,18 @@ class Simulation {
   double now_ = 0.0;
   std::uint64_t seq_ = 0;
   std::uint64_t events_processed_ = 0;
-  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> queue_;
+  // Explicit min-heap (std::push_heap/pop_heap over a reserved vector).
+  // Identical pop order to std::priority_queue for the unique (time, seq)
+  // keys — determinism hashes are bit-for-bit unchanged — but the storage
+  // is inspectable, reservable, and move-only-friendly.
+  std::vector<Entry> queue_;
   std::unordered_set<void*> detached_;
 
-  std::map<std::uint64_t, std::function<void()>> audit_hooks_;  // ordered: determinism
+  std::map<std::uint64_t, util::SmallFn<void()>> audit_hooks_;  // ordered: determinism
   std::uint64_t next_audit_hook_id_ = 0;
   std::uint64_t audit_interval_ = 1024;
   std::uint64_t events_since_audit_ = 0;
-  std::function<void(double, std::uint64_t)> trace_hook_;
+  util::SmallFn<void(double, std::uint64_t)> trace_hook_;
 };
 
 }  // namespace chase::sim

@@ -1,0 +1,77 @@
+/// \file alloc_hook.cpp
+/// The opt-in counting operator new/delete replacement behind
+/// alloc_stats.hpp. Built as the `chase_alloc_hook` OBJECT library: an
+/// object file on the final link line always wins symbol resolution, so
+/// linking the library is the whole opt-in — no macros, no init call.
+/// Binaries that skip it keep the toolchain's allocator untouched.
+///
+/// Only the four core forms are replaced; the sized and aligned variants
+/// forward here per the standard's default behavior on this toolchain.
+/// Sanitizer note: ASan intercepts malloc/free *below* operator new, so
+/// counting up here composes with the asan-ubsan preset.
+
+#include <cstdlib>
+#include <new>
+
+#include "util/alloc_stats.hpp"
+
+namespace {
+/// Flips hooked() at static-init time so runtime code can tell the
+/// replacement is present before any test logic runs.
+const bool g_registered = [] {
+  chase::util::alloc_stats::set_hooked();
+  return true;
+}();
+}  // namespace
+
+void* operator new(std::size_t n) {
+  chase::util::alloc_stats::count_new(n);
+  if (void* p = std::malloc(n == 0 ? 1 : n)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new(std::size_t n, const std::nothrow_t&) noexcept {
+  chase::util::alloc_stats::count_new(n);
+  return std::malloc(n == 0 ? 1 : n);
+}
+
+void* operator new[](std::size_t n) {
+  chase::util::alloc_stats::count_new(n);
+  if (void* p = std::malloc(n == 0 ? 1 : n)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t n, const std::nothrow_t&) noexcept {
+  chase::util::alloc_stats::count_new(n);
+  return std::malloc(n == 0 ? 1 : n);
+}
+
+void operator delete(void* p) noexcept {
+  chase::util::alloc_stats::count_delete();
+  std::free(p);
+}
+
+void operator delete(void* p, std::size_t) noexcept {
+  chase::util::alloc_stats::count_delete();
+  std::free(p);
+}
+
+void operator delete(void* p, const std::nothrow_t&) noexcept {
+  chase::util::alloc_stats::count_delete();
+  std::free(p);
+}
+
+void operator delete[](void* p) noexcept {
+  chase::util::alloc_stats::count_delete();
+  std::free(p);
+}
+
+void operator delete[](void* p, std::size_t) noexcept {
+  chase::util::alloc_stats::count_delete();
+  std::free(p);
+}
+
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  chase::util::alloc_stats::count_delete();
+  std::free(p);
+}

@@ -1,0 +1,40 @@
+#include "util/alloc_stats.hpp"
+
+#include <atomic>
+
+namespace chase::util::alloc_stats {
+
+namespace {
+// Relaxed is enough: counters are read for deltas on one thread (the sim)
+// or after joins; no ordering is implied between them.
+std::atomic<std::uint64_t> g_news{0};
+std::atomic<std::uint64_t> g_deletes{0};
+std::atomic<std::uint64_t> g_bytes{0};
+std::atomic<bool> g_hooked{false};
+}  // namespace
+
+bool hooked() noexcept { return g_hooked.load(std::memory_order_relaxed); }
+std::uint64_t news() noexcept { return g_news.load(std::memory_order_relaxed); }
+std::uint64_t deletes() noexcept {
+  return g_deletes.load(std::memory_order_relaxed);
+}
+std::uint64_t bytes() noexcept { return g_bytes.load(std::memory_order_relaxed); }
+
+void reset() noexcept {
+  g_news.store(0, std::memory_order_relaxed);
+  g_deletes.store(0, std::memory_order_relaxed);
+  g_bytes.store(0, std::memory_order_relaxed);
+}
+
+void count_new(std::size_t n) noexcept {
+  g_news.fetch_add(1, std::memory_order_relaxed);
+  g_bytes.fetch_add(n, std::memory_order_relaxed);
+}
+
+void count_delete() noexcept {
+  g_deletes.fetch_add(1, std::memory_order_relaxed);
+}
+
+void set_hooked() noexcept { g_hooked.store(true, std::memory_order_relaxed); }
+
+}  // namespace chase::util::alloc_stats

@@ -1,0 +1,40 @@
+#pragma once
+/// \file alloc_stats.hpp
+/// Runtime witness for the static hot-alloc lint: process-wide allocation
+/// counters fed by an *opt-in* global operator new/delete replacement.
+///
+/// The counters live in chase_util and always link; the operator
+/// replacements live in the separate `chase_alloc_hook` object library and
+/// only count when a binary chooses to link it (tests do; benches do NOT,
+/// so throughput numbers never pay the counting overhead). hooked() reports
+/// whether the replacement is present, so assertions can no-op instead of
+/// vacuously passing as 0 == 0 when the hook is absent... it still would,
+/// which is why callers must gate on hooked() explicitly.
+///
+/// The marquee consumer is Simulation::step's CHASE_AUDIT: at audit level
+/// >= 2 with the hook linked, dispatching an event through the scheduler
+/// machinery must perform zero allocations (see tests/alloc_stats_test.cpp
+/// for the full steady-state-loop version of that claim).
+
+#include <cstddef>
+#include <cstdint>
+
+namespace chase::util::alloc_stats {
+
+/// True iff the counting operator new/delete replacement is linked into
+/// this binary (set by chase_alloc_hook's initializer).
+bool hooked() noexcept;
+
+std::uint64_t news() noexcept;     // operator new calls
+std::uint64_t deletes() noexcept;  // operator delete calls
+std::uint64_t bytes() noexcept;    // cumulative bytes requested
+
+/// Zero all counters (test setup; the hook keeps counting).
+void reset() noexcept;
+
+// --- hook-side interface (called by chase_alloc_hook only) ------------------
+void count_new(std::size_t n) noexcept;
+void count_delete() noexcept;
+void set_hooked() noexcept;
+
+}  // namespace chase::util::alloc_stats

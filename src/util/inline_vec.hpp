@@ -1,0 +1,102 @@
+#pragma once
+/// \file inline_vec.hpp
+/// util::InlineVec — small-buffer sequence for hot-path bookkeeping
+/// (event/semaphore waiter lists, and anything else that is almost always
+/// tiny but must not allocate per use). The first N elements live inline in
+/// the owner; growth beyond N goes to the BlockPool, so even the spill path
+/// recycles instead of reaching the global heap.
+///
+/// Restricted to trivially copyable T (coroutine handles, ids, pointers):
+/// that keeps growth a memcpy and lets pop_front be an index bump with
+/// occasional compaction. FIFO consumers (Semaphore) pop from the front;
+/// broadcast consumers (Event) iterate and clear.
+
+#include <cstddef>
+#include <cstring>
+#include <type_traits>
+
+#include "util/block_pool.hpp"
+#include "util/check.hpp"
+
+namespace chase::util {
+
+template <typename T, std::size_t N>
+class InlineVec {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "InlineVec is for handle-like trivially copyable types");
+  static_assert(N > 0, "InlineVec needs at least one inline slot");
+
+ public:
+  InlineVec() noexcept = default;
+  ~InlineVec() { release_storage(); }
+
+  InlineVec(const InlineVec&) = delete;
+  InlineVec& operator=(const InlineVec&) = delete;
+
+  std::size_t size() const noexcept { return size_ - head_; }
+  bool empty() const noexcept { return head_ == size_; }
+
+  void push_back(T v) {
+    if (size_ == cap_) grow();
+    data_[size_++] = v;
+  }
+
+  const T& front() const {
+    CHASE_ASSERT(!empty(), "InlineVec::front on empty container");
+    return data_[head_];
+  }
+
+  /// FIFO pop. Amortized O(1): consumed slots are reclaimed when the
+  /// container drains or the dead prefix dominates the live range.
+  void pop_front() {
+    CHASE_ASSERT(!empty(), "InlineVec::pop_front on empty container");
+    ++head_;
+    if (head_ == size_) {
+      head_ = size_ = 0;
+    } else if (head_ >= kCompactThreshold && head_ * 2 >= size_) {
+      std::memmove(data_, data_ + head_, (size_ - head_) * sizeof(T));
+      size_ -= head_;
+      head_ = 0;
+    }
+  }
+
+  /// Drop all elements; spilled storage is kept for reuse.
+  void clear() noexcept { head_ = size_ = 0; }
+
+  const T* begin() const noexcept { return data_ + head_; }
+  const T* end() const noexcept { return data_ + size_; }
+
+  /// True while the elements still fit in the owner's inline slots (tests).
+  bool is_inline() const noexcept { return data_ == inline_; }
+
+ private:
+  static constexpr std::size_t kCompactThreshold = 32;
+
+  void grow() {
+    const std::size_t live = size_ - head_;
+    const std::size_t new_cap = cap_ * 2;
+    T* fresh = static_cast<T*>(BlockPool::instance().allocate(new_cap * sizeof(T)));
+    std::memcpy(fresh, data_ + head_, live * sizeof(T));
+    release_storage();
+    data_ = fresh;
+    cap_ = new_cap;
+    head_ = 0;
+    size_ = live;
+  }
+
+  void release_storage() noexcept {
+    if (data_ != inline_) {
+      BlockPool::instance().deallocate(data_, cap_ * sizeof(T));
+      data_ = inline_;
+      cap_ = N;
+    }
+  }
+
+  T inline_[N];
+  T* data_ = inline_;
+  std::size_t head_ = 0;
+  std::size_t size_ = 0;
+  std::size_t cap_ = N;
+};
+
+}  // namespace chase::util

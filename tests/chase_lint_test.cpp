@@ -36,10 +36,18 @@ std::string read_file(const fs::path& p) {
 }
 
 /// The tree's analysis policy, mirrored from /.chase-lint so fixtures are
-/// judged by the same rules as real sources.
+/// judged by the same rules as real sources. The perf-family entries are
+/// fixture-specific: fixtures mark their hot functions `hot_fn` (or the
+/// qualified `Fabric::hot_method`) instead of naming real tree functions.
 Config tree_config() {
   Config cfg = chase::lint::default_config();
   cfg.allow_ref_types = {"Simulation", "PodContext"};
+  cfg.hot_functions = {"hot_fn", "Fabric::hot_method"};
+  cfg.hot_paths = {"hot_dir_"};
+  cfg.expensive_types = {"CheapHandle", "BigConfig"};
+  cfg.allow_copy_types = {"CheapHandle"};
+  cfg.allow_files = {{"policy_exempt_hot.cpp", "hot-alloc",
+                      "fixture: whole-file exemption for cold reporting code", 1}};
   return cfg;
 }
 
@@ -102,6 +110,18 @@ TEST(LintFixtures, GoodFrameEscapeSilent) {
   check_fixture("good_coro_frame_escape.cpp");
 }
 TEST(LintFixtures, SuppressionSemantics) { check_fixture("suppressions.cpp"); }
+TEST(LintFixtures, BadHotAllocFires) { check_fixture("bad_hot_alloc.cpp"); }
+TEST(LintFixtures, GoodHotAllocSilent) { check_fixture("good_hot_alloc.cpp"); }
+TEST(LintFixtures, BadHotArgCopyFires) { check_fixture("bad_hot_arg_copy.cpp"); }
+TEST(LintFixtures, GoodHotArgCopySilent) { check_fixture("good_hot_arg_copy.cpp"); }
+TEST(LintFixtures, BadHotRelookupFires) { check_fixture("bad_hot_relookup.cpp"); }
+TEST(LintFixtures, GoodHotRelookupSilent) { check_fixture("good_hot_relookup.cpp"); }
+TEST(LintFixtures, AllowFilePolicyExemptsOneCheck) {
+  check_fixture("policy_exempt_hot.cpp");
+}
+TEST(LintFixtures, HotPathDirectoryMarksEveryFunction) {
+  check_fixture("hot_dir_file.cpp");
+}
 
 TEST(LintFixtures, EveryFixtureIsCovered) {
   // A fixture dropped into the directory but not wired up above would be
@@ -111,6 +131,10 @@ TEST(LintFixtures, EveryFixtureIsCovered) {
       "bad_coro_lambda_capture.cpp", "good_coro_lambda_capture.cpp",
       "bad_coro_stale_ref.cpp",      "good_coro_stale_ref.cpp",
       "bad_coro_frame_escape.cpp",   "good_coro_frame_escape.cpp",
+      "bad_hot_alloc.cpp",           "good_hot_alloc.cpp",
+      "bad_hot_arg_copy.cpp",        "good_hot_arg_copy.cpp",
+      "bad_hot_relookup.cpp",        "good_hot_relookup.cpp",
+      "policy_exempt_hot.cpp",       "hot_dir_file.cpp",
       "suppressions.cpp"};
   std::sort(known.begin(), known.end());
   std::vector<std::string> present;
@@ -183,13 +207,70 @@ TEST(LintConfig, ParsesDirectivesAndRejectsGarbage) {
 
 TEST(LintChecks, CatalogIsStable) {
   const auto& names = chase::lint::check_names();
-  EXPECT_EQ(names.size(), 5u);
+  EXPECT_EQ(names.size(), 8u);
   for (const char* expected : {"coro-ref-param", "coro-lambda-capture",
                                "coro-stale-ref", "coro-frame-escape",
-                               "lint-suppression"}) {
+                               "lint-suppression", "hot-alloc", "hot-arg-copy",
+                               "hot-relookup"}) {
     EXPECT_NE(std::find(names.begin(), names.end(), expected), names.end())
         << expected;
   }
+}
+
+TEST(LintConfig, ParsesPerfDirectives) {
+  const fs::path p = fs::temp_directory_path() / "chase_lint_perf.cfg";
+  {
+    std::ofstream out(p);
+    out << "hot-path src/sim/\n"
+        << "hot-function Network::recompute_rates\n"
+        << "expensive-type BigConfig\n"
+        << "allow-copy-type CheapHandle\n"
+        << "allow-file src/viz/* (hot-alloc) rendering is cold reporting code\n";
+  }
+  Config cfg;
+  std::string error;
+  ASSERT_TRUE(chase::lint::load_config(p.string(), &cfg, &error)) << error;
+  EXPECT_EQ(cfg.hot_paths, std::vector<std::string>{"src/sim/"});
+  EXPECT_EQ(cfg.hot_functions,
+            std::vector<std::string>{"Network::recompute_rates"});
+  EXPECT_EQ(cfg.expensive_types, std::vector<std::string>{"BigConfig"});
+  EXPECT_EQ(cfg.allow_copy_types, std::vector<std::string>{"CheapHandle"});
+  ASSERT_EQ(cfg.allow_files.size(), 1u);
+  EXPECT_EQ(cfg.allow_files[0].glob, "src/viz/*");
+  EXPECT_EQ(cfg.allow_files[0].check, "hot-alloc");
+  EXPECT_EQ(cfg.allow_files[0].why, "rendering is cold reporting code");
+  EXPECT_EQ(cfg.allow_files[0].line, 5);
+
+  // allow-file without a check or without a justification is a config error,
+  // same contract as inline allows.
+  {
+    std::ofstream out(p);
+    out << "allow-file src/viz/* hot-alloc missing parens\n";
+  }
+  EXPECT_FALSE(chase::lint::load_config(p.string(), &cfg, &error));
+  {
+    std::ofstream out(p);
+    out << "allow-file src/viz/* (hot-alloc)\n";
+  }
+  EXPECT_FALSE(chase::lint::load_config(p.string(), &cfg, &error));
+  EXPECT_NE(error.find("justification"), std::string::npos);
+  {
+    std::ofstream out(p);
+    out << "allow-file src/viz/* (no-such-check) why\n";
+  }
+  EXPECT_FALSE(chase::lint::load_config(p.string(), &cfg, &error));
+  fs::remove(p);
+}
+
+TEST(LintGlob, MatchesPathsAndBasenames) {
+  using chase::lint::glob_match;
+  EXPECT_TRUE(glob_match("src/viz/*", "src/viz/chart.cpp"));
+  EXPECT_TRUE(glob_match("src/viz/*", "/root/repo/src/viz/chart.cpp"));
+  EXPECT_FALSE(glob_match("src/viz/*", "src/net/network.cpp"));
+  EXPECT_TRUE(glob_match("*_test.cpp", "tests/alloc_stats_test.cpp"));
+  EXPECT_FALSE(glob_match("*_test.cpp", "tests/alloc_stats.cpp"));
+  EXPECT_TRUE(glob_match("table.?pp", "src/viz/table.hpp"));
+  EXPECT_TRUE(glob_match("*", "anything/at/all.cc"));
 }
 
 }  // namespace

@@ -1,0 +1,45 @@
+// chase_lint fixture corpus -- parsed by chase_lint_test, never compiled.
+// hot-alloc positives: every steady-state allocation pattern the check
+// knows, inside a function the fixture policy marks hot (`hot_fn`, plus
+// the qualified `Fabric::hot_method` entry).
+#include <memory>
+
+namespace fix {
+
+void hot_fn(Pool* pool) {
+  auto* e = new Entry();                     // LINT[hot-alloc]
+  auto sp = std::make_shared<Entry>();       // LINT[hot-alloc]
+  auto up = std::make_unique<Entry>(1, 2);   // LINT[hot-alloc]
+  pool->keep(e, sp, up);
+}
+
+void hot_fn(Dispatcher* d) {
+  std::function<void()> cb = d->handler();   // LINT[hot-alloc]
+  d->set(cb);
+}
+
+void hot_fn(Log* log, int shard) {
+  std::string msg = log->tag() + std::to_string(shard);  // LINT[hot-alloc]
+  msg += ".part";                                        // LINT[hot-alloc]
+  log->write(msg);
+}
+
+void hot_fn(std::vector<int>* out, int x) {
+  out->push_back(x);  // LINT[hot-alloc]  (no reserve() anywhere in this file)
+}
+
+// Qualified hot-function entries match out-of-line definitions.
+void Fabric::hot_method(Frame* f) {
+  frames_.emplace_back(f);  // LINT[hot-alloc]
+}
+
+// Lambdas nested in a hot function run on the same path: hotness flows in.
+void hot_fn(Queue* q) {
+  auto drain = [q] {
+    auto next = std::make_shared<Item>();  // LINT[hot-alloc]
+    q->put(next);
+  };
+  drain();
+}
+
+}  // namespace fix

@@ -1,0 +1,33 @@
+// chase_lint fixture corpus -- parsed by chase_lint_test, never compiled.
+// hot-arg-copy positives: by-value expensive parameters of hot
+// non-coroutine functions, and expensive-type locals copy-initialised from
+// a plain lvalue (no call, no std::move).
+#include <string>
+
+namespace fix {
+
+void hot_fn(std::string key, int ttl) {  // LINT[hot-arg-copy]
+  index.put(key, ttl);
+}
+
+void hot_fn(std::vector<int> shards) {  // LINT[hot-arg-copy]
+  scatter(shards);
+}
+
+// Qualified hot-function entries cover out-of-line member definitions.
+void Fabric::hot_method(std::map<int, double> rates) {  // LINT[hot-arg-copy]
+  apply(rates);
+}
+
+// Copy-assignment shape: an expensive local deep-copied from an lvalue.
+void hot_fn(const Group& group) {
+  const std::vector<int> acting = group.acting;  // LINT[hot-arg-copy]
+  place(acting);
+}
+
+void hot_fn(Registry* r) {
+  std::string name = r->state.label;  // LINT[hot-arg-copy]
+  r->touch(name);
+}
+
+}  // namespace fix

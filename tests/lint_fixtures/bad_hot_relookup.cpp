@@ -1,0 +1,41 @@
+// chase_lint fixture corpus -- parsed by chase_lint_test, never compiled.
+// hot-relookup positives: the same container walked twice with the same
+// single-token key in one scope, across every accessor the check knows.
+#include <map>
+
+namespace fix {
+
+void hot_fn(std::map<int, double>& m, int k) {
+  m[k] = 1.0;
+  double v = m[k];  // LINT[hot-relookup]
+  use(v);
+}
+
+void hot_fn(Table& t, int key) {
+  auto it = t.rows.find(key);
+  if (it == t.rows.end()) return;
+  consume(*it);
+}
+
+void hot_fn(std::map<int, double>& m, int k) {
+  auto it = m.find(k);
+  if (it == m.end()) return;
+  m.erase(k);  // LINT[hot-relookup]  (erase(it) reuses the first walk)
+}
+
+// Mixed accessors still hit the same container with the same key.
+void hot_fn(Index& idx, int id) {
+  if (idx.count(id) == 0) return;
+  idx.at(id).touch();  // LINT[hot-relookup]
+}
+
+// Nested lambdas inherit hotness and their own scope tracking.
+void hot_fn(FlowMap& flows) {
+  auto freeze = [&flows](int id) {
+    flows[id].rate = 0.0;
+    flows[id].frozen = true;  // LINT[hot-relookup]
+  };
+  freeze(7);
+}
+
+}  // namespace fix

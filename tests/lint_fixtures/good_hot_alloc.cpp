@@ -1,0 +1,44 @@
+// chase_lint fixture corpus -- parsed by chase_lint_test, never compiled.
+// hot-alloc negatives: the same allocation patterns stay silent off the hot
+// path, when capacity is visibly reserved, inside CHASE_* assertion
+// arguments (failure paths may allocate), or under a justified allow().
+#include <memory>
+
+namespace fix {
+
+// Not named by any hot-function entry: allocations here are setup cost.
+void cold_setup(Pool* pool) {
+  auto* e = new Entry();
+  auto sp = std::make_shared<Entry>();
+  std::function<void()> cb = pool->handler();
+  pool->keep(e, sp, cb);
+}
+
+// A visible reserve() on the receiver -- anywhere in the file, typically a
+// constructor -- licenses steady-state push_back.
+struct Batcher {
+  Batcher() { items_.reserve(1024); }
+  std::vector<int> items_;
+};
+
+void hot_fn(Batcher* b, int x) {
+  b->items_.push_back(x);
+  std::vector<int>& items_ = b->items_;
+  items_.push_back(x);
+}
+
+// Assertion arguments are failure-path code: building the message may
+// allocate, and that is fine -- it only runs when the invariant is broken.
+void hot_fn(Ledger* l, int got, int want) {
+  CHASE_ASSERT(got == want,
+               "ledger drift: " + std::to_string(got) + " != " + std::to_string(want));
+  l->advance();
+}
+
+// A justified inline allow() is the per-line escape hatch.
+void hot_fn(Registry* r) {
+  auto probe = std::make_shared<Probe>();  // chase-lint: allow(hot-alloc) fixture: one-time lazy init, not steady state
+  r->adopt(probe);
+}
+
+}  // namespace fix

@@ -1,0 +1,50 @@
+// chase_lint fixture corpus -- parsed by chase_lint_test, never compiled.
+// hot-arg-copy negatives. The load-bearing one is the first: *coroutine*
+// parameters are exempt by design -- the coro-* family requires owning
+// by-value parameters (a const& dangles across co_await, the blpop_impl bug
+// class), and lifetime safety beats one copy. The explicit allow mechanisms
+// (allow-copy-type policy, inline allow) cover the rest.
+#include <string>
+
+namespace fix {
+
+// Coroutine: by-value std::string is REQUIRED here, never a finding.
+sim::Task hot_fn(std::string key, Redis* server) {
+  co_await server->round_trip();
+  server->touch(key);
+}
+
+// const& on a non-coroutine hot function is the fix, not a finding.
+void hot_fn(const std::string& key, Index* index) {
+  index->put(key);
+}
+
+// allow-copy-type policy: CheapHandle is expensive-looking but cheap.
+void hot_fn(CheapHandle h) {
+  h.bump();
+}
+
+// std::move transfers, it does not deep-copy.
+void hot_fn(std::vector<int>&& xs) {
+  std::vector<int> mine = std::move(xs);
+  scatter(mine);
+}
+
+// Initialisation from a call constructs in place (or elides): silent.
+void hot_fn(Planner* p) {
+  std::vector<int> plan = p->plan();
+  apply(plan);
+}
+
+// Off the hot path, by-value strings are idiomatic and silent.
+void cold_configure(std::string name, std::vector<int> shards) {
+  registry.put(name, shards);
+}
+
+// Deliberate lifetime copy across a suspension, justified inline.
+sim::Task hot_fn(const Group* group) {
+  const std::vector<int> acting = group->acting;  // chase-lint: allow(hot-arg-copy) fixture: group->acting can be rebalanced across the co_await; the frame needs a stable copy
+  co_await replicate(acting);
+}
+
+}  // namespace fix

@@ -1,0 +1,56 @@
+// chase_lint fixture corpus -- parsed by chase_lint_test, never compiled.
+// hot-relookup negatives: different keys, a key rebound between lookups,
+// sibling scopes, composite receivers, cold functions, and the justified
+// allow() escape hatch.
+#include <map>
+
+namespace fix {
+
+void hot_fn(std::map<int, double>& m, int a, int b) {
+  m[a] = 1.0;
+  m[b] = 2.0;  // different key: silent
+}
+
+void hot_fn(std::map<int, double>& m, int k) {
+  m[k] = 1.0;
+  ++k;
+  m[k] = 2.0;  // key advanced between lookups: a different element
+}
+
+void hot_fn(std::map<int, double>& m, int k, Iter& src) {
+  m[k] = 1.0;
+  k = src.next();
+  m[k] = 2.0;  // key rebound: silent
+}
+
+void hot_fn(std::map<int, double>& m, int k, bool flip) {
+  if (flip) {
+    m[k] = 1.0;
+  }
+  {
+    m[k] = 2.0;  // sibling scope: the first lookup's element may be gone
+  }
+}
+
+// Composite receivers are skipped: `a.rows` and `b.rows` share a trailing
+// name but are different containers.
+void hot_fn(Table& a, Table& b, int k) {
+  a.rows[k] = 1;
+  b.rows[k] = 2;
+}
+
+// Off the hot path the double walk is tolerated.
+void cold_audit(std::map<int, double>& m, int k) {
+  m[k] = 1.0;
+  check(m[k]);
+}
+
+// Deliberate double lookup, justified inline: the first lookup's iterator
+// is invalidated by the callback in between.
+void hot_fn(std::map<int, double>& m, int k, Cb cb) {
+  m[k] = 1.0;
+  cb();
+  touch(m[k]);  // chase-lint: allow(hot-relookup) fixture: cb() may rehash m; the first reference is invalid here
+}
+
+}  // namespace fix

@@ -1,0 +1,15 @@
+// chase_lint fixture corpus -- parsed by chase_lint_test, never compiled.
+// hot-path (directory) policy: the fixture config carries `hot-path
+// hot_dir_` which matches this file's name, so EVERY function here is hot
+// -- no hot-function entry needed. This mirrors `hot-path src/sim/` in the
+// real tree: the event loop is hot wholesale.
+#include <memory>
+
+namespace fix {
+
+void any_function_at_all(Pool* pool) {
+  auto sp = std::make_shared<Entry>();  // LINT[hot-alloc]
+  pool->keep(sp);
+}
+
+}  // namespace fix

@@ -1,0 +1,22 @@
+// chase_lint fixture corpus -- parsed by chase_lint_test, never compiled.
+// Policy-exempt case: the fixture config carries
+//   allow-file policy_exempt_hot.cpp (hot-alloc) <why>
+// so hot-alloc findings in this file are suppressed wholesale -- the
+// cold-directory escape hatch that avoids per-line allows. Checks NOT named
+// by the entry still fire, so allow-file stays a scalpel, not a blanket.
+#include <memory>
+
+namespace fix {
+
+void hot_fn(Pool* pool) {
+  auto sp = std::make_shared<Entry>();  // hot-alloc, suppressed by allow-file
+  auto* e = new Entry();                // hot-alloc, suppressed by allow-file
+  pool->keep(sp, e);
+}
+
+void hot_fn(std::map<int, double>& m, int k) {
+  m[k] = 1.0;
+  touch(m[k]);  // LINT[hot-relookup]  (allow-file covers hot-alloc only)
+}
+
+}  // namespace fix

@@ -13,6 +13,7 @@
 #include <algorithm>
 #include <array>
 #include <fstream>
+#include <map>
 #include <sstream>
 #include <unordered_set>
 
@@ -45,6 +46,7 @@ bool is_coro_keyword(const Token& t) {
 
 struct Fn {
   std::string name;
+  std::string qualified;  // "Class::name" when defined out-of-line, else ""
   bool is_lambda = false;
   int line = 0;
   std::size_t intro = 0;                         // first token (name or '[')
@@ -53,6 +55,7 @@ struct Fn {
   std::size_t body_begin = 0, body_end = 0;      // inside the braces
   int parent = -1;
   bool is_coroutine = false;
+  bool is_hot = false;  // in a hot-path file / hot-function entry / nested in one
   std::vector<int> children;
 };
 
@@ -64,6 +67,8 @@ struct Analyzer {
   std::vector<std::ptrdiff_t> match;  // matching (){}[] index, or -1
   std::vector<Fn> fns;
   std::vector<Finding> findings;
+  std::unordered_set<std::string> reserved_names;  // receivers with X.reserve(
+  std::vector<char>* allow_file_used = nullptr;    // parallel to cfg.allow_files
 
   explicit Analyzer(const std::string& p, const LexResult& lexed, const Config& c)
       : path(p), cfg(c), toks(lexed.tokens), comments(lexed.comments) {}
@@ -173,6 +178,9 @@ struct Analyzer {
       if (body == std::string::npos || match[body] < 0) continue;
       Fn fn;
       fn.name = prev.text;
+      if (i >= 3 && toks[i - 2].text == "::" && toks[i - 3].kind == TokKind::Ident) {
+        fn.qualified = toks[i - 3].text + "::" + prev.text;
+      }
       fn.line = prev.line;
       fn.intro = i - 1;
       fn.params_begin = i + 1;
@@ -246,6 +254,37 @@ struct Analyzer {
       for_own_tokens(fn, [&](std::size_t i) {
         if (is_coro_keyword(toks[i])) fn.is_coroutine = true;
       });
+    }
+
+    // Hot classification: a hot-path file marks every function hot; a
+    // hot-function entry marks definitions by qualified or bare name; and
+    // hotness flows into nested lambdas / local functions (they run on the
+    // same path).
+    bool file_hot = false;
+    for (const std::string& p : cfg.hot_paths) {
+      if (path.find(p) != std::string::npos) {
+        file_hot = true;
+        break;
+      }
+    }
+    for (Fn& fn : fns) {
+      fn.is_hot = file_hot;
+      for (const std::string& h : cfg.hot_functions) {
+        if (h == fn.name || (!fn.qualified.empty() && h == fn.qualified)) {
+          fn.is_hot = true;
+          break;
+        }
+      }
+    }
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (Fn& fn : fns) {
+        if (!fn.is_hot && fn.parent >= 0 && fns[static_cast<std::size_t>(fn.parent)].is_hot) {
+          fn.is_hot = true;
+          changed = true;
+        }
+      }
     }
   }
 
@@ -624,6 +663,319 @@ struct Analyzer {
     }
   }
 
+  // --- perf family (hot-alloc, hot-arg-copy, hot-relookup) -------------------
+
+  /// Own body tokens with `CHASE_*(...)` argument groups removed: assertion
+  /// failure paths are allowed to build strings / allocate, deliberately.
+  std::vector<std::size_t> own_hot_tokens(const Fn& fn) const {
+    std::vector<std::size_t> own;
+    for_own_tokens(fn, [&](std::size_t i) { own.push_back(i); });
+    std::vector<std::size_t> out;
+    out.reserve(own.size());
+    for (std::size_t k = 0; k < own.size(); ++k) {
+      const Token& t = toks[own[k]];
+      if (t.kind == TokKind::Ident && t.text.rfind("CHASE_", 0) == 0 &&
+          k + 1 < own.size() && toks[own[k + 1]].text == "(" &&
+          match[own[k + 1]] > 0) {
+        const auto close = static_cast<std::size_t>(match[own[k + 1]]);
+        while (k + 1 < own.size() && own[k + 1] <= close) ++k;
+        continue;
+      }
+      out.push_back(own[k]);
+    }
+    return out;
+  }
+
+  bool is_expensive_type(const std::string& s) const {
+    static const std::unordered_set<std::string> kBuiltin = {
+        "string", "wstring", "basic_string", "vector",        "deque",
+        "list",   "map",     "multimap",     "unordered_map", "set",
+        "multiset", "unordered_set", "function"};
+    if (std::find(cfg.allow_copy_types.begin(), cfg.allow_copy_types.end(), s) !=
+        cfg.allow_copy_types.end()) {
+      return false;
+    }
+    return kBuiltin.count(s) != 0u ||
+           std::find(cfg.expensive_types.begin(), cfg.expensive_types.end(), s) !=
+               cfg.expensive_types.end();
+  }
+
+  // --- check: hot-alloc ------------------------------------------------------
+
+  void check_hot_alloc(const Fn& fn) {
+    static const std::unordered_set<std::string> kAllocCalls = {
+        "make_shared", "make_unique", "make_shared_for_overwrite",
+        "make_unique_for_overwrite"};
+    const std::vector<std::size_t> own = own_hot_tokens(fn);
+    for (std::size_t k = 0; k < own.size(); ++k) {
+      const Token& t = toks[own[k]];
+      const Token* nx = k + 1 < own.size() ? &toks[own[k + 1]] : nullptr;
+      if (t.kind == TokKind::Ident) {
+        if (t.text == "new") {
+          emit("hot-alloc", t.line, fn,
+               "operator new on the hot path; every dispatched event pays this "
+               "allocation -- pool the object, use inline storage, or hoist "
+               "the allocation out of the steady state");
+          continue;
+        }
+        if (kAllocCalls.count(t.text) != 0u && nx != nullptr &&
+            (nx->text == "<" || nx->text == "(")) {
+          emit("hot-alloc", t.line, fn,
+               "std::" + t.text + " on the hot path allocates per call -- "
+               "reuse a pooled object or construct once outside the loop");
+          continue;
+        }
+        if (t.text == "function" && k >= 2 && toks[own[k - 1]].text == "::" &&
+            toks[own[k - 2]].text == "std") {
+          emit("hot-alloc", t.line, fn,
+               "std::function constructed on the hot path; captures beyond "
+               "the small-buffer limit heap-allocate -- use util::SmallFn, a "
+               "template parameter, or a plain function pointer");
+          continue;
+        }
+        if ((t.text == "push_back" || t.text == "emplace_back") && nx != nullptr &&
+            nx->text == "(" && k >= 2 &&
+            (toks[own[k - 1]].text == "." || toks[own[k - 1]].text == "->") &&
+            toks[own[k - 2]].kind == TokKind::Ident) {
+          const std::string& recv = toks[own[k - 2]].text;
+          if (reserved_names.count(recv) == 0u) {
+            emit("hot-alloc", t.line, fn,
+                 "'" + recv + "." + t.text + "' with no visible '" + recv +
+                     ".reserve(...)' anywhere in this file; steady-state "
+                     "growth reallocates on the hot path -- reserve capacity "
+                     "up front");
+          }
+          continue;
+        }
+      }
+      if (t.kind == TokKind::Punct && (t.text == "+" || t.text == "+=")) {
+        const Token* pv = k > 0 ? &toks[own[k - 1]] : nullptr;
+        const bool str_adjacent = (pv != nullptr && pv->kind == TokKind::Str) ||
+                                  (nx != nullptr && nx->kind == TokKind::Str);
+        const bool to_string_next =
+            nx != nullptr &&
+            (nx->text == "to_string" ||
+             (nx->text == "std" && k + 3 < own.size() &&
+              toks[own[k + 3]].text == "to_string"));
+        if (str_adjacent || to_string_next) {
+          emit("hot-alloc", t.line, fn,
+               "string concatenation on the hot path allocates a temporary "
+               "per call -- build the string once outside the loop, or write "
+               "into a reused buffer");
+        }
+      }
+    }
+  }
+
+  // --- check: hot-arg-copy ---------------------------------------------------
+
+  /// By-value expensive parameters of hot *non-coroutine* functions.
+  /// Coroutine parameters are exempt by design: the coro-* family requires
+  /// owning by-value parameters, and lifetime safety beats one copy.
+  void check_hot_param_copies(const Fn& fn) {
+    for (auto [pb, pe] : split_params(fn.params_begin, fn.params_end)) {
+      if (pb >= pe) continue;
+      int depth = 0;
+      int angle = 0;
+      bool by_value = true;
+      std::string type_ident;
+      std::string name;
+      for (std::size_t i = pb; i < pe; ++i) {
+        const std::string& s = toks[i].text;
+        if (s == "(" || s == "[" || s == "{") ++depth;
+        if (s == ")" || s == "]" || s == "}") --depth;
+        if (s == "<" && i > pb &&
+            (toks[i - 1].kind == TokKind::Ident || toks[i - 1].text == ">")) {
+          ++angle;
+        } else if (s == ">" && angle > 0) {
+          --angle;
+        } else if (s == ">>" && angle > 0) {
+          angle = std::max(0, angle - 2);
+        }
+        if (depth != 0 || angle != 0) continue;
+        if (s == "=") break;  // default argument
+        if (s == "&" || s == "&&" || s == "*" || s == "...") by_value = false;
+        if (toks[i].kind == TokKind::Ident && kTypeishExcluded.count(s) == 0u &&
+            s != "std") {
+          if (type_ident.empty()) type_ident = s;
+          name = s;
+        }
+      }
+      if (by_value && is_expensive_type(type_ident)) {
+        emit("hot-arg-copy", toks[pb].line, fn,
+             "parameter '" + name + "' of hot function '" + fn.name +
+                 "' takes a " + type_ident + " by value; every call on the "
+                 "hot path deep-copies it -- take const& (non-coroutine "
+                 "callees only), or allow-copy-type it with a justification");
+      }
+    }
+  }
+
+  /// Expensive-type locals copy-initialised from a plain lvalue chain
+  /// (`std::vector<int> v = other.member;` — no call, no std::move).
+  void check_hot_copy_init(const Fn& fn) {
+    const std::vector<std::size_t> own = own_hot_tokens(fn);
+    for (std::size_t k = 0; k < own.size(); ++k) {
+      const Token& t = toks[own[k]];
+      if (t.kind != TokKind::Ident || !is_expensive_type(t.text)) continue;
+      // Template arguments, then the declared name, then '='.
+      std::size_t j = k + 1;
+      if (j < own.size() && toks[own[j]].text == "<") {
+        int angle = 1;
+        ++j;
+        while (j < own.size() && angle > 0) {
+          const std::string& s = toks[own[j]].text;
+          if (s == "<") ++angle;
+          if (s == ">") --angle;
+          if (s == ">>") angle -= 2;
+          ++j;
+        }
+      }
+      if (j >= own.size() || toks[own[j]].kind != TokKind::Ident) continue;
+      const std::string decl_name = toks[own[j]].text;
+      if (j + 1 >= own.size() || toks[own[j + 1]].text != "=") continue;
+      bool plain_lvalue = true;
+      bool any_ident = false;
+      std::size_t m = j + 2;
+      for (; m < own.size() && toks[own[m]].text != ";"; ++m) {
+        const Token& x = toks[own[m]];
+        if (x.kind == TokKind::Ident) {
+          if (x.text == "move") {
+            plain_lvalue = false;  // std::move(...) transfers, no deep copy
+            break;
+          }
+          any_ident = true;
+          continue;
+        }
+        if (x.kind == TokKind::Punct &&
+            (x.text == "." || x.text == "->" || x.text == "::" ||
+             x.text == "[" || x.text == "]")) {
+          continue;
+        }
+        plain_lvalue = false;  // a call or expression: likely constructs in place
+        break;
+      }
+      if (plain_lvalue && any_ident && m < own.size()) {
+        emit("hot-arg-copy", toks[own[j]].line, fn,
+             "'" + decl_name + "' deep-copies a " + t.text + " on the hot "
+             "path -- bind a const& / pointer, or std::move if the source is "
+             "dead (copies kept deliberately for lifetime across co_await "
+             "need an inline allow with the reason)");
+      }
+    }
+  }
+
+  // --- check: hot-relookup ---------------------------------------------------
+
+  void check_hot_relookup(const Fn& fn) {
+    static const std::unordered_set<std::string> kLookupCalls = {
+        "at", "find", "count", "contains", "erase"};
+    struct Entry {
+      int count = 0;
+      int depth = 0;
+      int first_line = 0;
+      bool reported = false;
+    };
+    std::map<std::pair<std::string, std::string>, Entry> seen;
+    const std::vector<std::size_t> own = own_hot_tokens(fn);
+    int depth = 0;
+    auto single_token_key = [&](std::size_t k) -> const Token* {
+      const Token& key = toks[own[k]];
+      if (key.kind == TokKind::Ident || key.kind == TokKind::Number ||
+          key.kind == TokKind::Str) {
+        return &key;
+      }
+      return nullptr;
+    };
+    auto record = [&](const std::string& recv, const std::string& key, int line) {
+      Entry& e = seen[{recv, key}];
+      if (e.count == 0) {
+        e.depth = depth;
+        e.first_line = line;
+      }
+      ++e.count;
+      if (e.count >= 2 && !e.reported) {
+        e.reported = true;
+        emit("hot-relookup", line, fn,
+             "'" + recv + "' is looked up with key '" + key +
+                 "' again in this scope (first at line " +
+                 std::to_string(e.first_line) + "); each lookup walks the "
+                 "container -- keep the reference/iterator from the first "
+                 "lookup");
+      }
+    };
+    for (std::size_t k = 0; k < own.size(); ++k) {
+      const std::string& s = toks[own[k]].text;
+      if (s == "{") {
+        ++depth;
+        continue;
+      }
+      if (s == "}") {
+        --depth;
+        for (auto it = seen.begin(); it != seen.end();) {
+          it = it->second.depth > depth ? seen.erase(it) : std::next(it);
+        }
+        continue;
+      }
+      if (toks[own[k]].kind != TokKind::Ident) continue;
+      // Key or receiver mutated: forget what we knew about it.
+      const bool mutated =
+          (k + 1 < own.size() && (toks[own[k + 1]].text == "=" ||
+                                  toks[own[k + 1]].text == "+=" ||
+                                  toks[own[k + 1]].text == "-=" ||
+                                  toks[own[k + 1]].text == "++" ||
+                                  toks[own[k + 1]].text == "--")) ||
+          (k > 0 && (toks[own[k - 1]].text == "++" || toks[own[k - 1]].text == "--"));
+      if (mutated) {
+        for (auto it = seen.begin(); it != seen.end();) {
+          it = (it->first.first == s || it->first.second == s) ? seen.erase(it)
+                                                               : std::next(it);
+        }
+        continue;
+      }
+      // Composite receivers (`a.b[k]`) are skipped: `b` alone does not name
+      // one container.
+      if (k > 0 && (toks[own[k - 1]].text == "." || toks[own[k - 1]].text == "->"))
+        continue;
+      if (k + 3 < own.size() && toks[own[k + 1]].text == "[" &&
+          toks[own[k + 3]].text == "]") {
+        if (const Token* key = single_token_key(k + 2)) {
+          record(s, key->text, key->line);
+        }
+        continue;
+      }
+      if (k + 5 < own.size() &&
+          (toks[own[k + 1]].text == "." || toks[own[k + 1]].text == "->") &&
+          kLookupCalls.count(toks[own[k + 2]].text) != 0u &&
+          toks[own[k + 3]].text == "(" && toks[own[k + 5]].text == ")") {
+        if (const Token* key = single_token_key(k + 4)) {
+          record(s, key->text, key->line);
+        }
+      }
+    }
+  }
+
+  // --- allow-file policy -----------------------------------------------------
+
+  void apply_allow_files() {
+    if (cfg.allow_files.empty()) return;
+    std::vector<Finding> kept;
+    kept.reserve(findings.size());
+    for (Finding& f : findings) {
+      bool suppressed = false;
+      for (std::size_t i = 0; i < cfg.allow_files.size(); ++i) {
+        const AllowFile& af = cfg.allow_files[i];
+        if (af.check == f.check && glob_match(af.glob, path)) {
+          suppressed = true;
+          if (allow_file_used != nullptr) (*allow_file_used)[i] = 1;
+          break;
+        }
+      }
+      if (!suppressed) kept.push_back(std::move(f));
+    }
+    findings = std::move(kept);
+  }
+
   // --- suppressions ----------------------------------------------------------
 
   struct Suppression {
@@ -706,6 +1058,15 @@ struct Analyzer {
     find_named_functions();
     find_lambdas();
     link_and_classify();
+    // Receivers with a visible reserve() anywhere in this file, for the
+    // push_back heuristic (the reserve typically lives in a constructor).
+    for (std::size_t i = 0; i + 2 < toks.size(); ++i) {
+      if (toks[i].kind == TokKind::Ident &&
+          (toks[i + 1].text == "." || toks[i + 1].text == "->") &&
+          toks[i + 2].text == "reserve") {
+        reserved_names.insert(toks[i].text);
+      }
+    }
     for (const Fn& fn : fns) {
       if (!fn.is_coroutine) continue;
       check_ref_params(fn);
@@ -713,6 +1074,14 @@ struct Analyzer {
       check_stale_refs(fn);
       check_frame_escape(fn);
     }
+    for (const Fn& fn : fns) {
+      if (!fn.is_hot) continue;
+      check_hot_alloc(fn);
+      if (!fn.is_coroutine) check_hot_param_copies(fn);
+      check_hot_copy_init(fn);
+      check_hot_relookup(fn);
+    }
+    apply_allow_files();
     apply_suppressions();
     std::sort(findings.begin(), findings.end(),
               [](const Finding& a, const Finding& b) {
@@ -728,8 +1097,45 @@ struct Analyzer {
 const std::vector<std::string>& check_names() {
   static const std::vector<std::string> kNames = {
       "coro-ref-param", "coro-lambda-capture", "coro-stale-ref",
-      "coro-frame-escape", "lint-suppression"};
+      "coro-frame-escape", "lint-suppression", "hot-alloc", "hot-arg-copy",
+      "hot-relookup"};
   return kNames;
+}
+
+bool glob_match(std::string_view glob, std::string_view path) {
+  // Iterative wildcard match with single-star backtracking.
+  auto match_impl = [](std::string_view g, std::string_view s) {
+    std::size_t gi = 0, si = 0;
+    std::size_t star_g = std::string_view::npos, star_s = 0;
+    while (si < s.size()) {
+      if (gi < g.size() && (g[gi] == '?' || g[gi] == s[si])) {
+        ++gi;
+        ++si;
+      } else if (gi < g.size() && g[gi] == '*') {
+        star_g = gi++;
+        star_s = si;
+      } else if (star_g != std::string_view::npos) {
+        gi = star_g + 1;
+        si = ++star_s;
+      } else {
+        return false;
+      }
+    }
+    while (gi < g.size() && g[gi] == '*') ++gi;
+    return gi == g.size();
+  };
+  if (match_impl(glob, path)) return true;
+  if (glob.find('/') == std::string_view::npos) {
+    const std::size_t slash = path.rfind('/');
+    if (slash != std::string_view::npos && match_impl(glob, path.substr(slash + 1)))
+      return true;
+  } else if (!glob.empty() && glob.front() != '/' && glob.front() != '*') {
+    // `src/viz/*` should match the path however the walk was rooted.
+    std::string anchored = "*/";
+    anchored += glob;
+    return match_impl(anchored, path);
+  }
+  return false;
 }
 
 Config default_config() {
@@ -770,9 +1176,44 @@ bool load_config(const std::string& path, Config* cfg, std::string* error) {
       cfg->sink_names.push_back(value);
     } else if (key == "exclude") {
       cfg->exclude_paths.push_back(value);
+    } else if (key == "hot-path") {
+      cfg->hot_paths.push_back(value);
+    } else if (key == "hot-function") {
+      cfg->hot_functions.push_back(value);
+    } else if (key == "expensive-type") {
+      cfg->expensive_types.push_back(value);
+    } else if (key == "allow-copy-type") {
+      cfg->allow_copy_types.push_back(value);
+    } else if (key == "allow-file") {
+      std::string check;
+      if (!(ss >> check) || check.size() < 3 || check.front() != '(' ||
+          check.back() != ')') {
+        *error = path + ":" + std::to_string(line_no) +
+                 ": allow-file needs '(<check>)' after the glob";
+        return false;
+      }
+      check = check.substr(1, check.size() - 2);
+      if (std::find(check_names().begin(), check_names().end(), check) ==
+          check_names().end()) {
+        *error = path + ":" + std::to_string(line_no) +
+                 ": allow-file names unknown check '" + check + "'";
+        return false;
+      }
+      std::string why;
+      std::getline(ss, why);
+      const std::size_t first = why.find_first_not_of(" \t");
+      why = first == std::string::npos ? std::string() : why.substr(first);
+      if (why.empty()) {
+        *error = path + ":" + std::to_string(line_no) +
+                 ": allow-file has no written justification; say *why* the "
+                 "whole file/directory is exempt";
+        return false;
+      }
+      cfg->allow_files.push_back(AllowFile{value, check, why, line_no});
     } else {
       *error = path + ":" + std::to_string(line_no) + ": unknown directive '" + key +
-               "' (allow-ref-type | guard-type | sink | exclude)";
+               "' (allow-ref-type | guard-type | sink | exclude | hot-path | "
+               "hot-function | expensive-type | allow-copy-type | allow-file)";
       return false;
     }
   }
@@ -780,8 +1221,10 @@ bool load_config(const std::string& path, Config* cfg, std::string* error) {
 }
 
 std::vector<Finding> analyze_source(const std::string& path, std::string_view source,
-                                    const Config& cfg) {
+                                    const Config& cfg,
+                                    std::vector<char>* allow_file_used) {
   Analyzer analyzer(path, lex(source), cfg);
+  analyzer.allow_file_used = allow_file_used;
   return analyzer.run();
 }
 

@@ -22,8 +22,26 @@
 ///                      sink with no liveness guard in scope
 ///   lint-suppression   malformed or unused inline suppression
 ///
+/// Perf family (PR 6) — fires only inside *hot* functions, i.e. functions
+/// in a `hot-path` directory or named by a `hot-function` policy entry
+/// (qualified `Class::name` or bare), plus every lambda nested in one:
+///   hot-alloc          heap allocation on the hot path: `new`,
+///                      make_shared/make_unique, std::function construction,
+///                      string concatenation, push_back with no visible
+///                      reserve() on the same receiver anywhere in the file
+///   hot-arg-copy       by-value std::string/std::vector/expensive-type
+///                      parameter of a hot non-coroutine function, or an
+///                      expensive-type local copy-initialised from an lvalue
+///                      (no move, no call). Coroutine parameters are exempt:
+///                      the coro-* family *requires* owning by-value params,
+///                      and lifetime beats a copy (see DESIGN.md)
+///   hot-relookup       the same container indexed/found twice with the same
+///                      single-token key in one scope with no rebind between
+///
 /// Inline suppression (same line as the finding, or the line above):
 ///   // chase-lint: allow(check-name) <written justification, required>
+/// File-level exemption (in .chase-lint, for whole cold directories):
+///   allow-file <glob> (check-name) <written justification, required>
 
 #include <cstdint>
 #include <string>
@@ -58,6 +76,17 @@ LexResult lex(std::string_view source);
 
 // --- configuration -----------------------------------------------------------
 
+/// One `allow-file <glob> (check) why` policy entry: every finding of
+/// `check` in a file whose path matches `glob` is suppressed. Unused
+/// entries are reported like unused inline suppressions (see
+/// `allow_file_used` below).
+struct AllowFile {
+  std::string glob;   // '*' matches any run of characters, '?' any one
+  std::string check;  // a single check name
+  std::string why;    // written justification, required
+  int line = 0;       // line in the config file, for unused reporting
+};
+
 struct Config {
   /// Lvalue-reference coroutine parameters of these (unqualified) types are
   /// accepted: the type must, by construction, outlive every coroutine
@@ -71,7 +100,27 @@ struct Config {
   std::vector<std::string> sink_names;
   /// Path substrings excluded from tree walks (e.g. lint fixture corpora).
   std::vector<std::string> exclude_paths;
+
+  // --- perf family -----------------------------------------------------------
+  /// Path substrings: every function in a matching file is hot.
+  std::vector<std::string> hot_paths;
+  /// Function names, qualified (`Network::transfer`) or bare (`transfer`).
+  /// Qualified entries only match definitions spelled `Class::name`; bare
+  /// entries match any definition with that name.
+  std::vector<std::string> hot_functions;
+  /// Extra by-value-expensive types for hot-arg-copy, beyond the built-in
+  /// std:: containers (e.g. a big POD config struct).
+  std::vector<std::string> expensive_types;
+  /// Types exempted from hot-arg-copy (cheap to copy despite the name, or
+  /// copied deliberately as policy).
+  std::vector<std::string> allow_copy_types;
+  /// File-level check exemptions (`allow-file` entries).
+  std::vector<AllowFile> allow_files;
 };
+
+/// Match `glob` ('*' = any run, '?' = any one char) against a path. A glob
+/// with no '/' is also tried against the basename, so `*_test.cpp` works.
+bool glob_match(std::string_view glob, std::string_view path);
 
 /// Built-in defaults: no allowed ref types, LiveGuard as guard, the usual
 /// container/callback sinks, no excludes.
@@ -79,6 +128,8 @@ Config default_config();
 
 /// Parse a `.chase-lint` config file into/over `cfg`. Lines:
 ///   allow-ref-type <Type>   guard-type <Type>   sink <name>   exclude <path>
+///   hot-path <path-substr>  hot-function <name> expensive-type <Type>
+///   allow-copy-type <Type>  allow-file <glob> (<check>) <why...>
 /// '#' starts a comment. Returns false and sets *error on malformed input.
 bool load_config(const std::string& path, Config* cfg, std::string* error);
 
@@ -95,8 +146,12 @@ struct Finding {
 /// Analyze one file's source text. Returned findings already have inline
 /// suppressions applied; malformed or unused suppressions surface as
 /// `lint-suppression` findings so every allow() stays justified and live.
+/// If `allow_file_used` is non-null it must have cfg.allow_files.size()
+/// entries; each entry that suppressed at least one finding is set to 1 so
+/// the caller can report dead allow-file policy across the whole walk.
 std::vector<Finding> analyze_source(const std::string& path, std::string_view source,
-                                    const Config& cfg);
+                                    const Config& cfg,
+                                    std::vector<char>* allow_file_used = nullptr);
 
 /// All check names, for --list-checks and suppression validation.
 const std::vector<std::string>& check_names();

@@ -175,6 +175,7 @@ int main(int argc, char** argv) {
 
   const std::vector<std::string> files = collect_files(roots, cfg);
   std::vector<Finding> findings;
+  std::vector<char> allow_file_used(cfg.allow_files.size(), 0);
   int baselined = 0;
   for (const std::string& file : files) {
     std::ifstream in(file, std::ios::binary);
@@ -185,7 +186,8 @@ int main(int argc, char** argv) {
     std::ostringstream buf;
     buf << in.rdbuf();
     const std::string source = buf.str();
-    for (Finding& f : chase::lint::analyze_source(file, source, cfg)) {
+    for (Finding& f :
+         chase::lint::analyze_source(file, source, cfg, &allow_file_used)) {
       const auto fp = chase::lint::fingerprint(f);
       auto it = baseline.find(fp);
       if (it != baseline.end() && it->second > 0) {
@@ -195,6 +197,18 @@ int main(int argc, char** argv) {
       }
       findings.push_back(std::move(f));
     }
+  }
+
+  // Dead allow-file policy is a finding, same as an unused inline allow():
+  // an entry that suppresses nothing can only mask future regressions.
+  for (std::size_t i = 0; i < cfg.allow_files.size(); ++i) {
+    if (allow_file_used[i] != 0) continue;
+    const chase::lint::AllowFile& af = cfg.allow_files[i];
+    findings.push_back(Finding{
+        "lint-suppression", config_path, af.line, "",
+        "allow-file entry '" + af.glob + " (" + af.check +
+            ")' suppressed nothing in this walk; delete it so dead policy "
+            "cannot mask future regressions"});
   }
 
   if (update_baseline) {
