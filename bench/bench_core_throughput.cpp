@@ -1,5 +1,5 @@
 /// \file bench_core_throughput.cpp
-/// Core event-loop + network-fabric throughput at three cluster sizes.
+/// Core event-loop + network-fabric throughput across cluster sizes.
 ///
 /// This is the simulator's own speedometer (ROADMAP item 1), not a paper
 /// figure: it drives the two hot paths that every CHASE-CI workload sits on
@@ -46,14 +46,20 @@ struct SizeSpec {
   int ticks;          // timer ping-pong iterations per node
   int streams;        // concurrent transfer loops per node
   int transfers;      // sequential transfers per stream
+  bool churn;         // short flows + short think: flow add/remove dominates
 };
 
-// Three rungs: scheduler-dominated (small), mixed, and flow-dominated
-// (large — ~nodes*streams concurrent flows keep the max-min recompute hot).
+// Five rungs: scheduler-dominated (small), mixed, flow-dominated (large —
+// ~nodes*streams concurrent flows keep the max-min recompute hot), the
+// fig1-scale cliff probe (xlarge, 512 nodes), and a high-flow-churn
+// scenario where nearly every event is a flow arrival or completion — the
+// worst case for the scoped recompute and the completion index.
 constexpr SizeSpec kSizes[] = {
-    {"small", 8, 20000, 2, 400},
-    {"medium", 32, 8000, 2, 200},
-    {"large", 128, 2000, 4, 60},
+    {"small", 8, 20000, 2, 400, false},
+    {"medium", 32, 8000, 2, 200, false},
+    {"large", 128, 2000, 4, 60, false},
+    {"xlarge", 512, 500, 4, 15, false},
+    {"churn", 128, 100, 8, 40, true},
 };
 
 struct Result {
@@ -76,15 +82,18 @@ Task ticker(Simulation* sim, Rng rng, int ticks) {
 
 /// Flow churn: sequential seeded transfers to random peers with a short
 /// think time, so ~streams*nodes flows are concurrently active and every
-/// arrival/completion re-runs the max-min fair-share recompute.
+/// arrival/completion re-runs the max-min fair-share recompute. Churn mode
+/// shrinks the transfers and the think time so flow starts/finishes — not
+/// payload progress — dominate the event mix.
 Task traffic(Simulation* sim, Network* net, NodeId self, int nodes, Rng rng,
-             int transfers) {
+             int transfers, bool churn) {
   for (int i = 0; i < transfers; ++i) {
     NodeId dst = static_cast<NodeId>(rng.uniform_u64(static_cast<std::uint64_t>(nodes)));
     if (dst == self) dst = (dst + 1) % nodes;
-    const auto bytes = static_cast<chase::util::Bytes>(rng.uniform(4e6, 32e6));
+    const auto bytes = static_cast<chase::util::Bytes>(
+        churn ? rng.uniform(2e5, 2e6) : rng.uniform(4e6, 32e6));
     co_await net->send(self, dst, bytes);
-    co_await sim->sleep(rng.exponential(5e-3));
+    co_await sim->sleep(rng.exponential(churn ? 1e-3 : 5e-3));
   }
 }
 
@@ -110,7 +119,7 @@ Result run_size(const SizeSpec& spec, int scale_div) {
     sim.spawn(ticker(&sim, root.fork(), ticks));
     for (int s = 0; s < spec.streams; ++s) {
       sim.spawn(traffic(&sim, &net, leaves[static_cast<std::size_t>(i)],
-                        spec.nodes, root.fork(), transfers));
+                        spec.nodes, root.fork(), transfers, spec.churn));
     }
   }
 

@@ -1,8 +1,10 @@
 #include "kube/cluster.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cassert>
 #include <cmath>
+#include <cstdlib>
 
 #include "util/check.hpp"
 
@@ -72,6 +74,9 @@ KubeCluster::KubeCluster(sim::Simulation& sim, net::Network& net,
     : sim_(sim), net_(net), inventory_(inventory), metrics_(metrics),
       options_(options) {
   create_namespace("default");
+  free_buckets_.resize(kClassCount);
+  cap_buckets_.resize(kClassCount);
+  sched_candidates_.reserve(64);
   inventory_.subscribe([this](cluster::MachineId m, bool up) { on_machine_state(m, up); });
   audit_hook_ = sim_.add_audit_hook([this] { check_invariants(); });
 }
@@ -99,7 +104,11 @@ void KubeCluster::register_node(cluster::MachineId machine, Labels extra_labels)
   info.allocatable.gpus = m.spec.gpus;
   info.ready = m.up;
   info.gpu_in_use.assign(static_cast<std::size_t>(m.spec.gpus), false);
-  nodes_[machine] = std::move(info);
+  info.pods.reserve(8);  // steady-state churn stays within the high water
+  auto [it, inserted] = nodes_.try_emplace(machine);
+  if (!inserted) index_remove(it->second);  // re-register: drop stale slots
+  it->second = std::move(info);
+  reindex_node(it->second);
   for (auto& [key, ds] : daemon_sets_) reconcile_daemon_set(ds);
   kick_scheduler();
 }
@@ -125,11 +134,15 @@ ResourceList KubeCluster::total_allocated() const {
 }
 
 void KubeCluster::cordon(cluster::MachineId machine) {
-  nodes_.at(machine).unschedulable = true;
+  NodeInfo& info = nodes_.at(machine);
+  info.unschedulable = true;
+  reindex_node(info);
 }
 
 void KubeCluster::uncordon(cluster::MachineId machine) {
-  nodes_.at(machine).unschedulable = false;
+  NodeInfo& info = nodes_.at(machine);
+  info.unschedulable = false;
+  reindex_node(info);
   kick_scheduler();
 }
 
@@ -679,6 +692,39 @@ void KubeCluster::check_invariants() const {
     CHASE_INVARIANT(pod != nullptr && !pod->terminal() && pod->node < 0,
                     "scheduler queue holds a terminal or already-bound pod");
   }
+  // Feasibility index: every schedulable node sits in exactly the bucket its
+  // current headroom/capacity class dictates, and the buckets hold nothing
+  // else (sorted, no duplicates, totals match the schedulable node count).
+  std::size_t schedulable = 0;
+  for (const auto& [machine, info] : nodes_) {
+    const bool member = info.ready && !info.unschedulable;
+    const int fc = member ? resource_class(info.allocatable.cpu - info.allocated.cpu,
+                                           info.allocatable.gpus - info.allocated.gpus)
+                          : -1;
+    const int cc =
+        member ? resource_class(info.allocatable.cpu, info.allocatable.gpus) : -1;
+    schedulable += member ? 1 : 0;
+    CHASE_INVARIANT(info.idx_free == fc && info.idx_cap == cc,
+                    "node's feasibility-index slot is stale for its class");
+    if (member) {
+      const auto& fb = free_buckets_[static_cast<std::size_t>(fc)];
+      const auto& cb = cap_buckets_[static_cast<std::size_t>(cc)];
+      CHASE_INVARIANT(std::binary_search(fb.begin(), fb.end(), machine) &&
+                          std::binary_search(cb.begin(), cb.end(), machine),
+                      "schedulable node missing from its feasibility bucket");
+    }
+  }
+  std::size_t free_slots = 0;
+  std::size_t cap_slots = 0;
+  for (int b = 0; b < kClassCount; ++b) {
+    CHASE_INVARIANT(std::is_sorted(free_buckets_[b].begin(), free_buckets_[b].end()) &&
+                        std::is_sorted(cap_buckets_[b].begin(), cap_buckets_[b].end()),
+                    "feasibility bucket out of machine-id order");
+    free_slots += free_buckets_[b].size();
+    cap_slots += cap_buckets_[b].size();
+  }
+  CHASE_INVARIANT(free_slots == schedulable && cap_slots == schedulable,
+                  "feasibility index size diverged from the schedulable node set");
   for (const auto& [name, ns] : namespaces_) {
     CHASE_INVARIANT(ns.pods_used >= 0, "namespace pod count went negative");
     if (ns.has_quota) {
@@ -741,7 +787,8 @@ void KubeCluster::kick_scheduler() {
 }
 
 void KubeCluster::scheduling_pass() {
-  std::deque<PodPtr> still_pending;
+  std::vector<PodPtr> still_pending;
+  still_pending.reserve(pending_.size());
   while (!pending_.empty()) {
     PodPtr pod = pending_.front();
     pending_.pop_front();
@@ -754,13 +801,14 @@ void KubeCluster::scheduling_pass() {
         choice = pick_node(*pod);
       }
       if (!choice) {
-        still_pending.push_back(pod);
+        still_pending.push_back(std::move(pod));
         continue;
       }
     }
     bind(pod, *choice);
   }
-  pending_ = std::move(still_pending);
+  pending_.assign(std::make_move_iterator(still_pending.begin()),
+                  std::make_move_iterator(still_pending.end()));
 }
 
 bool KubeCluster::node_admits(const NodeInfo& info, const Pod& pod) const {
@@ -780,18 +828,80 @@ bool KubeCluster::node_admits(const NodeInfo& info, const Pod& pod) const {
   return true;
 }
 
+// --- feasibility index --------------------------------------------------------------
+
+int KubeCluster::resource_class(double cpu, int gpus) {
+  const int g = std::clamp(gpus, 0, kGpuClassMax);
+  const auto whole = cpu <= 0.0 ? 0ull : static_cast<unsigned long long>(cpu);
+  const int c = std::min(static_cast<int>(std::bit_width(whole)), kCpuClassMax);
+  return g * (kCpuClassMax + 1) + c;
+}
+
+void KubeCluster::index_remove(NodeInfo& info) {
+  const auto drop = [&](std::vector<cluster::MachineId>& bucket) {
+    bucket.erase(std::remove(bucket.begin(), bucket.end(), info.machine), bucket.end());
+  };
+  if (info.idx_free >= 0) drop(free_buckets_[info.idx_free]);
+  if (info.idx_cap >= 0) drop(cap_buckets_[info.idx_cap]);
+  info.idx_free = -1;
+  info.idx_cap = -1;
+}
+
+void KubeCluster::reindex_node(NodeInfo& info) {
+  const bool member = info.ready && !info.unschedulable;
+  const int fc = member ? resource_class(info.allocatable.cpu - info.allocated.cpu,
+                                         info.allocatable.gpus - info.allocated.gpus)
+                        : -1;
+  const int cc = member ? resource_class(info.allocatable.cpu, info.allocatable.gpus) : -1;
+  if (info.idx_free == fc && info.idx_cap == cc) return;
+  index_remove(info);
+  const auto put = [&](std::vector<cluster::MachineId>& bucket) {
+    bucket.insert(std::lower_bound(bucket.begin(), bucket.end(), info.machine),
+                  info.machine);
+  };
+  if (fc >= 0) put(free_buckets_[fc]);
+  if (cc >= 0) put(cap_buckets_[cc]);
+  info.idx_free = fc;
+  info.idx_cap = cc;
+}
+
+void KubeCluster::gather_candidates(const ResourceList& requests, bool by_capacity) {
+  // Both class functions are monotone, so every node with enough headroom
+  // (or capacity) sits in a bucket at or above the request's class in both
+  // axes: the scan below is a feasibility superset, never a miss. The merge
+  // re-sorts by machine id so scoring visits candidates in the same order
+  // as the old full nodes_ scan.
+  sched_candidates_.clear();
+  const auto& buckets = by_capacity ? cap_buckets_ : free_buckets_;
+  const int g_lo = std::clamp(requests.gpus, 0, kGpuClassMax);
+  const auto whole = requests.cpu <= 0.0 ? 0ull : static_cast<unsigned long long>(requests.cpu);
+  const int c_lo = std::min(static_cast<int>(std::bit_width(whole)), kCpuClassMax);
+  for (int g = g_lo; g <= kGpuClassMax; ++g) {
+    for (int c = c_lo; c <= kCpuClassMax; ++c) {
+      const auto& bucket = buckets[g * (kCpuClassMax + 1) + c];
+      sched_candidates_.insert(sched_candidates_.end(), bucket.begin(), bucket.end());
+    }
+  }
+  std::sort(sched_candidates_.begin(), sched_candidates_.end());
+}
+
 bool KubeCluster::try_preempt(const Pod& pod) {
   const ResourceList requests = pod.requests();
   // Pick the node where evicting the cheapest set of strictly-lower-priority
   // pods frees enough room; prefer evicting as little priority as possible.
+  // Candidates come from the capacity-class buckets: preemption can free
+  // anything allocated, so total capacity is the binding constraint.
   cluster::MachineId best_node = -1;
   std::vector<PodPtr> best_victims;
   int best_cost = INT_MAX;
-  for (auto& [machine, info] : nodes_) {
+  gather_candidates(requests, /*by_capacity=*/true);
+  for (cluster::MachineId machine : sched_candidates_) {
+    NodeInfo& info = nodes_.find(machine)->second;
     if (!node_admits(info, pod)) continue;
     if (requests.fits_within(info.allocatable) == false) continue;
     // Candidate victims: lower-priority pods, lowest priority first.
     std::vector<PodPtr> candidates;
+    candidates.reserve(info.pods.size());
     for (const auto& victim : info.pods) {
       if (!victim->terminal() && victim->spec.priority < pod.spec.priority) {
         candidates.push_back(victim);
@@ -803,6 +913,7 @@ bool KubeCluster::try_preempt(const Pod& pod) {
               });
     ResourceList would = info.allocated;
     std::vector<PodPtr> victims;
+    victims.reserve(candidates.size());
     int cost = 0;
     for (const auto& victim : candidates) {
       ResourceList after = would + requests;
@@ -824,11 +935,28 @@ bool KubeCluster::try_preempt(const Pod& pod) {
   return true;
 }
 
-std::optional<cluster::MachineId> KubeCluster::pick_node(const Pod& pod) const {
+std::optional<cluster::MachineId> KubeCluster::pick_node(const Pod& pod) {
   const ResourceList requests = pod.requests();
+  // Node-pinned pods (DaemonSets) name their machine in the selector; the
+  // "machine" label is always the node's own id, so exactly one node can
+  // match — resolve it directly instead of scanning.
+  const auto pin = pod.spec.node_selector.find("machine");
+  if (pin != pod.spec.node_selector.end()) {
+    char* end = nullptr;
+    const long long id = std::strtoll(pin->second.c_str(), &end, 10);
+    if (end == pin->second.c_str() || *end != '\0') return std::nullopt;
+    const auto it = nodes_.find(static_cast<cluster::MachineId>(id));
+    if (it == nodes_.end()) return std::nullopt;
+    const NodeInfo& info = it->second;
+    if (!node_admits(info, pod)) return std::nullopt;
+    if (!(info.allocated + requests).fits_within(info.allocatable)) return std::nullopt;
+    return info.machine;
+  }
   std::optional<cluster::MachineId> best;
   double best_score = -1.0;
-  for (const auto& [machine, info] : nodes_) {
+  gather_candidates(requests, /*by_capacity=*/false);
+  for (cluster::MachineId machine : sched_candidates_) {
+    const NodeInfo& info = nodes_.find(machine)->second;
     if (!node_admits(info, pod)) continue;
     ResourceList would = info.allocated + requests;
     if (!would.fits_within(info.allocatable)) continue;
@@ -853,9 +981,11 @@ void KubeCluster::bind(const PodPtr& pod, cluster::MachineId machine) {
   NodeInfo& info = nodes_.at(machine);
   pod->node = machine;
   info.allocated += pod->requests();
+  reindex_node(info);  // headroom class may have dropped
   info.pods.push_back(pod);
   // Device plugin: grant specific GPU ids.
   const int want = pod->requests().gpus;
+  pod->gpu_ids.reserve(static_cast<std::size_t>(want));
   for (std::size_t i = 0; i < info.gpu_in_use.size() &&
                           pod->gpu_ids.size() < static_cast<std::size_t>(want);
        ++i) {
@@ -945,6 +1075,7 @@ void KubeCluster::release_node_resources(const PodPtr& pod) {
   if (it == nodes_.end()) return;
   NodeInfo& info = it->second;
   info.allocated -= pod->requests();
+  reindex_node(info);  // headroom class may have risen
   for (int gpu : pod->gpu_ids) {
     if (gpu >= 0 && gpu < static_cast<int>(info.gpu_in_use.size())) {
       info.gpu_in_use[static_cast<std::size_t>(gpu)] = false;
@@ -990,6 +1121,7 @@ void KubeCluster::on_machine_state(cluster::MachineId machine, bool up) {
   if (it == nodes_.end()) return;
   NodeInfo& info = it->second;
   info.ready = up;
+  reindex_node(info);
   if (!up) {
     // Node controller: evict every pod bound to the lost node; their owners
     // (Job/ReplicaSet controllers) recreate them elsewhere (paper §V: "If a

@@ -90,6 +90,11 @@ struct NodeInfo {
   std::vector<bool> gpu_in_use;
   std::vector<std::string> image_cache;
   std::vector<PodPtr> pods;  // non-terminal pods bound here
+  /// Feasibility-index slots (KubeCluster::reindex_node): the headroom /
+  /// capacity class bucket currently holding this node, or -1 while the
+  /// node is out of the index (not ready, or cordoned).
+  int idx_free = -1;
+  int idx_cap = -1;
 };
 
 class KubeCluster {
@@ -236,13 +241,35 @@ class KubeCluster {
   // scheduling
   void kick_scheduler();
   void scheduling_pass();
-  std::optional<cluster::MachineId> pick_node(const Pod& pod) const;
+  std::optional<cluster::MachineId> pick_node(const Pod& pod);
   bool node_admits(const NodeInfo& info, const Pod& pod) const;
   /// Try to make room for `pod` by evicting lower-priority pods on one
   /// node; returns true if preemption happened.
   bool try_preempt(const Pod& pod);
   void evict_pod(const PodPtr& pod, const std::string& reason);
   void bind(const PodPtr& pod, cluster::MachineId machine);
+
+  // Feasibility index: schedulable (ready, uncordoned) nodes bucketed by a
+  // resource class — (free GPUs clamped to kGpuClassMax) x (bit width of
+  // whole free CPU cores, clamped to kCpuClassMax). Both class functions
+  // are monotone in the underlying resources, so every node that could fit
+  // a request lives in a bucket at or above the request's own class:
+  // pick_node / try_preempt scan that bucket range instead of all of
+  // nodes_. Candidates are sorted by machine id before scoring, which
+  // reproduces the old full-scan's first-best tie-break exactly.
+  static constexpr int kGpuClassMax = 8;   // free GPUs 0..8+ (FIONA8s)
+  static constexpr int kCpuClassMax = 10;  // bit_width(cores) 0..10 (1024+)
+  static constexpr int kClassCount = (kGpuClassMax + 1) * (kCpuClassMax + 1);
+  static int resource_class(double cpu, int gpus);
+  /// Reconcile one node's index slots with its current state (membership,
+  /// headroom class, capacity class). Call after any change to ready /
+  /// unschedulable / allocated / allocatable.
+  void reindex_node(NodeInfo& info);
+  void index_remove(NodeInfo& info);
+  /// Collect schedulable nodes whose class could fit `requests` into
+  /// sched_candidates_, ascending machine id. `by_capacity` selects the
+  /// allocatable-class buckets (preemption) over the headroom ones.
+  void gather_candidates(const ResourceList& requests, bool by_capacity);
 
   // kubelet
   static sim::Task run_pod(KubeCluster* self, PodPtr pod);
@@ -285,6 +312,11 @@ class KubeCluster {
   std::map<std::string, ServiceSpec> services_;
   std::map<std::string, std::size_t> service_rr_;
   std::deque<PodPtr> pending_;
+  /// Feasibility-index buckets (machine ids, ascending) and the candidate
+  /// scratch reused by every scheduling query.
+  std::vector<std::vector<cluster::MachineId>> free_buckets_;
+  std::vector<std::vector<cluster::MachineId>> cap_buckets_;
+  std::vector<cluster::MachineId> sched_candidates_;
   bool pass_scheduled_ = false;
   std::uint64_t next_uid_ = 1;
   std::vector<std::function<void(const PodPtr&)>> watchers_;

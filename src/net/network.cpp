@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
-#include <stdexcept>
 
 #include "util/check.hpp"
 
@@ -11,6 +10,35 @@ namespace chase::net {
 
 namespace {
 constexpr double kByteEpsilon = 0.5;  // flows within half a byte are done
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}  // namespace
+
+Network::Network(sim::Simulation& sim) : sim_(sim) {
+  audit_hook_ = sim_.add_audit_hook([this] {
+    check_invariants();
+    CHASE_AUDIT(rates_match_full_recompute(),
+                "scoped max-min recompute diverged from the full recompute");
+  });
+  // High-water marks for steady-state flow churn; grown on demand.
+  comp_links_.reserve(64);
+  levels_.reserve(64);
+  fl_ptr_.reserve(64);
+  fl_cap_.reserve(64);
+  fl_old_.reserve(64);
+  fl_new_.reserve(64);
+  fl_id_.reserve(64);
+  fl_edge_end_.reserve(64);
+  fl_frozen_.reserve(64);
+  edges_.reserve(128);
+  cap_list_.reserve(64);
+  cap_runs_.reserve(64);
+  squeezed_.reserve(64);
+  link_members_.reserve(128);
+  dirty_.reserve(64);
+  seed_links_.reserve(64);
+  scope_links_.reserve(64);
+  eta_heap_.reserve(64);
+  doomed_.reserve(64);
 }
 
 NodeId Network::add_node(std::string name) {
@@ -28,8 +56,12 @@ LinkId Network::add_link(NodeId a, NodeId b, double bandwidth_bps, double latenc
   links_.push_back(DirectedLink{b, a, bandwidth_bps, latency_s, bandwidth_bps, true, {}});
   // Pre-size the per-link flow registries at build time so steady-state
   // flow churn stays within the high-water capacity.
-  links_[forward].flow_ids.reserve(8);
-  links_[forward + 1].flow_ids.reserve(8);
+  links_[forward].flows.reserve(8);
+  links_[forward + 1].flows.reserve(8);
+  // Per-link recompute scratch, kept sized with links_.
+  link_epoch_.resize(links_.size(), 0);
+  link_scope_.resize(links_.size(), 0);
+  link_fill_.resize(links_.size());
   nodes_[a].out.push_back(forward);
   nodes_[b].out.push_back(forward + 1);
   invalidate_routes();
@@ -41,21 +73,22 @@ void Network::set_node_up(NodeId id, bool up) {
   nodes_[id].up = up;
   invalidate_routes();
   if (!up) {
-    // Fail every flow whose path touches the node.
-    std::vector<std::uint64_t> doomed;
+    // Fail every flow whose path touches the node, in one batch: a single
+    // scoped recompute covers all affected components.
+    doomed_.clear();
     for (const auto& [fid, flow] : flows_) {
       if (flow.handle->src == id || flow.handle->dst == id) {
-        doomed.push_back(fid);
+        doomed_.push_back(fid);
         continue;
       }
       for (LinkId l : flow.path) {
         if (links_[l].from == id || links_[l].to == id) {
-          doomed.push_back(fid);
+          doomed_.push_back(fid);
           break;
         }
       }
     }
-    for (auto fid : doomed) fail_flow(fid);
+    fail_flows();
   }
 }
 
@@ -67,27 +100,35 @@ void Network::set_link_up(LinkId id, bool up) {
   invalidate_routes();
   if (!up) {
     // Fail every flow routed over either direction of the pair.
-    std::vector<std::uint64_t> doomed;
+    doomed_.clear();
     for (const auto& [fid, flow] : flows_) {
       for (LinkId l : flow.path) {
         if (l == id || l == partner) {
-          doomed.push_back(fid);
+          doomed_.push_back(fid);
           break;
         }
       }
     }
-    for (auto fid : doomed) fail_flow(fid);
+    fail_flows();
   }
+}
+
+void Network::fail_flows() {
+  for (auto fid : doomed_) finish_flow(fid, /*failed=*/true);
+  doomed_.clear();
+  recompute_scope();
+  rearm_completion();
 }
 
 void Network::set_link_bandwidth_factor(LinkId id, double factor) {
   assert(factor > 0.0);
   const LinkId partner = partner_of(id);
-  settle_progress();
   links_.at(id).capacity = links_[id].base_capacity * factor;
   links_[partner].capacity = links_[partner].base_capacity * factor;
-  recompute_rates();
-  schedule_next_completion();
+  seed_links_.push_back(id);
+  seed_links_.push_back(partner);
+  recompute_scope();
+  rearm_completion();
 }
 
 double Network::link_bandwidth_factor(LinkId id) const {
@@ -187,6 +228,7 @@ TransferPtr Network::transfer(NodeId src, NodeId dst, Bytes bytes, TransferOptio
     // Local copies and pure control messages pay latency only.
     sim_.schedule(latency, [this, handle] {
       handle->finish_time = sim_.now();
+      bytes_started_ += static_cast<double>(handle->bytes);
       bytes_delivered_ += static_cast<double>(handle->bytes);
       handle->done->trigger(sim_);
     });
@@ -206,18 +248,24 @@ TransferPtr Network::transfer(NodeId src, NodeId dst, Bytes bytes, TransferOptio
         return;
       }
     }
-    settle_progress();
     const std::uint64_t id = next_flow_id_++;
-    Flow flow;
+    Flow& flow = flows_.try_emplace(id).first->second;  // ids are monotone: fresh
+    flow.id = id;
     flow.handle = handle;
     flow.remaining = static_cast<double>(handle->bytes);
     flow.rate_cap = opts.rate_cap;
     flow.last_update = sim_.now();
-    for (LinkId l : path) links_[l].flow_ids.push_back(id);
+    // Register on the incidence index (ids are monotone, so appending keeps
+    // each registry sorted) and seed the owning component for recompute.
+    for (LinkId l : path) {
+      links_[l].flows.push_back({&flow, flow.rate, id});
+      seed_links_.push_back(l);
+    }
     flow.path = std::move(path);
-    flows_.emplace(id, std::move(flow));
-    recompute_rates();
-    schedule_next_completion();
+    bytes_started_ += flow.remaining;
+    eta_insert(&flow);
+    recompute_scope();
+    rearm_completion();
   });
   return handle;
 }
@@ -227,173 +275,613 @@ sim::Task Network::send(NodeId src, NodeId dst, Bytes bytes, TransferOptions opt
   co_await handle->done->wait(sim_);
 }
 
-void Network::settle_progress() {
-  const double now = sim_.now();
-  for (auto& [id, flow] : flows_) {
-    const double dt = now - flow.last_update;
-    if (dt > 0.0 && flow.rate > 0.0) {
-      const double moved = std::min(flow.remaining, flow.rate * dt);
-      flow.remaining -= moved;
-      bytes_delivered_ += moved;
-    }
-    flow.last_update = now;
+void Network::settle_flow(Flow& flow, double now) {
+  const double dt = now - flow.last_update;
+  if (dt > 0.0 && flow.rate > 0.0) {
+    const double moved = std::min(flow.remaining, flow.rate * dt);
+    flow.remaining -= moved;
+    bytes_delivered_ += moved;
   }
+  flow.last_update = now;
 }
 
-void Network::recompute_rates() {
-  // Progressive filling (max-min fairness) with per-flow rate caps.
-  // Scratch lives in members (rate_*_) so the steady state re-rates the
-  // whole network allocation-free; the arithmetic and freeze order are
-  // bit-identical to the original map-based formulation (determinism).
-  rate_ls_.resize(links_.size());
-  for (std::size_t i = 0; i < links_.size(); ++i) {
-    rate_ls_[i] = LinkState{links_[i].capacity, 0};
-  }
-  rate_pending_.clear();
-  rate_pending_.reserve(flows_.size());
-  for (auto& [id, flow] : flows_) {  // ascending id: deterministic freeze order
-    rate_pending_.push_back(PendingFlow{id, flow.rate_cap, &flow, false});
-    for (LinkId l : flow.path) ++rate_ls_[l].count;
-  }
-  // Links still carrying unassigned flows, ascending. Counts only decrease
-  // within one recompute, so exhausted links are dropped for good; dropping
-  // them skips exactly the iterations the full scan would have skipped via
-  // `count > 0`, leaving the division/min sequence — and thus the computed
-  // rates — bit-identical to the naive formulation.
-  rate_active_links_.clear();
-  rate_active_links_.reserve(links_.size());
-  for (std::size_t i = 0; i < rate_ls_.size(); ++i) {
-    if (rate_ls_[i].count > 0) rate_active_links_.push_back(i);
-  }
+void Network::soa_clear() {
+  fl_ptr_.clear();
+  fl_cap_.clear();
+  fl_old_.clear();
+  fl_id_.clear();
+  fl_edge_end_.clear();
+  edges_.clear();
+  cap_list_.clear();
+  cap_runs_.clear();
+  cap_min_ = kInf;
+  n_real_caps_ = 0;
+  twin_count_ = 0;
+  squeezed_.clear();
+}
 
-  auto freeze_flow = [&](PendingFlow& p, double rate) {
-    p.flow->rate = rate;
-    for (LinkId l : p.flow->path) {
-      LinkState& s = rate_ls_[l];
-      s.residual = std::max(0.0, s.residual - rate);
-      --s.count;
+void Network::soa_add_full(Flow* f) {
+  if (std::isfinite(f->rate_cap)) {
+    CapEnt ce;
+    ce.cap = f->rate_cap;
+    ce.fid = f->id;
+    ce.idx = static_cast<std::uint32_t>(fl_ptr_.size());
+    cap_list_.push_back(ce);
+    cap_min_ = std::min(cap_min_, f->rate_cap);
+  }
+  fl_ptr_.push_back(f);
+  fl_cap_.push_back(f->rate_cap);
+  fl_old_.push_back(f->rate);
+  fl_id_.push_back(f->id);
+  for (LinkId l : f->path) {
+    edges_.push_back(l);
+    std::uint64_t& epoch = link_epoch_[l];
+    if (epoch != scope_epoch_) {
+      epoch = scope_epoch_;
+      comp_links_.push_back(l);
     }
-    p.frozen = true;
-  };
-  // Flows frozen this round are compacted out (order-preserving), keeping
-  // later rounds' scans proportional to what is still unassigned.
-  auto compact_pending = [&] {
-    rate_pending_.erase(
-        std::remove_if(rate_pending_.begin(), rate_pending_.end(),
-                       [](const PendingFlow& p) { return p.frozen; }),
-        rate_pending_.end());
-  };
-  // rate_pending_ is sorted by flow id (flows_ iteration order; compaction
-  // preserves it).
-  auto find_pending = [&](std::uint64_t fid) -> PendingFlow* {
-    auto it = std::lower_bound(
-        rate_pending_.begin(), rate_pending_.end(), fid,
-        [](const PendingFlow& p, std::uint64_t v) { return p.id < v; });
-    return (it != rate_pending_.end() && it->id == fid) ? &*it : nullptr;
+  }
+  fl_edge_end_.push_back(static_cast<std::uint32_t>(edges_.size()));
+}
+
+void Network::collect_component(LinkId seed) {
+  soa_clear();
+  comp_links_.clear();
+  link_epoch_[seed] = scope_epoch_;
+  comp_links_.push_back(seed);
+  // comp_links_ doubles as the BFS queue; every discovered link stays in it,
+  // so afterwards it is exactly the component's link set.
+  for (std::size_t head = 0; head < comp_links_.size(); ++head) {
+    const LinkId at = comp_links_[head];
+    for (const DirectedLink::RegEntry& e : links_[at].flows) {
+      Flow* f = e.flow;
+      if (f->visit_epoch == scope_epoch_) continue;
+      f->visit_epoch = scope_epoch_;
+      soa_add_full(f);
+    }
+  }
+  n_real_caps_ = static_cast<std::uint32_t>(cap_list_.size());
+}
+
+void Network::fill_component() {
+  // Progressive filling over the collected links and flows. The result is a
+  // pure function of the collected SET: each round freezes at the unique
+  // minimum water level under the (level, link id) total order, cap
+  // batches freeze in ascending (cap, flow id), and same-share freezes commute
+  // bitwise, so discovery order — incremental seed vs. full sweep — cannot
+  // affect a single bit of the computed rates (DESIGN.md "Incremental
+  // max-min rate updates").
+  const std::uint32_t n = static_cast<std::uint32_t>(fl_ptr_.size());
+  {
+    std::uint32_t off = 0;
+    for (LinkId l : comp_links_) {
+      LinkFill& lf = link_fill_[l];
+      const DirectedLink& link = links_[l];
+      const std::uint32_t reg = static_cast<std::uint32_t>(link.flows.size());
+      lf.residual = link.capacity;
+      // The fill count is the registry size: implicit twins count toward
+      // the water level even though they hold no fl_* slot.
+      lf.count = static_cast<std::int32_t>(reg);
+      // Stage the per-link member slices; registry size is an upper bound
+      // (boundary links' implicit twins contribute no edges), the real
+      // length is recomputed after the build.
+      lf.moff = off;
+      lf.mcur = off;
+      lf.run = kNoRun;
+      off += reg;
+    }
+    link_members_.resize(off);
+    for (std::uint32_t ri = 0; ri < cap_runs_.size(); ++ri) {
+      link_fill_[cap_runs_[ri].link].run = ri;
+    }
+  }
+  {
+    std::uint32_t e = 0;
+    for (std::uint32_t i = 0; i < n; ++i) {
+      for (; e < fl_edge_end_[i]; ++e) link_members_[link_fill_[edges_[e]].mcur++] = i;
+    }
+    // The build cursors are spent; record the filled slice lengths, then
+    // repurpose the cursors as dense slot indices and seed the per-slot
+    // water levels.
+    levels_.resize(comp_links_.size());
+    for (std::uint32_t j = 0; j < comp_links_.size(); ++j) {
+      LinkFill& lf = link_fill_[comp_links_[j]];
+      lf.reg = lf.mcur - lf.moff;
+      lf.mcur = j;
+      levels_[j] = lf.residual / lf.count;
+    }
+  }
+  // Caps were gathered at collection time with a running minimum; ascending
+  // (cap, flow id) order is materialized lazily below. A pass with no real
+  // (finite rate_cap) entries carries only per-boundary-link twin runs,
+  // which touch pairwise-disjoint links — firing them run by run subtracts
+  // in the same per-link ascending order as the globally sorted list, bit
+  // for bit, without ever sorting the whole list (DESIGN.md "Incremental
+  // max-min rate updates"). A real cap can interleave with twins on a
+  // shared link, so such passes use the monolithic global sort; the
+  // full-recompute reference is always monolithic.
+  double cap_min = cap_min_;
+  const bool monolithic = n_real_caps_ > 0;
+  bool caps_sorted = false;
+  std::size_t cap_at = 0;
+  const auto cap_less = [](const CapEnt& a, const CapEnt& b) {
+    if (a.cap != b.cap) return a.cap < b.cap;
+    return a.fid < b.fid;
   };
 
-  while (!rate_pending_.empty()) {
-    // Bottleneck share among links that still carry unassigned flows,
-    // compacting exhausted links out of the active list as we go.
-    double share = std::numeric_limits<double>::infinity();
-    std::size_t kept = 0;
-    for (std::size_t idx : rate_active_links_) {
-      const LinkState& s = rate_ls_[idx];
-      if (s.count <= 0) continue;  // exhausted this recompute: drop
-      rate_active_links_[kept++] = idx;
-      share = std::min(share, s.residual / s.count);
+  fl_new_.resize(n);
+  fl_frozen_.assign(n, 0);
+  dirty_.clear();
+  std::uint32_t unfrozen = n + twin_count_;
+  // An implicit twin's freeze is one residual subtraction on its run's
+  // link; the run cursor doubles as its frozen flag.
+  const auto freeze_twin = [&](LinkId b, double rate) {
+    LinkFill& lf = link_fill_[b];
+    lf.residual = std::max(0.0, lf.residual - rate);
+    --lf.count;
+    dirty_.push_back(lf.mcur);
+    --unfrozen;
+  };
+  const auto freeze = [&](std::uint32_t i, double rate) {
+    fl_new_[i] = rate;
+    fl_frozen_[i] = 1;
+    --unfrozen;
+    const std::uint32_t e0 = i == 0 ? 0 : fl_edge_end_[i - 1];
+    for (std::uint32_t e = e0; e < fl_edge_end_[i]; ++e) {
+      const LinkId l = edges_[e];
+      LinkFill& lf = link_fill_[l];
+      lf.residual = std::max(0.0, lf.residual - rate);
+      --lf.count;
+      // Defer the level division: levels are only read between rounds, so
+      // each touched slot is refreshed once per round, not once per freeze.
+      dirty_.push_back(lf.mcur);
     }
-    rate_active_links_.resize(kept);
-    // Any flow whose cap is below the bottleneck share freezes at its cap.
-    bool froze_capped = false;
-    for (PendingFlow& p : rate_pending_) {
-      if (p.cap < share) {
-        freeze_flow(p, p.cap);
-        froze_capped = true;
-      }
+  };
+
+  while (unfrozen > 0) {
+    for (std::uint32_t j : dirty_) {
+      const LinkFill& lf = link_fill_[comp_links_[j]];
+      levels_[j] = lf.count > 0 ? lf.residual / lf.count : kInf;
     }
-    if (froze_capped) {
-      compact_pending();
-      continue;  // shares changed; recompute
-    }
-    if (!std::isfinite(share)) {
-      // No constraining link (e.g. all flows capped and handled above).
-      for (PendingFlow& p : rate_pending_) freeze_flow(p, p.cap);
-      rate_pending_.clear();
-      break;
-    }
-    // Freeze all unassigned flows crossing the bottleneck link at `share`.
+    dirty_.clear();
+    // Lowest current water level = the bottleneck share; a pass touches a
+    // handful of links, so a linear min-scan beats any heap. Ties break by
+    // smallest link id, giving the same (level, link id) total order as a
+    // lazy heap of superseded levels would.
+    double share = kInf;
     LinkId bottleneck = -1;
-    for (std::size_t idx : rate_active_links_) {
-      const LinkState& s = rate_ls_[idx];
-      if (s.count > 0 && s.residual / s.count <= share * (1.0 + 1e-9) + 1e-9) {
-        bottleneck = static_cast<LinkId>(idx);
-        break;
+    const std::uint32_t nl = static_cast<std::uint32_t>(comp_links_.size());
+    for (std::uint32_t j = 0; j < nl; ++j) {
+      const double lv = levels_[j];
+      if (lv > share) continue;
+      const LinkId l = comp_links_[j];
+      if (lv < share || l < bottleneck) {
+        share = lv;
+        bottleneck = l;
       }
     }
-    assert(bottleneck >= 0);
-    rate_on_link_.clear();
-    rate_on_link_.reserve(rate_pending_.size());
-    for (std::uint64_t fid : links_[bottleneck].flow_ids) {
-      const PendingFlow* p = find_pending(fid);
-      if (p != nullptr && !p->frozen) rate_on_link_.push_back(fid);
+    if (bottleneck < 0) {
+      // No constraining link left: every remaining flow must be capped
+      // (defensive — an unfrozen flow keeps a valid entry on each of its
+      // links, so this is unreachable unless all remaining caps bind).
+      if (monolithic) {
+        if (!caps_sorted) {
+          std::sort(cap_list_.begin(), cap_list_.end(), cap_less);
+          caps_sorted = true;
+        }
+        for (; cap_at < cap_list_.size(); ++cap_at) {
+          const std::uint32_t i = cap_list_[cap_at].idx;
+          if (!fl_frozen_[i]) freeze(i, fl_cap_[i]);
+        }
+      } else {
+        for (CapRun& r : cap_runs_) {
+          if (!r.sorted) {
+            std::sort(cap_list_.begin() + r.begin, cap_list_.begin() + r.end,
+                      cap_less);
+            r.sorted = true;
+          }
+          for (; r.at < r.end; ++r.at) freeze_twin(r.link, cap_list_[r.at].cap);
+        }
+      }
+      break;
     }
-    for (std::uint64_t fid : rate_on_link_) freeze_flow(*find_pending(fid), share);
-    compact_pending();
+    // Caps strictly below the bottleneck share freeze first — ascending
+    // (cap, flow id) within each link — raising the water levels; then
+    // re-derive the share.
+    bool fired = false;
+    if (cap_min < share) {
+      if (monolithic) {
+        if (!caps_sorted) {
+          std::sort(cap_list_.begin(), cap_list_.end(), cap_less);
+          caps_sorted = true;
+        }
+        while (cap_at < cap_list_.size()) {
+          const CapEnt& ce = cap_list_[cap_at];
+          if (ce.cap >= share) break;
+          const std::uint32_t i = ce.idx;
+          ++cap_at;
+          if (!fl_frozen_[i]) {
+            freeze(i, fl_cap_[i]);
+            fired = true;
+          }
+        }
+        cap_min = cap_at < cap_list_.size() ? cap_list_[cap_at].cap : kInf;
+      } else {
+        double new_min = kInf;
+        for (CapRun& r : cap_runs_) {
+          if (r.min < share) {
+            // Sort each run only when it first fires; runs whose twins all
+            // sit above the final water level are never sorted at all.
+            if (!r.sorted) {
+              std::sort(cap_list_.begin() + r.begin,
+                        cap_list_.begin() + r.end, cap_less);
+              r.sorted = true;
+            }
+            while (r.at < r.end && cap_list_[r.at].cap < share) {
+              freeze_twin(r.link, cap_list_[r.at].cap);
+              ++r.at;
+              fired = true;
+            }
+            r.min = r.at < r.end ? cap_list_[r.at].cap : kInf;
+          }
+          new_min = std::min(new_min, r.min);
+        }
+        cap_min = new_min;
+      }
+    }
+    if (fired) {
+      continue;
+    }
+    // Freeze every unfrozen flow crossing the bottleneck at the share.
+    // Same-share freezes commute bitwise (equal subtrahends, total-order
+    // heap), so the member slice's build order is immaterial — and so is
+    // the reals-then-twins split below.
+    LinkFill& lfb = link_fill_[bottleneck];
+    const std::uint32_t m0 = lfb.moff;
+    const std::uint32_t m1 = m0 + lfb.reg;
+    for (std::uint32_t m = m0; m < m1; ++m) {
+      const std::uint32_t i = link_members_[m];
+      if (!fl_frozen_[i]) freeze(i, share);
+    }
+    if (lfb.run != kNoRun) {
+      CapRun& r = cap_runs_[lfb.run];
+      if (r.at < r.end) {
+        // The link's unfired twins freeze at the share like any member.
+        // All remaining caps are >= share here (a lower cap would have
+        // fired above); one strictly above it is a squeezed twin — its
+        // true share changed, so its path must join S (rare: forces
+        // another expansion iteration).
+        for (std::uint32_t q = r.at; q < r.end; ++q) {
+          const CapEnt& ce = cap_list_[q];
+          if (ce.cap > share) squeezed_.push_back(ce.flow);
+          lfb.residual = std::max(0.0, lfb.residual - share);
+        }
+        lfb.count -= static_cast<std::int32_t>(r.end - r.at);
+        unfrozen -= r.end - r.at;
+        dirty_.push_back(lfb.mcur);
+        r.at = r.end;
+        r.min = kInf;
+      }
+    }
   }
 }
 
-void Network::schedule_next_completion() {
-  const std::uint64_t gen = ++completion_gen_;
-  double eta = std::numeric_limits<double>::infinity();
-  for (const auto& [id, flow] : flows_) {
-    if (flow.remaining <= kByteEpsilon) {
-      eta = 0.0;
-      break;
+void Network::apply_component() {
+  const double now = sim_.now();
+  const std::uint32_t n = static_cast<std::uint32_t>(fl_ptr_.size());
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const double rate = fl_new_[i];
+    if (rate == fl_old_[i]) continue;  // bit-identical: keep settle state + deadline
+    Flow* f = fl_ptr_[i];
+    settle_flow(*f, now);
+    f->rate = rate;
+    // Keep the registry rate mirrors current (registries are id-sorted).
+    for (LinkId l : f->path) {
+      auto& reg = links_[l].flows;
+      auto it = std::lower_bound(
+          reg.begin(), reg.end(), f->id,
+          [](const DirectedLink::RegEntry& e, std::uint64_t id) { return e.id < id; });
+      it->rate = rate;
     }
-    if (flow.rate > 0.0) eta = std::min(eta, flow.remaining / flow.rate);
+    f->deadline = f->remaining <= kByteEpsilon
+                      ? now
+                      : (rate > 0.0 ? now + f->remaining / rate : kInf);
+    eta_update(f);
   }
-  if (!std::isfinite(eta)) return;  // all flows starved; rearmed on change
-  sim_.schedule(eta, [this, gen] {
-    if (gen != completion_gen_) return;  // superseded by a newer rate change
-    settle_progress();
-    // finish_flow fires handles via deferred events, so no callback can
-    // re-enter and clobber the scratch buffer while we iterate it.
-    finished_scratch_.clear();
-    finished_scratch_.reserve(flows_.size());
-    for (const auto& [id, flow] : flows_) {
-      if (flow.remaining <= kByteEpsilon) finished_scratch_.push_back(id);
+}
+
+void Network::recompute_scope() {
+  // Dedupe the accumulated seeds into the in-scope link set S, dropping
+  // links with empty registries (nothing to re-rate there).
+  ++scope_id_;
+  scope_links_.clear();
+  for (LinkId l : seed_links_) {
+    std::uint64_t& mark = link_scope_[l];
+    if (mark == scope_id_) continue;
+    mark = scope_id_;
+    if (!links_[l].flows.empty()) scope_links_.push_back(l);
+  }
+  seed_links_.clear();
+  if (scope_links_.empty()) return;
+  // Fixpoint expansion: fill over S plus its boundary ring, then grow S
+  // along the paths of flows whose computed rate changed bitwise, and
+  // refill. Every flow on an S link participates fully; each out-of-scope
+  // link crossed by such a flow joins with its remaining flows as virtual
+  // participants capped at their current rate, which reproduces the
+  // boundary link's exact water-level trajectory as long as those rates
+  // hold. Rate changes can only reach a flow through a link some crossing
+  // flow changed on, so once no changed flow crosses an out-of-S link the
+  // in-scope rates equal the full per-component fill bit for bit and every
+  // out-of-scope rate is untouched (DESIGN.md "Incremental max-min rate
+  // updates"). Worst case S grows to the whole component and this
+  // degenerates to the full fill.
+  while (true) {
+    ++scope_epoch_;
+    soa_clear();
+    comp_links_.clear();
+    {
+      for (LinkId l : scope_links_) {
+        link_epoch_[l] = scope_epoch_;
+        comp_links_.push_back(l);
+      }
+      // Full participants: every flow crossing an S link. soa_add_full
+      // appends their out-of-S path links to comp_links_ — that tail is
+      // exactly the boundary ring.
+      for (LinkId l : scope_links_) {
+        const auto& reg = links_[l].flows;
+        const std::size_t rn = reg.size();
+        for (std::size_t k = 0; k < rn; ++k) {
+          if (k + 4 < rn) __builtin_prefetch(reg[k + 4].flow);
+          Flow* f = reg[k].flow;
+          if (f->visit_epoch == scope_epoch_) continue;
+          f->visit_epoch = scope_epoch_;
+          soa_add_full(f);
+        }
+      }
+      // Boundary (virtual) participants, straight off the registry mirrors:
+      // capped at their current rate, one entry per boundary link crossed.
+      // A flow crossing two boundary links gets two single-edge twins; both
+      // freeze at the same cap on disjoint links, so the subtractions
+      // commute bitwise with the single two-edge formulation (a twin only
+      // freezes below its cap when its link would squeeze it, and that
+      // marks the flow changed, which forces another expansion iteration —
+      // so twins never disagree in the iteration whose rates are applied).
+      // In-scope members of a boundary registry already joined as full
+      // participants above and carry this iteration's visit stamp, which
+      // skips them here.
+      n_real_caps_ = static_cast<std::uint32_t>(cap_list_.size());
+      if (n_real_caps_ > 0) {
+        // Real caps present: this pass sorts one monolithic cap list, so
+        // twins need fl_* slots like everyone else.
+        for (std::size_t bi = scope_links_.size(); bi < comp_links_.size();
+             ++bi) {
+          const LinkId b = comp_links_[bi];
+          const auto& breg = links_[b].flows;
+          const std::size_t bn = breg.size();
+          for (std::size_t k = 0; k < bn; ++k) {
+            if (k + 4 < bn) __builtin_prefetch(breg[k + 4].flow);
+            const DirectedLink::RegEntry& e = breg[k];
+            if (e.flow->visit_epoch == scope_epoch_) continue;
+            CapEnt ce;
+            ce.cap = e.rate;
+            ce.fid = e.id;
+            ce.idx = static_cast<std::uint32_t>(fl_ptr_.size());
+            cap_list_.push_back(ce);
+            if (e.rate < cap_min_) cap_min_ = e.rate;
+            fl_ptr_.push_back(e.flow);
+            fl_cap_.push_back(e.rate);  // its bottleneck lies outside S
+            fl_old_.push_back(e.rate);
+            fl_id_.push_back(e.id);
+            edges_.push_back(b);
+            fl_edge_end_.push_back(static_cast<std::uint32_t>(edges_.size()));
+          }
+        }
+      } else {
+        // No real caps: twins stay implicit — one cap-run entry each,
+        // no fl_* slot, no edge. Their link's fill count still includes
+        // them (it is the registry size), and a freeze is a single
+        // residual subtraction handled through the run.
+        for (std::size_t bi = scope_links_.size(); bi < comp_links_.size();
+             ++bi) {
+          const LinkId b = comp_links_[bi];
+          const auto& breg = links_[b].flows;
+          const std::size_t bn = breg.size();
+          const std::uint32_t run_begin =
+              static_cast<std::uint32_t>(cap_list_.size());
+          double run_min = kInf;
+          for (std::size_t k = 0; k < bn; ++k) {
+            if (k + 4 < bn) __builtin_prefetch(breg[k + 4].flow);
+            const DirectedLink::RegEntry& e = breg[k];
+            if (e.flow->visit_epoch == scope_epoch_) continue;
+            CapEnt ce;
+            ce.cap = e.rate;
+            ce.fid = e.id;
+            ce.flow = e.flow;
+            cap_list_.push_back(ce);
+            if (e.rate < run_min) run_min = e.rate;
+          }
+          const std::uint32_t run_end =
+              static_cast<std::uint32_t>(cap_list_.size());
+          if (run_end > run_begin) {
+            CapRun r;
+            r.begin = r.at = run_begin;
+            r.end = run_end;
+            r.link = b;
+            r.min = run_min;
+            cap_runs_.push_back(r);
+            twin_count_ += run_end - run_begin;
+            if (run_min < cap_min_) cap_min_ = run_min;
+          }
+        }
+      }
     }
-    for (auto id : finished_scratch_) finish_flow(id, /*failed=*/false);
-    recompute_rates();
-    schedule_next_completion();
-  });
+    fill_component();
+    bool grew = false;
+    const std::uint32_t n = static_cast<std::uint32_t>(fl_ptr_.size());
+    for (std::uint32_t i = 0; i < n; ++i) {
+      if (fl_new_[i] == fl_old_[i]) continue;
+      for (LinkId l : fl_ptr_[i]->path) {
+        std::uint64_t& mark = link_scope_[l];
+        if (mark == scope_id_) continue;
+        mark = scope_id_;
+        scope_links_.push_back(l);  // registry holds this flow: never empty
+        grew = true;
+      }
+    }
+    // Squeezed implicit twins froze below their held rate: changed flows,
+    // so their paths join S the same way.
+    for (Flow* f : squeezed_) {
+      for (LinkId l : f->path) {
+        std::uint64_t& mark = link_scope_[l];
+        if (mark == scope_id_) continue;
+        mark = scope_id_;
+        scope_links_.push_back(l);
+        grew = true;
+      }
+    }
+    if (!grew) break;
+  }
+  apply_component();
+}
+
+bool Network::rates_match_full_recompute() {
+  ++scope_epoch_;
+  bool match = true;
+  for (auto& [id, flow] : flows_) {
+    if (flow.visit_epoch == scope_epoch_) continue;
+    collect_component(flow.path.front());
+    fill_component();
+    const std::uint32_t n = static_cast<std::uint32_t>(fl_ptr_.size());
+    for (std::uint32_t i = 0; i < n; ++i) {
+      match = match && fl_new_[i] == fl_ptr_[i]->rate;
+    }
+  }
+  return match;
+}
+
+void Network::rearm_completion() {
+  const double eta = eta_heap_.empty() ? kInf : eta_heap_.front()->deadline;
+  if (eta == armed_eta_) return;  // the pending event is still the right one
+  armed_eta_ = eta;
+  const std::uint64_t gen = ++completion_gen_;  // supersede any stale event
+  if (!std::isfinite(eta)) return;  // all flows starved; rearmed on change
+  sim_.schedule(std::max(0.0, eta - sim_.now()),
+                [this, gen] { on_completion(gen); });
+}
+
+void Network::on_completion(std::uint64_t gen) {
+  if (gen != completion_gen_) return;  // superseded by a newer rate change
+  armed_eta_ = kInf;
+  const double now = sim_.now();
+  // Pop every due flow off the completion index. A flow is due at its
+  // deadline, or when its projected remaining dips under the byte epsilon
+  // (guards against a zero-progress re-arm at the same timestamp).
+  while (!eta_heap_.empty()) {
+    Flow* f = eta_heap_.front();
+    const bool due = f->deadline <= now ||
+                     f->remaining - f->rate * (now - f->last_update) <= kByteEpsilon;
+    if (!due) break;
+    // finish_flow fires handles via deferred events, so no callback can
+    // re-enter while we drain the heap.
+    finish_flow(f->id, /*failed=*/false);
+  }
+  recompute_scope();  // seeds accumulated by finish_flow
+  rearm_completion();
 }
 
 void Network::finish_flow(std::uint64_t id, bool failed) {
   auto it = flows_.find(id);
   if (it == flows_.end()) return;
-  auto handle = it->second.handle;
-  if (!failed) {
+  Flow& flow = it->second;
+  auto handle = flow.handle;
+  settle_flow(flow, sim_.now());
+  if (failed) {
+    bytes_dropped_ += std::max(0.0, flow.remaining);
+  } else {
     // Account any residual rounding as delivered.
-    bytes_delivered_ += std::max(0.0, it->second.remaining);
+    bytes_delivered_ += std::max(0.0, flow.remaining);
   }
-  for (LinkId l : it->second.path) {
-    auto& v = links_[l].flow_ids;
-    v.erase(std::remove(v.begin(), v.end(), id), v.end());
+  for (LinkId l : flow.path) {
+    auto& v = links_[l].flows;
+    v.erase(std::remove_if(v.begin(), v.end(),
+                           [&flow](const DirectedLink::RegEntry& e) {
+                             return e.flow == &flow;
+                           }),
+            v.end());
+    seed_links_.push_back(l);
   }
+  eta_erase(&flow);
   flows_.erase(it);
   handle->failed = failed;
   handle->finish_time = sim_.now();
   handle->done->trigger(sim_);
 }
 
-void Network::fail_flow(std::uint64_t id) {
-  settle_progress();
-  finish_flow(id, /*failed=*/true);
-  recompute_rates();
-  schedule_next_completion();
+// --- completion index (indexed binary min-heap) ------------------------------
+
+void Network::eta_sift_up(std::size_t i) {
+  Flow** h = eta_heap_.data();
+  Flow* f = h[i];
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / 2;
+    Flow* p = h[parent];
+    if (!eta_less(f, p)) break;
+    // chase-lint: allow(hot-relookup) hole sift: i moves every iteration, so h[i] names a fresh slot each time
+    h[i] = p;
+    p->heap_pos = i;
+    i = parent;
+  }
+  h[i] = f;
+  f->heap_pos = i;
 }
+
+void Network::eta_sift_down(std::size_t i) {
+  Flow** h = eta_heap_.data();
+  Flow* f = h[i];
+  const std::size_t n = eta_heap_.size();
+  while (true) {
+    std::size_t best = 2 * i + 1;
+    if (best >= n) break;
+    if (best + 1 < n && eta_less(h[best + 1], h[best])) ++best;
+    Flow* b = h[best];
+    if (!eta_less(b, f)) break;
+    // chase-lint: allow(hot-relookup) hole sift: i moves every iteration, so h[i] names a fresh slot each time
+    h[i] = b;
+    b->heap_pos = i;
+    i = best;
+  }
+  h[i] = f;
+  f->heap_pos = i;
+}
+
+void Network::eta_insert(Flow* f) {
+  f->heap_pos = eta_heap_.size();
+  eta_heap_.push_back(f);
+  eta_sift_up(f->heap_pos);
+}
+
+void Network::eta_erase(Flow* f) {
+  const std::size_t i = f->heap_pos;
+  const std::size_t last = eta_heap_.size() - 1;
+  if (i != last) {
+    Flow* moved = eta_heap_[last];
+    eta_heap_[i] = moved;
+    moved->heap_pos = i;
+  }
+  eta_heap_.pop_back();
+  if (i < eta_heap_.size()) {
+    eta_sift_down(i);
+    eta_sift_up(i);
+  }
+  f->heap_pos = kNoHeapPos;
+}
+
+void Network::eta_update(Flow* f) {
+  eta_sift_up(f->heap_pos);
+  eta_sift_down(f->heap_pos);
+}
+
+// --- introspection -----------------------------------------------------------
 
 double Network::node_tx_rate(NodeId id) const {
   double r = 0.0;
@@ -417,10 +905,33 @@ double Network::total_flow_rate() const {
   return r;
 }
 
-void Network::check_invariants() const {
+double Network::total_bytes_delivered() const {
+  // Lazy settlement: add each active flow's accrued-but-unsettled progress
+  // on top of the settled ledger. Pure observation; flow state untouched.
+  double total = bytes_delivered_;
   const double now = sim_.now();
   for (const auto& [id, flow] : flows_) {
+    const double dt = now - flow.last_update;
+    if (dt > 0.0 && flow.rate > 0.0) {
+      total += std::min(flow.remaining, flow.rate * dt);
+    }
+  }
+  return total;
+}
+
+double Network::link_utilization(LinkId id) const {
+  const auto& link = links_.at(id);
+  double used = 0.0;
+  for (const auto& e : link.flows) used += e.rate;
+  return used / link.capacity;
+}
+
+void Network::check_invariants() const {
+  const double now = sim_.now();
+  double in_flight = 0.0;
+  for (const auto& [id, flow] : flows_) {
     const double total = static_cast<double>(flow.handle->bytes);
+    in_flight += flow.remaining;
     CHASE_INVARIANT(flow.remaining >= -kByteEpsilon && flow.remaining <= total + kByteEpsilon,
                     "flow remaining outside [0, bytes]: " + node_name(flow.handle->src) +
                         " -> " + node_name(flow.handle->dst));
@@ -428,12 +939,25 @@ void Network::check_invariants() const {
                     "flow rate negative or above its cap");
     CHASE_INVARIANT(!flow.path.empty(), "active flow with empty path");
     CHASE_INVARIANT(flow.last_update <= now + 1e-12, "flow settled in the future");
+    CHASE_INVARIANT(flow.id == id, "flow id diverged from its map key");
     // Conservation: a flow never runs past its byte count before its
     // completion event fires — remaining covers rate * elapsed.
     CHASE_INVARIANT(
         flow.remaining - flow.rate * (now - flow.last_update) >=
             -kByteEpsilon - 1e-9 * total,
         "in-flight bytes not conserved (flow overran its remaining byte count)");
+    // The completion index holds exactly this flow at its recorded slot,
+    // keyed by a deadline that matches the flow's settle state bit-for-bit.
+    CHASE_INVARIANT(flow.heap_pos < eta_heap_.size() &&
+                        eta_heap_[flow.heap_pos] == &flow,
+                    "flow absent from the completion index (or slot stale)");
+    const double expected_deadline =
+        flow.remaining <= kByteEpsilon
+            ? flow.last_update
+            : (flow.rate > 0.0 ? flow.last_update + flow.remaining / flow.rate
+                               : kInf);
+    CHASE_INVARIANT(flow.deadline == expected_deadline,
+                    "completion deadline inconsistent with remaining/rate");
     // Path structure: contiguous src -> dst chain over live nodes, and the
     // flow is registered on each link it occupies.
     NodeId at = flow.handle->src;
@@ -446,23 +970,35 @@ void Network::check_invariants() const {
                           nodes_[static_cast<std::size_t>(link.to)].up,
                       "flow routed through a down node (should have failed)");
       CHASE_INVARIANT(link.up, "flow routed over a partitioned link (should have failed)");
-      CHASE_AUDIT(std::find(link.flow_ids.begin(), link.flow_ids.end(), id) !=
-                      link.flow_ids.end(),
-                  "flow missing from its link's flow registry");
+      CHASE_AUDIT(std::find_if(link.flows.begin(), link.flows.end(),
+                               [&flow](const DirectedLink::RegEntry& e) {
+                                 return e.flow == &flow;
+                               }) != link.flows.end(),
+                  "flow missing from its link's incidence registry");
       at = link.to;
     }
     CHASE_INVARIANT(at == flow.handle->dst, "flow path does not end at its destination");
   }
-  // Link registries only reference live flows, and max-min fair rates never
-  // oversubscribe a link's capacity.
+  // Incidence registries only reference live flows in ascending id order,
+  // and max-min fair rates never oversubscribe a link's capacity.
+  std::size_t registered = 0;
   for (std::size_t i = 0; i < links_.size(); ++i) {
     const DirectedLink& link = links_[i];
     double used = 0.0;
-    for (std::uint64_t fid : link.flow_ids) {
-      auto it = flows_.find(fid);
-      CHASE_INVARIANT(it != flows_.end(), "link registry references a finished flow");
-      if (it != flows_.end()) used += it->second.rate;
+    std::uint64_t prev_id = 0;
+    bool first = true;
+    for (const auto& e : link.flows) {
+      CHASE_INVARIANT(first || e.id > prev_id,
+                      "link incidence registry out of ascending id order");
+      first = false;
+      prev_id = e.id;
+      // The lean boundary scan trusts these mirrors instead of chasing the
+      // Flow pointer; a stale mirror would silently skew boundary caps.
+      CHASE_INVARIANT(e.id == e.flow->id && e.rate == e.flow->rate,
+                      "registry mirror diverged from its flow (id or rate)");
+      used += e.rate;
     }
+    registered += link.flows.size();
     CHASE_INVARIANT(used <= link.capacity * (1.0 + 1e-6),
                     "link oversubscribed: " + node_name(link.from) + " -> " +
                         node_name(link.to));
@@ -471,17 +1007,27 @@ void Network::check_invariants() const {
     CHASE_INVARIANT(links_[partner_of(static_cast<LinkId>(i))].up == link.up,
                     "full-duplex pair with divergent up/down state");
   }
-  CHASE_INVARIANT(bytes_delivered_ >= 0.0, "delivered byte counter went negative");
-}
-
-double Network::link_utilization(LinkId id) const {
-  const auto& link = links_.at(id);
-  double used = 0.0;
-  for (std::uint64_t fid : link.flow_ids) {
-    auto it = flows_.find(fid);
-    if (it != flows_.end()) used += it->second.rate;
+  // Every registry slot was matched by some flow's path above iff the
+  // per-flow membership audit passed; the totals must agree regardless.
+  std::size_t path_slots = 0;
+  for (const auto& [id, flow] : flows_) path_slots += flow.path.size();
+  CHASE_INVARIANT(registered == path_slots,
+                  "incidence registry size diverged from the flow paths");
+  // Completion index: one slot per active flow, min-heap ordered.
+  CHASE_INVARIANT(eta_heap_.size() == flows_.size(),
+                  "completion index size diverged from the active flow set");
+  for (std::size_t i = 1; i < eta_heap_.size(); ++i) {
+    CHASE_INVARIANT(!eta_less(eta_heap_[i], eta_heap_[(i - 1) / 2]),
+                    "completion index violates the heap property");
   }
-  return used / link.capacity;
+  // Lazy-settlement conservation: everything admitted is settled, dropped,
+  // or still in flight (tolerance covers fp accumulation over many settles).
+  CHASE_INVARIANT(bytes_delivered_ >= 0.0 && bytes_dropped_ >= 0.0,
+                  "byte ledger went negative");
+  CHASE_INVARIANT(
+      std::abs(bytes_started_ - bytes_delivered_ - bytes_dropped_ - in_flight) <=
+          1e-6 * std::max(1.0, bytes_started_) + kByteEpsilon,
+      "byte conservation violated: started != delivered + dropped + in-flight");
 }
 
 }  // namespace chase::net

@@ -7,8 +7,12 @@
 ///
 /// A transfer occupies one flow along its route. Whenever the flow set
 /// changes, rates are recomputed by progressive filling (with optional
-/// per-flow rate caps, used to model single-TCP-connection limits), and every
-/// flow's completion event is rescheduled from its remaining byte count.
+/// per-flow rate caps, used to model single-TCP-connection limits) — but
+/// only over the connected component of the link↔flow incidence graph the
+/// change touches. Flows in untouched components keep their rates, their
+/// settle state, and their pending completion deadlines; per-event cost is
+/// proportional to what changed, not to the whole network (DESIGN.md
+/// "Incremental max-min rate updates").
 
 #include <cstdint>
 #include <functional>
@@ -16,6 +20,7 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "sim/event.hpp"
@@ -51,9 +56,7 @@ using TransferPtr = std::shared_ptr<Transfer>;
 
 class Network {
  public:
-  explicit Network(sim::Simulation& sim) : sim_(sim) {
-    audit_hook_ = sim_.add_audit_hook([this] { check_invariants(); });
-  }
+  explicit Network(sim::Simulation& sim);
   ~Network() { sim_.remove_audit_hook(audit_hook_); }
   Network(const Network&) = delete;
   Network& operator=(const Network&) = delete;
@@ -104,7 +107,9 @@ class Network {
   double total_flow_rate() const;
   std::size_t active_flows() const { return flows_.size(); }
   /// Cumulative bytes delivered over the network since construction.
-  double total_bytes_delivered() const { return bytes_delivered_; }
+  /// Settlement is lazy (a flow settles only when its rate changes), so this
+  /// adds each active flow's accrued-but-unsettled progress on the fly.
+  double total_bytes_delivered() const;
   /// Instantaneous utilization of a link's a->b direction, in [0, 1].
   double link_utilization(LinkId id) const;
 
@@ -112,11 +117,21 @@ class Network {
   bool reachable(NodeId src, NodeId dst);
 
   /// Invariant audit (see util/check.hpp): flow/link bookkeeping is
-  /// consistent and in-flight bytes are conserved. Called automatically at
-  /// simulation checkpoints in audit builds.
+  /// consistent, in-flight bytes are conserved (started = delivered +
+  /// dropped + still-remaining), and the completion-deadline index matches
+  /// the flow set. Called automatically at simulation checkpoints in audit
+  /// builds.
   void check_invariants() const;
 
+  /// Reference cross-check for the scoped recompute: re-runs progressive
+  /// filling over EVERY component into scratch and compares against the
+  /// live rates. True iff bit-identical. Wired into the audit hook at
+  /// audit level >= 2; the randomized property tests call it directly.
+  bool rates_match_full_recompute();
+
  private:
+  struct Flow;
+
   struct Node {
     std::string name;
     bool up = true;
@@ -128,28 +143,103 @@ class Network {
     double latency;        // s
     double base_capacity;  // as built
     bool up = true;
-    std::vector<std::uint64_t> flow_ids;
+    /// Incidence index: active flows routed over this link, ascending flow
+    /// id (ids are assigned monotonically at flow start; removal preserves
+    /// order). This is one half of the link↔flow incidence the scoped
+    /// recompute walks; Flow::path is the other half. The entry mirrors the
+    /// flow's id and current rate so boundary collection is a sequential
+    /// scan of this vector — no scattered Flow dereference per member.
+    struct RegEntry {
+      Flow* flow = nullptr;
+      double rate = 0.0;      // mirror of flow->rate (audited)
+      std::uint64_t id = 0;   // mirror of flow->id
+    };
+    std::vector<RegEntry> flows;
   };
   /// The opposite direction of a full-duplex pair (links are always added
   /// in forward/reverse pairs, so the partner of 2k is 2k+1).
   static LinkId partner_of(LinkId id) { return id % 2 == 0 ? id + 1 : id - 1; }
+
+  static constexpr std::size_t kNoHeapPos = static_cast<std::size_t>(-1);
+
   struct Flow {
     TransferPtr handle;
     std::vector<LinkId> path;
-    double remaining;    // bytes
-    double rate = 0.0;   // bytes/s
-    double rate_cap;
-    double last_update;  // sim time of last settle
+    double remaining = 0.0;  // bytes, as of last_update
+    double rate = 0.0;       // bytes/s
+    double rate_cap = std::numeric_limits<double>::infinity();
+    double last_update = 0.0;  // sim time of last settle
+    /// Absolute completion ETA (last_update + remaining / rate); +inf while
+    /// starved. Key of the completion index below.
+    double deadline = std::numeric_limits<double>::infinity();
+    std::uint64_t id = 0;
+    std::size_t heap_pos = kNoHeapPos;  // slot in eta_heap_
+    /// Scoped-recompute membership stamp, valid only while it matches the
+    /// current scope_epoch_ (avoids clearing per-flow state every pass).
+    /// All other fill scratch lives in the fl_* struct-of-arrays below, so
+    /// a fill pass touches each scattered Flow object exactly once.
+    std::uint64_t visit_epoch = 0;
   };
 
-  void settle_progress();
-  void recompute_rates();
-  /// (Re)arm the single pending completion event at the earliest flow ETA.
-  /// One event per rate change keeps the queue O(#changes), not O(#flows).
-  void schedule_next_completion();
-  /// Remove a flow and fire its handle.
+  // --- incremental max-min machinery ---------------------------------------
+
+  /// Advance one flow's progress to `now` at its current rate (called only
+  /// when the rate is about to change, at completion, or at failure — the
+  /// lazy-settlement replacement for the old all-flows sweep).
+  void settle_flow(Flow& flow, double now);
+  /// Append one full participant to the fl_* scratch arrays: real rate_cap,
+  /// every path link as an edge, stamping + enqueuing newly seen links onto
+  /// comp_links_. Boundary (virtual) participants are not added through
+  /// here — recompute_scope() reads them straight off the registry mirrors,
+  /// skipping flows whose visit stamp marks them as full participants.
+  void soa_add_full(Flow* f);
+  void soa_clear();
+  /// BFS the full link↔flow incidence from `seed` into comp_links_ and the
+  /// fl_* arrays, stamping visit epochs; collects exactly one connected
+  /// component (the audit reference path).
+  void collect_component(LinkId seed);
+  /// Progressive filling (max-min with per-flow caps) over the collected
+  /// links and fl_* arrays; writes fl_new_, does not touch live state.
+  /// Links outside the collected set impose no constraint —
+  /// recompute_scope()'s expansion loop is what makes ignoring them exact.
+  void fill_component();
+  /// Commit fill results: settle + re-rate + re-index flows whose rate
+  /// changed; bit-identical rates are left entirely alone.
+  void apply_component();
+  /// Incremental max-min: starting from the accumulated seed_links_, fill
+  /// over the in-scope link set and expand it along the paths of flows
+  /// whose computed rate changed (bitwise), refilling until no changed
+  /// flow crosses an out-of-scope link. At that fixpoint the result is
+  /// bit-identical to the full per-component fill (DESIGN.md "Incremental
+  /// max-min rate updates"); flows outside the final scope are never
+  /// settled, re-rated, or re-indexed.
+  void recompute_scope();
+
+  /// (Re)arm the single pending completion event at the earliest deadline
+  /// in the completion index. No-op when the earliest deadline is
+  /// unchanged, so untouched components never churn the event queue.
+  void rearm_completion();
+  void on_completion(std::uint64_t gen);
+
+  /// Remove a flow and fire its handle; seeds its path links for the
+  /// caller's recompute_scope().
   void finish_flow(std::uint64_t id, bool failed);
-  void fail_flow(std::uint64_t id);
+  /// Fail a batch of flows, then recompute the affected components once.
+  void fail_flows();
+
+  // Completion index: indexed binary min-heap over active flows, keyed by
+  // (deadline, flow id). Exactly one slot per active flow — no stale
+  // entries, O(log flows) per rate change.
+  static bool eta_less(const Flow* a, const Flow* b) {
+    if (a->deadline != b->deadline) return a->deadline < b->deadline;
+    return a->id < b->id;
+  }
+  void eta_insert(Flow* f);
+  void eta_erase(Flow* f);
+  void eta_update(Flow* f);
+  void eta_sift_up(std::size_t i);
+  void eta_sift_down(std::size_t i);
+
   /// Cached shortest path; the reference is valid until the next topology
   /// change (invalidate_routes). Callers that outlive that must copy.
   const std::vector<LinkId>& route(NodeId src, NodeId dst);
@@ -159,35 +249,103 @@ class Network {
   std::vector<Node> nodes_;
   std::vector<DirectedLink> links_;
   /// Ordered for determinism; map nodes churn once per flow, so they are
-  /// recycled through the BlockPool rather than the global heap.
+  /// recycled through the BlockPool rather than the global heap. Node
+  /// addresses are stable — the incidence index stores Flow*.
   std::map<std::uint64_t, Flow, std::less<>,
            util::PoolAllocator<std::pair<const std::uint64_t, Flow>>>
       flows_;
   std::uint64_t next_flow_id_ = 0;
   std::uint64_t completion_gen_ = 0;  // invalidates stale completion events
+  double armed_eta_ = std::numeric_limits<double>::infinity();
   double bytes_delivered_ = 0.0;
+  /// Conservation ledger (audited): bytes admitted into flows (plus local /
+  /// zero-byte deliveries) and bytes abandoned by failed flows.
+  double bytes_started_ = 0.0;
+  double bytes_dropped_ = 0.0;
   std::map<std::pair<NodeId, NodeId>, std::vector<LinkId>> route_cache_;
   std::uint64_t audit_hook_ = 0;
 
   // --- hot-path scratch ----------------------------------------------------
-  // recompute_rates() and its completion/startup callbacks run once per
-  // flow-set change; these buffers are reused across calls so the steady
-  // state re-rates the whole network without a single allocation.
-  struct LinkState {
-    double residual;
-    int count;
+  // The scoped recompute runs once per flow-set change; these buffers are
+  // reused across calls so the steady state re-rates a component without a
+  // single allocation.
+  std::uint64_t scope_epoch_ = 0;  // one per fill pass (collect stamps)
+  std::uint64_t scope_id_ = 0;     // one per recompute_scope call (S stamps)
+  std::vector<std::uint64_t> link_epoch_;  // per-link fill-pass stamp
+  std::vector<std::uint64_t> link_scope_;  // per-link S-membership stamp
+  /// Per-link fill scratch, one cache line hit per link instead of four
+  /// parallel-array hits on the hot freeze path.
+  static constexpr std::uint32_t kNoRun = 0xFFFFFFFFu;
+  struct LinkFill {
+    double residual = 0.0;     // unassigned capacity
+    std::int32_t count = 0;    // unfrozen flow count
+    std::uint32_t reg = 0;     // member-slice length (set after the build)
+    std::uint32_t moff = 0;    // member-slice start in link_members_
+    /// Member-slice build cursor during collection; after the member build
+    /// it is repurposed as this link's index into comp_links_/levels_.
+    std::uint32_t mcur = 0;
+    std::uint32_t run = kNoRun;  // index into cap_runs_, if a boundary link
   };
-  struct PendingFlow {
-    std::uint64_t id;
-    double cap;
-    Flow* flow;
-    bool frozen;
+  std::vector<LinkFill> link_fill_;
+  std::vector<LinkId> comp_links_;         // links of the current fill pass
+  std::vector<double> levels_;  // current water level per comp_links_ slot
+                                // (+inf once fully frozen); dense so the
+                                // per-round min-scan stays in one cache line
+  std::vector<std::uint32_t> dirty_;  // slots whose level needs a refresh
+                                      // before the next min-scan (levels are
+                                      // recomputed once per round, not once
+                                      // per freeze)
+  std::vector<LinkId> scope_links_;        // S: links filled this recompute
+  // Per-pass flow scratch, struct-of-arrays: collection reads each scattered
+  // Flow object once, then the fill runs entirely over these dense arrays.
+  std::vector<Flow*> fl_ptr_;
+  std::vector<double> fl_cap_;  // effective cap (rate_cap, or rate if virtual)
+  std::vector<double> fl_old_;  // live rate at collection time
+  std::vector<double> fl_new_;  // fill result
+  std::vector<std::uint64_t> fl_id_;
+  std::vector<std::uint32_t> fl_edge_end_;  // exclusive end into edges_
+  std::vector<LinkId> edges_;               // flattened in-fill path links
+  std::vector<std::uint8_t> fl_frozen_;
+  /// Finite rate caps, gathered at collection time with a running minimum;
+  /// fill_component() materializes the ascending (cap, flow id) order only
+  /// on the first round whose share clears the minimum — most passes never
+  /// fire a cap batch and skip the sort entirely. Real (finite rate_cap)
+  /// entries carry their fl_* slot; implicit twin entries carry the Flow
+  /// pointer instead, touched only on the rare squeeze path.
+  struct CapEnt {
+    double cap = 0.0;
+    std::uint64_t fid = 0;
+    union {
+      std::uint32_t idx = 0;
+      Flow* flow;
+    };
   };
-  std::vector<LinkState> rate_ls_;
-  std::vector<PendingFlow> rate_pending_;
-  std::vector<std::size_t> rate_active_links_;
-  std::vector<std::uint64_t> rate_on_link_;
-  std::vector<std::uint64_t> finished_scratch_;
+  std::vector<CapEnt> cap_list_;
+  double cap_min_ = std::numeric_limits<double>::infinity();
+  /// One run of cap_list_ per boundary link: that link's lean twins, sorted
+  /// lazily on first firing. Runs touch pairwise-disjoint links, so firing
+  /// them run-by-run subtracts in the same per-link ascending order as the
+  /// globally sorted list — bit for bit — without the global sort. Twins
+  /// live only here (no fl_* slots): a freeze is one residual subtraction
+  /// on the run's link, and entries past `at` are exactly the unfrozen
+  /// ones. Passes that carry real (finite rate_cap) entries fall back to
+  /// the monolithic sorted list with twins as full participants, because a
+  /// real cap can interleave with twin caps on a shared link (the
+  /// full-recompute reference is always monolithic).
+  struct CapRun {
+    std::uint32_t begin = 0, end = 0, at = 0;
+    LinkId link = -1;
+    double min = std::numeric_limits<double>::infinity();
+    bool sorted = false;
+  };
+  std::vector<CapRun> cap_runs_;
+  std::uint32_t n_real_caps_ = 0;  // cap_list_ prefix from full participants
+  std::uint32_t twin_count_ = 0;   // implicit twins in the current pass
+  std::vector<Flow*> squeezed_;    // twins frozen below their held rate
+  std::vector<std::uint32_t> link_members_;    // flattened per-link flow idx
+  std::vector<LinkId> seed_links_;     // pending recompute seeds
+  std::vector<Flow*> eta_heap_;        // completion index
+  std::vector<std::uint64_t> doomed_;  // fail-path scratch
   // BFS scratch for route() cache misses.
   std::vector<LinkId> route_via_;
   std::vector<char> route_seen_;
