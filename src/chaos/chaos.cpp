@@ -12,6 +12,8 @@ const char* fault_kind_name(FaultKind kind) {
   switch (kind) {
     case FaultKind::NodeCrash: return "node_crash";
     case FaultKind::NodeRecover: return "node_recover";
+    case FaultKind::NodeDegrade: return "node_degrade";
+    case FaultKind::NodeRestore: return "node_restore";
     case FaultKind::LinkPartition: return "link_partition";
     case FaultKind::LinkHeal: return "link_heal";
     case FaultKind::LinkDegrade: return "link_degrade";
@@ -28,6 +30,7 @@ namespace {
 FaultKind inverse_of(FaultKind kind) {
   switch (kind) {
     case FaultKind::NodeCrash: return FaultKind::NodeRecover;
+    case FaultKind::NodeDegrade: return FaultKind::NodeRestore;
     case FaultKind::LinkPartition: return FaultKind::LinkHeal;
     case FaultKind::LinkDegrade: return FaultKind::LinkRestore;
     case FaultKind::OsdFail: return FaultKind::OsdRecover;
@@ -38,8 +41,9 @@ FaultKind inverse_of(FaultKind kind) {
 }
 
 bool has_inverse(FaultKind kind) {
-  return kind == FaultKind::NodeCrash || kind == FaultKind::LinkPartition ||
-         kind == FaultKind::LinkDegrade || kind == FaultKind::OsdFail;
+  return kind == FaultKind::NodeCrash || kind == FaultKind::NodeDegrade ||
+         kind == FaultKind::LinkPartition || kind == FaultKind::LinkDegrade ||
+         kind == FaultKind::OsdFail;
 }
 
 /// Draw k distinct indices out of [0, n) with a partial Fisher-Yates shuffle.
@@ -83,6 +87,20 @@ ChaosPlan& ChaosPlan::crash_fraction(double at, std::vector<cluster::MachineId> 
   ev.pool = std::move(pool);
   ev.fraction = fraction;
   ev.duration = down_for;
+  events_.push_back(std::move(ev));
+  return *this;
+}
+
+ChaosPlan& ChaosPlan::degrade_node(double at, cluster::MachineId machine, double factor,
+                                   double degraded_for) {
+  CHASE_ASSERT(machine >= 0, "degrade_node needs an explicit machine");
+  CHASE_ASSERT(factor > 0.0, "degrade factor must be positive (use crash_node)");
+  FaultEvent ev;
+  ev.at = at;
+  ev.kind = FaultKind::NodeDegrade;
+  ev.machine = machine;
+  ev.factor = factor;
+  ev.duration = degraded_for;
   events_.push_back(std::move(ev));
   return *this;
 }
@@ -157,6 +175,8 @@ void ChaosInjector::count(FaultKind kind, int victims) {
   switch (kind) {
     case FaultKind::NodeCrash: report_.node_crashes += victims; break;
     case FaultKind::NodeRecover: report_.node_recoveries += victims; break;
+    case FaultKind::NodeDegrade: report_.node_degradations += victims; break;
+    case FaultKind::NodeRestore: report_.node_restores += victims; break;
     case FaultKind::LinkPartition: report_.link_partitions += victims; break;
     case FaultKind::LinkHeal: report_.link_heals += victims; break;
     case FaultKind::LinkDegrade: report_.link_degradations += victims; break;
@@ -215,6 +235,23 @@ void ChaosInjector::execute(const FaultEvent& ev) {
       const bool was_down = !inventory_.up(ev.machine);
       if (was_down) inventory_.set_up(ev.machine, true);
       count(ev.kind, was_down ? 1 : 0);
+      break;
+    }
+    case FaultKind::NodeDegrade:
+    case FaultKind::NodeRestore: {
+      // Scale (or restore) every link whose source endpoint is the machine's
+      // network node. Links are built as full-duplex pairs and
+      // set_link_bandwidth_factor applies to both directions of the pair, so
+      // scaling the node's outgoing links covers its incoming ones too.
+      const net::NodeId node = inventory_.machine(ev.machine).net_node;
+      const double factor = ev.kind == FaultKind::NodeDegrade ? ev.factor : 1.0;
+      int touched = 0;
+      for (net::LinkId l : net_.links_at(node)) {
+        net_.set_link_bandwidth_factor(l, factor);
+        ++touched;
+      }
+      count(ev.kind, touched);
+      if (ev.kind == FaultKind::NodeDegrade) schedule_inverse(ev);
       break;
     }
     case FaultKind::LinkPartition: {

@@ -29,6 +29,8 @@ namespace chase::chaos {
 enum class FaultKind {
   NodeCrash,      // machine down (network node, kubelet, OSDs on it)
   NodeRecover,    // machine back up
+  NodeDegrade,    // every link at the machine's endpoint scaled to `factor`
+  NodeRestore,    // those links back to built capacity
   LinkPartition,  // full-duplex link down
   LinkHeal,       // link back up
   LinkDegrade,    // link bandwidth scaled to `factor` of built capacity
@@ -49,11 +51,11 @@ struct FaultEvent {
   /// is scheduled this many seconds after the fault fires.
   double duration = -1.0;
 
-  cluster::MachineId machine = -1;             // NodeCrash/NodeRecover (explicit victim)
+  cluster::MachineId machine = -1;             // node faults (explicit victim)
   std::vector<cluster::MachineId> pool;        // NodeCrash: random victims from here
   double fraction = 0.0;                       // of pool / of matching pods, in (0, 1]
   net::LinkId link = -1;                       // link faults
-  double factor = 1.0;                         // LinkDegrade bandwidth multiplier
+  double factor = 1.0;                         // Link/NodeDegrade bandwidth multiplier
   int osd = -1;                                // OSD faults
   std::string ns;                              // PodKill namespace
   kube::Labels selector;                       // PodKill label selector
@@ -71,6 +73,11 @@ class ChaosPlan {
   /// by the plan's Rng (still-up machines preferred at execution time).
   ChaosPlan& crash_fraction(double at, std::vector<cluster::MachineId> pool,
                             double fraction, double down_for = -1.0);
+  /// Scale every link touching `machine`'s network endpoint to `factor` of
+  /// built bandwidth — a straggler node, not a dead one (slow NIC, congested
+  /// uplink). Restores after `degraded_for` (< 0: stays degraded).
+  ChaosPlan& degrade_node(double at, cluster::MachineId machine, double factor,
+                          double degraded_for = -1.0);
   /// Take a full-duplex link down; heals after `down_for` (< 0: stays down).
   ChaosPlan& partition_link(double at, net::LinkId link, double down_for = -1.0);
   /// Scale a link to `factor` of its built bandwidth; restores after
@@ -97,6 +104,8 @@ class ChaosPlan {
 struct ChaosReport {
   int node_crashes = 0;
   int node_recoveries = 0;
+  int node_degradations = 0;
+  int node_restores = 0;
   int link_partitions = 0;
   int link_heals = 0;
   int link_degradations = 0;

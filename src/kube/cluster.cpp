@@ -25,6 +25,10 @@ net::NodeId PodContext::net_node() const {
   return cluster_->inventory_.machine(pod_->node).net_node;
 }
 
+const cluster::MachineSpec& PodContext::machine_spec() const {
+  return cluster_->inventory_.machine(pod_->node).spec;
+}
+
 double PodContext::gpu_tflops() const {
   const auto& spec = cluster_->inventory_.machine(pod_->node).spec;
   return cluster::gpu_fp32_tflops(spec.gpu_model) * gpus();

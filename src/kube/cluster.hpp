@@ -43,6 +43,8 @@ class PodContext {
   cluster::MachineId machine() const { return pod_->node; }
   /// Network endpoint of the machine this pod runs on.
   net::NodeId net_node() const;
+  /// Hardware spec of the machine this pod runs on (GPU model, TFLOPS, ...).
+  const cluster::MachineSpec& machine_spec() const;
   int gpus() const { return static_cast<int>(pod_->gpu_ids.size()); }
   /// Aggregate fp32 TFLOPS of the GPUs granted to this pod.
   double gpu_tflops() const;

@@ -79,8 +79,7 @@ void Conv3d::backward(const Tensor4& x, const Tensor4& dy, Tensor4* dx,
                       std::vector<float>& dw, std::vector<float>& db) const {
   const int nx = x.nx(), ny = x.ny(), nz = x.nz();
   if (dx != nullptr) *dx = Tensor4(in_c, nx, ny, nz);
-  dw.assign(w.size(), 0.f);
-  db.assign(b.size(), 0.f);
+  assert(dw.size() == w.size() && db.size() == b.size());
   for (int oc = 0; oc < out_c; ++oc) {
     for (int z = 0; z < nz; ++z) {
       for (int yy = 0; yy < ny; ++yy) {
@@ -138,42 +137,67 @@ FfnModel::FfnModel(const FfnConfig& config) : config_(config) {
 }
 
 void FfnModel::forward(const Tensor4& input, Tensor4& logits, Workspace* ws) const {
-  // Activation log (for backward): x0=input, then per-layer pre-activations.
   // Layout of computation:
   //   h = conv_in(input)
   //   for each module: h = h + conv2(relu(conv1(relu(h))))
   //   logits = conv_out(relu(h))
-  std::vector<Tensor4> acts;
-  Tensor4 h;
-  convs_[0].forward(input, h);
-  acts.push_back(input);  // input to conv_in
-  acts.push_back(h);      // pre-activation trunk state after conv_in
+  //
+  // When a workspace is supplied, intermediates are MOVED into the
+  // activation log (layout in the Workspace doc) instead of deep-copied;
+  // the log is reserved up front so moved-in entries never relocate and the
+  // trunk state can be read back from the log by reference. backward() gets
+  // the input tensor as a parameter, so it is not logged at all.
+  if (ws == nullptr) {
+    Tensor4 h;
+    convs_[0].forward(input, h);
+    for (int m = 0; m < config_.modules; ++m) {
+      Tensor4 r1, t1, r2, t2;
+      relu_forward(h, r1);
+      convs_[static_cast<std::size_t>(1 + 2 * m)].forward(r1, t1);
+      relu_forward(t1, r2);
+      convs_[static_cast<std::size_t>(2 + 2 * m)].forward(r2, t2);
+      add_into(t2, h);  // residual: h_{m+1} = h_m + conv2(relu(conv1(relu(h_m))))
+      h = std::move(t2);
+    }
+    Tensor4 rout;
+    relu_forward(h, rout);
+    convs_.back().forward(rout, logits);
+    return;
+  }
 
+  std::vector<Tensor4>& acts = ws->activations;
+  acts.clear();
+  acts.reserve(static_cast<std::size_t>(2 + 4 * config_.modules));
+  {
+    Tensor4 h0;
+    convs_[0].forward(input, h0);
+    acts.push_back(std::move(h0));  // pre-activation trunk state after conv_in
+  }
   for (int m = 0; m < config_.modules; ++m) {
+    const Tensor4& h = acts.back();  // trunk state h_m
     Tensor4 r1, t1, r2, t2;
     relu_forward(h, r1);
     convs_[static_cast<std::size_t>(1 + 2 * m)].forward(r1, t1);
     relu_forward(t1, r2);
     convs_[static_cast<std::size_t>(2 + 2 * m)].forward(r2, t2);
     add_into(t2, h);  // residual: h_{m+1} = h_m + conv2(relu(conv1(relu(h_m))))
-    acts.push_back(r1);
-    acts.push_back(t1);
-    acts.push_back(r2);
-    h = std::move(t2);
-    acts.push_back(h);
+    acts.push_back(std::move(r1));
+    acts.push_back(std::move(t1));
+    acts.push_back(std::move(r2));
+    acts.push_back(std::move(t2));  // trunk state h_{m+1}
   }
   Tensor4 rout;
-  relu_forward(h, rout);
+  relu_forward(acts.back(), rout);
   convs_.back().forward(rout, logits);
-  acts.push_back(rout);
-  if (ws != nullptr) ws->activations = std::move(acts);
+  acts.push_back(std::move(rout));
 }
 
 float FfnModel::logistic_loss(const Tensor4& logits, const Volume<std::uint8_t>& target,
-                              Tensor4& dlogits) {
+                              Tensor4& dlogits, double normalizer) {
   dlogits = Tensor4(1, logits.nx(), logits.ny(), logits.nz());
   double total = 0.0;
   const std::size_t n = logits.voxels();
+  const float divisor = static_cast<float>(normalizer);
   for (int z = 0; z < logits.nz(); ++z) {
     for (int y = 0; y < logits.ny(); ++y) {
       for (int x = 0; x < logits.nx(); ++x) {
@@ -184,11 +208,151 @@ float FfnModel::logistic_loss(const Tensor4& logits, const Volume<std::uint8_t>&
         const float loss = std::max(logit, 0.f) - logit * label +
                            std::log1p(std::exp(-std::abs(logit)));
         total += loss;
-        dlogits.at(0, x, y, z) = (p - label) / static_cast<float>(n);
+        // Divided by the caller's batch-wide normalizer, NOT this call's
+        // voxel count: shard gradients summed across workers then average
+        // exactly once.
+        dlogits.at(0, x, y, z) = (p - label) / divisor;
       }
     }
   }
+  // The loss reported stays a per-call mean regardless of normalizer.
   return static_cast<float>(total / static_cast<double>(n));
+}
+
+float FfnModel::logistic_loss(const Tensor4& logits, const Volume<std::uint8_t>& target,
+                              Tensor4& dlogits) {
+  return logistic_loss(logits, target, dlogits,
+                       static_cast<double>(logits.voxels()));
+}
+
+void FfnModel::Gradients::add(const Gradients& other) {
+  assert(w.size() == other.w.size() && b.size() == other.b.size());
+  for (std::size_t l = 0; l < w.size(); ++l) {
+    std::vector<float>& wl = w[l];
+    std::vector<float>& bl = b[l];
+    const std::vector<float>& ow = other.w[l];
+    const std::vector<float>& ob = other.b[l];
+    assert(wl.size() == ow.size() && bl.size() == ob.size());
+    for (std::size_t i = 0; i < wl.size(); ++i) wl[i] += ow[i];
+    for (std::size_t i = 0; i < bl.size(); ++i) bl[i] += ob[i];
+  }
+}
+
+void FfnModel::Gradients::reset() {
+  for (auto& layer : w) std::fill(layer.begin(), layer.end(), 0.f);
+  for (auto& layer : b) std::fill(layer.begin(), layer.end(), 0.f);
+}
+
+FfnModel::Gradients FfnModel::make_gradients() const {
+  Gradients g;
+  g.w.resize(convs_.size());
+  g.b.resize(convs_.size());
+  for (std::size_t l = 0; l < convs_.size(); ++l) {
+    g.w[l].assign(convs_[l].w.size(), 0.f);
+    g.b[l].assign(convs_[l].b.size(), 0.f);
+  }
+  return g;
+}
+
+void FfnModel::backward(const Tensor4& input, const Tensor4& dlogits, const Workspace& ws,
+                        Gradients& grads) const {
+  const auto& acts = ws.activations;
+  // acts layout: [h0, (r1, t1, r2, h_m)*modules, rout]
+  assert(acts.size() == static_cast<std::size_t>(2 + 4 * config_.modules));
+  assert(grads.w.size() == convs_.size());
+
+  // conv_out.
+  const Tensor4& rout = acts.back();
+  Tensor4 d_rout;
+  convs_.back().backward(rout, dlogits, &d_rout, grads.w.back(), grads.b.back());
+  // relu before conv_out; its input is the final trunk state h_M.
+  const Tensor4& h_final = acts[acts.size() - 2];
+  relu_backward(h_final, d_rout);
+  Tensor4 dh = std::move(d_rout);
+
+  for (int m = config_.modules - 1; m >= 0; --m) {
+    const std::size_t base = 1 + static_cast<std::size_t>(m) * 4;
+    const Tensor4& r1 = acts[base];      // relu(h_m)
+    const Tensor4& t1 = acts[base + 1];  // conv1(r1)
+    const Tensor4& r2 = acts[base + 2];  // relu(t1)
+    // Trunk input to this module: h_m (h0 when m == 0, else previous h).
+    const Tensor4& h_in = acts[base - 1];
+
+    // Residual: dh flows both into the skip and the conv branch.
+    Tensor4 d_r2;
+    convs_[static_cast<std::size_t>(2 + 2 * m)].backward(
+        r2, dh, &d_r2, grads.w[static_cast<std::size_t>(2 + 2 * m)],
+        grads.b[static_cast<std::size_t>(2 + 2 * m)]);
+    relu_backward(t1, d_r2);
+    Tensor4 d_r1;
+    convs_[static_cast<std::size_t>(1 + 2 * m)].backward(
+        r1, d_r2, &d_r1, grads.w[static_cast<std::size_t>(1 + 2 * m)],
+        grads.b[static_cast<std::size_t>(1 + 2 * m)]);
+    relu_backward(h_in, d_r1);
+    add_into(dh, d_r1);  // total gradient at h_m
+  }
+
+  // conv_in: gradient w.r.t. its input is not needed.
+  convs_[0].backward(input, dh, nullptr, grads.w[0], grads.b[0]);
+}
+
+void FfnModel::apply_gradients(const Gradients& grads, const OptimizerConfig& optimizer) {
+  assert(grads.w.size() == convs_.size());
+  if (optimizer.kind != moments_kind_) {
+    // The moment buffers carry the other optimizer's state (vw_/vb_ double
+    // as SGD momentum and Adam first moment); a kind switch must start from
+    // clean moments and a fresh bias-correction schedule.
+    for (auto& layer : vw_) std::fill(layer.begin(), layer.end(), 0.f);
+    for (auto& layer : vb_) std::fill(layer.begin(), layer.end(), 0.f);
+    for (auto& layer : sw_) std::fill(layer.begin(), layer.end(), 0.f);
+    for (auto& layer : sb_) std::fill(layer.begin(), layer.end(), 0.f);
+    adam_steps_ = 0;
+    moments_kind_ = optimizer.kind;
+  }
+  if (optimizer.kind == OptimizerConfig::Kind::Sgd) {
+    for (std::size_t l = 0; l < convs_.size(); ++l) {
+      Conv3d& conv = convs_[l];
+      std::vector<float>& vw = vw_[l];
+      std::vector<float>& vb = vb_[l];
+      const std::vector<float>& dw = grads.w[l];
+      const std::vector<float>& db = grads.b[l];
+      for (std::size_t i = 0; i < conv.w.size(); ++i) {
+        float& v = vw[i];
+        v = optimizer.momentum * v - optimizer.learning_rate * dw[i];
+        conv.w[i] += v;
+      }
+      for (std::size_t i = 0; i < conv.b.size(); ++i) {
+        float& v = vb[i];
+        v = optimizer.momentum * v - optimizer.learning_rate * db[i];
+        conv.b[i] += v;
+      }
+    }
+  } else {
+    // Adam (Kingma & Ba) with bias correction.
+    adam_steps_ += 1;
+    const double t = static_cast<double>(adam_steps_);
+    const double bias1 = 1.0 - std::pow(optimizer.beta1, t);
+    const double bias2 = 1.0 - std::pow(optimizer.beta2, t);
+    auto update = [&](std::vector<float>& param, std::vector<float>& m,
+                      std::vector<float>& s, const std::vector<float>& grad) {
+      for (std::size_t i = 0; i < param.size(); ++i) {
+        const float g = grad[i];
+        float& mi = m[i];
+        float& si = s[i];
+        mi = optimizer.beta1 * mi + (1.f - optimizer.beta1) * g;
+        si = optimizer.beta2 * si + (1.f - optimizer.beta2) * g * g;
+        const double mhat = mi / bias1;
+        const double shat = si / bias2;
+        param[i] -= static_cast<float>(optimizer.learning_rate * mhat /
+                                       (std::sqrt(shat) + optimizer.epsilon));
+      }
+    };
+    for (std::size_t l = 0; l < convs_.size(); ++l) {
+      Conv3d& conv = convs_[l];
+      update(conv.w, vw_[l], sw_[l], grads.w[l]);
+      update(conv.b, vb_[l], sb_[l], grads.b[l]);
+    }
+  }
 }
 
 void FfnModel::train_step(const Tensor4& input, const Tensor4& dlogits,
@@ -202,82 +366,13 @@ void FfnModel::train_step(const Tensor4& input, const Tensor4& dlogits,
 
 void FfnModel::train_step(const Tensor4& input, const Tensor4& dlogits,
                           const Workspace& ws, const OptimizerConfig& optimizer) {
-  (void)input;
-  const auto& acts = ws.activations;
-  // acts layout: [input, h0, (r1, t1, r2, h_m)*modules, rout]
-  std::vector<std::vector<float>> dw(convs_.size());
-  std::vector<std::vector<float>> db(convs_.size());
-
-  // conv_out.
-  const Tensor4& rout = acts.back();
-  Tensor4 d_rout;
-  convs_.back().backward(rout, dlogits, &d_rout, dw.back(), db.back());
-  // relu before conv_out; its input is the final trunk state h_M.
-  const Tensor4& h_final = acts[acts.size() - 2];
-  relu_backward(h_final, d_rout);
-  Tensor4 dh = std::move(d_rout);
-
-  for (int m = config_.modules - 1; m >= 0; --m) {
-    const std::size_t base = 2 + static_cast<std::size_t>(m) * 4;
-    const Tensor4& r1 = acts[base];      // relu(h_m)
-    const Tensor4& t1 = acts[base + 1];  // conv1(r1)
-    const Tensor4& r2 = acts[base + 2];  // relu(t1)
-    // Trunk input to this module: h_m (acts[base - 1]).
-    const Tensor4& h_in = acts[base - 1];
-
-    // Residual: dh flows both into the skip and the conv branch.
-    Tensor4 d_r2;
-    convs_[static_cast<std::size_t>(2 + 2 * m)].backward(
-        r2, dh, &d_r2, dw[static_cast<std::size_t>(2 + 2 * m)],
-        db[static_cast<std::size_t>(2 + 2 * m)]);
-    relu_backward(t1, d_r2);
-    Tensor4 d_r1;
-    convs_[static_cast<std::size_t>(1 + 2 * m)].backward(
-        r1, d_r2, &d_r1, dw[static_cast<std::size_t>(1 + 2 * m)],
-        db[static_cast<std::size_t>(1 + 2 * m)]);
-    relu_backward(h_in, d_r1);
-    add_into(dh, d_r1);  // total gradient at h_m
-  }
-
-  // conv_in: gradient w.r.t. its input is not needed.
-  convs_[0].backward(acts[0], dh, nullptr, dw[0], db[0]);
-
-  // Parameter update.
-  if (optimizer.kind == OptimizerConfig::Kind::Sgd) {
-    for (std::size_t l = 0; l < convs_.size(); ++l) {
-      if (dw[l].empty()) continue;
-      for (std::size_t i = 0; i < convs_[l].w.size(); ++i) {
-        vw_[l][i] = optimizer.momentum * vw_[l][i] - optimizer.learning_rate * dw[l][i];
-        convs_[l].w[i] += vw_[l][i];
-      }
-      for (std::size_t i = 0; i < convs_[l].b.size(); ++i) {
-        vb_[l][i] = optimizer.momentum * vb_[l][i] - optimizer.learning_rate * db[l][i];
-        convs_[l].b[i] += vb_[l][i];
-      }
-    }
+  if (grad_scratch_.empty()) {
+    grad_scratch_ = make_gradients();
   } else {
-    // Adam (Kingma & Ba) with bias correction.
-    adam_steps_ += 1;
-    const double t = static_cast<double>(adam_steps_);
-    const double bias1 = 1.0 - std::pow(optimizer.beta1, t);
-    const double bias2 = 1.0 - std::pow(optimizer.beta2, t);
-    auto update = [&](std::vector<float>& param, std::vector<float>& m,
-                      std::vector<float>& s, const std::vector<float>& grad) {
-      for (std::size_t i = 0; i < param.size(); ++i) {
-        m[i] = optimizer.beta1 * m[i] + (1.f - optimizer.beta1) * grad[i];
-        s[i] = optimizer.beta2 * s[i] + (1.f - optimizer.beta2) * grad[i] * grad[i];
-        const double mhat = m[i] / bias1;
-        const double shat = s[i] / bias2;
-        param[i] -= static_cast<float>(optimizer.learning_rate * mhat /
-                                       (std::sqrt(shat) + optimizer.epsilon));
-      }
-    };
-    for (std::size_t l = 0; l < convs_.size(); ++l) {
-      if (dw[l].empty()) continue;
-      update(convs_[l].w, vw_[l], sw_[l], dw[l]);
-      update(convs_[l].b, vb_[l], sb_[l], db[l]);
-    }
+    grad_scratch_.reset();
   }
+  backward(input, dlogits, ws, grad_scratch_);
+  apply_gradients(grad_scratch_, optimizer);
 }
 
 double FfnModel::forward_macs() const {
@@ -295,11 +390,19 @@ std::size_t FfnModel::parameter_count() const {
 
 std::vector<float> FfnModel::serialize() const {
   std::vector<float> blob;
-  for (const auto& conv : convs_) {
-    blob.insert(blob.end(), conv.w.begin(), conv.w.end());
-    blob.insert(blob.end(), conv.b.begin(), conv.b.end());
-  }
+  serialize_into(blob);
   return blob;
+}
+
+void FfnModel::serialize_into(std::vector<float>& out) const {
+  out.resize(parameter_count());
+  std::size_t offset = 0;
+  for (const auto& conv : convs_) {
+    std::copy(conv.w.begin(), conv.w.end(), out.begin() + static_cast<std::ptrdiff_t>(offset));
+    offset += conv.w.size();
+    std::copy(conv.b.begin(), conv.b.end(), out.begin() + static_cast<std::ptrdiff_t>(offset));
+    offset += conv.b.size();
+  }
 }
 
 bool FfnModel::deserialize(const std::vector<float>& blob) {

@@ -42,7 +42,9 @@ struct Conv3d {
            (dx + 1);
   }
   void forward(const Tensor4& x, Tensor4& y) const;
-  /// Accumulate dL/dx, dL/dw, dL/db from dL/dy. `dx` may be null (input layer).
+  /// Accumulate dL/dw, dL/db from dL/dy into pre-sized `dw`/`db` (+=, so a
+  /// caller can fold several examples into one buffer). `dx` is overwritten
+  /// with dL/dx; it may be null (input layer).
   void backward(const Tensor4& x, const Tensor4& dy, Tensor4* dx, std::vector<float>& dw,
                 std::vector<float>& db) const;
   /// Multiply-accumulate count for one forward pass over `voxels`.
@@ -68,15 +70,47 @@ class FfnModel {
   const FfnConfig& config() const { return config_; }
 
   /// Forward pass: input (2, fov³) -> POM logits (1, fov³). The workspace
-  /// retains activations for backward().
+  /// retains activations for backward(). Layout of `activations` (the input
+  /// itself is NOT logged — backward() takes it as a parameter):
+  ///   [h0, (r1, t1, r2, h_m) per module, rout]
+  /// Intermediates are moved in, never copied; the vector is reserved up
+  /// front so earlier entries stay put while later ones land.
   struct Workspace {
     std::vector<Tensor4> activations;
   };
   void forward(const Tensor4& input, Tensor4& logits, Workspace* ws = nullptr) const;
 
-  /// Voxel-wise logistic loss and gradient; returns mean loss.
+  /// Voxel-wise logistic loss; returns the mean loss over this call's
+  /// voxels. `dlogits` is the loss gradient divided by `normalizer` — pass
+  /// the total voxel count of the whole (possibly sharded) batch so that
+  /// summing per-shard gradients averages exactly once. The returned loss
+  /// is always the per-call mean, independent of `normalizer`.
+  static float logistic_loss(const Tensor4& logits, const Volume<std::uint8_t>& target,
+                             Tensor4& dlogits, double normalizer);
+  /// Single-trainer convenience: normalizer = this call's voxel count.
   static float logistic_loss(const Tensor4& logits, const Volume<std::uint8_t>& target,
                              Tensor4& dlogits);
+
+  /// Per-layer parameter gradients, shaped like the conv stack. A worker
+  /// accumulates one (or more) examples into a zeroed instance; a reducer
+  /// sums instances with add() and applies the total once.
+  struct Gradients {
+    std::vector<std::vector<float>> w;
+    std::vector<std::vector<float>> b;
+    /// Elementwise += (shapes must match). Alloc-free.
+    void add(const Gradients& other);
+    /// Zero all entries, keeping the shape. Alloc-free.
+    void reset();
+    bool empty() const { return w.empty(); }
+  };
+  /// A zeroed Gradients shaped for this model.
+  Gradients make_gradients() const;
+
+  /// Accumulate parameter gradients for one example into `grads` (which
+  /// must be shaped by make_gradients()). Requires the workspace of the
+  /// matching forward() call and the same `input` tensor.
+  void backward(const Tensor4& input, const Tensor4& dlogits, const Workspace& ws,
+                Gradients& grads) const;
 
   /// Optimizer configuration for train_step.
   struct OptimizerConfig {
@@ -89,8 +123,14 @@ class FfnModel {
     float epsilon = 1e-8f;
   };
 
-  /// Backprop + optimizer update. Requires the workspace of the matching
-  /// forward call. Updates weights in place.
+  /// Apply an already-reduced gradient with the configured optimizer.
+  /// Switching OptimizerConfig::Kind mid-run resets the moment buffers and
+  /// the Adam step counter — SGD momentum and Adam first-moment share
+  /// storage, and mixing one kind's state into the other is silent garbage.
+  void apply_gradients(const Gradients& grads, const OptimizerConfig& optimizer);
+
+  /// Backprop + optimizer update (backward() into a scratch Gradients, then
+  /// apply_gradients()). Requires the workspace of the matching forward call.
   void train_step(const Tensor4& input, const Tensor4& dlogits, const Workspace& ws,
                   const OptimizerConfig& optimizer);
   /// SGD-with-momentum convenience overload.
@@ -103,6 +143,8 @@ class FfnModel {
 
   /// Flat access for (de)serialization into the object store.
   std::vector<float> serialize() const;
+  /// Alloc-free variant: resizes `out` once, then overwrites in place.
+  void serialize_into(std::vector<float>& out) const;
   bool deserialize(const std::vector<float>& blob);
 
  private:
@@ -114,6 +156,10 @@ class FfnModel {
   std::vector<std::vector<float>> sw_;  // Adam second moments (weights)
   std::vector<std::vector<float>> sb_;  // Adam second moments (biases)
   std::int64_t adam_steps_ = 0;
+  /// Which optimizer the moment buffers currently belong to.
+  OptimizerConfig::Kind moments_kind_ = OptimizerConfig::Kind::Sgd;
+  /// Scratch for train_step (reused across calls; alloc-free steady state).
+  Gradients grad_scratch_;
 };
 
 /// Training driver: samples FOV patches around object voxels from a labelled

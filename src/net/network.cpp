@@ -275,6 +275,15 @@ sim::Task Network::send(NodeId src, NodeId dst, Bytes bytes, TransferOptions opt
   co_await handle->done->wait(sim_);
 }
 
+sim::Task Network::send_group(std::vector<GroupLeg> legs, TransferOptions opts) {
+  std::vector<sim::EventPtr> done;
+  done.reserve(legs.size());
+  for (const GroupLeg& leg : legs) {
+    done.push_back(transfer(leg.src, leg.dst, leg.bytes, opts)->done);
+  }
+  co_await sim::wait_all(sim_, std::move(done));
+}
+
 void Network::settle_flow(Flow& flow, double now) {
   const double dt = now - flow.last_update;
   if (dt > 0.0 && flow.rate > 0.0) {

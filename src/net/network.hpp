@@ -86,6 +86,9 @@ class Network {
   /// First directed link from `a` to `b`, or -1 if the nodes are not
   /// adjacent. Chaos plans use this to target specific WAN uplinks.
   LinkId find_link(NodeId a, NodeId b) const;
+  /// Directed links leaving `id` — the node's full adjacency. Chaos uses
+  /// this to degrade every NIC of a straggling machine at once.
+  const std::vector<LinkId>& links_at(NodeId id) const { return nodes_.at(id).out; }
   std::size_t link_count() const { return links_.size(); }
 
   // --- transfers ----------------------------------------------------------
@@ -97,6 +100,19 @@ class Network {
   /// Coroutine sugar: start a transfer and await it. Returns (via the
   /// handle) after the last byte arrives.
   sim::Task send(NodeId src, NodeId dst, Bytes bytes, TransferOptions opts = {});
+
+  /// One leg of a collective round (ring all-reduce chunk, broadcast, ...).
+  struct GroupLeg {
+    NodeId src = -1;
+    NodeId dst = -1;
+    Bytes bytes = 0;
+  };
+  /// Start every leg at once and await all completions — the barrier-round
+  /// primitive for collective schedules (ml::DistTrainer's ring). All legs
+  /// contend simultaneously, so max-min fair sharing shapes the round time;
+  /// failed legs (node/link loss mid-flight) complete the barrier rather
+  /// than hang it.
+  sim::Task send_group(std::vector<GroupLeg> legs, TransferOptions opts = {});
 
   // --- introspection (sampled by the monitoring layer) ---------------------
 

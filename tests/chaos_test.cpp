@@ -49,6 +49,33 @@ TEST(ChaosInjector, DegradeScalesBandwidthAndRestores) {
   EXPECT_EQ(injector.report().link_restores, 1);
 }
 
+TEST(ChaosInjector, NodeDegradeScalesEveryLinkAndRestores) {
+  // A straggler node, not a dead one: every link at the machine's endpoint
+  // drops to 10% of built bandwidth, then restores.
+  co::Nautilus bed;
+  const cc::MachineId victim = bed.gpu_machines().front();
+  const cn::NodeId node = bed.inventory.machine(victim).net_node;
+  const int links = static_cast<int>(bed.net.links_at(node).size());
+  ASSERT_GE(links, 1);
+
+  ch::ChaosPlan plan;
+  plan.degrade_node(5.0, victim, /*factor=*/0.1, /*degraded_for=*/10.0);
+  ch::ChaosInjector injector(bed.sim, bed.net, bed.inventory, plan);
+  injector.arm();
+
+  bed.sim.run(7.0);
+  for (cn::LinkId l : bed.net.links_at(node)) {
+    EXPECT_DOUBLE_EQ(bed.net.link_bandwidth_factor(l), 0.1);
+  }
+  bed.sim.run(20.0);
+  for (cn::LinkId l : bed.net.links_at(node)) {
+    EXPECT_DOUBLE_EQ(bed.net.link_bandwidth_factor(l), 1.0);
+  }
+  EXPECT_EQ(injector.report().node_degradations, links);
+  EXPECT_EQ(injector.report().node_restores, links);
+  EXPECT_EQ(injector.report().events_executed, 2);
+}
+
 TEST(ChaosInjector, NodeCrashFractionIsDeterministicPerSeed) {
   // Same plan + seed => same victims, different seed => (almost surely)
   // different ones. Victims must be distinct and come from the pool.

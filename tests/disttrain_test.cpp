@@ -1,0 +1,267 @@
+/// Data-parallel FFN training (ml/disttrain.hpp): bit-identity of the ring
+/// all-reduce and the synchronous parameter server against the single-trainer
+/// large-batch reference, the stale-synchronous divergence, backup-worker
+/// straggler mitigation, and chaos healing with shard conservation.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <numeric>
+#include <string>
+
+#include "chaos/chaos.hpp"
+#include "core/nautilus.hpp"
+#include "ml/disttrain.hpp"
+#include "sim/event.hpp"
+#include "util/units.hpp"
+
+namespace ch = chase::chaos;
+namespace co = chase::core;
+namespace cs = chase::sim;
+namespace cu = chase::util;
+namespace ml = chase::ml;
+
+namespace {
+
+/// Two-site testbed: 4 FIONA8s (32 GPUs) keep construction cheap.
+co::NautilusOptions small_bed(int sites = 2) {
+  co::NautilusOptions options;
+  options.sites.resize(static_cast<std::size_t>(sites));
+  for (int s = 0; s < sites; ++s) options.sites[static_cast<std::size_t>(s)] = "Site" + std::to_string(s);
+  options.fiona8_per_site = 2;
+  options.storage_per_site = 1;
+  options.wan_gbps.assign(static_cast<std::size_t>(sites), 40.0);
+  return options;
+}
+
+/// Test-scale job: tiny model + volume so the numeric work is milliseconds.
+ml::DistTrainConfig small_config() {
+  ml::DistTrainConfig config;
+  config.workers = 4;
+  config.steps = 24;
+  config.model.channels = 4;
+  config.model.modules = 1;
+  config.model.fov = 7;
+  config.data.nx = 48;
+  config.data.ny = 32;
+  config.data.nt = 32;
+  config.data.events = 4;
+  config.optimizer.learning_rate = 0.05f;
+  config.seed = 11;
+  return config;
+}
+
+void expect_bitwise_equal(const std::vector<float>& a, const std::vector<float>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  if (!a.empty()) {
+    EXPECT_EQ(0, std::memcmp(a.data(), b.data(), a.size() * sizeof(float)));
+  }
+}
+
+ml::DistTrainReport run_to_completion(co::Nautilus& bed, ml::DistTrainer& trainer) {
+  const cs::EventPtr done = trainer.start();
+  EXPECT_TRUE(cs::run_until(bed.sim, done));
+  EXPECT_TRUE(trainer.finished());
+  return trainer.report();
+}
+
+}  // namespace
+
+TEST(ShardedIvtDataset, StreamsArePureFunctionsOfShardAndStep) {
+  const auto config = small_config();
+  ml::ShardedIvtDataset dataset(config.data, config.workers, config.model, config.seed,
+                                config.input_mean, config.input_scale);
+  ml::Tensor4 a, b;
+  ml::Volume<std::uint8_t> ta, tb;
+  dataset.example(2, 17, a, ta);
+  dataset.example(0, 3, b, tb);  // interleaved other-shard draw must not disturb it
+  dataset.example(2, 17, b, tb);
+  ASSERT_EQ(a.size(), b.size());
+  EXPECT_EQ(0, std::memcmp(a.data(), b.data(), a.size() * sizeof(float)));
+  // Distinct shards draw from distinct slabs/streams.
+  dataset.example(1, 17, b, tb);
+  EXPECT_NE(0, std::memcmp(a.data(), b.data(), a.size() * sizeof(float)));
+}
+
+TEST(DistTrain, RingAllReduceMatchesLargeBatchReferenceBitwise) {
+  co::Nautilus bed(small_bed());
+  const auto config = small_config();
+  ml::DistTrainer trainer(*bed.kube, config);
+  const auto report = run_to_completion(bed, trainer);
+  const auto reference = ml::reference_large_batch(config);
+
+  expect_bitwise_equal(report.losses, reference.losses);
+  EXPECT_EQ(report.hash, reference.hash);
+  EXPECT_EQ(report.applied_updates, config.steps);
+  for (int s = 0; s < config.workers; ++s) {
+    EXPECT_EQ(report.shard_contributions[static_cast<std::size_t>(s)], config.steps);
+  }
+  EXPECT_EQ(report.worker_restarts, 0);
+  EXPECT_EQ(report.dropped_gradients, 0);
+  EXPECT_GT(report.comm_bytes, 0u);
+  EXPECT_GT(report.sim_seconds, 0.0);
+  EXPECT_FALSE(report.gpu_model.empty());
+}
+
+TEST(DistTrain, ParamServerStalenessZeroMatchesReferenceBitwise) {
+  co::Nautilus bed(small_bed());
+  auto config = small_config();
+  config.sync = ml::DistTrainConfig::Sync::ParamServer;
+  ml::DistTrainer trainer(*bed.kube, config);
+  const auto report = run_to_completion(bed, trainer);
+  const auto reference = ml::reference_large_batch(config);
+
+  expect_bitwise_equal(report.losses, reference.losses);
+  EXPECT_EQ(report.hash, reference.hash);
+  EXPECT_EQ(report.applied_updates, config.steps);
+  EXPECT_EQ(report.dropped_gradients, 0);
+}
+
+TEST(DistTrain, RingAndParamServerAgreeButPayDifferentTraffic) {
+  const auto config = small_config();
+  auto ps_config = config;
+  ps_config.sync = ml::DistTrainConfig::Sync::ParamServer;
+
+  co::Nautilus ring_bed(small_bed());
+  ml::DistTrainer ring(*ring_bed.kube, config);
+  const auto ring_report = run_to_completion(ring_bed, ring);
+
+  co::Nautilus ps_bed(small_bed());
+  ml::DistTrainer ps(*ps_bed.kube, ps_config);
+  const auto ps_report = run_to_completion(ps_bed, ps);
+
+  EXPECT_EQ(ring_report.hash, ps_report.hash);
+  expect_bitwise_equal(ring_report.losses, ps_report.losses);
+  EXPECT_NE(ring_report.comm_bytes, ps_report.comm_bytes);
+}
+
+TEST(DistTrain, StaleGradientsDivergeFromSynchronousTrajectory) {
+  auto sync_config = small_config();
+  sync_config.sync = ml::DistTrainConfig::Sync::ParamServer;
+  sync_config.steps = 16;
+  auto stale_config = sync_config;
+  stale_config.staleness = 4;
+
+  co::Nautilus sync_bed(small_bed());
+  ml::DistTrainer sync_trainer(*sync_bed.kube, sync_config);
+  const auto sync_report = run_to_completion(sync_bed, sync_trainer);
+
+  co::Nautilus stale_bed(small_bed());
+  ml::DistTrainer stale_trainer(*stale_bed.kube, stale_config);
+  const auto stale_report = run_to_completion(stale_bed, stale_trainer);
+
+  // Every push applies individually: workers x steps updates, and the
+  // trajectory is NOT the synchronous one (the async accuracy penalty the
+  // bench quantifies as the staleness cliff).
+  EXPECT_EQ(stale_report.applied_updates, stale_config.workers * stale_config.steps);
+  EXPECT_EQ(sync_report.applied_updates, sync_config.steps);
+  EXPECT_NE(stale_report.hash, sync_report.hash);
+  // Shard conservation holds in async mode too.
+  for (int s = 0; s < stale_config.workers; ++s) {
+    EXPECT_EQ(stale_report.shard_contributions[static_cast<std::size_t>(s)],
+              stale_config.steps);
+  }
+}
+
+TEST(DistTrain, BackupWorkerMitigatesStraggler) {
+  // Degrade the network of the machine hosting shard 0's primary worker.
+  // Without a backup every synchronous step waits on the straggler's pushes;
+  // with one redundant worker the healthy mirror wins the shard race.
+  auto base = small_config();
+  base.sync = ml::DistTrainConfig::Sync::ParamServer;
+  base.steps = 10;
+  base.flops_per_example = 1e12;        // ~0.3 s of GPU per microbatch
+  base.sync_bytes = cu::mb(20);         // make the exchange network-bound
+
+  auto run = [&](int backups, double* seconds, int* dropped, int* covered) {
+    co::Nautilus bed(small_bed(/*sites=*/3));  // 6 FIONA8s: one pod per machine
+    auto config = base;
+    config.backup_workers = backups;
+    ml::DistTrainer trainer(*bed.kube, config);
+    const cs::EventPtr done = trainer.start();
+    bed.sim.run(2.0);  // pods are placed and running by now
+    const auto pods = bed.kube->list_pods(config.ns, {{"slot", "0"}});
+    ASSERT_EQ(pods.size(), 1u);
+    const chase::net::NodeId victim =
+        bed.inventory.machine(pods.front()->node).net_node;
+    for (chase::net::LinkId l : bed.net.links_at(victim)) {
+      bed.net.set_link_bandwidth_factor(l, 0.02);
+    }
+    ASSERT_TRUE(cs::run_until(bed.sim, done));
+    *seconds = trainer.report().sim_seconds;
+    *dropped = trainer.report().dropped_gradients;
+    *covered = 0;
+    for (int slot : {0, config.workers}) {
+      if (slot < static_cast<int>(trainer.report().shard_contributions.size())) {
+        *covered += trainer.report()
+                        .shard_contributions[static_cast<std::size_t>(slot)];
+      }
+    }
+  };
+
+  double slow_seconds = 0.0, fast_seconds = 0.0;
+  int slow_dropped = 0, fast_dropped = 0;
+  int slow_covered = 0, fast_covered = 0;
+  run(0, &slow_seconds, &slow_dropped, &slow_covered);
+  run(1, &fast_seconds, &fast_dropped, &fast_covered);
+
+  EXPECT_LT(fast_seconds, slow_seconds);
+  EXPECT_EQ(slow_dropped, 0);
+  EXPECT_GT(fast_dropped, 0);  // the straggler's late arrivals were discarded
+  // Shard 0 is applied exactly `steps` times whether one slot or two fed it.
+  EXPECT_EQ(slow_covered, base.steps);
+  EXPECT_EQ(fast_covered, base.steps);
+}
+
+TEST(DistTrain, ChaosKillMidEpochHealsBitIdentically) {
+  auto config = small_config();
+  config.steps = 16;
+  // ~1 s of GPU per microbatch so the kill lands mid-epoch, not after the
+  // run has already finished.
+  config.flops_per_example = 3.3e12;
+
+  co::Nautilus clean_bed(small_bed());
+  ml::DistTrainer clean(*clean_bed.kube, config);
+  const auto clean_report = run_to_completion(clean_bed, clean);
+
+  co::Nautilus bed(small_bed());
+  ml::DistTrainer trainer(*bed.kube, config);
+  ch::ChaosPlan plan;
+  plan.kill_pods(/*at=*/6.0, config.ns,
+                 {{"app", "disttrain"}, {"role", "worker"}}, /*fraction=*/0.5);
+  ch::ChaosInjector injector(bed.sim, bed.net, bed.inventory, plan, bed.kube.get());
+  injector.arm();
+  const auto report = run_to_completion(bed, trainer);
+
+  EXPECT_EQ(injector.report().pods_killed, 2);
+  EXPECT_GE(report.worker_restarts, 1);
+  // Healing is invisible to the math: same losses, same weights, same hash,
+  // and every (shard, step) microbatch applied exactly once.
+  expect_bitwise_equal(report.losses, clean_report.losses);
+  EXPECT_EQ(report.hash, clean_report.hash);
+  const int total = std::accumulate(report.shard_contributions.begin(),
+                                    report.shard_contributions.end(), 0);
+  EXPECT_EQ(total, config.workers * config.steps);
+  // ...but not to the clock: restarted pods cost real simulated time.
+  EXPECT_GT(report.sim_seconds, clean_report.sim_seconds);
+}
+
+TEST(DistTrain, WallClockShrinksWithWorkerCountAtFixedBatch) {
+  // Strong scaling: total examples fixed, so more workers means fewer
+  // sequential steps of the same per-worker microbatch cost.
+  const int total_examples = 32;
+  double seconds[2] = {0.0, 0.0};
+  int idx = 0;
+  for (int workers : {1, 4}) {
+    co::Nautilus bed(small_bed());
+    auto config = small_config();
+    config.workers = workers;
+    config.steps = total_examples / workers;
+    config.flops_per_example = 1e12;
+    ml::DistTrainer trainer(*bed.kube, config);
+    const auto report = run_to_completion(bed, trainer);
+    EXPECT_EQ(report.applied_updates, config.steps);
+    seconds[idx++] = report.sim_seconds;
+  }
+  EXPECT_LT(seconds[1], seconds[0]);
+}

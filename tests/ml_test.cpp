@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstring>
 #include <numeric>
 #include <set>
 
@@ -322,7 +323,7 @@ TEST(Conv3d, GradientMatchesFiniteDifference) {
   // Loss: L = sum(y^2)/2; dL/dy = y.
   ml::Tensor4 y;
   conv.forward(x, y);
-  std::vector<float> dw, db;
+  std::vector<float> dw(conv.w.size(), 0.f), db(conv.b.size(), 0.f);
   ml::Tensor4 dx;
   conv.backward(x, y, &dx, dw, db);
 
@@ -409,6 +410,158 @@ TEST(FfnModel, LogisticLossBehaves)
   logits.at(0, 1, 0, 0) = 10.f;
   const float bad = ml::FfnModel::logistic_loss(logits, target, dlogits);
   EXPECT_GT(bad, 5.f);
+}
+
+TEST(FfnModel, LogisticLossNormalizerSplitsGradientNotLoss) {
+  ml::Tensor4 logits(1, 3, 2, 1);
+  ml::Volume<std::uint8_t> target(3, 2, 1, 0);
+  chase::util::Rng rng(5);
+  for (std::size_t i = 0; i < logits.size(); ++i) {
+    logits.data()[i] = static_cast<float>(rng.normal(0, 2));
+    target.data()[i] = rng.chance(0.5) ? 1 : 0;
+  }
+  ml::Tensor4 d1, d4;
+  const float loss1 = ml::FfnModel::logistic_loss(logits, target, d1);
+  const double shard_total = static_cast<double>(logits.voxels()) * 4;
+  const float loss4 = ml::FfnModel::logistic_loss(logits, target, d4, shard_total);
+  // The reported loss is the per-call mean regardless of the normalizer —
+  // bit-identical to the single-trainer path.
+  EXPECT_EQ(0, std::memcmp(&loss1, &loss4, sizeof(float)));
+  // The gradient divides by the whole batch exactly once: scaling the
+  // normalizer by 4 (a power of two) scales dlogits by exactly 1/4.
+  for (std::size_t i = 0; i < d1.size(); ++i) {
+    EXPECT_EQ(d1.data()[i], d4.data()[i] * 4.f) << "voxel " << i;
+  }
+}
+
+TEST(FfnModel, ForwardWithWorkspaceMatchesPlainForward) {
+  ml::FfnConfig cfg;
+  cfg.channels = 4;
+  cfg.modules = 2;
+  cfg.fov = 7;
+  ml::FfnModel model(cfg);
+  ml::Tensor4 input(2, 7, 7, 7);
+  chase::util::Rng rng(9);
+  for (std::size_t i = 0; i < input.size(); ++i) {
+    input.data()[i] = static_cast<float>(rng.normal(0, 1));
+  }
+  ml::Tensor4 plain, logged;
+  ml::FfnModel::Workspace ws;
+  model.forward(input, plain);
+  model.forward(input, logged, &ws);
+  ASSERT_EQ(plain.size(), logged.size());
+  EXPECT_EQ(0, std::memcmp(plain.data(), logged.data(), plain.size() * sizeof(float)));
+  // Activation log layout: [h0, (r1, t1, r2, h_m) per module, rout]; the
+  // input itself is not logged.
+  EXPECT_EQ(ws.activations.size(), static_cast<std::size_t>(2 + 4 * cfg.modules));
+}
+
+TEST(FfnModel, GradientsSumAcrossShardsMatchesLargeBatch) {
+  ml::FfnConfig cfg;
+  cfg.channels = 4;
+  cfg.modules = 1;
+  cfg.fov = 7;
+  ml::FfnModel model(cfg);
+  chase::util::Rng rng(31);
+  std::vector<ml::Tensor4> inputs(2, ml::Tensor4(2, 7, 7, 7));
+  ml::Volume<std::uint8_t> target(7, 7, 7, 0);
+  for (auto& input : inputs) {
+    for (std::size_t i = 0; i < input.size(); ++i) {
+      input.data()[i] = static_cast<float>(rng.normal(0, 1));
+    }
+  }
+  for (std::size_t i = 0; i < target.size(); ++i) target.data()[i] = rng.chance(0.3);
+
+  const double normalizer = 2.0 * static_cast<double>(inputs[0].voxels());
+  ml::Tensor4 logits, dlogits;
+  ml::FfnModel::Workspace ws;
+
+  // backward() accumulates (+=): both examples folded into one buffer agree
+  // with per-example buffers summed by add() up to rounding. (Bit-identity
+  // is NOT expected here — the two float-addition groupings differ, which is
+  // exactly why DistTrainer and its reference both use the buffer-then-add
+  // grouping on every path.)
+  ml::FfnModel::Gradients batch = model.make_gradients();
+  for (const auto& input : inputs) {
+    model.forward(input, logits, &ws);
+    ml::FfnModel::logistic_loss(logits, target, dlogits, normalizer);
+    model.backward(input, dlogits, ws, batch);
+  }
+
+  // The distributed reduction contract: per-example gradients computed into
+  // zeroed buffers and summed with add() in a fixed order are reproducible
+  // bit for bit — this is the exact float-addition sequence DistTrainer's
+  // inbox reduce and the single-trainer reference both execute.
+  auto reduce = [&]() {
+    ml::FfnModel::Gradients sum = model.make_gradients();
+    for (const auto& input : inputs) {
+      ml::FfnModel::Gradients g = model.make_gradients();
+      model.forward(input, logits, &ws);
+      ml::FfnModel::logistic_loss(logits, target, dlogits, normalizer);
+      model.backward(input, dlogits, ws, g);
+      sum.add(g);
+    }
+    return sum;
+  };
+  const ml::FfnModel::Gradients a = reduce();
+  const ml::FfnModel::Gradients b = reduce();
+  for (std::size_t l = 0; l < a.w.size(); ++l) {
+    EXPECT_EQ(0, std::memcmp(a.w[l].data(), b.w[l].data(),
+                             a.w[l].size() * sizeof(float)));
+    EXPECT_EQ(0, std::memcmp(a.b[l].data(), b.b[l].data(),
+                             a.b[l].size() * sizeof(float)));
+    for (std::size_t i = 0; i < a.w[l].size(); ++i) {
+      ASSERT_NEAR(batch.w[l][i], a.w[l][i], 1e-5f + 1e-4f * std::abs(a.w[l][i]));
+    }
+    for (std::size_t i = 0; i < a.b[l].size(); ++i) {
+      ASSERT_NEAR(batch.b[l][i], a.b[l][i], 1e-5f + 1e-4f * std::abs(a.b[l][i]));
+    }
+  }
+}
+
+TEST(FfnModel, OptimizerSwitchResetsMomentState) {
+  ml::FfnConfig cfg;
+  cfg.channels = 4;
+  cfg.modules = 1;
+  cfg.fov = 7;
+  ml::FfnModel warmed(cfg);
+  ml::FfnModel::Gradients g = warmed.make_gradients();
+  for (auto& layer : g.w) {
+    for (std::size_t i = 0; i < layer.size(); ++i) {
+      layer[i] = 0.01f * static_cast<float>(static_cast<int>(i % 7) - 3);
+    }
+  }
+  for (auto& layer : g.b) {
+    for (std::size_t i = 0; i < layer.size(); ++i) layer[i] = 0.02f;
+  }
+  ml::FfnModel::OptimizerConfig sgd;  // defaults: SGD with momentum 0.9
+  for (int i = 0; i < 3; ++i) warmed.apply_gradients(g, sgd);
+
+  // A fresh model placed at the warmed model's weights has zero moments and
+  // adam_steps 0 by construction. Switching kinds on the warmed model must
+  // behave identically — momentum state crossing the switch is the aliasing
+  // bug this guards against.
+  ml::FfnModel fresh(cfg);
+  ASSERT_TRUE(fresh.deserialize(warmed.serialize()));
+  ml::FfnModel::OptimizerConfig adam;
+  adam.kind = ml::FfnModel::OptimizerConfig::Kind::Adam;
+  for (int i = 0; i < 2; ++i) {
+    warmed.apply_gradients(g, adam);
+    fresh.apply_gradients(g, adam);
+  }
+  const auto a = warmed.serialize();
+  const auto b = fresh.serialize();
+  ASSERT_EQ(a.size(), b.size());
+  EXPECT_EQ(0, std::memcmp(a.data(), b.data(), a.size() * sizeof(float)));
+
+  // And back: Adam state must not leak into SGD momentum either.
+  ml::FfnModel fresh2(cfg);
+  ASSERT_TRUE(fresh2.deserialize(warmed.serialize()));
+  warmed.apply_gradients(g, sgd);
+  fresh2.apply_gradients(g, sgd);
+  const auto a2 = warmed.serialize();
+  const auto b2 = fresh2.serialize();
+  EXPECT_EQ(0, std::memcmp(a2.data(), b2.data(), a2.size() * sizeof(float)));
 }
 
 TEST(FfnTrainer, LossDecreasesOnSyntheticData) {

@@ -212,6 +212,64 @@ TEST(Network, SendCoroutineCompletes) {
   EXPECT_DOUBLE_EQ(done_at, 10.0);
 }
 
+namespace {
+
+/// Three hosts on a star switch; host c's access link is the slow one.
+struct Star3 {
+  cs::Simulation sim;
+  cn::Network net{sim};
+  cn::NodeId sw, a, b, c;
+  Star3() {
+    sw = net.add_node("sw");
+    a = net.add_node("a");
+    b = net.add_node("b");
+    c = net.add_node("c");
+    net.add_link(a, sw, 100.0, 0.0);
+    net.add_link(b, sw, 100.0, 0.0);
+    net.add_link(c, sw, 25.0, 0.0);
+  }
+};
+
+}  // namespace
+
+TEST(Network, SendGroupBarriersOnSlowestLeg) {
+  // A ring round a->b->c->a: every leg starts at once, the barrier releases
+  // when the last leg lands. Legs over c's 25 B/s access link take 40 s;
+  // the a->b leg finishing at 10 s does not release the round early.
+  Star3 w;
+  static double done_at;
+  done_at = -1;
+  auto proc = [](Star3* env) -> cs::Task {
+    std::vector<cn::Network::GroupLeg> legs;
+    legs.push_back({env->a, env->b, 1000});
+    legs.push_back({env->b, env->c, 1000});
+    legs.push_back({env->c, env->a, 1000});
+    co_await env->net.send_group(std::move(legs));
+    done_at = env->sim.now();
+  };
+  w.sim.spawn(proc(&w));
+  w.sim.run();
+  EXPECT_DOUBLE_EQ(done_at, 40.0);
+}
+
+TEST(Network, SendGroupCompletesDespiteFailedLeg) {
+  // A leg to a downed node fails immediately instead of hanging the barrier.
+  Star3 w;
+  w.net.set_node_up(w.c, false);
+  static double done_at;
+  done_at = -1;
+  auto proc = [](Star3* env) -> cs::Task {
+    std::vector<cn::Network::GroupLeg> legs;
+    legs.push_back({env->a, env->b, 1000});
+    legs.push_back({env->b, env->c, 1000});  // dead destination
+    co_await env->net.send_group(std::move(legs));
+    done_at = env->sim.now();
+  };
+  w.sim.spawn(proc(&w));
+  w.sim.run();
+  EXPECT_DOUBLE_EQ(done_at, 10.0);  // gated by the surviving a->b leg only
+}
+
 // Property sweep: with N identical flows on one link, each finishes at N*T.
 class FairnessSweep : public ::testing::TestWithParam<int> {};
 
