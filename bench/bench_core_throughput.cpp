@@ -21,9 +21,14 @@
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "chaos/chaos.hpp"
+#include "cluster/machine.hpp"
+#include "kube/cluster.hpp"
+#include "kube/federation.hpp"
 #include "net/network.hpp"
 #include "sim/event.hpp"
 #include "sim/simulation.hpp"
@@ -60,6 +65,29 @@ constexpr SizeSpec kSizes[] = {
     {"large", 128, 2000, 4, 60, false},
     {"xlarge", 512, 500, 4, 15, false},
     {"churn", 128, 100, 8, 40, true},
+};
+
+struct FedSpec {
+  const char* name;
+  int sites;          // member clusters, each its own star fabric
+  int nodes_per_site; // FIONA8 leaves behind each site core
+  int jobs;           // federation-submitted jobs
+  int completions;    // pods per job (scaled by --smoke)
+  int parallelism;
+  bool churn;         // seeded drains + node crashes + a site partition
+};
+
+// Federation rungs: PRP-scale hierarchical topology — sites of FIONA8s
+// behind a site core, cores joined by a 100GbE / 30ms WAN mesh — driven
+// through the federation controller, one KubeCluster per site. `federation`
+// pushes raw placement volume (2048 nodes, >1e5 pods, every image pulled
+// across the fabric from a site-0 registry), keeping the inverted label
+// index, the sampled scorer, and the per-site route caches hot. `fedchurn`
+// runs a smaller job stream while seeded drains, a 25% node-crash wave, and
+// a full site partition force continuous rescheduling.
+constexpr FedSpec kFedSizes[] = {
+    {"federation", 4, 512, 512, 200, 8, false},
+    {"fedchurn", 4, 512, 128, 100, 8, true},
 };
 
 struct Result {
@@ -138,6 +166,116 @@ Result run_size(const SizeSpec& spec, int scale_div) {
   return r;
 }
 
+Result run_federation(const FedSpec& spec, int scale_div) {
+  namespace ck = chase::kube;
+  namespace cc = chase::cluster;
+  namespace ch = chase::chaos;
+
+  Simulation sim;
+  Network net(sim);
+  cc::Inventory inventory(net);
+
+  // Hierarchical multi-site topology: per-site star fabrics (10GbE leaf
+  // uplinks) joined by a WAN mesh of the site cores.
+  std::vector<NodeId> cores;
+  cores.reserve(static_cast<std::size_t>(spec.sites));
+  for (int s = 0; s < spec.sites; ++s) {
+    const std::string site = "site-" + std::to_string(s);
+    cores.push_back(net.add_node(site + "-core", s));
+    for (int i = 0; i < spec.nodes_per_site; ++i) {
+      const NodeId leaf = net.add_node(site + "-n" + std::to_string(i), s);
+      net.add_link(leaf, cores.back(), chase::util::gbit_per_s(10.0), 0.5e-3);
+      inventory.add(cc::fiona8(site + "-n" + std::to_string(i), site), leaf);
+    }
+  }
+  for (int a = 0; a < spec.sites; ++a) {
+    for (int b = a + 1; b < spec.sites; ++b) {
+      net.add_link(cores[static_cast<std::size_t>(a)],
+                   cores[static_cast<std::size_t>(b)],
+                   chase::util::gbit_per_s(100.0), 30e-3);
+    }
+  }
+
+  // One orchestrator per site (the shard); every image pull travels the
+  // fabric from a single site-0 registry, so cross-site pulls cross the WAN.
+  ck::KubeCluster::Options opt;
+  opt.registry_node = cores[0];
+  std::vector<std::unique_ptr<ck::KubeCluster>> clusters;
+  ck::FederationController fed;
+  for (int s = 0; s < spec.sites; ++s) {
+    const std::string site = "site-" + std::to_string(s);
+    clusters.push_back(
+        std::make_unique<ck::KubeCluster>(sim, net, inventory, nullptr, opt));
+    for (cc::MachineId m : inventory.at_site(site)) clusters.back()->register_node(m);
+    fed.add_site(site, *clusters.back(), {"ds-" + std::to_string(s)});
+  }
+
+  // The workload: GPU jobs routed by the federation controller, each biased
+  // to a home dataset so placement mixes locality hits with headroom picks.
+  const int completions = std::max(1, spec.completions / scale_div);
+  Rng root(0xFEDC0DE5ULL + static_cast<std::uint64_t>(spec.jobs));
+  for (int j = 0; j < spec.jobs; ++j) {
+    ck::JobSpec job;
+    job.ns = "default";
+    job.name = "fedjob-" + std::to_string(j);
+    ck::ContainerSpec c;
+    c.requests = {2.0, chase::util::gb(2.0), 1};
+    const double run_s = root.uniform(0.5, 2.0);
+    c.program = [run_s](ck::PodContext& ctx) -> Task {
+      co_await ctx.sim().sleep(run_s);
+    };
+    job.pod_template.containers.push_back(std::move(c));
+    job.completions = completions;
+    job.parallelism = spec.parallelism;
+    job.backoff_limit = 1 << 20;  // disruptions don't count; real failures none
+    auto r = fed.submit_job(std::move(job), "ds-" + std::to_string(j % spec.sites));
+    if (!r.ok()) {
+      std::fprintf(stderr, "federation rung: submit failed: %s\n", r.error.c_str());
+      std::exit(2);
+    }
+  }
+
+  std::unique_ptr<ch::ChaosInjector> injector;
+  if (spec.churn) {
+    ch::ChaosPlan plan(/*seed=*/2029);
+    plan.crash_fraction(/*at=*/30.0, inventory.at_site("site-1"), 0.25,
+                        /*down_for=*/60.0);
+    plan.partition_site(/*at=*/60.0, /*site=*/spec.sites - 1, /*down_for=*/45.0);
+    injector = std::make_unique<ch::ChaosInjector>(sim, net, inventory, plan);
+    injector->arm();
+    // Seeded drain/uncordon waves across all sites, concurrent with the
+    // crashes: the scheduler re-places the drained pods under the selector
+    // and sampling paths while the label/feasibility indexes churn.
+    Rng drains(0xD7A1DULL);
+    for (int k = 0; k < 64; ++k) {
+      const int s = static_cast<int>(drains.uniform_u64(
+          static_cast<std::uint64_t>(spec.sites)));
+      const auto pool = inventory.at_site("site-" + std::to_string(s));
+      const cc::MachineId victim =
+          pool[drains.uniform_u64(pool.size())];
+      ck::KubeCluster* cluster = clusters[static_cast<std::size_t>(s)].get();
+      const double at = drains.uniform(10.0, 90.0);
+      const double heal = drains.uniform(5.0, 15.0);
+      sim.schedule(at, [cluster, victim] { cluster->drain(victim); });
+      sim.schedule(at + heal, [cluster, victim] { cluster->uncordon(victim); });
+    }
+  }
+
+  const auto wall_start = std::chrono::steady_clock::now();
+  sim.run();
+  const auto wall_end = std::chrono::steady_clock::now();
+
+  Result r;
+  r.name = spec.name;
+  r.nodes = spec.sites * spec.nodes_per_site;
+  r.events = sim.events_processed();
+  r.sim_s = sim.now();
+  r.wall_s = std::chrono::duration<double>(wall_end - wall_start).count();
+  r.events_per_sec = static_cast<double>(r.events) / std::max(r.wall_s, 1e-9);
+  r.sim_per_wall = r.sim_s / std::max(r.wall_s, 1e-9);
+  return r;
+}
+
 void print_json(std::FILE* out, const std::vector<Result>& results, int scale_div) {
   std::fprintf(out, "{\n  \"bench\": \"core_throughput\",\n  \"schema\": 1,\n");
   std::fprintf(out, "  \"smoke\": %s,\n  \"audit_level\": 0,\n  \"sizes\": [\n",
@@ -195,9 +333,12 @@ int main(int argc, char** argv) {
   chase::util::set_audit_level(0);
 
   std::vector<Result> results;
-  results.reserve(std::size(kSizes));
+  results.reserve(std::size(kSizes) + std::size(kFedSizes));
   for (const SizeSpec& spec : kSizes) {
     results.push_back(run_size(spec, scale_div));
+  }
+  for (const FedSpec& spec : kFedSizes) {
+    results.push_back(run_federation(spec, scale_div));
   }
 
   if (json) {

@@ -21,6 +21,8 @@ const char* fault_kind_name(FaultKind kind) {
     case FaultKind::OsdFail: return "osd_fail";
     case FaultKind::OsdRecover: return "osd_recover";
     case FaultKind::PodKill: return "pod_kill";
+    case FaultKind::SitePartition: return "site_partition";
+    case FaultKind::SiteHeal: return "site_heal";
   }
   return "unknown";
 }
@@ -34,6 +36,7 @@ FaultKind inverse_of(FaultKind kind) {
     case FaultKind::LinkPartition: return FaultKind::LinkHeal;
     case FaultKind::LinkDegrade: return FaultKind::LinkRestore;
     case FaultKind::OsdFail: return FaultKind::OsdRecover;
+    case FaultKind::SitePartition: return FaultKind::SiteHeal;
     default: break;
   }
   CHASE_ASSERT(false, "fault kind has no inverse");
@@ -43,7 +46,7 @@ FaultKind inverse_of(FaultKind kind) {
 bool has_inverse(FaultKind kind) {
   return kind == FaultKind::NodeCrash || kind == FaultKind::NodeDegrade ||
          kind == FaultKind::LinkPartition || kind == FaultKind::LinkDegrade ||
-         kind == FaultKind::OsdFail;
+         kind == FaultKind::OsdFail || kind == FaultKind::SitePartition;
 }
 
 /// Draw k distinct indices out of [0, n) with a partial Fisher-Yates shuffle.
@@ -110,6 +113,17 @@ ChaosPlan& ChaosPlan::partition_link(double at, net::LinkId link, double down_fo
   ev.at = at;
   ev.kind = FaultKind::LinkPartition;
   ev.link = link;
+  ev.duration = down_for;
+  events_.push_back(std::move(ev));
+  return *this;
+}
+
+ChaosPlan& ChaosPlan::partition_site(double at, net::SiteId site, double down_for) {
+  CHASE_ASSERT(site >= 0, "partition_site needs a valid site id");
+  FaultEvent ev;
+  ev.at = at;
+  ev.kind = FaultKind::SitePartition;
+  ev.site = site;
   ev.duration = down_for;
   events_.push_back(std::move(ev));
   return *this;
@@ -184,6 +198,8 @@ void ChaosInjector::count(FaultKind kind, int victims) {
     case FaultKind::OsdFail: report_.osd_failures += victims; break;
     case FaultKind::OsdRecover: report_.osd_recoveries += victims; break;
     case FaultKind::PodKill: report_.pods_killed += victims; break;
+    case FaultKind::SitePartition: report_.site_partitions += victims; break;
+    case FaultKind::SiteHeal: report_.site_heals += victims; break;
   }
   if (metrics_ != nullptr) {
     metrics_->record("chaos_fault", {{"kind", fault_kind_name(kind)}}, sim_.now(),
@@ -289,6 +305,32 @@ void ChaosInjector::execute(const FaultEvent& ev) {
       CHASE_ASSERT(ceph_ != nullptr, "OSD fault in a plan without a Ceph cluster");
       ceph_->set_osd_up(ev.osd, true);
       count(ev.kind, 1);
+      break;
+    }
+    case FaultKind::SitePartition: {
+      // Cut the site's entire WAN attachment; links already down (e.g. an
+      // overlapping link fault) are skipped rather than double-partitioned.
+      int cut = 0;
+      for (net::LinkId l : net_.site_boundary_links(ev.site)) {
+        if (!net_.link_up(l)) continue;
+        net_.set_link_up(l, false);
+        ++cut;
+      }
+      count(ev.kind, cut);
+      if (cut > 0) schedule_inverse(ev);
+      break;
+    }
+    case FaultKind::SiteHeal: {
+      // Heal re-ups *every* boundary link of the site, including any an
+      // overlapping link fault took down — islanding is a site-granular
+      // fault, so its recovery is too (documented on partition_site).
+      int healed = 0;
+      for (net::LinkId l : net_.site_boundary_links(ev.site)) {
+        if (net_.link_up(l)) continue;
+        net_.set_link_up(l, true);
+        ++healed;
+      }
+      count(ev.kind, healed);
       break;
     }
     case FaultKind::PodKill: {

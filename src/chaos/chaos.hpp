@@ -38,6 +38,8 @@ enum class FaultKind {
   OsdFail,        // single OSD down, machine stays up
   OsdRecover,     // single OSD back up
   PodKill,        // disruption-evict pods matching ns + selector
+  SitePartition,  // every WAN link touching a site goes down (site islanded)
+  SiteHeal,       // the site's WAN attachment comes back
 };
 
 const char* fault_kind_name(FaultKind kind);
@@ -55,6 +57,7 @@ struct FaultEvent {
   std::vector<cluster::MachineId> pool;        // NodeCrash: random victims from here
   double fraction = 0.0;                       // of pool / of matching pods, in (0, 1]
   net::LinkId link = -1;                       // link faults
+  net::SiteId site = -1;                       // site faults
   double factor = 1.0;                         // Link/NodeDegrade bandwidth multiplier
   int osd = -1;                                // OSD faults
   std::string ns;                              // PodKill namespace
@@ -80,6 +83,11 @@ class ChaosPlan {
                           double degraded_for = -1.0);
   /// Take a full-duplex link down; heals after `down_for` (< 0: stays down).
   ChaosPlan& partition_link(double at, net::LinkId link, double down_for = -1.0);
+  /// Island a whole site: every WAN link with an endpoint in `site` goes
+  /// down (intra-site fabric stays up — the federation-scale fault the
+  /// paper's multi-campus deployment must survive). Heals after `down_for`
+  /// (< 0: stays islanded). Healing re-ups every boundary link of the site.
+  ChaosPlan& partition_site(double at, net::SiteId site, double down_for = -1.0);
   /// Scale a link to `factor` of its built bandwidth; restores after
   /// `degraded_for` (< 0: stays degraded).
   ChaosPlan& degrade_link(double at, net::LinkId link, double factor,
@@ -113,6 +121,8 @@ struct ChaosReport {
   int osd_failures = 0;
   int osd_recoveries = 0;
   int pods_killed = 0;
+  int site_partitions = 0;
+  int site_heals = 0;
   int events_executed = 0;
 };
 

@@ -100,6 +100,14 @@ void Inventory::subscribe(std::function<void(MachineId, bool)> fn) {
   subscribers_.push_back(std::move(fn));
 }
 
+std::vector<MachineId> Inventory::at_site(const std::string& site) const {
+  std::vector<MachineId> out;
+  for (std::size_t i = 0; i < machines_.size(); ++i) {
+    if (machines_[i].spec.site == site) out.push_back(static_cast<MachineId>(i));
+  }
+  return out;
+}
+
 int Inventory::total_gpus() const {
   int n = 0;
   for (const auto& m : machines_) n += m.spec.gpus;

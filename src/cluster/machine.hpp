@@ -71,6 +71,10 @@ class Inventory {
   /// Subscribe to liveness changes: fn(machine, is_up).
   void subscribe(std::function<void(MachineId, bool)> fn);
 
+  /// Machines whose spec names this site (ascending id) — the federation
+  /// bench/tools carve per-site node pools out of one shared inventory.
+  std::vector<MachineId> at_site(const std::string& site) const;
+
   int total_gpus() const;
   int total_cpus() const;
   Bytes total_memory() const;

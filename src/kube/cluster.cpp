@@ -14,6 +14,17 @@ namespace {
 std::string key_of(const std::string& ns, const std::string& name) {
   return ns + "/" + name;
 }
+
+/// Inverted-index key for one label pair. \x1F (unit separator) cannot
+/// appear in sane label text, so "a=bc" and "ab=c" never collide.
+std::string label_key(const std::string& k, const std::string& v) {
+  std::string out;
+  out.reserve(k.size() + v.size() + 1);
+  out += k;
+  out += '\x1F';
+  out += v;
+  return out;
+}
 }  // namespace
 
 // --- PodContext --------------------------------------------------------------
@@ -81,6 +92,7 @@ KubeCluster::KubeCluster(sim::Simulation& sim, net::Network& net,
   free_buckets_.resize(kClassCount);
   cap_buckets_.resize(kClassCount);
   sched_candidates_.reserve(64);
+  sel_scratch_.reserve(64);
   inventory_.subscribe([this](cluster::MachineId m, bool up) { on_machine_state(m, up); });
   audit_hook_ = sim_.add_audit_hook([this] { check_invariants(); });
 }
@@ -98,10 +110,14 @@ void KubeCluster::register_node(cluster::MachineId machine, Labels extra_labels)
   NodeInfo info;
   info.machine = machine;
   info.labels = std::move(extra_labels);
-  info.labels["site"] = m.spec.site;
-  info.labels["machine"] = std::to_string(machine);  // node pinning (DaemonSets)
+  // Implicit labels. On collision the explicit extra_labels value wins for
+  // "site" / "gpu-model" (operators may relabel a node into a logical zone);
+  // "machine" is reserved and always forced to the node's own id — DaemonSet
+  // pinning and the pick_node fast-path depend on it resolving uniquely.
+  info.labels.try_emplace("site", m.spec.site);
+  info.labels["machine"] = std::to_string(machine);
   if (m.spec.gpus > 0) {
-    info.labels["gpu-model"] = cluster::gpu_model_name(m.spec.gpu_model);
+    info.labels.try_emplace("gpu-model", cluster::gpu_model_name(m.spec.gpu_model));
   }
   info.allocatable.cpu = m.spec.cpu_cores;
   info.allocatable.memory = m.spec.memory;
@@ -110,9 +126,22 @@ void KubeCluster::register_node(cluster::MachineId machine, Labels extra_labels)
   info.gpu_in_use.assign(static_cast<std::size_t>(m.spec.gpus), false);
   info.pods.reserve(8);  // steady-state churn stays within the high water
   auto [it, inserted] = nodes_.try_emplace(machine);
-  if (!inserted) index_remove(it->second);  // re-register: drop stale slots
+  if (!inserted) {
+    // Re-register: replace the label set (drop the stale index slots and
+    // postings first) but keep runtime state — relabeling a live node must
+    // not orphan its bound pods or leak their allocations/device grants.
+    index_remove(it->second);
+    unindex_node_labels(it->second);
+    info.allocated = it->second.allocated;
+    info.gpu_in_use = std::move(it->second.gpu_in_use);
+    info.image_cache = std::move(it->second.image_cache);
+    info.pods = std::move(it->second.pods);
+    info.taints = std::move(it->second.taints);
+    info.unschedulable = it->second.unschedulable;
+  }
   it->second = std::move(info);
   reindex_node(it->second);
+  index_node_labels(it->second);
   for (auto& [key, ds] : daemon_sets_) reconcile_daemon_set(ds);
   kick_scheduler();
 }
@@ -582,8 +611,12 @@ void KubeCluster::delete_cron_job(const std::string& ns, const std::string& name
 
 void KubeCluster::reconcile_daemon_set(const DaemonSetPtr& ds) {
   if (ds->deleted) return;
-  for (const auto& [machine, info] : nodes_) {
-    if (!info.ready || !selector_matches(ds->spec.node_selector, info.labels)) continue;
+  // Resolve matching nodes from the inverted label index — ascending machine
+  // id, the same order as the old full nodes_ scan (an empty selector
+  // resolves to every registered node).
+  for (cluster::MachineId machine : resolve_selector_nodes(ds->spec.node_selector)) {
+    const NodeInfo& info = nodes_.find(machine)->second;
+    if (!info.ready) continue;
     // Already hosting a live daemon pod?
     bool present = false;
     for (const auto& pod : info.pods) {
@@ -729,6 +762,43 @@ void KubeCluster::check_invariants() const {
   }
   CHASE_INVARIANT(free_slots == schedulable && cap_slots == schedulable,
                   "feasibility index size diverged from the schedulable node set");
+  // Inverted label index: every label a node carries has a posting holding
+  // that node; at level 2 the whole index is rescanned — postings sorted,
+  // deduped, and every slot justified by the node's actual label set.
+  for (const auto& [machine, info] : nodes_) {
+    for (const auto& [k, v] : info.labels) {
+      const auto it = label_index_.find(label_key(k, v));
+      CHASE_INVARIANT(it != label_index_.end() &&
+                          std::binary_search(it->second.begin(), it->second.end(),
+                                             machine),
+                      "node label missing from the inverted label index");
+    }
+  }
+  if (util::audit_level() >= 2) {
+    std::size_t label_slots = 0;
+    for (const auto& [key, posting] : label_index_) {
+      CHASE_AUDIT(!posting.empty() &&
+                      std::is_sorted(posting.begin(), posting.end()) &&
+                      std::adjacent_find(posting.begin(), posting.end()) ==
+                          posting.end(),
+                  "label posting empty, unsorted, or duplicated");
+      const std::size_t cut = key.find('\x1F');
+      const std::string k = key.substr(0, cut);
+      const std::string v = key.substr(cut + 1);
+      for (cluster::MachineId machine : posting) {
+        const auto nit = nodes_.find(machine);
+        CHASE_AUDIT(nit != nodes_.end(), "label posting names an unregistered node");
+        const auto lit = nit->second.labels.find(k);
+        CHASE_AUDIT(lit != nit->second.labels.end() && lit->second == v,
+                    "label posting slot not justified by the node's labels");
+      }
+      label_slots += posting.size();
+    }
+    std::size_t label_total = 0;
+    for (const auto& [machine, info] : nodes_) label_total += info.labels.size();
+    CHASE_AUDIT(label_slots == label_total,
+                "inverted label index size diverged from node label sets");
+  }
   for (const auto& [name, ns] : namespaces_) {
     CHASE_INVARIANT(ns.pods_used >= 0, "namespace pod count went negative");
     if (ns.has_quota) {
@@ -889,6 +959,99 @@ void KubeCluster::gather_candidates(const ResourceList& requests, bool by_capaci
   std::sort(sched_candidates_.begin(), sched_candidates_.end());
 }
 
+bool KubeCluster::has_capacity_for(const ResourceList& requests) const {
+  // Same monotone-class superset scan as gather_candidates, but read-only and
+  // short-circuiting: answers "could this pod EVER bind here" without
+  // touching scheduler scratch state (used by the federation controller).
+  const int g_lo = std::clamp(requests.gpus, 0, kGpuClassMax);
+  const auto whole =
+      requests.cpu <= 0.0 ? 0ull : static_cast<unsigned long long>(requests.cpu);
+  const int c_lo = std::min(static_cast<int>(std::bit_width(whole)), kCpuClassMax);
+  for (int g = g_lo; g <= kGpuClassMax; ++g) {
+    for (int c = c_lo; c <= kCpuClassMax; ++c) {
+      for (cluster::MachineId machine : cap_buckets_[g * (kCpuClassMax + 1) + c]) {
+        if (requests.fits_within(nodes_.find(machine)->second.allocatable)) return true;
+      }
+    }
+  }
+  return false;
+}
+
+// --- inverted label index -----------------------------------------------------------
+
+void KubeCluster::index_node_labels(const NodeInfo& info) {
+  for (const auto& [k, v] : info.labels) {
+    auto& posting = label_index_[label_key(k, v)];
+    posting.insert(std::lower_bound(posting.begin(), posting.end(), info.machine),
+                   info.machine);
+  }
+  ++label_epoch_;  // memoized selector resolutions are now stale
+}
+
+void KubeCluster::unindex_node_labels(const NodeInfo& info) {
+  for (const auto& [k, v] : info.labels) {
+    auto it = label_index_.find(label_key(k, v));
+    if (it == label_index_.end()) continue;
+    auto& posting = it->second;
+    posting.erase(std::remove(posting.begin(), posting.end(), info.machine),
+                  posting.end());
+    if (posting.empty()) label_index_.erase(it);
+  }
+  ++label_epoch_;
+}
+
+const std::vector<cluster::MachineId>& KubeCluster::resolve_selector_nodes(
+    const Labels& selector) {
+  // Memoize per serialized selector; Labels is an ordered map, so equal
+  // selectors serialize identically. Entries are epoch-validated, never
+  // evicted — the live selector population (DaemonSets, pod templates) is
+  // small and stable.
+  std::string key;
+  for (const auto& [k, v] : selector) {
+    key += k;
+    key += '\x1F';
+    key += v;
+    key += '\x1E';
+  }
+  SelectorCache& cached = selector_cache_[key];
+  if (cached.stamp == label_epoch_) return cached.nodes;
+  cached.stamp = label_epoch_;
+  cached.nodes.clear();
+  if (selector.empty()) {  // every registered node matches, ascending id
+    cached.nodes.reserve(nodes_.size());
+    for (const auto& [machine, info] : nodes_) cached.nodes.push_back(machine);
+    return cached.nodes;
+  }
+  // Walk the rarest term's posting list and verify the rest against each
+  // node's own label set — O(smallest posting), not O(nodes).
+  const std::vector<cluster::MachineId>* base = nullptr;
+  for (const auto& [k, v] : selector) {
+    auto it = label_index_.find(label_key(k, v));
+    if (it == label_index_.end()) return cached.nodes;  // no node carries the term
+    if (base == nullptr || it->second.size() < base->size()) base = &it->second;
+  }
+  cached.nodes.reserve(base->size());
+  for (cluster::MachineId machine : *base) {
+    if (selector_matches(selector, nodes_.find(machine)->second.labels)) {
+      cached.nodes.push_back(machine);
+    }
+  }
+  return cached.nodes;
+}
+
+std::vector<cluster::MachineId> KubeCluster::nodes_matching(const Labels& selector) {
+  return resolve_selector_nodes(selector);
+}
+
+void KubeCluster::filter_candidates_by_selector(const Labels& selector) {
+  if (selector.empty() || sched_candidates_.empty()) return;
+  const std::vector<cluster::MachineId>& match = resolve_selector_nodes(selector);
+  sel_scratch_.clear();
+  std::set_intersection(sched_candidates_.begin(), sched_candidates_.end(),
+                        match.begin(), match.end(), std::back_inserter(sel_scratch_));
+  sched_candidates_.swap(sel_scratch_);
+}
+
 bool KubeCluster::try_preempt(const Pod& pod) {
   const ResourceList requests = pod.requests();
   // Pick the node where evicting the cheapest set of strictly-lower-priority
@@ -899,6 +1062,7 @@ bool KubeCluster::try_preempt(const Pod& pod) {
   std::vector<PodPtr> best_victims;
   int best_cost = INT_MAX;
   gather_candidates(requests, /*by_capacity=*/true);
+  filter_candidates_by_selector(pod.spec.node_selector);
   for (cluster::MachineId machine : sched_candidates_) {
     NodeInfo& info = nodes_.find(machine)->second;
     if (!node_admits(info, pod)) continue;
@@ -959,11 +1123,29 @@ std::optional<cluster::MachineId> KubeCluster::pick_node(const Pod& pod) {
   std::optional<cluster::MachineId> best;
   double best_score = -1.0;
   gather_candidates(requests, /*by_capacity=*/false);
-  for (cluster::MachineId machine : sched_candidates_) {
+  filter_candidates_by_selector(pod.spec.node_selector);
+  // Sampled scoring (Kubernetes' percentageOfNodesToScore, determinized):
+  // above the threshold, score at most score_sample_max FEASIBLE candidates
+  // starting at a rotating offset so load still spreads across the fleet.
+  // At or below the threshold start stays 0 and the budget can never run
+  // out, so the walk is bit-identical to the old exhaustive ascending scan.
+  const std::size_t n = sched_candidates_.size();
+  std::size_t budget = n;
+  std::size_t start = 0;
+  if (options_.score_sample_max > 0 &&
+      n > static_cast<std::size_t>(options_.score_sample_max)) {
+    budget = static_cast<std::size_t>(options_.score_sample_max);
+    start = static_cast<std::size_t>(sample_rotor_++ % n);
+  }
+  for (std::size_t k = 0; k < n && budget > 0; ++k) {
+    std::size_t j = start + k;
+    if (j >= n) j -= n;  // wrap
+    const cluster::MachineId machine = sched_candidates_[j];
     const NodeInfo& info = nodes_.find(machine)->second;
     if (!node_admits(info, pod)) continue;
     ResourceList would = info.allocated + requests;
     if (!would.fits_within(info.allocatable)) continue;
+    --budget;
     // Spread: prefer the node with the most free CPU/GPU fraction
     // (least-allocated). BinPack inverts the score to consolidate.
     const double cpu_free = 1.0 - would.cpu / std::max(1.0, info.allocatable.cpu);

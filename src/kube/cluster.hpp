@@ -115,6 +115,13 @@ class KubeCluster {
     /// transfer on first use per node. Negative disables pull modelling.
     net::NodeId registry_node = -1;
     SchedulingPolicy policy = SchedulingPolicy::Spread;
+    /// Kubernetes-at-scale sampling: when more than this many feasible-class
+    /// candidates exist, pick_node scores at most this many *feasible* nodes
+    /// starting from a deterministic rotating offset instead of scoring the
+    /// whole cluster (percentageOfNodesToScore). At or below the threshold —
+    /// every pre-existing bench and test — behavior is bit-identical to the
+    /// exhaustive scan, rotation state included. 0 disables sampling.
+    int score_sample_max = 256;
   };
 
   KubeCluster(sim::Simulation& sim, net::Network& net, cluster::Inventory& inventory,
@@ -127,11 +134,29 @@ class KubeCluster {
 
   // --- nodes ---------------------------------------------------------------
 
-  /// Register a machine as a schedulable node. Adds implicit labels
-  /// "site" and "gpu-model" from the machine spec, plus `extra_labels`.
+  /// Register a machine as a schedulable node. Merges `extra_labels` with
+  /// the implicit labels derived from the machine spec — "site" and (for
+  /// GPU machines) "gpu-model". On collision the explicit `extra_labels`
+  /// value wins over the implicit one (operator overrides, e.g. relabeling
+  /// a site's maintenance pool). The "machine" label is reserved: it is
+  /// always forced to the node's own id, because DaemonSet pinning and the
+  /// pick_node fast-path rely on it resolving to exactly this node.
+  /// Re-registering replaces the previous label set (index entries are
+  /// deduped, never accumulated) while preserving runtime state — bound
+  /// pods, allocations, device grants, taints, and cordon status survive a
+  /// live relabel.
   void register_node(cluster::MachineId machine, Labels extra_labels = {});
   const NodeInfo& node(cluster::MachineId machine) const;
   std::size_t node_count() const { return nodes_.size(); }
+  /// Registered nodes whose labels satisfy `selector`, ascending machine id
+  /// (ready/cordon state is not considered — this is pure label matching,
+  /// answered from the inverted label index).
+  std::vector<cluster::MachineId> nodes_matching(const Labels& selector);
+  /// True iff some schedulable node's total capacity class could fit
+  /// `requests` and the request fits its allocatable. Coarse federation
+  /// feasibility: ignores taints/selectors and current allocations
+  /// (preemption or drainage could still free the room).
+  bool has_capacity_for(const ResourceList& requests) const;
   /// Cluster-wide allocatable and allocated resources over ready nodes.
   ResourceList total_allocatable() const;
   ResourceList total_allocated() const;
@@ -273,6 +298,22 @@ class KubeCluster {
   /// allocatable-class buckets (preemption) over the headroom ones.
   void gather_candidates(const ResourceList& requests, bool by_capacity);
 
+  // Inverted label index: "key\x1Fvalue" -> machine ids (ascending) of every
+  // registered node carrying that label. Selector matching over thousands of
+  // nodes intersects postings instead of scanning nodes_; resolutions are
+  // memoized per serialized selector and invalidated by label_epoch_, which
+  // bumps on any node (re)registration. DaemonSet reconciles and
+  // selector-bearing pick_node/try_preempt queries hit the cache.
+  void index_node_labels(const NodeInfo& info);
+  void unindex_node_labels(const NodeInfo& info);
+  /// Cached resolution of a full selector to its matching node set
+  /// (ascending machine id). The reference is valid until the next label
+  /// mutation; hot paths must not hold it across suspension points.
+  const std::vector<cluster::MachineId>& resolve_selector_nodes(const Labels& selector);
+  /// Drop sched_candidates_ entries whose node fails `selector` — a sorted
+  /// intersection with the resolved selector set (no per-node map walks).
+  void filter_candidates_by_selector(const Labels& selector);
+
   // kubelet
   static sim::Task run_pod(KubeCluster* self, PodPtr pod);
   static sim::Task run_container(KubeCluster* self, PodPtr pod, std::size_t index,
@@ -319,6 +360,19 @@ class KubeCluster {
   std::vector<std::vector<cluster::MachineId>> free_buckets_;
   std::vector<std::vector<cluster::MachineId>> cap_buckets_;
   std::vector<cluster::MachineId> sched_candidates_;
+  /// Inverted label index + epoch-stamped selector-resolution cache.
+  struct SelectorCache {
+    std::uint64_t stamp = 0;  // valid iff == label_epoch_
+    std::vector<cluster::MachineId> nodes;
+  };
+  std::map<std::string, std::vector<cluster::MachineId>> label_index_;
+  std::map<std::string, SelectorCache> selector_cache_;
+  std::uint64_t label_epoch_ = 1;
+  std::vector<cluster::MachineId> sel_scratch_;  // intersection scratch
+  /// Sampled-scoring rotation state: advances once per sampled pick_node so
+  /// successive pods start their feasibility walk at different offsets
+  /// (deterministic — part of replay state, see DESIGN.md).
+  std::uint64_t sample_rotor_ = 0;
   bool pass_scheduled_ = false;
   std::uint64_t next_uid_ = 1;
   std::vector<std::function<void(const PodPtr&)>> watchers_;

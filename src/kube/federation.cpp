@@ -1,0 +1,75 @@
+#include "kube/federation.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace chase::kube {
+
+int FederationController::add_site(std::string name, KubeCluster& cluster,
+                                   std::vector<std::string> datasets) {
+  sites_.push_back(FederationSite{std::move(name), &cluster, std::move(datasets)});
+  return static_cast<int>(sites_.size() - 1);
+}
+
+double FederationController::headroom_score(const KubeCluster& cluster) {
+  const ResourceList cap = cluster.total_allocatable();
+  const ResourceList used = cluster.total_allocated();
+  const double cpu_free = cap.cpu > 0.0 ? 1.0 - used.cpu / cap.cpu : 0.0;
+  const double gpu_free =
+      cap.gpus > 0 ? 1.0 - static_cast<double>(used.gpus) / cap.gpus : 0.0;
+  return cpu_free + gpu_free;
+}
+
+bool FederationController::holds_dataset(const FederationSite& site,
+                                         const std::string& dataset) {
+  return std::find(site.datasets.begin(), site.datasets.end(), dataset) !=
+         site.datasets.end();
+}
+
+Placement FederationController::place(const JobSpec& job,
+                                      const std::string& dataset) const {
+  ResourceList requests;
+  for (const auto& c : job.pod_template.containers) requests += c.requests;
+
+  // Pass 1: which members could ever run one pod of this template?
+  // Pass 2: restrict to dataset holders when the data lives at a feasible
+  // site. Pass 3: best headroom wins, first-registered on ties (strict >).
+  Placement best;
+  bool best_local = false;
+  double best_score = 0.0;
+  for (std::size_t i = 0; i < sites_.size(); ++i) {
+    const FederationSite& site = sites_[i];
+    if (!site.cluster->has_capacity_for(requests)) continue;
+    const bool local = !dataset.empty() && holds_dataset(site, dataset);
+    const double score = headroom_score(*site.cluster);
+    if (best.ok()) {
+      if (best_local && !local) continue;           // locality dominates headroom
+      if (local == best_local && score <= best_score) continue;
+    }
+    best.site = static_cast<int>(i);
+    best.site_name = site.name;
+    best_local = local;
+    best_score = score;
+  }
+  best.reason = !best.ok() ? "infeasible" : (best_local ? "data-locality" : "capacity");
+  return best;
+}
+
+Result<JobPtr> FederationController::submit_job(JobSpec spec,
+                                                const std::string& dataset) {
+  const Placement chosen = place(spec, dataset);
+  if (!chosen.ok()) {
+    return {nullptr, "no federation member has capacity for job '" + spec.name + "'"};
+  }
+  FederationSite& site = sites_[static_cast<std::size_t>(chosen.site)];
+  spec.labels["federation-site"] = site.name;
+  // Pin the pods to the site when its nodes actually carry the matching
+  // label (operator relabeling may have renamed the zone — then the pin
+  // would orphan the pods, so leave the selector alone).
+  if (!site.cluster->nodes_matching({{"site", site.name}}).empty()) {
+    spec.pod_template.node_selector["site"] = site.name;
+  }
+  return site.cluster->create_job(std::move(spec));
+}
+
+}  // namespace chase::kube

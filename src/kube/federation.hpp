@@ -1,0 +1,73 @@
+#pragma once
+/// \file federation.hpp
+/// Cross-site job placement over a federation of per-site KubeClusters — the
+/// paper's multi-campus PRP deployment (§II: "distributed across multiple
+/// campuses"). Each member site runs its own orchestrator over its own
+/// intra-site fabric; the FederationController is a thin placement layer
+/// that routes a Job to one member by resource feasibility, data locality,
+/// and headroom, then delegates to that cluster's own scheduler.
+///
+/// Everything is deterministic: sites keep registration order, scoring ties
+/// resolve to the earliest-registered site, and no randomness is involved —
+/// federation runs compose with tools/determinism_check --sites.
+
+#include <string>
+#include <vector>
+
+#include "kube/cluster.hpp"
+#include "kube/types.hpp"
+
+namespace chase::kube {
+
+/// One member cluster of the federation. `datasets` names the data resident
+/// at the site (CHASE-CI's "data is pre-staged near the GPUs" model); jobs
+/// that declare an input dataset prefer a site that already holds it.
+struct FederationSite {
+  std::string name;
+  KubeCluster* cluster = nullptr;
+  std::vector<std::string> datasets;
+};
+
+/// Outcome of a placement decision. `site` indexes the controller's site
+/// list (registration order); -1 means no member can ever fit the job.
+struct Placement {
+  int site = -1;
+  std::string site_name;
+  /// Why this site won: "data-locality" (feasible + holds the dataset),
+  /// "capacity" (feasible, best headroom), or "infeasible".
+  std::string reason;
+  bool ok() const { return site >= 0; }
+};
+
+class FederationController {
+ public:
+  /// Register a member cluster. Returns its site id. Registration order is
+  /// the deterministic tie-break for placement scoring.
+  int add_site(std::string name, KubeCluster& cluster,
+               std::vector<std::string> datasets = {});
+
+  std::size_t site_count() const { return sites_.size(); }
+  const FederationSite& site(int id) const {
+    return sites_[static_cast<std::size_t>(id)];
+  }
+
+  /// Choose a member site for `job`. Feasibility first (some node's capacity
+  /// class fits one pod of the template), then data locality (`dataset`
+  /// resident at a feasible site), then headroom (largest free CPU+GPU
+  /// fraction over ready nodes); ties go to the earliest-registered site.
+  Placement place(const JobSpec& job, const std::string& dataset = {}) const;
+
+  /// Place and submit: stamps the job with a "federation-site" label, pins
+  /// its pods to the chosen site via the node selector when the member's
+  /// nodes carry the matching "site" label, and creates the Job on the
+  /// chosen cluster. Fails with an error Result if no member is feasible.
+  Result<JobPtr> submit_job(JobSpec spec, const std::string& dataset = {});
+
+ private:
+  static double headroom_score(const KubeCluster& cluster);
+  static bool holds_dataset(const FederationSite& site, const std::string& dataset);
+
+  std::vector<FederationSite> sites_;
+};
+
+}  // namespace chase::kube

@@ -1,3 +1,4 @@
+#include <cstdio>
 #include "net/network.hpp"
 
 #include <algorithm>
@@ -7,6 +8,38 @@
 #include "util/check.hpp"
 
 namespace chase::net {
+
+#ifdef CHASE_NET_STATS
+#include <x86intrin.h>
+namespace {
+struct NetStats {
+  unsigned long long rc = 0, fills = 0, flows = 0, links = 0, twins = 0,
+      rounds = 0, scans = 0, collect_cy = 0, build_cy = 0, round_cy = 0,
+      apply_cy = 0, total_cy = 0;
+  ~NetStats() {
+    if (!rc) return;
+    auto f = [&](const char* n, unsigned long long cy) {
+      std::fprintf(stderr, "  %-10s %8.2f Mcy  %6.0f cy/rc\n", n, cy / 1e6,
+                   (double)cy / rc);
+    };
+    std::fprintf(stderr,
+                 "net-stats: rc=%llu fills=%llu (%.2f/rc) flows/fill=%.1f "
+                 "links/fill=%.1f twins/fill=%.1f rounds/fill=%.1f scans/fill=%.1f\n",
+                 rc, fills, (double)fills / rc, (double)flows / fills,
+                 (double)links / fills, (double)twins / fills,
+                 (double)rounds / fills, (double)scans / fills);
+    f("collect", collect_cy); f("build", build_cy); f("rounds", round_cy);
+    f("apply", apply_cy); f("total", total_cy);
+  }
+};
+NetStats g_netstats;
+}  // namespace
+#define NETSTAT(field, amt) (g_netstats.field += (amt))
+#define NETSTAT_TSC() __rdtsc()
+#else
+#define NETSTAT(field, amt) ((void)0)
+#define NETSTAT_TSC() 0ULL
+#endif
 
 namespace {
 constexpr double kByteEpsilon = 0.5;  // flows within half a byte are done
@@ -22,6 +55,9 @@ Network::Network(sim::Simulation& sim) : sim_(sim) {
   // High-water marks for steady-state flow churn; grown on demand.
   comp_links_.reserve(64);
   levels_.reserve(64);
+  route_path_.reserve(16);
+  slot_epoch_.reserve(64);
+  free_slots_.reserve(64);
   fl_ptr_.reserve(64);
   fl_cap_.reserve(64);
   fl_old_.reserve(64);
@@ -41,9 +77,18 @@ Network::Network(sim::Simulation& sim) : sim_(sim) {
   doomed_.reserve(64);
 }
 
-NodeId Network::add_node(std::string name) {
-  nodes_.push_back(Node{std::move(name), true, {}});
+NodeId Network::add_node(std::string name) { return add_node(std::move(name), 0); }
+
+NodeId Network::add_node(std::string name, SiteId site) {
+  assert(site >= 0);
+  nodes_.push_back(Node{std::move(name), true, site, {}});
+  if (static_cast<std::size_t>(site) >= site_epochs_.size()) {
+    site_epochs_.resize(static_cast<std::size_t>(site) + 1, 1);
+  }
   invalidate_routes();
+  // The site's membership changed: stale intra-site trees are sized for the
+  // old node count and must not be walked for the new node.
+  invalidate_site_routes(site);
   return static_cast<NodeId>(nodes_.size() - 1);
 }
 
@@ -52,8 +97,11 @@ LinkId Network::add_link(NodeId a, NodeId b, double bandwidth_bps, double latenc
   assert(b >= 0 && b < static_cast<NodeId>(nodes_.size()));
   assert(bandwidth_bps > 0.0);
   const LinkId forward = static_cast<LinkId>(links_.size());
-  links_.push_back(DirectedLink{a, b, bandwidth_bps, latency_s, bandwidth_bps, true, {}});
-  links_.push_back(DirectedLink{b, a, bandwidth_bps, latency_s, bandwidth_bps, true, {}});
+  const bool wan = nodes_[a].site != nodes_[b].site;
+  links_.push_back(
+      DirectedLink{a, b, bandwidth_bps, latency_s, bandwidth_bps, true, wan, {}});
+  links_.push_back(
+      DirectedLink{b, a, bandwidth_bps, latency_s, bandwidth_bps, true, wan, {}});
   // Pre-size the per-link flow registries at build time so steady-state
   // flow churn stays within the high-water capacity.
   links_[forward].flows.reserve(8);
@@ -65,13 +113,27 @@ LinkId Network::add_link(NodeId a, NodeId b, double bandwidth_bps, double latenc
   nodes_[a].out.push_back(forward);
   nodes_[b].out.push_back(forward + 1);
   invalidate_routes();
+  if (!wan) invalidate_site_routes(nodes_[a].site);
   return forward;
+}
+
+std::vector<LinkId> Network::site_boundary_links(SiteId site) const {
+  std::vector<LinkId> out;
+  for (LinkId l = 0; l < static_cast<LinkId>(links_.size()); l += 2) {
+    const DirectedLink& link = links_[static_cast<std::size_t>(l)];
+    if (!link.wan) continue;
+    if (nodes_[link.from].site == site || nodes_[link.to].site == site) {
+      out.push_back(l);
+    }
+  }
+  return out;
 }
 
 void Network::set_node_up(NodeId id, bool up) {
   if (nodes_.at(id).up == up) return;
   nodes_[id].up = up;
   invalidate_routes();
+  invalidate_site_routes(nodes_[id].site);
   if (!up) {
     // Fail every flow whose path touches the node, in one batch: a single
     // scoped recompute covers all affected components.
@@ -98,6 +160,9 @@ void Network::set_link_up(LinkId id, bool up) {
   links_[id].up = up;
   links_[partner].up = up;
   invalidate_routes();
+  // A WAN link change never alters any intra-site fabric; an intra-site
+  // change invalidates only its own site's trees.
+  if (!links_[id].wan) invalidate_site_routes(nodes_[links_[id].from].site);
   if (!up) {
     // Fail every flow routed over either direction of the pair.
     doomed_.clear();
@@ -144,50 +209,63 @@ LinkId Network::find_link(NodeId a, NodeId b) const {
 }
 
 const std::vector<LinkId>& Network::route(NodeId src, NodeId dst) {
-  const auto key = std::make_pair(src, dst);
-  const auto [cache_it, inserted] = route_cache_.try_emplace(key);
-  if (!inserted) return cache_it->second;
-
-  // BFS by hop count; deterministic tie-break by link id order. The
-  // frontier/visited buffers are members reused across cache misses.
-  route_via_.assign(nodes_.size(), -1);
-  route_seen_.assign(nodes_.size(), 0);
-  route_q_.clear();
-  route_q_.reserve(nodes_.size());
-  route_seen_[src] = 1;
-  route_q_.push_back(src);
-  bool found = (src == dst);
-  for (std::size_t head = 0; head < route_q_.size() && !found; ++head) {
-    const NodeId n = route_q_[head];
-    for (LinkId l : nodes_[n].out) {
-      const DirectedLink& link = links_[l];
-      if (!link.up) continue;
-      const NodeId next = link.to;
-      char& seen_next = route_seen_[next];
-      if (seen_next || !nodes_[next].up) continue;
-      seen_next = 1;
-      route_via_[next] = l;
-      if (next == dst) found = true;
-      route_q_.push_back(next);
+  if (static_cast<std::size_t>(src) >= route_trees_.size()) {
+    route_trees_.resize(nodes_.size());
+  }
+  RouteTree& tree = route_trees_[src];
+  // Same-site destinations route hierarchically over the intra-site fabric
+  // only (a model rule, not an approximation: sites must be internally
+  // connected, and intra-site traffic never detours over the WAN). That
+  // tree is keyed on the site's own epoch, so faults in other sites never
+  // invalidate it. Cross-site destinations use the global tree. With a
+  // single site no WAN links exist and the two BFS traversals are
+  // identical, so single-site behavior is unchanged bit for bit.
+  const SiteId site = nodes_[src].site;
+  const bool local = nodes_[dst].site == site;
+  std::vector<LinkId>& via = local ? tree.local_via : tree.via;
+  const std::uint64_t want =
+      local ? site_epochs_[static_cast<std::size_t>(site)] : route_epoch_;
+  std::uint64_t& stamp = local ? tree.local_stamp : tree.stamp;
+  if (stamp != want) {
+    // Rebuild this source's whole shortest-path tree: BFS by hop count,
+    // deterministic tie-break by link id order (adjacency lists hold links
+    // in creation order). One rebuild serves every destination until the
+    // next relevant topology change.
+    stamp = want;
+    via.assign(nodes_.size(), -1);
+    route_seen_.assign(nodes_.size(), 0);
+    route_q_.clear();
+    route_q_.reserve(nodes_.size());
+    route_seen_[src] = 1;
+    route_q_.push_back(src);
+    for (std::size_t head = 0; head < route_q_.size(); ++head) {
+      const NodeId n = route_q_[head];
+      for (LinkId l : nodes_[n].out) {
+        const DirectedLink& link = links_[l];
+        if (!link.up || (local && link.wan)) continue;
+        const NodeId next = link.to;
+        char& seen_next = route_seen_[next];
+        if (seen_next || !nodes_[next].up) continue;
+        seen_next = 1;
+        via[next] = l;
+        route_q_.push_back(next);
+      }
     }
   }
-  std::vector<LinkId>& path = cache_it->second;
-  if (found && src != dst) {
-    std::size_t hops = 0;
+  route_path_.clear();
+  if (src != dst) {
     for (NodeId n = dst; n != src;) {
-      const LinkId l = route_via_[n];
-      ++hops;
+      const LinkId l = via[n];
+      if (l < 0) {  // unreachable under the current topology
+        route_path_.clear();
+        return route_path_;
+      }
+      route_path_.push_back(l);
       n = links_[l].from;
     }
-    path.reserve(hops);
-    for (NodeId n = dst; n != src;) {
-      const LinkId l = route_via_[n];
-      path.push_back(l);
-      n = links_[l].from;
-    }
-    std::reverse(path.begin(), path.end());
+    std::reverse(route_path_.begin(), route_path_.end());
   }
-  return path;
+  return route_path_;
 }
 
 bool Network::reachable(NodeId src, NodeId dst) {
@@ -251,6 +329,14 @@ TransferPtr Network::transfer(NodeId src, NodeId dst, Bytes bytes, TransferOptio
     const std::uint64_t id = next_flow_id_++;
     Flow& flow = flows_.try_emplace(id).first->second;  // ids are monotone: fresh
     flow.id = id;
+    if (free_slots_.empty()) {
+      flow.slot = static_cast<std::uint32_t>(slot_epoch_.size());
+      slot_epoch_.push_back(0);  // epochs start at 1: 0 is never current
+    } else {
+      flow.slot = free_slots_.back();
+      free_slots_.pop_back();
+      slot_epoch_[flow.slot] = 0;
+    }
     flow.handle = handle;
     flow.remaining = static_cast<double>(handle->bytes);
     flow.rate_cap = opts.rate_cap;
@@ -258,7 +344,7 @@ TransferPtr Network::transfer(NodeId src, NodeId dst, Bytes bytes, TransferOptio
     // Register on the incidence index (ids are monotone, so appending keeps
     // each registry sorted) and seed the owning component for recompute.
     for (LinkId l : path) {
-      links_[l].flows.push_back({&flow, flow.rate, id});
+      links_[l].flows.push_back({&flow, flow.rate, id, flow.slot});
       seed_links_.push_back(l);
     }
     flow.path = std::move(path);
@@ -343,10 +429,10 @@ void Network::collect_component(LinkId seed) {
   for (std::size_t head = 0; head < comp_links_.size(); ++head) {
     const LinkId at = comp_links_[head];
     for (const DirectedLink::RegEntry& e : links_[at].flows) {
-      Flow* f = e.flow;
-      if (f->visit_epoch == scope_epoch_) continue;
-      f->visit_epoch = scope_epoch_;
-      soa_add_full(f);
+      std::uint64_t& stamp = slot_epoch_[e.slot];
+      if (stamp == scope_epoch_) continue;
+      stamp = scope_epoch_;
+      soa_add_full(e.flow);
     }
   }
   n_real_caps_ = static_cast<std::uint32_t>(cap_list_.size());
@@ -360,6 +446,11 @@ void Network::fill_component() {
   // bitwise, so discovery order — incremental seed vs. full sweep — cannot
   // affect a single bit of the computed rates (DESIGN.md "Incremental
   // max-min rate updates").
+  NETSTAT(fills, 1);
+  NETSTAT(flows, fl_ptr_.size());
+  NETSTAT(links, comp_links_.size());
+  NETSTAT(twins, twin_count_);
+  [[maybe_unused]] const unsigned long long t0_ = NETSTAT_TSC();
   const std::uint32_t n = static_cast<std::uint32_t>(fl_ptr_.size());
   {
     std::uint32_t off = 0;
@@ -421,14 +512,26 @@ void Network::fill_component() {
   fl_new_.resize(n);
   fl_frozen_.assign(n, 0);
   dirty_.clear();
+  NETSTAT(build_cy, NETSTAT_TSC() - t0_);
+  [[maybe_unused]] const unsigned long long t1_ = NETSTAT_TSC();
   std::uint32_t unfrozen = n + twin_count_;
+  // Deferred level refresh with dedup: a dirtied slot's level is parked at
+  // the -1.0 sentinel (real levels are >= 0) so each link is divided at
+  // most once per round no matter how many freezes touch it.
+  const auto mark_dirty = [&](LinkFill& lf, LinkId l) {
+    double& lv = levels_[lf.mcur];
+    if (lv != -1.0) {
+      lv = -1.0;
+      dirty_.push_back(l);
+    }
+  };
   // An implicit twin's freeze is one residual subtraction on its run's
   // link; the run cursor doubles as its frozen flag.
   const auto freeze_twin = [&](LinkId b, double rate) {
     LinkFill& lf = link_fill_[b];
     lf.residual = std::max(0.0, lf.residual - rate);
     --lf.count;
-    dirty_.push_back(lf.mcur);
+    mark_dirty(lf, b);
     --unfrozen;
   };
   const auto freeze = [&](std::uint32_t i, double rate) {
@@ -441,34 +544,59 @@ void Network::fill_component() {
       LinkFill& lf = link_fill_[l];
       lf.residual = std::max(0.0, lf.residual - rate);
       --lf.count;
-      // Defer the level division: levels are only read between rounds, so
-      // each touched slot is refreshed once per round, not once per freeze.
-      dirty_.push_back(lf.mcur);
+      mark_dirty(lf, l);
     }
   };
 
+  // Slots past `live` hold spent links (no unfrozen members left); they can
+  // never constrain again, so the per-round min-scan covers only the live
+  // prefix, which shrinks as the fill progresses.
+  std::uint32_t live = static_cast<std::uint32_t>(comp_links_.size());
+  double share = kInf;
+  LinkId bottleneck = -1;
+  bool need_scan = true;
   while (unfrozen > 0) {
-    for (std::uint32_t j : dirty_) {
-      const LinkFill& lf = link_fill_[comp_links_[j]];
-      levels_[j] = lf.count > 0 ? lf.residual / lf.count : kInf;
-    }
-    dirty_.clear();
-    // Lowest current water level = the bottleneck share; a pass touches a
-    // handful of links, so a linear min-scan beats any heap. Ties break by
-    // smallest link id, giving the same (level, link id) total order as a
-    // lazy heap of superseded levels would.
-    double share = kInf;
-    LinkId bottleneck = -1;
-    const std::uint32_t nl = static_cast<std::uint32_t>(comp_links_.size());
-    for (std::uint32_t j = 0; j < nl; ++j) {
-      const double lv = levels_[j];
-      if (lv > share) continue;
-      const LinkId l = comp_links_[j];
-      if (lv < share || l < bottleneck) {
-        share = lv;
-        bottleneck = l;
+    if (need_scan) {
+      NETSTAT(rounds, 1);
+      for (LinkId l : dirty_) {
+        LinkFill& lf = link_fill_[l];
+        levels_[lf.mcur] = lf.count > 0 ? lf.residual / lf.count : kInf;
+      }
+      for (LinkId l : dirty_) {
+        LinkFill& lf = link_fill_[l];
+        if (lf.count <= 0 && lf.mcur < live) {
+          --live;
+          const std::uint32_t j = lf.mcur;
+          LinkId& tail_link = comp_links_[live];
+          double& tail_level = levels_[live];
+          const LinkId moved = tail_link;
+          comp_links_[j] = moved;
+          levels_[j] = tail_level;
+          tail_link = l;
+          tail_level = kInf;
+          link_fill_[moved].mcur = j;
+          lf.mcur = live;
+        }
+      }
+      dirty_.clear();
+      // Lowest current water level = the bottleneck share; a round touches
+      // a handful of links, so a linear min-scan beats any heap. Ties break
+      // by smallest link id, giving the same (level, link id) total order
+      // as a lazy heap of superseded levels would.
+      share = kInf;
+      bottleneck = -1;
+      NETSTAT(scans, live);
+      for (std::uint32_t j = 0; j < live; ++j) {
+        const double lv = levels_[j];
+        if (lv > share) continue;
+        const LinkId l = comp_links_[j];
+        if (lv < share || l < bottleneck) {
+          share = lv;
+          bottleneck = l;
+        }
       }
     }
+    need_scan = true;
     if (bottleneck < 0) {
       // No constraining link left: every remaining flow must be capped
       // (defensive — an unfrozen flow keeps a valid entry on each of its
@@ -539,6 +667,16 @@ void Network::fill_component() {
       }
     }
     if (fired) {
+      // Cap freezes only raise the fired links' levels (a cap below the
+      // share is below its link's level, so removing it lifts the level);
+      // every other level is untouched. If the bottleneck itself was not
+      // fired on, (share, bottleneck) is still the exact argmin of the
+      // (level, link id) order and the refresh + rescan would reproduce it
+      // bit for bit — skip both. Otherwise re-derive the share.
+      if (levels_[link_fill_[bottleneck].mcur] == -1.0) {
+        continue;
+      }
+      need_scan = false;
       continue;
     }
     // Freeze every unfrozen flow crossing the bottleneck at the share.
@@ -567,15 +705,17 @@ void Network::fill_component() {
         }
         lfb.count -= static_cast<std::int32_t>(r.end - r.at);
         unfrozen -= r.end - r.at;
-        dirty_.push_back(lfb.mcur);
+        mark_dirty(lfb, bottleneck);
         r.at = r.end;
         r.min = kInf;
       }
     }
   }
+  NETSTAT(round_cy, NETSTAT_TSC() - t1_);
 }
 
 void Network::apply_component() {
+  [[maybe_unused]] const unsigned long long t0_ = NETSTAT_TSC();
   const double now = sim_.now();
   const std::uint32_t n = static_cast<std::uint32_t>(fl_ptr_.size());
   for (std::uint32_t i = 0; i < n; ++i) {
@@ -597,6 +737,7 @@ void Network::apply_component() {
                       : (rate > 0.0 ? now + f->remaining / rate : kInf);
     eta_update(f);
   }
+  NETSTAT(apply_cy, NETSTAT_TSC() - t0_);
 }
 
 void Network::recompute_scope() {
@@ -612,6 +753,8 @@ void Network::recompute_scope() {
   }
   seed_links_.clear();
   if (scope_links_.empty()) return;
+  NETSTAT(rc, 1);
+  [[maybe_unused]] const unsigned long long trc_ = NETSTAT_TSC();
   // Fixpoint expansion: fill over S plus its boundary ring, then grow S
   // along the paths of flows whose computed rate changed bitwise, and
   // refill. Every flow on an S link participates fully; each out-of-scope
@@ -626,6 +769,7 @@ void Network::recompute_scope() {
   // degenerates to the full fill.
   while (true) {
     ++scope_epoch_;
+    [[maybe_unused]] const unsigned long long tc_ = NETSTAT_TSC();
     soa_clear();
     comp_links_.clear();
     {
@@ -640,11 +784,12 @@ void Network::recompute_scope() {
         const auto& reg = links_[l].flows;
         const std::size_t rn = reg.size();
         for (std::size_t k = 0; k < rn; ++k) {
-          if (k + 4 < rn) __builtin_prefetch(reg[k + 4].flow);
-          Flow* f = reg[k].flow;
-          if (f->visit_epoch == scope_epoch_) continue;
-          f->visit_epoch = scope_epoch_;
-          soa_add_full(f);
+          const DirectedLink::RegEntry& e = reg[k];
+          std::uint64_t& stamp = slot_epoch_[e.slot];
+          if (stamp == scope_epoch_) continue;
+          stamp = scope_epoch_;
+          __builtin_prefetch(&e.flow->path);
+          soa_add_full(e.flow);
         }
       }
       // Boundary (virtual) participants, straight off the registry mirrors:
@@ -668,9 +813,8 @@ void Network::recompute_scope() {
           const auto& breg = links_[b].flows;
           const std::size_t bn = breg.size();
           for (std::size_t k = 0; k < bn; ++k) {
-            if (k + 4 < bn) __builtin_prefetch(breg[k + 4].flow);
             const DirectedLink::RegEntry& e = breg[k];
-            if (e.flow->visit_epoch == scope_epoch_) continue;
+            if (slot_epoch_[e.slot] == scope_epoch_) continue;
             CapEnt ce;
             ce.cap = e.rate;
             ce.fid = e.id;
@@ -699,9 +843,8 @@ void Network::recompute_scope() {
               static_cast<std::uint32_t>(cap_list_.size());
           double run_min = kInf;
           for (std::size_t k = 0; k < bn; ++k) {
-            if (k + 4 < bn) __builtin_prefetch(breg[k + 4].flow);
             const DirectedLink::RegEntry& e = breg[k];
-            if (e.flow->visit_epoch == scope_epoch_) continue;
+            if (slot_epoch_[e.slot] == scope_epoch_) continue;
             CapEnt ce;
             ce.cap = e.rate;
             ce.fid = e.id;
@@ -724,6 +867,7 @@ void Network::recompute_scope() {
         }
       }
     }
+    NETSTAT(collect_cy, NETSTAT_TSC() - tc_);
     fill_component();
     bool grew = false;
     const std::uint32_t n = static_cast<std::uint32_t>(fl_ptr_.size());
@@ -751,13 +895,14 @@ void Network::recompute_scope() {
     if (!grew) break;
   }
   apply_component();
+  NETSTAT(total_cy, NETSTAT_TSC() - trc_);
 }
 
 bool Network::rates_match_full_recompute() {
   ++scope_epoch_;
   bool match = true;
   for (auto& [id, flow] : flows_) {
-    if (flow.visit_epoch == scope_epoch_) continue;
+    if (slot_epoch_[flow.slot] == scope_epoch_) continue;
     collect_component(flow.path.front());
     fill_component();
     const std::uint32_t n = static_cast<std::uint32_t>(fl_ptr_.size());
@@ -820,6 +965,7 @@ void Network::finish_flow(std::uint64_t id, bool failed) {
     seed_links_.push_back(l);
   }
   eta_erase(&flow);
+  free_slots_.push_back(flow.slot);
   flows_.erase(it);
   handle->failed = failed;
   handle->finish_time = sim_.now();

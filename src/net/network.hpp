@@ -32,6 +32,11 @@ namespace chase::net {
 
 using NodeId = int;
 using LinkId = int;
+/// Hierarchical multi-site topology (paper: ~20 PRP sites on a WAN). Every
+/// node belongs to a site; links whose endpoints sit in different sites are
+/// WAN links. Site 0 is the default, so single-site callers never see the
+/// hierarchy. Site ids are small dense integers assigned by the caller.
+using SiteId = int;
 using util::Bytes;
 
 struct TransferOptions {
@@ -64,11 +69,23 @@ class Network {
   // --- topology -----------------------------------------------------------
 
   NodeId add_node(std::string name);
-  /// Adds a full-duplex link (two directed links of `bandwidth` each).
+  /// Adds a node inside `site` (hierarchical topologies). Site ids must be
+  /// dense small integers; the site count grows to cover the largest id.
+  NodeId add_node(std::string name, SiteId site);
+  /// Adds a full-duplex link (two directed links of `bandwidth` each). The
+  /// link is classified as WAN iff its endpoints sit in different sites.
   LinkId add_link(NodeId a, NodeId b, double bandwidth_bps, double latency_s);
 
   std::size_t node_count() const { return nodes_.size(); }
   const std::string& node_name(NodeId id) const { return nodes_.at(id).name; }
+  SiteId site_of(NodeId id) const { return nodes_.at(id).site; }
+  /// Number of distinct sites (>= 1; single-site networks report 1).
+  std::size_t site_count() const { return site_epochs_.size(); }
+  /// True iff the link crosses a site boundary (an inter-site WAN link).
+  bool link_is_wan(LinkId id) const { return links_.at(id).wan; }
+  /// Forward link ids of every full-duplex pair with exactly one endpoint in
+  /// `site` — the site's WAN attachment. Chaos site partitions cut these.
+  std::vector<LinkId> site_boundary_links(SiteId site) const;
   /// Mark a node up/down. Taking a node down fails all flows routed through
   /// it and removes it from routing until it comes back.
   void set_node_up(NodeId id, bool up);
@@ -151,6 +168,7 @@ class Network {
   struct Node {
     std::string name;
     bool up = true;
+    SiteId site = 0;
     std::vector<LinkId> out;  // directed links leaving this node
   };
   struct DirectedLink {
@@ -159,6 +177,7 @@ class Network {
     double latency;        // s
     double base_capacity;  // as built
     bool up = true;
+    bool wan = false;      // endpoints in different sites
     /// Incidence index: active flows routed over this link, ascending flow
     /// id (ids are assigned monotonically at flow start; removal preserves
     /// order). This is one half of the link↔flow incidence the scoped
@@ -169,6 +188,7 @@ class Network {
       Flow* flow = nullptr;
       double rate = 0.0;      // mirror of flow->rate (audited)
       std::uint64_t id = 0;   // mirror of flow->id
+      std::uint32_t slot = 0; // mirror of flow->slot (dense epoch index)
     };
     std::vector<RegEntry> flows;
   };
@@ -190,11 +210,12 @@ class Network {
     double deadline = std::numeric_limits<double>::infinity();
     std::uint64_t id = 0;
     std::size_t heap_pos = kNoHeapPos;  // slot in eta_heap_
-    /// Scoped-recompute membership stamp, valid only while it matches the
-    /// current scope_epoch_ (avoids clearing per-flow state every pass).
-    /// All other fill scratch lives in the fl_* struct-of-arrays below, so
-    /// a fill pass touches each scattered Flow object exactly once.
-    std::uint64_t visit_epoch = 0;
+    /// Dense index into slot_epoch_ (recycled through free_slots_). The
+    /// scoped-recompute membership stamp lives there rather than in the
+    /// Flow so collection walks never dereference a scattered Flow object
+    /// just to test membership; all other fill scratch is in the fl_*
+    /// struct-of-arrays below.
+    std::uint32_t slot = 0;
   };
 
   // --- incremental max-min machinery ---------------------------------------
@@ -256,10 +277,20 @@ class Network {
   void eta_sift_up(std::size_t i);
   void eta_sift_down(std::size_t i);
 
-  /// Cached shortest path; the reference is valid until the next topology
-  /// change (invalidate_routes). Callers that outlive that must copy.
+  /// Cached shortest path; the reference is valid until the next route()
+  /// call or topology change. Callers that outlive that must copy.
   const std::vector<LinkId>& route(NodeId src, NodeId dst);
-  void invalidate_routes() { route_cache_.clear(); }
+  /// O(1): bumps the global topology epoch; per-source route trees
+  /// re-derive lazily on their next use instead of being torn down eagerly.
+  void invalidate_routes() { ++route_epoch_; }
+  /// O(1): bumps one site's intra-site epoch. A topology change confined to
+  /// `site` must call both this and invalidate_routes(): cross-site trees
+  /// everywhere may route through the site, but other sites' *intra-site*
+  /// trees provably cannot (hierarchical routing never leaves the site), so
+  /// they stay valid and their steady-state transfers skip BFS entirely.
+  void invalidate_site_routes(SiteId site) {
+    ++site_epochs_[static_cast<std::size_t>(site)];
+  }
 
   sim::Simulation& sim_;
   std::vector<Node> nodes_;
@@ -278,7 +309,6 @@ class Network {
   /// zero-byte deliveries) and bytes abandoned by failed flows.
   double bytes_started_ = 0.0;
   double bytes_dropped_ = 0.0;
-  std::map<std::pair<NodeId, NodeId>, std::vector<LinkId>> route_cache_;
   std::uint64_t audit_hook_ = 0;
 
   // --- hot-path scratch ----------------------------------------------------
@@ -287,6 +317,12 @@ class Network {
   // single allocation.
   std::uint64_t scope_epoch_ = 0;  // one per fill pass (collect stamps)
   std::uint64_t scope_id_ = 0;     // one per recompute_scope call (S stamps)
+  /// Per-flow fill-pass membership stamps, indexed by Flow::slot — dense,
+  /// so the hottest collection test (is this registry member already a full
+  /// participant?) stays inside a few cache lines instead of chasing the
+  /// Flow pointer. Slots are recycled via free_slots_.
+  std::vector<std::uint64_t> slot_epoch_;
+  std::vector<std::uint32_t> free_slots_;
   std::vector<std::uint64_t> link_epoch_;  // per-link fill-pass stamp
   std::vector<std::uint64_t> link_scope_;  // per-link S-membership stamp
   /// Per-link fill scratch, one cache line hit per link instead of four
@@ -307,10 +343,10 @@ class Network {
   std::vector<double> levels_;  // current water level per comp_links_ slot
                                 // (+inf once fully frozen); dense so the
                                 // per-round min-scan stays in one cache line
-  std::vector<std::uint32_t> dirty_;  // slots whose level needs a refresh
-                                      // before the next min-scan (levels are
-                                      // recomputed once per round, not once
-                                      // per freeze)
+  std::vector<LinkId> dirty_;  // links whose level needs a refresh before
+                               // the next min-scan (levels are recomputed
+                               // once per round, not once per freeze; the
+                               // -1.0 level sentinel dedupes entries)
   std::vector<LinkId> scope_links_;        // S: links filled this recompute
   // Per-pass flow scratch, struct-of-arrays: collection reads each scattered
   // Flow object once, then the fill runs entirely over these dense arrays.
@@ -362,8 +398,30 @@ class Network {
   std::vector<LinkId> seed_links_;     // pending recompute seeds
   std::vector<Flow*> eta_heap_;        // completion index
   std::vector<std::uint64_t> doomed_;  // fail-path scratch
-  // BFS scratch for route() cache misses.
-  std::vector<LinkId> route_via_;
+  // Route cache: shortest-path trees per source node, stamped with epochs.
+  // One BFS serves every destination from that source, so steady-state
+  // transfers assemble their path by walking predecessor links — no
+  // per-pair BFS, no ordered-map lookup. Invalidation is an epoch bump.
+  //
+  // Multi-site refinement: each source keeps a *global* tree (full BFS,
+  // keyed on route_epoch_) for cross-site destinations and an *intra-site*
+  // tree (BFS over non-WAN links only, keyed on the source site's epoch in
+  // site_epochs_) for same-site destinations. Intra-site traffic routes
+  // hierarchically — it never exits the site — so a fault in site A leaves
+  // every other site's intra-site trees valid (DESIGN.md "Hierarchical
+  // multi-site topology"). Single-site networks have no WAN links, making
+  // the intra-site tree identical to the global one bit for bit.
+  struct RouteTree {
+    std::uint64_t stamp = 0;        // global tree: valid iff == route_epoch_
+    std::vector<LinkId> via;        // predecessor link per node, -1 unreachable
+    std::uint64_t local_stamp = 0;  // intra-site tree: valid iff == site epoch
+    std::vector<LinkId> local_via;
+  };
+  std::vector<RouteTree> route_trees_;
+  std::uint64_t route_epoch_ = 1;
+  std::vector<std::uint64_t> site_epochs_ = {1};  // per-site intra-site epochs
+  std::vector<LinkId> route_path_;  // scratch: the last assembled path
+  // BFS scratch for route-tree rebuilds.
   std::vector<char> route_seen_;
   std::vector<NodeId> route_q_;
 };

@@ -1,13 +1,17 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "chaos/chaos.hpp"
 #include "core/connect_workflow.hpp"
 #include "core/nautilus.hpp"
+#include "kube/cluster.hpp"
 #include "sim/event.hpp"
+#include "util/check.hpp"
+#include "util/units.hpp"
 
 namespace cc = chase::cluster;
 namespace ch = chase::chaos;
@@ -151,4 +155,163 @@ TEST(ChaosInjector, ConnectStep1SurvivesWorkerNodeCrashes) {
   EXPECT_TRUE(cwf.workflow().finished());
   EXPECT_EQ(cwf.files_fetched(), cwf.scaled_file_count());
   EXPECT_GT(injector.report().node_crashes, 0);
+}
+
+// --- site faults and index consistency under churn ---------------------------
+
+namespace {
+
+namespace ck = chase::kube;
+namespace cu = chase::util;
+
+/// Two-site kube bed over one shared cluster: per-site star fabrics joined
+/// by a WAN link, every machine registered with a per-site label.
+struct TwoSiteBed {
+  cs::Simulation sim;
+  cn::Network net{sim};
+  cc::Inventory inventory{net};
+  std::unique_ptr<ck::KubeCluster> kube;
+  std::vector<cn::NodeId> switches;
+  std::vector<cc::MachineId> machines;
+
+  explicit TwoSiteBed(int nodes_per_site = 4) {
+    kube = std::make_unique<ck::KubeCluster>(sim, net, inventory, nullptr);
+    for (int s = 0; s < 2; ++s) {
+      const std::string site = "site-" + std::to_string(s);
+      switches.push_back(net.add_node(site + "-sw", s));
+      for (int i = 0; i < nodes_per_site; ++i) {
+        const std::string name = site + "-n" + std::to_string(i);
+        const cn::NodeId nn = net.add_node(name, s);
+        net.add_link(nn, switches.back(), cu::gbit_per_s(20), 1e-4);
+        const cc::MachineId m = inventory.add(cc::fiona8(name, site), nn);
+        kube->register_node(m, {{"pool", i % 2 == 0 ? "even" : "odd"}});
+        machines.push_back(m);
+      }
+    }
+    net.add_link(switches[0], switches[1], cu::gbit_per_s(100), 30e-3);
+  }
+};
+
+/// Ground truth for nodes_matching: full scan over every registered node.
+std::vector<cc::MachineId> rescan_matching(const TwoSiteBed& bed,
+                                           const ck::Labels& selector) {
+  std::vector<cc::MachineId> out;
+  for (cc::MachineId m : bed.machines) {
+    if (ck::selector_matches(selector, bed.kube->node(m).labels)) out.push_back(m);
+  }
+  return out;
+}
+
+}  // namespace
+
+TEST(ChaosInjector, SitePartitionIslandsAndHealsOneSite) {
+  TwoSiteBed bed;
+  ch::ChaosPlan plan;
+  plan.partition_site(/*at=*/5.0, /*site=*/1, /*down_for=*/20.0);
+  ch::ChaosInjector injector(bed.sim, bed.net, bed.inventory, plan);
+  injector.arm();
+
+  const cn::LinkId wan = bed.net.find_link(bed.switches[0], bed.switches[1]);
+  bed.sim.run(10.0);
+  EXPECT_FALSE(bed.net.link_up(wan));  // islanded
+  // Intra-site links on both sides stay up.
+  for (cn::LinkId l : bed.net.links_at(bed.switches[1])) {
+    if (!bed.net.link_is_wan(l)) EXPECT_TRUE(bed.net.link_up(l));
+  }
+  bed.sim.run(40.0);
+  EXPECT_TRUE(bed.net.link_up(wan));  // healed
+  EXPECT_EQ(injector.report().site_partitions, 1);
+  EXPECT_EQ(injector.report().site_heals, 1);
+}
+
+TEST(ChaosIndexes, StayConsistentUnderSeededDrainTaintCrashChurn) {
+  // Property-style: a seeded stream of drains, taints, crashes, site
+  // partitions, and re-registrations runs against a live scheduling
+  // workload; at every step the feasibility + label indexes must agree with
+  // a from-scratch rescan (check_invariants audits the index internals at
+  // level 2; rescan_matching cross-checks the selector answers).
+  const int prev_audit = cu::set_audit_level(2);
+  TwoSiteBed bed;
+  cu::Rng rng(0xC0FFEE);
+
+  // Background workload: a replace-on-failure job stream per site keeps the
+  // scheduler busy while the faults land.
+  for (int s = 0; s < 2; ++s) {
+    ck::JobSpec job;
+    job.ns = "default";
+    job.name = "churn-" + std::to_string(s);
+    ck::ContainerSpec c;
+    c.requests = {2, cu::gb(2), 1};
+    c.program = [](ck::PodContext& ctx) -> cs::Task {
+      co_await ctx.sim().sleep(3.0);
+    };
+    job.pod_template.containers.push_back(std::move(c));
+    job.pod_template.node_selector["site"] = "site-" + std::to_string(s);
+    job.completions = 40;
+    job.parallelism = 4;
+    job.backoff_limit = 1000;
+    ASSERT_TRUE(bed.kube->create_job(job).ok());
+  }
+
+  ch::ChaosPlan plan(/*seed=*/7);
+  plan.crash_fraction(/*at=*/10.0, bed.machines, 0.25, /*down_for=*/15.0);
+  plan.partition_site(/*at=*/20.0, /*site=*/1, /*down_for=*/10.0);
+  ch::ChaosInjector injector(bed.sim, bed.net, bed.inventory, plan, bed.kube.get());
+  injector.arm();
+
+  const std::vector<ck::Labels> probes = {
+      {{"pool", "even"}},
+      {{"site", "site-0"}},
+      {{"site", "site-1"}, {"pool", "odd"}},
+      {{"gpu-model", "GTX 1080ti"}},
+      {},
+  };
+  const auto check_indexes = [&] {
+    bed.kube->check_invariants();
+    for (const auto& selector : probes) {
+      EXPECT_EQ(bed.kube->nodes_matching(selector), rescan_matching(bed, selector));
+    }
+  };
+
+  double t = 1.0;
+  for (int step = 0; step < 30; ++step, t += rng.uniform(1.0, 3.0)) {
+    const cc::MachineId victim =
+        bed.machines[rng.uniform_u64(bed.machines.size())];
+    switch (rng.uniform_u64(5)) {
+      case 0:
+        bed.sim.schedule(t, [&, victim] { bed.kube->drain(victim); });
+        bed.sim.schedule(t + 4.0, [&, victim] { bed.kube->uncordon(victim); });
+        break;
+      case 1:
+        bed.sim.schedule(t, [&, victim] {
+          bed.kube->add_taint(victim,
+                              ck::Taint{"chaos", "x", ck::TaintEffect::NoExecute});
+        });
+        bed.sim.schedule(t + 3.0,
+                         [&, victim] { bed.kube->remove_taint(victim, "chaos"); });
+        break;
+      case 2:
+        bed.sim.schedule(t, [&, victim] { bed.inventory.set_up(victim, false); });
+        bed.sim.schedule(t + 5.0, [&, victim] { bed.inventory.set_up(victim, true); });
+        break;
+      case 3:  // relabel mid-flight: the index must drop the old posting
+        bed.sim.schedule(t, [&, victim, step] {
+          bed.kube->register_node(
+              victim, {{"pool", step % 2 == 0 ? "relabel-a" : "relabel-b"}});
+        });
+        break;
+      default:
+        bed.sim.schedule(t, check_indexes);
+        break;
+    }
+  }
+  bed.sim.run(t + 30.0);
+  check_indexes();
+  bed.sim.run();
+  check_indexes();
+
+  // The workload survived the churn: both job streams completed.
+  EXPECT_TRUE(bed.kube->get_job("default", "churn-0")->complete);
+  EXPECT_TRUE(bed.kube->get_job("default", "churn-1")->complete);
+  cu::set_audit_level(prev_audit);
 }

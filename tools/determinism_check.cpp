@@ -19,6 +19,7 @@
 ///   $ build/tools/determinism_check --seed 1 --seed 2
 ///   $ build/tools/determinism_check --runs 3 --data-fraction 0.01 --audit
 ///   $ build/tools/determinism_check --chaos --seed 1
+///   $ build/tools/determinism_check --sites 4 --chaos
 ///
 /// `--chaos` additionally arms a fixed, seeded ChaosPlan (GPU-node crashes,
 /// a THREDDS-uplink partition, an OSD failure, a Redis pod kill) against the
@@ -38,11 +39,16 @@
 #include <vector>
 
 #include "chaos/chaos.hpp"
+#include "cluster/machine.hpp"
 #include "core/connect_workflow.hpp"
 #include "core/nautilus.hpp"
+#include "kube/cluster.hpp"
+#include "kube/federation.hpp"
 #include "net/network.hpp"
 #include "sim/event.hpp"
 #include "util/check.hpp"
+#include "util/rng.hpp"
+#include "util/units.hpp"
 
 namespace {
 
@@ -161,6 +167,113 @@ Trace run_workflow(std::uint64_t seed, double data_fraction, bool with_chaos) {
   return trace;
 }
 
+/// --sites N: a synthetic federation scenario instead of the CONNECT
+/// workflow. N sites of FIONA8s behind per-site cores joined by a 100GbE
+/// WAN mesh, one KubeCluster per site, a seeded job stream routed by the
+/// FederationController (data-locality + headroom placement, image pulls
+/// from a site-0 registry crossing the WAN). Under --chaos a site-granular
+/// fault plan runs against it — island the last site, crash a quarter of
+/// site 1 — and the fault trace is fingerprinted like the event trace: the
+/// hierarchical route caches, the label/feasibility indexes, and the
+/// sampled scheduler must all replay bit-identically under site faults.
+Trace run_federation(std::uint64_t seed, int sites, bool with_chaos) {
+  namespace ck = chase::kube;
+  namespace cc = chase::cluster;
+
+  chase::sim::Simulation sim;
+  chase::net::Network net(sim);
+  cc::Inventory inventory(net);
+  Trace trace;
+  sim.set_trace_hook([&trace](double time, std::uint64_t seq) {
+    trace.hash = fnv1a(trace.hash, bits_of(time));
+    trace.hash = fnv1a(trace.hash, seq);
+    if (++trace.events % kEventsPerBlock == 0) {
+      trace.block_hashes.push_back(trace.hash);
+    }
+  });
+
+  constexpr int kNodesPerSite = 16;
+  std::vector<chase::net::NodeId> cores;
+  for (int s = 0; s < sites; ++s) {
+    const std::string site = "site-" + std::to_string(s);
+    cores.push_back(net.add_node(site + "-core", s));
+    for (int i = 0; i < kNodesPerSite; ++i) {
+      const chase::net::NodeId leaf = net.add_node(site + "-n" + std::to_string(i), s);
+      net.add_link(leaf, cores.back(), chase::util::gbit_per_s(10.0), 0.5e-3);
+      inventory.add(cc::fiona8(site + "-n" + std::to_string(i), site), leaf);
+    }
+  }
+  for (int a = 0; a < sites; ++a) {
+    for (int b = a + 1; b < sites; ++b) {
+      net.add_link(cores[static_cast<std::size_t>(a)],
+                   cores[static_cast<std::size_t>(b)],
+                   chase::util::gbit_per_s(100.0), 30e-3);
+    }
+  }
+
+  ck::KubeCluster::Options opt;
+  opt.registry_node = cores[0];
+  std::vector<std::unique_ptr<ck::KubeCluster>> clusters;
+  ck::FederationController fed;
+  for (int s = 0; s < sites; ++s) {
+    const std::string site = "site-" + std::to_string(s);
+    clusters.push_back(
+        std::make_unique<ck::KubeCluster>(sim, net, inventory, nullptr, opt));
+    for (cc::MachineId m : inventory.at_site(site)) clusters.back()->register_node(m);
+    fed.add_site(site, *clusters.back(), {"ds-" + std::to_string(s)});
+  }
+
+  chase::util::Rng rng(seed * 0x9e3779b97f4a7c15ULL + 1);
+  for (int j = 0; j < 8 * sites; ++j) {
+    ck::JobSpec job;
+    job.ns = "default";
+    job.name = "fedjob-" + std::to_string(j);
+    ck::ContainerSpec c;
+    c.requests = {2.0, chase::util::gb(2.0), 1};
+    const double run_s = rng.uniform(1.0, 5.0);
+    c.program = [run_s](ck::PodContext& ctx) -> chase::sim::Task {
+      co_await ctx.sim().sleep(run_s);
+    };
+    job.pod_template.containers.push_back(std::move(c));
+    job.completions = 24;
+    job.parallelism = 4;
+    job.backoff_limit = 1 << 20;
+    auto r = fed.submit_job(std::move(job), "ds-" + std::to_string(j % sites));
+    if (!r.ok()) {
+      std::fprintf(stderr, "determinism_check: federation submit failed: %s\n",
+                   r.error.c_str());
+      std::exit(2);
+    }
+  }
+
+  std::unique_ptr<chase::chaos::ChaosInjector> injector;
+  if (with_chaos) {
+    chase::chaos::ChaosPlan plan(/*seed=*/2029);
+    plan.partition_site(/*at=*/20.0, /*site=*/sites - 1, /*down_for=*/30.0);
+    plan.crash_fraction(/*at=*/35.0, inventory.at_site("site-1"),
+                        /*fraction=*/0.25, /*down_for=*/25.0);
+    injector = std::make_unique<chase::chaos::ChaosInjector>(sim, net, inventory,
+                                                             plan);
+    injector->set_fault_hook(
+        [&trace](chase::chaos::FaultKind kind, double when, int victims) {
+          trace.fault_hash = fnv1a(trace.fault_hash,
+                                   static_cast<std::uint64_t>(kind));
+          trace.fault_hash = fnv1a(trace.fault_hash, bits_of(when));
+          trace.fault_hash = fnv1a(trace.fault_hash,
+                                   static_cast<std::uint64_t>(victims));
+          ++trace.faults;
+        });
+    injector->arm();
+  }
+
+  sim.run();
+  trace.block_hashes.push_back(trace.hash);
+  trace.end_time = sim.now();
+  trace.net_bytes = net.total_bytes_delivered();
+  trace.ceph_bytes = 0.0;
+  return trace;
+}
+
 /// Returns true iff `a` and `b` agree; prints where they fork otherwise.
 bool compare(std::uint64_t seed, const Trace& a, const Trace& b, int run_index) {
   if (a.final_hash() == b.final_hash()) return true;
@@ -194,6 +307,7 @@ int main(int argc, char** argv) {
   int runs = 2;
   double data_fraction = 0.005;
   bool with_chaos = false;
+  int fed_sites = 0;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -214,11 +328,19 @@ int main(int argc, char** argv) {
       chase::util::set_audit_level(2);
     } else if (arg == "--chaos") {
       with_chaos = true;
+    } else if (arg == "--sites") {
+      fed_sites = std::atoi(next());
+      if (fed_sites < 2) {
+        std::fprintf(stderr, "determinism_check: --sites needs N >= 2\n");
+        return 2;
+      }
     } else if (arg == "--help" || arg == "-h") {
       std::printf(
-          "usage: determinism_check [--seed N]... [--runs N] [--data-fraction F] [--audit] [--chaos]\n"
+          "usage: determinism_check [--seed N]... [--runs N] [--data-fraction F] [--audit] [--chaos] [--sites N]\n"
           "Replays the seeded CONNECT workflow and fails if the event traces diverge.\n"
-          "--chaos arms a fixed fault plan and fingerprints the fault trace too.\n");
+          "--chaos arms a fixed fault plan and fingerprints the fault trace too.\n"
+          "--sites N replays an N-site federation scenario instead (WAN mesh,\n"
+          "per-site clusters, federated placement; --chaos adds a site partition).\n");
       return 0;
     } else {
       std::fprintf(stderr, "determinism_check: unknown argument '%s'\n", arg.c_str());
@@ -229,8 +351,12 @@ int main(int argc, char** argv) {
   if (runs < 2) runs = 2;
 
   bool ok = true;
+  auto run_once = [&](std::uint64_t seed) {
+    return fed_sites > 0 ? run_federation(seed, fed_sites, with_chaos)
+                         : run_workflow(seed, data_fraction, with_chaos);
+  };
   for (std::uint64_t seed : seeds) {
-    const Trace first = run_workflow(seed, data_fraction, with_chaos);
+    const Trace first = run_once(seed);
     std::printf("seed %" PRIu64 ": %" PRIu64 " events, %" PRIu64
                 " faults, end t=%.6g, hash %016" PRIx64 "\n",
                 seed, first.events, first.faults, first.end_time,
@@ -242,7 +368,7 @@ int main(int argc, char** argv) {
       ok = false;
     }
     for (int r = 2; r <= runs; ++r) {
-      const Trace replay = run_workflow(seed, data_fraction, with_chaos);
+      const Trace replay = run_once(seed);
       ok = compare(seed, first, replay, r) && ok;
     }
   }
