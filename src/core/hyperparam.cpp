@@ -127,7 +127,11 @@ std::string HyperparamSweep::leaderboard() const {
   for (const auto& result : results_) order.push_back(&result);
   std::sort(order.begin(), order.end(),
             [](const HyperparamResult* a, const HyperparamResult* b) {
-              return a->iou > b->iou;
+              // Equal-IoU configs need a total order, or the leaderboard
+              // (and any report diffed against it) depends on result
+              // addresses via std::sort's unstable tie handling.
+              if (a->iou != b->iou) return a->iou > b->iou;
+              return a->spec.id < b->spec.id;
             });
   util::Table table({"Params", "Optimizer", "Loss", "Precision", "Recall", "IoU", "Pod"});
   for (const auto* result : order) {

@@ -13,6 +13,7 @@
 /// call: no copyability, no target() introspection, no allocator plumbing.
 
 #include <cstddef>
+#include <new>
 #include <type_traits>
 #include <utility>
 
@@ -30,6 +31,8 @@ class SmallFn<R(Args...)> {
   /// Inline capacity: three captured pointers plus a double-sized tail.
   /// Entry = (time, seq, SmallFn) stays one cache line pair in the heap.
   static constexpr std::size_t kInline = 48;
+  static_assert(kInline >= sizeof(void*),
+                "spilled callables store their pool pointer in the buffer");
 
   SmallFn() noexcept = default;
   SmallFn(std::nullptr_t) noexcept {}  // NOLINT(google-explicit-constructor)
@@ -44,9 +47,13 @@ class SmallFn<R(Args...)> {
       ::new (static_cast<void*>(buf_)) D(std::forward<F>(f));
       ops_ = inline_ops<D>();
     } else {
+      static_assert(sizeof(D*) <= kInline && alignof(D*) <= alignof(std::max_align_t),
+                    "the spill pointer itself must fit the inline buffer");
       void* mem = BlockPool::instance().allocate(sizeof(D));
-      *reinterpret_cast<D**>(static_cast<void*>(buf_)) =
-          ::new (mem) D(std::forward<F>(f));
+      // The pointer is an *object* living in buf_, created by placement-new
+      // (not by writing through a reinterpret_cast, which never starts an
+      // object's lifetime); reads go through std::launder in pooled_ops.
+      ::new (static_cast<void*>(buf_)) (D*)(::new (mem) D(std::forward<F>(f)));
       ops_ = pooled_ops<D>();
     }
   }
@@ -108,17 +115,25 @@ class SmallFn<R(Args...)> {
     bool pooled;
   };
 
+  /// The D (inline) or D* (pooled) living in the buffer was created there
+  /// by placement-new; `self` is a pointer to the *storage*, so every read
+  /// must go through std::launder to reach the object within it.
+  template <typename D>
+  static D* stored(void* self) noexcept {
+    return std::launder(reinterpret_cast<D*>(self));
+  }
+
   template <typename D>
   static const Ops* inline_ops() noexcept {
     static constexpr Ops ops = {
         [](void* self, Args&&... args) -> R {
-          return (*static_cast<D*>(self))(std::forward<Args>(args)...);
+          return (*stored<D>(self))(std::forward<Args>(args)...);
         },
         [](void* dst, void* src) noexcept {
-          ::new (dst) D(std::move(*static_cast<D*>(src)));
-          static_cast<D*>(src)->~D();
+          ::new (dst) D(std::move(*stored<D>(src)));
+          stored<D>(src)->~D();
         },
-        [](void* self) noexcept { static_cast<D*>(self)->~D(); },
+        [](void* self) noexcept { stored<D>(self)->~D(); },
         /*pooled=*/false};
     return &ops;
   }
@@ -127,13 +142,15 @@ class SmallFn<R(Args...)> {
   static const Ops* pooled_ops() noexcept {
     static constexpr Ops ops = {
         [](void* self, Args&&... args) -> R {
-          return (**static_cast<D**>(self))(std::forward<Args>(args)...);
+          return (**stored<D*>(self))(std::forward<Args>(args)...);
         },
         [](void* dst, void* src) noexcept {
-          *static_cast<D**>(dst) = *static_cast<D**>(src);
+          ::new (dst) (D*)(*stored<D*>(src));
+          // Trivially-destructible pointer: no pseudo-destructor call needed
+          // before the source buffer is reused.
         },
         [](void* self) noexcept {
-          D* p = *static_cast<D**>(self);
+          D* p = *stored<D*>(self);
           p->~D();
           BlockPool::instance().deallocate(p, sizeof(D));
         },

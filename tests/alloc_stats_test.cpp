@@ -183,6 +183,62 @@ TEST(SmallFn, DestroysCapturedStateExactlyOnce) {
   EXPECT_TRUE(watch.expired());
 }
 
+TEST(SmallFn, InlineBoundaryIsExactlyKInline) {
+  // 48 bytes of captures is the last inline size; one more byte spills to
+  // the pool. Pins the kInline contract the Entry layout depends on.
+  struct Fit {
+    unsigned char bytes[SmallFn<int()>::kInline];
+  };
+  struct Spill {
+    unsigned char bytes[SmallFn<int()>::kInline + 1];
+  };
+  static_assert(SmallFn<int()>::fits_inline<Fit>());
+  static_assert(!SmallFn<int()>::fits_inline<Spill>());
+  Fit fit{};
+  fit.bytes[0] = 9;
+  Spill spill{};
+  spill.bytes[SmallFn<int()>::kInline] = 11;
+  SmallFn<int()> in([fit] { return static_cast<int>(fit.bytes[0]); });
+  SmallFn<int()> out(
+      [spill] { return static_cast<int>(spill.bytes[SmallFn<int()>::kInline]); });
+  EXPECT_TRUE(in.is_inline());
+  EXPECT_FALSE(out.is_inline());
+  EXPECT_EQ(in(), 9);
+  EXPECT_EQ(out(), 11);
+}
+
+TEST(SmallFn, PooledTargetSurvivesRepeatedRelocation) {
+  // Aliasing regression test for the launder'd D* in the inline buffer: the
+  // spill pointer is a placement-new'd object, and every move relocates it
+  // into a fresh buffer. Bounce the callable through a chain of moves (as
+  // the event heap does on every sift) and check the target still invokes
+  // and destroys exactly once.
+  struct Big {
+    std::uint64_t words[12];  // 96B: always pooled
+    std::shared_ptr<int> token;
+  };
+  auto token = std::make_shared<int>(21);
+  std::weak_ptr<int> watch = token;
+  Big big{};
+  big.words[3] = 21;
+  big.token = token;
+  token.reset();
+  {
+    SmallFn<std::uint64_t()> fn(
+        [big] { return big.words[3] + static_cast<std::uint64_t>(*big.token); });
+    big.token.reset();  // the capture owns the only remaining reference
+    EXPECT_FALSE(fn.is_inline());
+    for (int hop = 0; hop < 8; ++hop) {
+      SmallFn<std::uint64_t()> next(std::move(fn));
+      EXPECT_EQ(next(), 42u);
+      fn = std::move(next);
+    }
+    EXPECT_EQ(fn(), 42u);
+    EXPECT_FALSE(watch.expired());
+  }
+  EXPECT_TRUE(watch.expired()) << "pooled capture leaked or double-lived";
+}
+
 TEST(SmallFn, MoveDoesNotAllocate) {
   std::uint64_t v = 3;
   SmallFn<std::uint64_t()> a([v] { return v; });

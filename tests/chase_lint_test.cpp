@@ -48,6 +48,11 @@ Config tree_config() {
   cfg.allow_copy_types = {"CheapHandle"};
   cfg.allow_files = {{"policy_exempt_hot.cpp", "hot-alloc",
                       "fixture: whole-file exemption for cold reporting code", 1}};
+  // Determinism-family policy, fixture-specific names (the tree uses
+  // detached_ and iou; see /.chase-lint).
+  cfg.allow_unordered = {{"allowed_registry_",
+                          "fixture: torn down wholesale, order unobservable", 1}};
+  cfg.float_keys = {"xfile_score"};
   return cfg;
 }
 
@@ -122,6 +127,26 @@ TEST(LintFixtures, AllowFilePolicyExemptsOneCheck) {
 TEST(LintFixtures, HotPathDirectoryMarksEveryFunction) {
   check_fixture("hot_dir_file.cpp");
 }
+TEST(LintFixtures, BadDetUnorderedIterFires) {
+  check_fixture("bad_det_unordered_iter.cpp");
+}
+TEST(LintFixtures, GoodDetUnorderedIterSilent) {
+  check_fixture("good_det_unordered_iter.cpp");
+}
+TEST(LintFixtures, BadDetPointerOrderFires) {
+  check_fixture("bad_det_pointer_order.cpp");
+}
+TEST(LintFixtures, GoodDetPointerOrderSilent) {
+  check_fixture("good_det_pointer_order.cpp");
+}
+TEST(LintFixtures, BadDetFloatTiebreakFires) {
+  check_fixture("bad_det_float_tiebreak.cpp");
+}
+TEST(LintFixtures, GoodDetFloatTiebreakSilent) {
+  check_fixture("good_det_float_tiebreak.cpp");
+}
+TEST(LintFixtures, BadDetEntropyFires) { check_fixture("bad_det_entropy.cpp"); }
+TEST(LintFixtures, GoodDetEntropySilent) { check_fixture("good_det_entropy.cpp"); }
 
 TEST(LintFixtures, EveryFixtureIsCovered) {
   // A fixture dropped into the directory but not wired up above would be
@@ -134,6 +159,10 @@ TEST(LintFixtures, EveryFixtureIsCovered) {
       "bad_hot_alloc.cpp",           "good_hot_alloc.cpp",
       "bad_hot_arg_copy.cpp",        "good_hot_arg_copy.cpp",
       "bad_hot_relookup.cpp",        "good_hot_relookup.cpp",
+      "bad_det_unordered_iter.cpp",  "good_det_unordered_iter.cpp",
+      "bad_det_pointer_order.cpp",   "good_det_pointer_order.cpp",
+      "bad_det_float_tiebreak.cpp",  "good_det_float_tiebreak.cpp",
+      "bad_det_entropy.cpp",         "good_det_entropy.cpp",
       "policy_exempt_hot.cpp",       "hot_dir_file.cpp",
       "suppressions.cpp"};
   std::sort(known.begin(), known.end());
@@ -162,6 +191,62 @@ TEST(LintLexer, RawStringsAndCommentsDoNotConfuseTheStream) {
   }
   EXPECT_EQ(amp_amp, 1);
   EXPECT_EQ(amp, 0);
+}
+
+TEST(LintLexer, PrefixedRawStringsLexAsOneLiteral) {
+  // LR/uR/UR/u8R raw strings must consume through their delimiter; if the
+  // prefix is lexed as an identifier the `"(` opens an unterminated string
+  // and the rest of the file turns to soup.
+  const auto lexed = chase::lint::lex(
+      "auto a = LR\"(wide \" raw)\";\n"
+      "auto b = u8R\"x(utf8 )\" not the end)x\";\n"
+      "auto c = uR\"(u16)\" UR\"(u32)\";\n"
+      "int after = 1;\n");
+  int strs = 0, after = 0;
+  for (const auto& t : lexed.tokens) {
+    strs += t.kind == chase::lint::TokKind::Str;
+    if (t.text == "after") {
+      after = t.line;
+    }
+  }
+  EXPECT_EQ(strs, 4);
+  EXPECT_EQ(after, 4);  // line counting survived the multi-literal lines
+}
+
+TEST(LintLexer, DigitSeparatorsStayOneNumberToken) {
+  // 1'000'000 must be one Num token, not Num/Char/Num — a split number
+  // turns the `'` into an unterminated char literal and desyncs the stream.
+  const auto lexed = chase::lint::lex(
+      "const int big = 1'000'000;\n"
+      "const double d = 1'234.56'78e1'0;\n"
+      "const int hex = 0xFF'FF;\n"
+      "int after = 2;\n");
+  int nums = 0, after = 0;
+  for (const auto& t : lexed.tokens) {
+    nums += t.kind == chase::lint::TokKind::Number;
+    if (t.text == "after") {
+      after = t.line;
+    }
+  }
+  EXPECT_EQ(nums, 4);  // the three separated literals, plus `2`
+  EXPECT_EQ(after, 4);
+}
+
+TEST(LintLexer, UserDefinedLiteralSuffixesDoNotLeakIdentifiers) {
+  // `10s` / `"x"sv` glue their suffix to the literal; a stray `s`/`sv`
+  // identifier token would look like a variable to every shape check.
+  const auto lexed = chase::lint::lex(
+      "auto t = 10s + 250ms;\n"
+      "auto v = \"key\"sv;\n"
+      "auto u = 0x10_units;\n");
+  for (const auto& t : lexed.tokens) {
+    if (t.kind == chase::lint::TokKind::Ident) {
+      EXPECT_NE(t.text, "s");
+      EXPECT_NE(t.text, "ms");
+      EXPECT_NE(t.text, "sv");
+      EXPECT_NE(t.text, "_units");
+    }
+  }
 }
 
 TEST(LintBaseline, FingerprintIgnoresLineNumbersAndDigits) {
@@ -207,14 +292,25 @@ TEST(LintConfig, ParsesDirectivesAndRejectsGarbage) {
 
 TEST(LintChecks, CatalogIsStable) {
   const auto& names = chase::lint::check_names();
-  EXPECT_EQ(names.size(), 8u);
-  for (const char* expected : {"coro-ref-param", "coro-lambda-capture",
-                               "coro-stale-ref", "coro-frame-escape",
-                               "lint-suppression", "hot-alloc", "hot-arg-copy",
-                               "hot-relookup"}) {
+  EXPECT_EQ(names.size(), 12u);
+  for (const char* expected :
+       {"coro-ref-param", "coro-lambda-capture", "coro-stale-ref",
+        "coro-frame-escape", "lint-suppression", "hot-alloc", "hot-arg-copy",
+        "hot-relookup", "det-unordered-iter", "det-pointer-order",
+        "det-float-tiebreak", "det-entropy"}) {
     EXPECT_NE(std::find(names.begin(), names.end(), expected), names.end())
         << expected;
   }
+}
+
+TEST(LintChecks, EveryCheckHasADescription) {
+  for (const std::string& name : chase::lint::check_names()) {
+    const std::string desc = chase::lint::check_description(name);
+    EXPECT_FALSE(desc.empty()) << name;
+    EXPECT_NE(desc, "chase_lint check") << name;  // the unknown-name fallback
+  }
+  EXPECT_STREQ(chase::lint::check_description("no-such-check"),
+               "chase_lint check");
 }
 
 TEST(LintConfig, ParsesPerfDirectives) {
@@ -259,6 +355,34 @@ TEST(LintConfig, ParsesPerfDirectives) {
     out << "allow-file src/viz/* (no-such-check) why\n";
   }
   EXPECT_FALSE(chase::lint::load_config(p.string(), &cfg, &error));
+  fs::remove(p);
+}
+
+TEST(LintConfig, ParsesDeterminismDirectives) {
+  const fs::path p = fs::temp_directory_path() / "chase_lint_det.cfg";
+  {
+    std::ofstream out(p);
+    out << "allow-unordered detached_ destroyed wholesale; order unobservable\n"
+        << "float-key iou\n";
+  }
+  Config cfg;
+  std::string error;
+  ASSERT_TRUE(chase::lint::load_config(p.string(), &cfg, &error)) << error;
+  ASSERT_EQ(cfg.allow_unordered.size(), 1u);
+  EXPECT_EQ(cfg.allow_unordered[0].name, "detached_");
+  EXPECT_EQ(cfg.allow_unordered[0].why,
+            "destroyed wholesale; order unobservable");
+  EXPECT_EQ(cfg.allow_unordered[0].line, 1);
+  EXPECT_EQ(cfg.float_keys, std::vector<std::string>{"iou"});
+
+  // allow-unordered carries the same justification contract as allow-file:
+  // a bare name with no why is a config error, not a silent exemption.
+  {
+    std::ofstream out(p);
+    out << "allow-unordered detached_\n";
+  }
+  EXPECT_FALSE(chase::lint::load_config(p.string(), &cfg, &error));
+  EXPECT_NE(error.find("justification"), std::string::npos);
   fs::remove(p);
 }
 

@@ -1,0 +1,49 @@
+// chase_lint fixture corpus -- parsed by chase_lint_test, never compiled.
+// det-entropy positives: every wall-clock / hardware-entropy source the
+// check knows. Any of these feeding sim state makes seeded replay
+// unreproducible; the only sanctioned sources are util::Rng (seeded from
+// the CLI) and Simulation::now().
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+namespace fix {
+
+unsigned seed_from_hardware() {
+  std::random_device rd;  // LINT[det-entropy]
+  return rd();
+}
+
+void jitter_times(Scheduler* sched) {
+  auto wall = std::chrono::steady_clock::now();           // LINT[det-entropy]
+  auto stamp = std::chrono::system_clock::now();          // LINT[det-entropy]
+  auto fine = std::chrono::high_resolution_clock::now();  // LINT[det-entropy]
+  sched->offset(wall, stamp, fine);
+}
+
+int legacy_seed() {
+  std::srand(42);              // LINT[det-entropy]
+  int jitter = rand() % 7;     // LINT[det-entropy]
+  long stamp = time(nullptr);  // LINT[det-entropy]
+  long ticks = std::time(0);   // LINT[det-entropy]
+  return jitter + static_cast<int>(stamp + ticks);
+}
+
+void posix_clocks(struct timeval* tv, struct timespec* ts) {
+  gettimeofday(tv, nullptr);            // LINT[det-entropy]
+  clock_gettime(CLOCK_MONOTONIC, ts);   // LINT[det-entropy]
+}
+
+// Suppressed: this harness prints how long the run took; the duration is
+// display-only output and never feeds back into sim behavior.
+double measure_wall_seconds(Simulation* sim) {
+  // chase-lint: allow(det-entropy) wall time is display-only output, never a sim input
+  auto start = std::chrono::steady_clock::now();
+  sim->run();
+  // chase-lint: allow(det-entropy) wall time is display-only output, never a sim input
+  auto stop = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(stop - start).count();
+}
+
+}  // namespace fix

@@ -1,0 +1,59 @@
+// chase_lint fixture corpus -- parsed by chase_lint_test, never compiled.
+// det-float-tiebreak positives: sort/heap comparators whose only key is
+// floating-point. Equal keys leave the final order to std::sort's
+// implementation (and, for pointers/indices, to allocation history) -- the
+// bug class the (cap, fid) and (level, link id) total orders fixed.
+#include <algorithm>
+#include <vector>
+
+namespace fix {
+
+struct Cand {
+  double score;
+  int id;
+};
+
+// Direct lambda comparator on a float member.
+void rank(std::vector<Cand>& cands) {
+  std::sort(cands.begin(), cands.end(),
+            [](const Cand& a, const Cand& b) { return a.score > b.score; });  // LINT[det-float-tiebreak]
+}
+
+// Heap comparators have the same requirement as sort comparators.
+void heapify(std::vector<Cand>& cands) {
+  std::make_heap(cands.begin(), cands.end(),
+                 [](const Cand& a, const Cand& b) { return a.score < b.score; });  // LINT[det-float-tiebreak]
+}
+
+// A float-returning getter is a float key too.
+struct Probe {
+  double weight() const;
+};
+void rank_probes(std::vector<Probe>& probes) {
+  std::sort(probes.begin(), probes.end(),
+            [](const Probe& a, const Probe& b) { return a.weight() < b.weight(); });  // LINT[det-float-tiebreak]
+}
+
+// Named comparator bound to a variable, then passed to the sort by name.
+void rank_named(std::vector<Cand>& cands) {
+  auto by_score = [](const Cand& a, const Cand& b) { return a.score < b.score; };  // LINT[det-float-tiebreak]
+  std::sort(cands.begin(), cands.end(), by_score);
+}
+
+// xfile_score is declared double in another header; the fixture policy
+// classifies it with `float-key xfile_score` (mirroring the tree's
+// `float-key iou` for HyperparamResult).
+void rank_remote(std::vector<Remote>& remotes) {
+  std::sort(remotes.begin(), remotes.end(),
+            [](const Remote& a, const Remote& b) { return a.xfile_score < b.xfile_score; });  // LINT[det-float-tiebreak]
+}
+
+// Suppressed: scores in this corpus are distinct by construction (each is
+// a unique power of two), so no two elements can ever tie.
+void rank_unique(std::vector<Cand>& cands) {
+  std::sort(cands.begin(), cands.end(),
+            // chase-lint: allow(det-float-tiebreak) scores are distinct powers of two by construction; ties impossible
+            [](const Cand& a, const Cand& b) { return a.score < b.score; });
+}
+
+}  // namespace fix

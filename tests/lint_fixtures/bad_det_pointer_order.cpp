@@ -1,0 +1,35 @@
+// chase_lint fixture corpus -- parsed by chase_lint_test, never compiled.
+// det-pointer-order positives: every spelling of "ordered by address" the
+// check knows. Address order varies under ASLR and allocation history, so
+// any of these makes iteration or sort order differ between runs.
+#include <functional>
+#include <map>
+#include <set>
+#include <vector>
+
+namespace fix {
+
+// Ordered containers keyed by raw pointers iterate in address order.
+std::map<Node*, int> rank_by_node;   // LINT[det-pointer-order]
+std::set<const Flow*> active_flows;  // LINT[det-pointer-order]
+
+// std::less over a pointer type is the same hazard spelled explicitly.
+using FrameCmp = std::less<Frame*>;  // LINT[det-pointer-order]
+
+// Comparator lambda ordering its two pointer parameters by address.
+void order_frames(std::vector<Frame*>& frames) {
+  std::sort(frames.begin(), frames.end(),
+            [](const Frame* a, const Frame* b) { return a < b; });  // LINT[det-pointer-order]
+}
+
+// Comparator-less sort of a vector of raw pointers.
+void order_pods(std::vector<Pod*>& pods) {
+  std::sort(pods.begin(), pods.end());  // LINT[det-pointer-order]
+}
+
+// Suppressed: this map is only ever used for point lookups (insert / find /
+// erase); nothing iterates it, so its internal order is unobservable.
+// chase-lint: allow(det-pointer-order) point lookups only, never iterated; order is unobservable
+std::map<Frame*, int> debug_refcounts;
+
+}  // namespace fix

@@ -1,0 +1,59 @@
+// chase_lint fixture corpus -- parsed by chase_lint_test, never compiled.
+// det-unordered-iter positives: loops over unordered containers whose
+// bodies have observable effects, so bucket order (implementation-defined
+// and seed-independent) leaks into traces, hashes, or scheduled events.
+#include <unordered_map>
+#include <unordered_set>
+
+namespace fix {
+
+// Accumulation: float += in bucket order changes the rounded total.
+double sum_rates(const std::unordered_map<int, double>& rates) {
+  double total = 0.0;
+  for (const auto& [fid, r] : rates) {  // LINT[det-unordered-iter]
+    total += r;
+  }
+  return total;
+}
+
+// Event scheduling from a bucket-ordered walk: (time, seq) pairs diverge.
+void kick_all(Simulation* sim, std::unordered_set<Waiter*>& parked) {
+  for (Waiter* w : parked) {  // LINT[det-unordered-iter]
+    sim->schedule(0.0, w);
+  }
+}
+
+// Output: the report is written in bucket order.
+void dump(std::ostream& os, const std::unordered_map<int, int>& counts) {
+  for (const auto& [key, v] : counts) {  // LINT[det-unordered-iter]
+    os << key << v;
+  }
+}
+
+// Iterator-loop spelling of the same hazard.
+void drain(std::unordered_map<int, Item>& items, Sink* sink) {
+  for (auto it = items.begin(); it != items.end(); ++it) {  // LINT[det-unordered-iter]
+    sink->record(it->second);
+  }
+}
+
+// Aliased unordered types are still unordered.
+using FlowIndex = std::unordered_map<int, Flow*>;
+void settle(FlowIndex& flows, Ledger* ledger) {
+  for (auto& [fid, f] : flows) {  // LINT[det-unordered-iter]
+    ledger->append(fid);
+  }
+}
+
+// Suppressed: integer += is commutative and overflow-free here, and only
+// the final total is ever observed, so bucket order cannot surface.
+long tally(const std::unordered_map<int, long>& hits) {
+  long n = 0;
+  // chase-lint: allow(det-unordered-iter) integer += commutes; only the final total is observed
+  for (const auto& [key, v] : hits) {
+    n += v;
+  }
+  return n;
+}
+
+}  // namespace fix

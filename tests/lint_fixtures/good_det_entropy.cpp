@@ -1,0 +1,35 @@
+// chase_lint fixture corpus -- parsed by chase_lint_test, never compiled.
+// det-entropy negatives: the sanctioned randomness/time sources, and names
+// that merely *look* like the banned ones (members, methods, fields).
+#include <cstdint>
+
+#include "util/rng.hpp"
+
+namespace fix {
+
+// The sanctioned source: a util::Rng seeded from the CLI.
+double sample_delay(util::Rng& rng) {
+  return rng.exponential(1.5);
+}
+
+// Sim time comes from the simulation clock, never the wall.
+double next_deadline(const Simulation& sim, double interval) {
+  return sim.now() + interval;
+}
+
+// Methods and members named like the banned calls belong to their objects.
+std::uint64_t shuffle(Deck* deck, Telemetry* t) {
+  deck->rand();                 // member: not ::rand()
+  const double at = t->time();  // member: not ::time()
+  t->clock().tick();            // member: not std::clock()
+  return deck->draws() + static_cast<std::uint64_t>(at);
+}
+
+// A field named `time` and a free call with a non-null argument are both
+// ordinary identifiers, not the C library wall clock.
+double event_time(const Event& ev, int step) {
+  double time = ev.time;
+  return time + scale(time(step));
+}
+
+}  // namespace fix

@@ -1,0 +1,50 @@
+// chase_lint fixture corpus -- parsed by chase_lint_test, never compiled.
+// det-float-tiebreak negatives: the (key, id) tiebreak idiom, integral
+// keys, std::tie total orders, and value-sorts of raw floats stay silent.
+#include <algorithm>
+#include <tuple>
+#include <vector>
+
+namespace fix {
+
+struct Cand {
+  double score;
+  int id;
+};
+
+// The blessed idiom: compare the float key, then break ties on a stable id.
+void rank(std::vector<Cand>& cands) {
+  std::sort(cands.begin(), cands.end(), [](const Cand& a, const Cand& b) {
+    if (a.score != b.score) return a.score > b.score;
+    return a.id < b.id;
+  });
+}
+
+// Integral keys are already a total order.
+void rank_by_id(std::vector<Cand>& cands) {
+  std::sort(cands.begin(), cands.end(),
+            [](const Cand& a, const Cand& b) { return a.id < b.id; });
+}
+
+// std::tie spells the tiebreak in one expression.
+void rank_tied(std::vector<Cand>& cands) {
+  std::sort(cands.begin(), cands.end(), [](const Cand& a, const Cand& b) {
+    return std::tie(a.score, a.id) < std::tie(b.score, b.id);
+  });
+}
+
+// Sorting raw floats by value: equal keys are identical values, so their
+// relative order is unobservable.
+void sort_values(std::vector<double>& xs) {
+  std::sort(xs.begin(), xs.end());
+  std::sort(xs.begin(), xs.end(), [](double a, double b) { return a > b; });
+}
+
+// A float-comparing lambda that is never handed to a sort or heap call is
+// not a comparator; equality-style uses stay out of scope.
+void partition_stats(const std::vector<Cand>& cands, Stats* stats) {
+  auto hotter = [](const Cand& a, const Cand& b) { return a.score > b.score; };
+  stats->note_pairwise(hotter);
+}
+
+}  // namespace fix

@@ -1,0 +1,42 @@
+// chase_lint fixture corpus -- parsed by chase_lint_test, never compiled.
+// det-pointer-order negatives: pointers as mapped *values*, transparent
+// std::less<>, id-keyed comparators with tiebreaks, and comparator-less
+// sorts of value types all stay silent.
+#include <functional>
+#include <map>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+namespace fix {
+
+// Pointer as the mapped value: lookup by stable id, order comes from the key.
+std::map<int, Node*> node_by_id;
+
+// Hash containers do not promise any order; pointer keys are a
+// det-unordered-iter concern (when iterated), not an ordering one.
+std::unordered_map<Node*, int> scratch_index;
+
+// Transparent comparator carries no pointer type.
+std::set<int, std::less<>> by_value;
+
+// Comparing through stable id fields with a tiebreak is the blessed idiom.
+void order_frames(std::vector<Frame*>& frames) {
+  std::sort(frames.begin(), frames.end(), [](const Frame* a, const Frame* b) {
+    if (a->level != b->level) return a->level < b->level;
+    return a->id < b->id;
+  });
+}
+
+// Comparator-less sort of values orders by the values themselves.
+void order_ids(std::vector<int>& ids) {
+  std::sort(ids.begin(), ids.end());
+}
+
+// A sort of pointers *with* an id comparator is pattern-D exempt.
+void order_pods(std::vector<Pod*>& pods) {
+  std::sort(pods.begin(), pods.end(),
+            [](const Pod* a, const Pod* b) { return a->uid < b->uid; });
+}
+
+}  // namespace fix

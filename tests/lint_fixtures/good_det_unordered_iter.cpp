@@ -1,0 +1,78 @@
+// chase_lint fixture corpus -- parsed by chase_lint_test, never compiled.
+// det-unordered-iter negatives: membership-only scans, ordered maps, the
+// sorted-snapshot idiom, and policy-exempted containers stay silent.
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace fix {
+
+// Membership-only scan: reads and compares, then returns a constant.
+bool has_flow(const std::unordered_set<int>& hot, int fid) {
+  for (int h : hot) {
+    if (h == fid) return true;
+  }
+  return false;
+}
+
+// The membership-flag idiom: assigning a lone constant is order-independent
+// (the result only records that some element matched).
+bool any_ready(const std::unordered_map<int, int>& state) {
+  bool ready = false;
+  for (const auto& [key, v] : state) {
+    if (v > 0) {
+      ready = true;
+      break;
+    }
+  }
+  return ready;
+}
+
+// std::map iterates in key order: effects are fine.
+void settle_all(std::map<int, Flow*>& flows, Ledger* ledger) {
+  for (auto& [fid, f] : flows) {
+    ledger->append(fid);
+  }
+}
+
+// The sorted-snapshot idiom: collect keys, impose a total order, then act.
+void drain_sorted(const std::unordered_map<int, int>& pending, Sink* sink) {
+  std::vector<int> keys;
+  for (const auto& [key, v] : pending) {
+    keys.push_back(key);
+  }
+  std::sort(keys.begin(), keys.end());
+  for (int key : keys) {
+    sink->record(pending.at(key));
+  }
+}
+
+// Range expression with a call is somebody's snapshot, not a live
+// unordered container; out of scope by design.
+void walk_snapshot(Registry* reg, Sink* sink) {
+  for (const auto& item : reg->sorted_items()) {
+    sink->record(item);
+  }
+}
+
+// Per-iteration scratch state dies with the iteration: writes to it are
+// unobservable outside the loop body.
+void local_scratch(const std::unordered_map<int, int>& m, Sink* sink) {
+  for (const auto& [key, v] : m) {
+    std::vector<int> tmp;
+    tmp.push_back(v);
+    if (tmp.front() == 0) sink->flag_zero();
+  }
+}
+
+// Policy-exempted container (fixture policy: allow-unordered
+// allowed_registry_, mirroring the tree's Simulation::detached_ teardown).
+void teardown(Host* h) {
+  for (void* frame : allowed_registry_) {
+    h->destroy(frame);
+  }
+}
+
+}  // namespace fix

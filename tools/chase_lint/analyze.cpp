@@ -1,5 +1,6 @@
 /// \file analyze.cpp
-/// chase_lint's function extractor and the four coroutine-lifetime checks.
+/// chase_lint's function extractor and the check families: coroutine
+/// lifetime, hot-path perf, and determinism.
 ///
 /// This is a *shape* analyzer, not a compiler: it finds function and lambda
 /// bodies by bracket matching over the token stream, decides coroutine-ness
@@ -9,6 +10,14 @@
 /// frame-escape) deliberately trade recall for a near-zero false-positive
 /// rate: every pattern here is one that has already produced a real bug in
 /// this repo or is one mutation away from it.
+///
+/// The determinism family (det-*) scans the whole token stream rather than
+/// per-function: pointer-keyed member containers and entropy sources live at
+/// class/namespace scope. Type information is approximated per file (a name
+/// is "float" if the file declares it with float/double, or the policy
+/// classifies it with `float-key`); that is enough because the conventions
+/// being enforced — ordered containers, (key,id) total orders, util::Rng as
+/// the only entropy source — are local idioms, not whole-program properties.
 
 #include <algorithm>
 #include <array>
@@ -34,6 +43,8 @@ const std::unordered_set<std::string> kNonFunctionNames = {
 
 const std::unordered_set<std::string> kTypeishExcluded = {
     "const", "volatile", "struct", "class", "typename", "auto"};
+
+const std::string kEmpty;
 
 bool is_suspension(const Token& t) {
   return t.kind == TokKind::Ident &&
@@ -69,6 +80,7 @@ struct Analyzer {
   std::vector<Finding> findings;
   std::unordered_set<std::string> reserved_names;  // receivers with X.reserve(
   std::vector<char>* allow_file_used = nullptr;    // parallel to cfg.allow_files
+  std::vector<char>* allow_unordered_used = nullptr;  // parallel to cfg.allow_unordered
 
   explicit Analyzer(const std::string& p, const LexResult& lexed, const Config& c)
       : path(p), cfg(c), toks(lexed.tokens), comments(lexed.comments) {}
@@ -955,6 +967,652 @@ struct Analyzer {
     }
   }
 
+  // --- determinism family (det-*) --------------------------------------------
+  // These scan the whole token stream: pointer-keyed members and entropy
+  // sources live at class scope, outside any function body.
+
+  /// Innermost function whose body contains token `i`, or nullptr at file
+  /// scope.
+  const Fn* enclosing_fn(std::size_t i) const {
+    std::size_t best_size = std::string::npos;
+    const Fn* best = nullptr;
+    for (const Fn& fn : fns) {
+      if (fn.body_begin <= i && i < fn.body_end) {
+        const std::size_t size = fn.body_end - fn.body_begin;
+        if (size < best_size) {
+          best_size = size;
+          best = &fn;
+        }
+      }
+    }
+    return best;
+  }
+
+  std::string enclosing_fn_name(std::size_t i) const {
+    const Fn* fn = enclosing_fn(i);
+    return fn != nullptr ? fn->name : std::string();
+  }
+
+  void emit_at(const char* check, std::size_t tok_idx, std::string message) {
+    findings.push_back(Finding{check, path, toks[tok_idx].line,
+                               enclosing_fn_name(tok_idx), std::move(message)});
+  }
+
+  /// From the '<' at `open`, index of the matching '>' (or the '>>' that
+  /// closes it), handling nested angles and stepping over (){}[] groups.
+  /// npos when this '<' turns out to be a comparison (hits ';' first).
+  std::size_t close_angle(std::size_t open) const {
+    int angle = 0;
+    std::size_t j = open;
+    while (j < toks.size()) {
+      const std::string& s = toks[j].text;
+      if (s == "(" || s == "[" || s == "{") {
+        j = skip_group(j);
+        continue;
+      }
+      if (s == ";") return std::string::npos;
+      if (s == "<") {
+        ++angle;
+      } else if (s == ">") {
+        if (--angle == 0) return j;
+      } else if (s == ">>") {
+        angle -= 2;
+        if (angle <= 0) return j;
+      }
+      ++j;
+    }
+    return std::string::npos;
+  }
+
+  /// Walk back from `end` (exclusive) to the base identifier of a postfix
+  /// chain: `a.b[i]` -> a for lhs-of-assignment bases (outward walk), or the
+  /// *terminal* member for sort keys (`a.score()` -> score) when
+  /// `want_terminal`. Empty string when the shape is not a simple chain.
+  std::string chain_ident(std::size_t begin, std::size_t end, bool want_terminal) const {
+    std::size_t j = end;
+    std::string found;
+    while (j > begin) {
+      --j;
+      const std::string& s = toks[j].text;
+      if (s == ")" || s == "]") {
+        if (match[j] < 0 || static_cast<std::size_t>(match[j]) < begin) return {};
+        j = static_cast<std::size_t>(match[j]);
+        continue;
+      }
+      if (toks[j].kind == TokKind::Ident) {
+        found = s;
+        if (want_terminal) return found;
+        // Keep walking outward over `.` / `->` / `::` to the chain base.
+        if (j >= 2 && (toks[j - 1].text == "." || toks[j - 1].text == "->" ||
+                       toks[j - 1].text == "::")) {
+          --j;  // land on the separator; loop steps to the previous component
+          continue;
+        }
+        return found;
+      }
+      return found;
+    }
+    return found;
+  }
+
+  // --- check: det-entropy ----------------------------------------------------
+
+  void check_det_entropy() {
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+      if (toks[i].kind != TokKind::Ident) continue;
+      const std::string& s = toks[i].text;
+      const std::string& prev = i > 0 ? toks[i - 1].text : kEmpty;
+      const bool next_call = is(i + 1, "(");
+      const bool member = prev == "." || prev == "->";
+      const bool std_qualified =
+          prev == "::" && i >= 2 && toks[i - 2].text == "std";
+      if (s == "random_device" && !member) {
+        emit_at("det-entropy", i,
+                "std::random_device draws hardware entropy; replay cannot "
+                "reproduce it -- seed a util::Rng and thread it through");
+        continue;
+      }
+      if ((s == "system_clock" || s == "steady_clock" ||
+           s == "high_resolution_clock") &&
+          !member) {
+        emit_at("det-entropy", i,
+                "std::chrono::" + s + " reads the wall clock; sim logic must "
+                "use Simulation::now() so replay is time-independent "
+                "(measurement-only uses need an allow with the reason)");
+        continue;
+      }
+      if ((s == "rand" || s == "srand") && next_call && !member &&
+          (prev != "::" || std_qualified)) {
+        emit_at("det-entropy", i,
+                s + "() uses hidden global PRNG state shared across the "
+                "process; use a seeded util::Rng owned by the caller");
+        continue;
+      }
+      if (s == "time" && next_call && !member) {
+        // `time(...)` is a common method/field name; only the C library
+        // call shapes count: std::time(...) or time(nullptr)/time(0).
+        const std::size_t open = i + 1;
+        const std::size_t close =
+            match[open] > 0 ? static_cast<std::size_t>(match[open]) : open;
+        const bool null_arg =
+            close == open + 2 &&
+            (toks[open + 1].text == "nullptr" || toks[open + 1].text == "NULL" ||
+             toks[open + 1].text == "0");
+        if (std_qualified || (prev != "::" && null_arg)) {
+          emit_at("det-entropy", i,
+                  "time() reads the wall clock; sim logic must derive time "
+                  "from Simulation::now() and seeds from the CLI");
+        }
+        continue;
+      }
+      if (s == "clock" && next_call && std_qualified) {
+        emit_at("det-entropy", i,
+                "std::clock() reads processor time; replay cannot reproduce "
+                "it -- use Simulation::now()");
+        continue;
+      }
+      if ((s == "gettimeofday" || s == "clock_gettime") && next_call && !member) {
+        emit_at("det-entropy", i,
+                s + "() reads the wall clock; use Simulation::now()");
+        continue;
+      }
+    }
+  }
+
+  // --- check: det-pointer-order ----------------------------------------------
+
+  /// Names of variables declared as vector<T*> in this file, for the
+  /// comparator-less-sort pattern.
+  std::unordered_set<std::string> ptr_vector_names() const {
+    std::unordered_set<std::string> out;
+    for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+      if (toks[i].text != "vector" || toks[i].kind != TokKind::Ident) continue;
+      if (!is(i + 1, "<")) continue;
+      const std::size_t close = close_angle(i + 1);
+      if (close == std::string::npos) continue;
+      // Element type ends in '*' (the token right before the closing angle).
+      if (close == 0 || toks[close - 1].text != "*") continue;
+      std::size_t j = close + 1;
+      while (j < toks.size() && (toks[j].text == "&" || toks[j].text == "*" ||
+                                 toks[j].text == "const")) {
+        ++j;
+      }
+      if (j < toks.size() && toks[j].kind == TokKind::Ident) out.insert(toks[j].text);
+    }
+    return out;
+  }
+
+  void check_det_pointer_order() {
+    static const std::unordered_set<std::string> kOrderedByKey = {
+        "map", "multimap", "set", "multiset"};
+    const std::unordered_set<std::string> ptr_vecs = ptr_vector_names();
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+      if (toks[i].kind != TokKind::Ident) continue;
+      const std::string& s = toks[i].text;
+      const bool std_scoped = i > 0 && toks[i - 1].text == "::";
+      // Pattern A: std::map<T*, ...> / std::set<T*> -- the *key* slot.
+      if (kOrderedByKey.count(s) != 0u && std_scoped && is(i + 1, "<")) {
+        const std::size_t close = close_angle(i + 1);
+        if (close == std::string::npos) continue;
+        // End of the first template argument: the first top-level comma,
+        // or the closing angle itself.
+        int angle = 1;
+        std::size_t key_end = close;
+        for (std::size_t j = i + 2; j < close;) {
+          const std::string& q = toks[j].text;
+          if (q == "(" || q == "[" || q == "{") {
+            j = skip_group(j);
+            continue;
+          }
+          if (q == "<") ++angle;
+          if (q == ">") --angle;
+          if (q == ">>") angle -= 2;
+          if (q == "," && angle == 1) {
+            key_end = j;
+            break;
+          }
+          ++j;
+        }
+        if (key_end > 0 && toks[key_end - 1].text == "*") {
+          emit_at("det-pointer-order", i,
+                  "std::" + s + " keyed by a raw pointer iterates in address "
+                  "order, which varies under ASLR and allocation history -- "
+                  "key by a stable id (fid, uid, (level, id)) instead");
+        }
+        continue;
+      }
+      // Pattern B: std::less<T*> as an explicit comparator. std::less<>
+      // (transparent) carries no pointer type and stays silent.
+      if (s == "less" && std_scoped && is(i + 1, "<")) {
+        const std::size_t close = close_angle(i + 1);
+        if (close == std::string::npos) continue;
+        for (std::size_t j = i + 2; j < close; ++j) {
+          if (toks[j].text == "*") {
+            emit_at("det-pointer-order", i,
+                    "std::less over a raw pointer type orders by address -- "
+                    "compare stable ids instead");
+            break;
+          }
+        }
+        continue;
+      }
+      // Pattern D: comparator-less sort of a vector<T*>.
+      if ((s == "sort" || s == "stable_sort") && is(i + 1, "(") &&
+          match[i + 1] > 0) {
+        const std::size_t open = i + 1;
+        const std::size_t close = static_cast<std::size_t>(match[open]);
+        const auto args = split_params(open + 1, close);
+        if (args.size() != 2) continue;  // a comparator arg is present
+        const std::string base0 = chain_ident(args[0].first, args[0].second, false);
+        if (!base0.empty() && ptr_vecs.count(base0) != 0u) {
+          emit_at("det-pointer-order", i,
+                  "sort of '" + base0 + "' (a vector of raw pointers) with no "
+                  "comparator orders by address -- sort by a stable id");
+        }
+        continue;
+      }
+    }
+    // Pattern C: comparator lambda whose body is exactly `return a < b;`
+    // on two pointer parameters.
+    for (const Fn& fn : fns) {
+      if (!fn.is_lambda) continue;
+      const auto params = split_params(fn.params_begin, fn.params_end);
+      if (params.size() != 2) continue;
+      std::array<std::string, 2> names;
+      bool both_ptr = true;
+      for (std::size_t p = 0; p < 2; ++p) {
+        bool has_star = false;
+        for (std::size_t j = params[p].first; j < params[p].second; ++j) {
+          if (toks[j].text == "*") has_star = true;
+          if (toks[j].kind == TokKind::Ident) names[p] = toks[j].text;
+        }
+        if (!has_star || names[p].empty()) both_ptr = false;
+      }
+      if (!both_ptr) continue;
+      // Body shape: return <a> (<|>) <b> ;
+      if (fn.body_end - fn.body_begin != 5) continue;
+      const std::size_t b = fn.body_begin;
+      if (toks[b].text == "return" &&
+          (toks[b + 2].text == "<" || toks[b + 2].text == ">") &&
+          toks[b + 4].text == ";" &&
+          ((toks[b + 1].text == names[0] && toks[b + 3].text == names[1]) ||
+           (toks[b + 1].text == names[1] && toks[b + 3].text == names[0]))) {
+        emit_at("det-pointer-order", b + 2,
+                "comparator orders raw pointers '" + names[0] + "' and '" +
+                    names[1] + "' by address -- compare a stable id field "
+                    "with a tiebreak instead");
+      }
+    }
+  }
+
+  // --- check: det-float-tiebreak ---------------------------------------------
+
+  /// Names this file declares with float/double (locals, members, and
+  /// `double name()` getters), plus the policy's cross-file `float-key`s.
+  std::unordered_set<std::string> float_names() const {
+    static const std::unordered_set<std::string> kFollows = {
+        "=", ";", ",", ")", "{", ":", "("};
+    std::unordered_set<std::string> out(cfg.float_keys.begin(),
+                                        cfg.float_keys.end());
+    for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+      if (toks[i].text != "float" && toks[i].text != "double") continue;
+      std::size_t j = i + 1;
+      while (j < toks.size() && (toks[j].text == "const" || toks[j].text == "*" ||
+                                 toks[j].text == "&")) {
+        ++j;
+      }
+      if (j + 1 < toks.size() && toks[j].kind == TokKind::Ident &&
+          kFollows.count(toks[j + 1].text) != 0u) {
+        out.insert(toks[j].text);
+      }
+    }
+    return out;
+  }
+
+  void check_det_float_tiebreak() {
+    static const std::unordered_set<std::string> kSortCalls = {
+        "sort",      "stable_sort", "partial_sort", "nth_element",
+        "make_heap", "push_heap",   "pop_heap",     "sort_heap"};
+    const std::unordered_set<std::string> floats = float_names();
+
+    // Lambdas bound to a name (`auto by_x = [...]`), so named comparators
+    // passed to sort calls are analyzed too.
+    std::map<std::string, std::size_t> named_lambda;
+    for (std::size_t f = 0; f < fns.size(); ++f) {
+      const Fn& fn = fns[f];
+      if (!fn.is_lambda || fn.intro < 2) continue;
+      if (toks[fn.intro - 1].text == "=" &&
+          toks[fn.intro - 2].kind == TokKind::Ident) {
+        named_lambda[toks[fn.intro - 2].text] = f;
+      }
+    }
+
+    // Collect comparator-position lambdas: direct lambda args of sort
+    // calls, plus named lambdas passed by name.
+    std::unordered_set<std::size_t> comparators;
+    for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+      if (toks[i].kind != TokKind::Ident || kSortCalls.count(toks[i].text) == 0u)
+        continue;
+      if (!is(i + 1, "(") || match[i + 1] < 0) continue;
+      const std::size_t open = i + 1;
+      const std::size_t close = static_cast<std::size_t>(match[open]);
+      for (const auto& [ab, ae] : split_params(open + 1, close)) {
+        if (ae - ab == 1 && toks[ab].kind == TokKind::Ident) {
+          const auto it = named_lambda.find(toks[ab].text);
+          if (it != named_lambda.end()) comparators.insert(it->second);
+        }
+      }
+      for (std::size_t f = 0; f < fns.size(); ++f) {
+        if (!fns[f].is_lambda) continue;
+        // Direct argument: the lambda's introducer sits at this call's top
+        // level (skip_group jumps over nested groups without entering them).
+        std::size_t j = open + 1;
+        while (j < close) {
+          if (j == fns[f].intro) {
+            comparators.insert(f);
+            break;
+          }
+          j = (match[j] > static_cast<std::ptrdiff_t>(j)) ? skip_group(j) : j + 1;
+        }
+      }
+    }
+
+    for (std::size_t f : comparators) {
+      const Fn& fn = fns[f];
+      // Parameter names, to exempt value-sorts of raw floats (`return a < b`
+      // on double params: equal keys are identical values, order among them
+      // is unobservable).
+      std::unordered_set<std::string> param_names;
+      for (const auto& [pb, pe] : split_params(fn.params_begin, fn.params_end)) {
+        for (std::size_t j = pe; j > pb;) {
+          --j;
+          if (toks[j].kind == TokKind::Ident) {
+            param_names.insert(toks[j].text);
+            break;
+          }
+        }
+      }
+      // One return, one comparison, no tiebreak machinery.
+      std::size_t ret = std::string::npos;
+      int returns = 0;
+      for (std::size_t j = fn.body_begin; j < fn.body_end; ++j) {
+        if (toks[j].text == "return") {
+          ++returns;
+          ret = j;
+        }
+      }
+      if (returns != 1) continue;  // multiple returns = the tiebreak idiom
+      std::size_t semi = ret;
+      while (semi < fn.body_end && toks[semi].text != ";") ++semi;
+      std::size_t cmp = std::string::npos;
+      bool disqualified = false;
+      for (std::size_t j = ret + 1; j < semi; ++j) {
+        const std::string& q = toks[j].text;
+        if (q == "<" || q == ">") {
+          if (cmp != std::string::npos) disqualified = true;
+          cmp = j;
+        }
+        if (q == "==" || q == "!=" || q == "&&" || q == "||" || q == "," ||
+            q == "?" || q == "tie") {
+          disqualified = true;
+        }
+      }
+      if (disqualified || cmp == std::string::npos) continue;
+      const std::string key = chain_ident(ret + 1, cmp, /*want_terminal=*/true);
+      if (key.empty() || floats.count(key) == 0u) continue;
+      const bool bare_param_value =
+          cmp == ret + 2 && param_names.count(toks[ret + 1].text) != 0u;
+      if (bare_param_value) continue;
+      emit_at("det-float-tiebreak", cmp,
+              "comparator's only sort key '" + key + "' is floating-point; "
+              "equal keys leave the final order input/implementation "
+              "dependent -- add an integral id tiebreak (the (cap,fid) / "
+              "(level, link id) idiom)");
+    }
+  }
+
+  // --- check: det-unordered-iter ---------------------------------------------
+
+  std::unordered_set<std::string> unordered_container_names() const {
+    std::unordered_set<std::string> types = {"unordered_map", "unordered_set",
+                                             "unordered_multimap",
+                                             "unordered_multiset"};
+    // Aliases: `using Name = ...unordered_...;`.
+    for (std::size_t i = 0; i + 3 < toks.size(); ++i) {
+      if (toks[i].text != "using" || toks[i + 1].kind != TokKind::Ident ||
+          toks[i + 2].text != "=") {
+        continue;
+      }
+      for (std::size_t j = i + 3; j < toks.size() && toks[j].text != ";"; ++j) {
+        if (types.count(toks[j].text) != 0u) {
+          types.insert(toks[i + 1].text);
+          break;
+        }
+      }
+    }
+    std::unordered_set<std::string> out;
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+      if (toks[i].kind != TokKind::Ident || types.count(toks[i].text) == 0u)
+        continue;
+      std::size_t j = i + 1;
+      if (is(j, "<")) {
+        const std::size_t close = close_angle(j);
+        if (close == std::string::npos) continue;
+        j = close + 1;
+      }
+      while (j < toks.size() && (toks[j].text == "&" || toks[j].text == "*" ||
+                                 toks[j].text == "const")) {
+        ++j;
+      }
+      if (j < toks.size() && toks[j].kind == TokKind::Ident) out.insert(toks[j].text);
+    }
+    return out;
+  }
+
+  /// Scan a loop body [b, e) for an observable effect given the set of
+  /// loop-local names. Returns the token index of the first effect, or npos.
+  std::size_t find_loop_effect(std::size_t b, std::size_t e,
+                               std::unordered_set<std::string>& locals) const {
+    static const std::unordered_set<std::string> kEffectCalls = {
+        "push_back",  "emplace_back", "push_front", "emplace_front",
+        "push",       "pop",          "pop_back",   "pop_front",
+        "insert",     "erase",        "emplace",    "schedule",
+        "enqueue",    "send",         "record",     "destroy",
+        "resume",     "clear",        "reset",      "notify",
+        "post",       "write",        "append",     "add",
+        "remove",     "log"};
+    static const std::unordered_set<std::string> kAssignOps = {
+        "=", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "<<=", ">>="};
+    // First pass: collect locals declared inside the body (`Type name =`,
+    // `auto name =`), so writes to them do not count as effects.
+    for (std::size_t j = b; j + 1 < e; ++j) {
+      if (toks[j].kind != TokKind::Ident || j == b) continue;
+      const Token& prev = toks[j - 1];
+      const std::string& next = toks[j + 1].text;
+      const bool declish =
+          (prev.kind == TokKind::Ident && kNonFunctionNames.count(prev.text) == 0u) ||
+          prev.text == ">" || prev.text == "*" || prev.text == "&";
+      if (declish && (next == "=" || next == ";" || next == "{")) {
+        locals.insert(toks[j].text);
+      }
+    }
+    for (std::size_t j = b; j < e; ++j) {
+      const Token& t = toks[j];
+      if (is_coro_keyword(t)) return j;  // schedules/suspends: order observable
+      if (t.text == "<<") return j;      // stream output
+      if (t.kind == TokKind::Ident && kEffectCalls.count(t.text) != 0u &&
+          is(j + 1, "(")) {
+        // Effectful call -- unless the receiver is a loop-local (building
+        // per-iteration scratch state that dies with the iteration).
+        if (j >= 2 && (toks[j - 1].text == "." || toks[j - 1].text == "->")) {
+          const std::string recv = chain_ident(b, j - 1, /*want_terminal=*/false);
+          if (!recv.empty() && locals.count(recv) != 0u) continue;
+        }
+        return j;
+      }
+      if (t.kind == TokKind::Punct && kAssignOps.count(t.text) != 0u && j > b) {
+        // `found = true;` is the membership-flag idiom: assigning a lone
+        // constant is order-independent (the result only records that some
+        // element matched), so only non-constant RHS counts as an effect.
+        const bool const_rhs =
+            t.text == "=" && j + 2 < e && toks[j + 2].text == ";" &&
+            (toks[j + 1].kind == TokKind::Number ||
+             toks[j + 1].text == "true" || toks[j + 1].text == "false" ||
+             toks[j + 1].text == "nullptr");
+        if (const_rhs) continue;
+        const std::string base = chain_ident(b, j, /*want_terminal=*/false);
+        if (!base.empty() && locals.count(base) == 0u) return j;
+        continue;
+      }
+      if ((t.text == "++" || t.text == "--")) {
+        std::string base;
+        if (j + 1 < e && toks[j + 1].kind == TokKind::Ident) {
+          base = toks[j + 1].text;  // pre-increment
+        } else if (j > b) {
+          base = chain_ident(b, j, /*want_terminal=*/false);  // post-increment
+        }
+        if (!base.empty() && locals.count(base) == 0u) return j;
+      }
+    }
+    return std::string::npos;
+  }
+
+  void check_det_unordered_iter() {
+    const std::unordered_set<std::string> unordered = unordered_container_names();
+    if (unordered.empty() && cfg.allow_unordered.empty()) return;
+    for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+      if (toks[i].text != "for" || !is(i + 1, "(") || match[i + 1] < 0) continue;
+      const std::size_t open = i + 1;
+      const std::size_t close = static_cast<std::size_t>(match[open]);
+      // Find the range-for ':' (a ';' first means a classic for).
+      std::size_t colon = std::string::npos;
+      bool classic = false;
+      for (std::size_t j = open + 1; j < close;) {
+        const std::string& s = toks[j].text;
+        if (s == ";") {
+          classic = true;
+          break;
+        }
+        if (s == ":") {
+          colon = j;
+          break;
+        }
+        j = skip_group(j);
+      }
+      std::string base;
+      std::unordered_set<std::string> locals;
+      if (colon != std::string::npos) {
+        // Range expression must be a plain identifier chain (a call result
+        // is somebody else's snapshot, not a live unordered container).
+        bool simple = true;
+        for (std::size_t j = colon + 1; j < close; ++j) {
+          const Token& t = toks[j];
+          if (t.kind == TokKind::Ident) {
+            base = t.text;
+            continue;
+          }
+          if (t.text == "." || t.text == "->" || t.text == "::") continue;
+          simple = false;
+          break;
+        }
+        if (!simple || base.empty()) continue;
+        // Loop variable / structured-binding names are loop-local.
+        for (std::size_t j = open + 1; j < colon; ++j) {
+          if (toks[j].kind == TokKind::Ident &&
+              kTypeishExcluded.count(toks[j].text) == 0u) {
+            locals.insert(toks[j].text);
+          }
+        }
+      } else if (classic) {
+        // Iterator loop: `for (auto it = X.begin(); ...)` over unordered X.
+        for (std::size_t j = open + 1; j + 3 < close; ++j) {
+          if (toks[j].kind == TokKind::Ident &&
+              (toks[j + 1].text == "." || toks[j + 1].text == "->") &&
+              (toks[j + 2].text == "begin" || toks[j + 2].text == "cbegin") &&
+              toks[j + 3].text == "(") {
+            base = toks[j].text;
+            break;
+          }
+          if (toks[j].text == ";") break;  // only the init statement
+        }
+        if (base.empty()) continue;
+        for (std::size_t j = open + 1; j < close; ++j) {
+          if (toks[j].kind == TokKind::Ident &&
+              kTypeishExcluded.count(toks[j].text) == 0u) {
+            locals.insert(toks[j].text);
+          }
+        }
+      } else {
+        continue;
+      }
+      // Policy escape: allow-unordered names containers whose iteration
+      // effects are provably order-independent. Matched by name *before*
+      // the per-file classification gate, because the exempted container is
+      // typically a member declared in a header this file never shows the
+      // analyzer (Simulation::detached_).
+      bool allowed = false;
+      for (std::size_t a = 0; a < cfg.allow_unordered.size(); ++a) {
+        if (cfg.allow_unordered[a].name == base) {
+          allowed = true;
+          if (allow_unordered_used != nullptr) (*allow_unordered_used)[a] = 1;
+          break;
+        }
+      }
+      if (allowed) continue;
+      // Per-file type approximation: only names this file declares (or
+      // aliases) as unordered are classified. Cross-file unordered members
+      // are out of reach by design -- the repo convention is std::map for
+      // anything iterated, and the replay oracle catches the rest.
+      if (unordered.count(base) == 0u) continue;
+      // Body: the brace group after ')', or a single statement.
+      std::size_t body_b = close + 1;
+      std::size_t body_e;
+      if (is(body_b, "{") && match[body_b] > 0) {
+        body_e = static_cast<std::size_t>(match[body_b]);
+        ++body_b;
+      } else {
+        body_e = find_stmt_end(body_b, toks.size());
+      }
+      const std::size_t effect = find_loop_effect(body_b, body_e, locals);
+      if (effect == std::string::npos) continue;
+      // The sorted-snapshot idiom: a loop that only collects elements into
+      // a container which is std::sort'ed later in the same function has
+      // imposed a total order before anything observable happens.
+      static const std::unordered_set<std::string> kCollects = {
+          "push_back", "emplace_back", "insert", "push", "emplace"};
+      bool snapshot = false;
+      if (toks[effect].kind == TokKind::Ident &&
+          kCollects.count(toks[effect].text) != 0u && effect >= 2 &&
+          (toks[effect - 1].text == "." || toks[effect - 1].text == "->")) {
+        const std::string recv =
+            chain_ident(body_b, effect - 1, /*want_terminal=*/false);
+        const Fn* fn = enclosing_fn(i);
+        if (!recv.empty() && fn != nullptr) {
+          for (std::size_t j = body_e; j + 1 < fn->body_end && !snapshot; ++j) {
+            if ((toks[j].text == "sort" || toks[j].text == "stable_sort") &&
+                is(j + 1, "(") && match[j + 1] > 0) {
+              const auto sort_close = static_cast<std::size_t>(match[j + 1]);
+              for (std::size_t m = j + 2; m < sort_close; ++m) {
+                if (toks[m].text == recv) {
+                  snapshot = true;
+                  break;
+                }
+              }
+            }
+          }
+        }
+      }
+      if (!snapshot) {
+        emit_at("det-unordered-iter", i,
+                "iteration over unordered container '" + base + "' has an "
+                "observable effect at line " + std::to_string(toks[effect].line) +
+                "; bucket order is implementation-defined, so replay and "
+                "cross-platform runs diverge -- use std::map, iterate a "
+                "sorted snapshot, or justify with allow-unordered");
+      }
+    }
+  }
+
   // --- allow-file policy -----------------------------------------------------
 
   void apply_allow_files() {
@@ -1081,6 +1739,10 @@ struct Analyzer {
       check_hot_copy_init(fn);
       check_hot_relookup(fn);
     }
+    check_det_entropy();
+    check_det_pointer_order();
+    check_det_float_tiebreak();
+    check_det_unordered_iter();
     apply_allow_files();
     apply_suppressions();
     std::sort(findings.begin(), findings.end(),
@@ -1098,8 +1760,37 @@ const std::vector<std::string>& check_names() {
   static const std::vector<std::string> kNames = {
       "coro-ref-param", "coro-lambda-capture", "coro-stale-ref",
       "coro-frame-escape", "lint-suppression", "hot-alloc", "hot-arg-copy",
-      "hot-relookup"};
+      "hot-relookup", "det-unordered-iter", "det-pointer-order",
+      "det-float-tiebreak", "det-entropy"};
   return kNames;
+}
+
+const char* check_description(const std::string& check) {
+  if (check == "coro-ref-param")
+    return "coroutine parameter passed by reference or as a view type";
+  if (check == "coro-lambda-capture")
+    return "coroutine lambda capturing by reference or 'this'";
+  if (check == "coro-stale-ref")
+    return "container reference/iterator bound before co_await, used after";
+  if (check == "coro-frame-escape")
+    return "address of a frame local escapes into a queue/callback sink";
+  if (check == "lint-suppression")
+    return "malformed, unjustified, or unused lint suppression";
+  if (check == "hot-alloc")
+    return "heap allocation on the hot path";
+  if (check == "hot-arg-copy")
+    return "expensive by-value parameter or deep copy in a hot function";
+  if (check == "hot-relookup")
+    return "same container looked up twice with the same key in one scope";
+  if (check == "det-unordered-iter")
+    return "iteration over an unordered container with observable effects";
+  if (check == "det-pointer-order")
+    return "ordered container, comparator, or sort keyed by raw pointer values";
+  if (check == "det-float-tiebreak")
+    return "sort/heap comparator whose only key is floating-point, no tiebreak";
+  if (check == "det-entropy")
+    return "wall-clock or hardware entropy outside util::Rng and the sim clock";
+  return "chase_lint check";
 }
 
 bool glob_match(std::string_view glob, std::string_view path) {
@@ -1210,10 +1901,25 @@ bool load_config(const std::string& path, Config* cfg, std::string* error) {
         return false;
       }
       cfg->allow_files.push_back(AllowFile{value, check, why, line_no});
+    } else if (key == "allow-unordered") {
+      std::string why;
+      std::getline(ss, why);
+      const std::size_t first = why.find_first_not_of(" \t");
+      why = first == std::string::npos ? std::string() : why.substr(first);
+      if (why.empty()) {
+        *error = path + ":" + std::to_string(line_no) +
+                 ": allow-unordered has no written justification; say *why* "
+                 "iteration order over this container is unobservable";
+        return false;
+      }
+      cfg->allow_unordered.push_back(AllowUnordered{value, why, line_no});
+    } else if (key == "float-key") {
+      cfg->float_keys.push_back(value);
     } else {
       *error = path + ":" + std::to_string(line_no) + ": unknown directive '" + key +
                "' (allow-ref-type | guard-type | sink | exclude | hot-path | "
-               "hot-function | expensive-type | allow-copy-type | allow-file)";
+               "hot-function | expensive-type | allow-copy-type | allow-file | "
+               "allow-unordered | float-key)";
       return false;
     }
   }
@@ -1222,9 +1928,11 @@ bool load_config(const std::string& path, Config* cfg, std::string* error) {
 
 std::vector<Finding> analyze_source(const std::string& path, std::string_view source,
                                     const Config& cfg,
-                                    std::vector<char>* allow_file_used) {
+                                    std::vector<char>* allow_file_used,
+                                    std::vector<char>* allow_unordered_used) {
   Analyzer analyzer(path, lex(source), cfg);
   analyzer.allow_file_used = allow_file_used;
+  analyzer.allow_unordered_used = allow_unordered_used;
   return analyzer.run();
 }
 

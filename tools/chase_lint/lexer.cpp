@@ -90,22 +90,36 @@ LexResult lex(std::string_view src) {
       i = (i + 1 < n) ? i + 2 : n;
       continue;
     }
-    // Raw string literal: R"delim( ... )delim".
-    if (c == 'R' && i + 1 < n && src[i + 1] == '"') {
-      std::size_t d = i + 2;
+    // Raw string literal: [prefix]R"delim( ... )delim". `at` sits on the
+    // opening '"'; returns the index just past the closing quote, counting
+    // the newlines the literal spans.
+    auto lex_raw_string = [&](std::size_t at) {
+      std::size_t d = at + 1;
       while (d < n && src[d] != '(') ++d;
-      const std::string delim = ")" + std::string(src.substr(i + 2, d - (i + 2))) + "\"";
+      std::string delim;
+      delim.reserve(d - at + 1);
+      delim += ')';
+      delim.append(src.substr(at + 1, d - (at + 1)));
+      delim += '"';
       std::size_t close = src.find(delim, d);
       if (close == std::string_view::npos) close = n;
-      for (std::size_t k = i; k < close && k < n; ++k) {
+      for (std::size_t k = at; k < close && k < n; ++k) {
         if (src[k] == '\n') ++line;
       }
       push(TokKind::Str, "R\"...\"");
-      i = (close == n) ? n : close + delim.size();
-      continue;
-    }
-    // String / char literal (with escapes). Prefix letters (u8, L, ...)
-    // lex as part of a preceding identifier, which is fine for us.
+      return (close == n) ? n : close + delim.size();
+    };
+    // A user-defined-literal suffix glued to a string/char literal ("10s"sv,
+    // 'c'_tag) belongs to the literal; consuming it here keeps it from
+    // surfacing as a stray identifier token.
+    auto skip_udl_suffix = [&](std::size_t at) {
+      while (at < n && ident_char(src[at])) ++at;
+      return at;
+    };
+    // String / char literal (with escapes). Encoding prefixes (u8, L, ...)
+    // lex as part of a preceding identifier, which is fine for us — except
+    // raw strings, where the "(...)" body must not be scanned for quotes;
+    // the identifier branch below routes u8R"(...)" etc. here too.
     if (c == '"' || c == '\'') {
       const char quote = c;
       std::size_t j = i + 1;
@@ -115,19 +129,31 @@ LexResult lex(std::string_view src) {
         ++j;
       }
       push(quote == '"' ? TokKind::Str : TokKind::Chr, std::string(1, quote));
-      i = (j < n) ? j + 1 : n;
+      i = (j < n) ? skip_udl_suffix(j + 1) : n;
       continue;
     }
     if (ident_start(c)) {
       std::size_t j = i;
       while (j < n && ident_char(src[j])) ++j;
-      push(TokKind::Ident, std::string(src.substr(i, j - i)));
+      const std::string_view text = src.substr(i, j - i);
+      // Raw-string encoding prefixes, exact match only (`fooR"x"` is the
+      // identifier fooR followed by an ordinary string, per max munch).
+      if (j < n && src[j] == '"' &&
+          (text == "R" || text == "LR" || text == "uR" || text == "UR" ||
+           text == "u8R")) {
+        i = skip_udl_suffix(lex_raw_string(j));
+        continue;
+      }
+      push(TokKind::Ident, std::string(text));
       i = j;
       continue;
     }
     if (std::isdigit(static_cast<unsigned char>(c)) != 0) {
       std::size_t j = i;
       while (j < n && (ident_char(src[j]) || src[j] == '.' ||
+                       // Digit separator: 1'000'000 is one number, not a
+                       // number followed by a character literal.
+                       (src[j] == '\'' && j + 1 < n && ident_char(src[j + 1])) ||
                        ((src[j] == '+' || src[j] == '-') && j > i &&
                         (src[j - 1] == 'e' || src[j - 1] == 'E' ||
                          src[j - 1] == 'p' || src[j - 1] == 'P')))) {

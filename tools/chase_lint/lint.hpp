@@ -38,6 +38,34 @@
 ///   hot-relookup       the same container indexed/found twice with the same
 ///                      single-token key in one scope with no rebind between
 ///
+/// Determinism family (PR 8) — bit-identical seeded replay is this repo's
+/// regression oracle (tools/determinism_check); these checks statically ban
+/// the constructs that break it. They run everywhere, not just in hot or
+/// coroutine code:
+///   det-unordered-iter  range-for / .begin() iteration over an
+///                       std::unordered_map/unordered_set whose loop body has
+///                       observable effects (mutation of outer state, calls
+///                       to effectful members, accumulation, output,
+///                       co_await); bucket order is implementation-defined.
+///                       Membership-only scans are silent; a container the
+///                       policy names with `allow-unordered` is exempt
+///   det-pointer-order   ordered containers keyed by raw pointers
+///                       (map<T*,...>, set<T*>), std::less<T*>, comparator
+///                       lambdas returning `a < b` on pointer parameters,
+///                       and comparator-less sorts of vector<T*>: address
+///                       order varies under ASLR and allocation history
+///   det-float-tiebreak  sort/heap comparators whose single sort key is
+///                       floating-point with no integral/id tiebreak — equal
+///                       keys leave the final order input/implementation
+///                       dependent (the bug class PRs 5/7 fixed by hand with
+///                       (cap,fid) / (level,link id) total orders). Fields
+///                       whose float-ness lives in another header are named
+///                       with `float-key` in the policy file
+///   det-entropy         std::random_device, rand()/srand(), time(nullptr),
+///                       std::chrono {system,steady,high_resolution}_clock:
+///                       wall-clock and hardware entropy outside util::Rng
+///                       and the sim clock makes replay unreproducible
+///
 /// Inline suppression (same line as the finding, or the line above):
 ///   // chase-lint: allow(check-name) <written justification, required>
 /// File-level exemption (in .chase-lint, for whole cold directories):
@@ -87,6 +115,18 @@ struct AllowFile {
   int line = 0;       // line in the config file, for unused reporting
 };
 
+/// One `allow-unordered <name> <why>` policy entry: iterating a container
+/// with this (unqualified) variable name is exempt from det-unordered-iter.
+/// Reserved for containers whose iteration-order effects are provably
+/// unobservable (e.g. Simulation::detached_, destroyed wholesale in the
+/// destructor after the last trace hook has fired). Unused entries are
+/// reported like unused allow-file policy.
+struct AllowUnordered {
+  std::string name;  // container variable name, e.g. detached_
+  std::string why;   // written justification, required
+  int line = 0;      // line in the config file, for unused reporting
+};
+
 struct Config {
   /// Lvalue-reference coroutine parameters of these (unqualified) types are
   /// accepted: the type must, by construction, outlive every coroutine
@@ -116,6 +156,14 @@ struct Config {
   std::vector<std::string> allow_copy_types;
   /// File-level check exemptions (`allow-file` entries).
   std::vector<AllowFile> allow_files;
+
+  // --- determinism family -----------------------------------------------------
+  /// Containers exempt from det-unordered-iter (`allow-unordered` entries).
+  std::vector<AllowUnordered> allow_unordered;
+  /// Field/function names known to be floating-point across translation
+  /// units (the declaring header is a different file than the comparator),
+  /// so det-float-tiebreak can classify `a.iou < b.iou` without a compiler.
+  std::vector<std::string> float_keys;
 };
 
 /// Match `glob` ('*' = any run, '?' = any one char) against a path. A glob
@@ -130,6 +178,7 @@ Config default_config();
 ///   allow-ref-type <Type>   guard-type <Type>   sink <name>   exclude <path>
 ///   hot-path <path-substr>  hot-function <name> expensive-type <Type>
 ///   allow-copy-type <Type>  allow-file <glob> (<check>) <why...>
+///   allow-unordered <name> <why...>             float-key <name>
 /// '#' starts a comment. Returns false and sets *error on malformed input.
 bool load_config(const std::string& path, Config* cfg, std::string* error);
 
@@ -149,12 +198,18 @@ struct Finding {
 /// If `allow_file_used` is non-null it must have cfg.allow_files.size()
 /// entries; each entry that suppressed at least one finding is set to 1 so
 /// the caller can report dead allow-file policy across the whole walk.
+/// `allow_unordered_used` works the same way for cfg.allow_unordered.
 std::vector<Finding> analyze_source(const std::string& path, std::string_view source,
                                     const Config& cfg,
-                                    std::vector<char>* allow_file_used = nullptr);
+                                    std::vector<char>* allow_file_used = nullptr,
+                                    std::vector<char>* allow_unordered_used = nullptr);
 
 /// All check names, for --list-checks and suppression validation.
 const std::vector<std::string>& check_names();
+
+/// One-line description of a check, for --list-checks and SARIF rule
+/// metadata. Returns a generic string for unknown names.
+const char* check_description(const std::string& check);
 
 /// Stable fingerprint of a finding for the baseline file: FNV-1a over
 /// check, file, function and message shape (line numbers excluded so the

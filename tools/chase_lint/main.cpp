@@ -81,11 +81,71 @@ std::string json_escape(const std::string& s) {
       out += c;
     } else if (c == '\n') {
       out += "\\n";
+    } else if (c == '\t') {
+      out += "\\t";
+    } else if (c == '\r') {
+      out += "\\r";
     } else {
       out += c;
     }
   }
   return out;
+}
+
+/// Minimal SARIF 2.1.0 document, enough for GitHub code scanning: one run,
+/// one rule per check (with its one-line description), one result per
+/// finding, and the baseline fingerprint as a partial fingerprint so code
+/// scanning can track findings across commits.
+void print_sarif(const std::vector<Finding>& findings) {
+  std::printf(
+      "{\n"
+      "  \"$schema\": \"https://raw.githubusercontent.com/oasis-tcs/"
+      "sarif-spec/master/Schemata/sarif-schema-2.1.0.json\",\n"
+      "  \"version\": \"2.1.0\",\n"
+      "  \"runs\": [\n"
+      "    {\n"
+      "      \"tool\": {\n"
+      "        \"driver\": {\n"
+      "          \"name\": \"chase_lint\",\n"
+      "          \"informationUri\": \"https://example.invalid/chase_lint\",\n"
+      "          \"rules\": [\n");
+  const auto& names = chase::lint::check_names();
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    std::printf(
+        "            {\"id\": \"%s\", \"shortDescription\": {\"text\": "
+        "\"%s\"}}%s\n",
+        names[i].c_str(), json_escape(chase::lint::check_description(names[i])).c_str(),
+        i + 1 < names.size() ? "," : "");
+  }
+  std::printf(
+      "          ]\n"
+      "        }\n"
+      "      },\n"
+      "      \"results\": [\n");
+  for (std::size_t i = 0; i < findings.size(); ++i) {
+    const Finding& f = findings[i];
+    char fp[32];
+    std::snprintf(fp, sizeof fp, "%016llx",
+                  static_cast<unsigned long long>(chase::lint::fingerprint(f)));
+    std::printf(
+        "        {\n"
+        "          \"ruleId\": \"%s\",\n"
+        "          \"level\": \"error\",\n"
+        "          \"message\": {\"text\": \"%s\"},\n"
+        "          \"locations\": [{\"physicalLocation\": {\"artifactLocation\": "
+        "{\"uri\": \"%s\"}, \"region\": {\"startLine\": %d}}}],\n"
+        "          \"partialFingerprints\": {\"chaseLintFingerprint/v1\": "
+        "\"%s\"}\n"
+        "        }%s\n",
+        f.check.c_str(), json_escape(f.message).c_str(),
+        json_escape(f.file).c_str(), f.line > 0 ? f.line : 1, fp,
+        i + 1 < findings.size() ? "," : "");
+  }
+  std::printf(
+      "      ]\n"
+      "    }\n"
+      "  ]\n"
+      "}\n");
 }
 
 }  // namespace
@@ -94,6 +154,7 @@ int main(int argc, char** argv) {
   std::string format = "human";
   std::string baseline_path;
   std::string config_path;
+  std::vector<std::string> check_globs;  // --checks: report only matching checks
   bool update_baseline = false;
   std::vector<std::string> roots;
 
@@ -114,19 +175,30 @@ int main(int argc, char** argv) {
       baseline_path = value("--baseline");
     } else if (arg.rfind("--config", 0) == 0) {
       config_path = value("--config");
+    } else if (arg.rfind("--checks", 0) == 0) {
+      std::stringstream ss(value("--checks"));
+      std::string one;
+      while (std::getline(ss, one, ',')) {
+        if (!one.empty()) check_globs.push_back(one);
+      }
     } else if (arg == "--update-baseline") {
       update_baseline = true;
     } else if (arg == "--list-checks") {
       for (const std::string& name : chase::lint::check_names()) {
-        std::printf("%s\n", name.c_str());
+        std::printf("%-20s %s\n", name.c_str(),
+                    chase::lint::check_description(name));
       }
       return 0;
     } else if (arg == "--help" || arg == "-h") {
       std::printf(
-          "usage: chase_lint [--format=human|json] [--config FILE]\n"
+          "usage: chase_lint [--format=human|json|sarif] [--config FILE]\n"
           "                  [--baseline FILE] [--update-baseline]\n"
-          "                  [--list-checks] <paths...>\n"
-          "Coroutine-lifetime static analysis for the sim::Task idiom.\n"
+          "                  [--checks GLOB[,GLOB...]] [--list-checks] <paths...>\n"
+          "Static analysis for the sim::Task idiom: coroutine lifetime,\n"
+          "hot-path allocation, and determinism (det-*) check families.\n"
+          "--checks filters which findings are *reported* (e.g. 'det-*');\n"
+          "analysis always runs every check so suppression bookkeeping stays\n"
+          "consistent.\n"
           "Suppress inline with: // chase-lint: allow(<check>) <why it is safe>\n");
       return 0;
     } else if (!arg.empty() && arg[0] == '-') {
@@ -136,8 +208,9 @@ int main(int argc, char** argv) {
       roots.push_back(arg);
     }
   }
-  if (format != "human" && format != "json") {
-    std::fprintf(stderr, "chase_lint: --format must be 'human' or 'json'\n");
+  if (format != "human" && format != "json" && format != "sarif") {
+    std::fprintf(stderr,
+                 "chase_lint: --format must be 'human', 'json' or 'sarif'\n");
     return 2;
   }
   if (roots.empty()) {
@@ -176,6 +249,7 @@ int main(int argc, char** argv) {
   const std::vector<std::string> files = collect_files(roots, cfg);
   std::vector<Finding> findings;
   std::vector<char> allow_file_used(cfg.allow_files.size(), 0);
+  std::vector<char> allow_unordered_used(cfg.allow_unordered.size(), 0);
   int baselined = 0;
   for (const std::string& file : files) {
     std::ifstream in(file, std::ios::binary);
@@ -186,8 +260,9 @@ int main(int argc, char** argv) {
     std::ostringstream buf;
     buf << in.rdbuf();
     const std::string source = buf.str();
-    for (Finding& f :
-         chase::lint::analyze_source(file, source, cfg, &allow_file_used)) {
+    for (Finding& f : chase::lint::analyze_source(file, source, cfg,
+                                                  &allow_file_used,
+                                                  &allow_unordered_used)) {
       const auto fp = chase::lint::fingerprint(f);
       auto it = baseline.find(fp);
       if (it != baseline.end() && it->second > 0) {
@@ -209,6 +284,30 @@ int main(int argc, char** argv) {
         "allow-file entry '" + af.glob + " (" + af.check +
             ")' suppressed nothing in this walk; delete it so dead policy "
             "cannot mask future regressions"});
+  }
+  for (std::size_t i = 0; i < cfg.allow_unordered.size(); ++i) {
+    if (allow_unordered_used[i] != 0) continue;
+    const chase::lint::AllowUnordered& au = cfg.allow_unordered[i];
+    findings.push_back(Finding{
+        "lint-suppression", config_path, au.line, "",
+        "allow-unordered entry '" + au.name +
+            "' exempted no loop in this walk; delete it so dead policy "
+            "cannot mask future regressions"});
+  }
+
+  // --checks filters what is *reported* (and therefore the exit code);
+  // analysis always runs everything so allow()/allow-file bookkeeping stays
+  // consistent across invocations with different filters.
+  if (!check_globs.empty()) {
+    findings.erase(std::remove_if(findings.begin(), findings.end(),
+                                  [&](const Finding& f) {
+                                    for (const std::string& g : check_globs) {
+                                      if (chase::lint::glob_match(g, f.check))
+                                        return false;
+                                    }
+                                    return true;
+                                  }),
+                   findings.end());
   }
 
   if (update_baseline) {
@@ -246,6 +345,10 @@ int main(int argc, char** argv) {
     }
   }
 
+  if (format == "sarif") {
+    print_sarif(findings);
+    return findings.empty() ? 0 : 1;
+  }
   if (format == "json") {
     std::printf("{\n  \"files_scanned\": %zu,\n  \"baselined\": %d,\n"
                 "  \"findings\": [\n",

@@ -275,8 +275,24 @@ Trace run_federation(std::uint64_t seed, int sites, bool with_chaos) {
 }
 
 /// Returns true iff `a` and `b` agree; prints where they fork otherwise.
+/// Agreement is a raw memcmp of the full per-block hash sequence plus
+/// every counter compared bitwise — not just final_hash() equality, so a
+/// (vanishingly unlikely) rolling-hash collision cannot mask a divergence
+/// and intra-process state leakage between runs shows up even when it
+/// cancels out of the final digest.
 bool compare(std::uint64_t seed, const Trace& a, const Trace& b, int run_index) {
-  if (a.final_hash() == b.final_hash()) return true;
+  const bool blocks_equal =
+      a.block_hashes.size() == b.block_hashes.size() &&
+      (a.block_hashes.empty() ||
+       std::memcmp(a.block_hashes.data(), b.block_hashes.data(),
+                   a.block_hashes.size() * sizeof(std::uint64_t)) == 0);
+  if (blocks_equal && a.hash == b.hash && a.events == b.events &&
+      bits_of(a.end_time) == bits_of(b.end_time) &&
+      bits_of(a.net_bytes) == bits_of(b.net_bytes) &&
+      bits_of(a.ceph_bytes) == bits_of(b.ceph_bytes) &&
+      a.fault_hash == b.fault_hash && a.faults == b.faults) {
+    return true;
+  }
   std::fprintf(stderr,
                "determinism_check: DIVERGENCE for seed %" PRIu64 " (run 1 vs run %d)\n"
                "  run 1: %" PRIu64 " events, %" PRIu64 " faults, end t=%.9g, hash %016" PRIx64 "\n"
